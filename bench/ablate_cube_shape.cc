@@ -1,0 +1,72 @@
+// Ablation A2: basic-cube shape (Section 4.4).
+//
+// For the 259^3 dataset we compare the auto-selected cube against explicit
+// alternatives: balanced vs. skewed middle dimension, and a deliberately
+// short K0 (< T) that pays the paper's (T mod K0*cs)/T lane waste. We
+// report the allocation waste and beam/range costs.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace mm;
+
+int main() {
+  const int reps = bench::QuickMode() ? 2 : 8;
+  const map::GridShape shape{259, 259, 259};
+  const disk::DiskSpec spec = disk::MakeAtlas10k3();
+
+  struct Config {
+    const char* name;
+    std::vector<uint32_t> dims;  // empty = auto
+  };
+  const Config configs[] = {
+      {"auto", {}},
+      {"K1 max (128)", {259, 128, 129}},
+      {"K1 small (16)", {259, 16, 259}},
+      {"short K0 (130)", {130, 65, 130}},
+      {"short K0 (87)", {87, 65, 130}},
+  };
+
+  std::printf("=== Ablation: basic-cube shape, %s on %s ===\n\n",
+              shape.ToString().c_str(), spec.name.c_str());
+  TextTable table({"cube", "K", "waste%", "Dim1 beam", "Dim2 beam",
+                   "1% range [s]"});
+  uint64_t seed = 777;
+  for (const auto& cfg : configs) {
+    lvm::Volume vol(spec);
+    core::MultiMapMapping::Options opt;
+    opt.cube_dims = cfg.dims;
+    auto mmap = core::MultiMapMapping::Create(vol, shape, opt);
+    if (!mmap.ok()) {
+      std::printf("%s: %s\n", cfg.name, mmap.status().ToString().c_str());
+      continue;
+    }
+    const auto& k = (*mmap)->cube().k;
+    std::string kstr = std::to_string(k[0]);
+    for (size_t i = 1; i < k.size(); ++i) kstr += "x" + std::to_string(k[i]);
+
+    const RunningStats d1 =
+        bench::BeamPerCellStats(vol, **mmap, 1, reps, seed++);
+    const RunningStats d2 =
+        bench::BeamPerCellStats(vol, **mmap, 2, reps, seed++);
+    query::Executor ex(&vol, mmap->get());
+    Rng rng(seed++);
+    RunningStats range;
+    for (int rep = 0; rep < reps; ++rep) {
+      (void)ex.RandomizeHead(rng);
+      auto r = ex.RunRange(query::RandomRange(shape, 1.0, rng));
+      if (r.ok()) range.Add(r->io_ms / 1000.0);
+    }
+    table.AddRow({cfg.name, kstr,
+                  TextTable::Num(100.0 * (*mmap)->WastedFraction(), 1),
+                  TextTable::Num(d1.Mean(), 3), TextTable::Num(d2.Mean(), 3),
+                  TextTable::Num(range.Mean(), 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: beams stay settle-paced regardless of shape (hops are\n"
+      "adjacency jumps either way); small K1 multiplies Dim1 cube\n"
+      "crossings; short K0 wastes (T mod K0)/T of each lane track\n"
+      "(Section 4.4 bound, up to 50%%).\n");
+  return 0;
+}

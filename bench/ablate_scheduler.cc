@@ -1,0 +1,87 @@
+// Ablation A3: storage-manager and drive policies.
+//
+// The reproduction depends on three policy choices that the paper leaves
+// implicit; this harness quantifies each on the 259^3 beam workload:
+//   1. drive scheduling within the queue window (FIFO / Elevator / SPTF)
+//      and the queue depth,
+//   2. track-buffer read-ahead under queued service,
+//   3. storage-manager hole-coalescing for sorted plans.
+// See EXPERIMENTS.md for how these policies move the baselines relative to
+// the paper's measurements.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace mm;
+
+namespace {
+
+RunningStats Beam(lvm::Volume& vol, const map::Mapping& m, uint32_t dim,
+                  const query::ExecOptions& opts, int reps, uint64_t seed) {
+  query::Executor ex(&vol, &m, opts);
+  Rng rng(seed);
+  RunningStats stats;
+  for (int rep = 0; rep < reps; ++rep) {
+    (void)ex.RandomizeHead(rng);
+    auto r = ex.RunBeam(query::RandomBeam(m.shape(), dim, rng));
+    if (r.ok()) stats.Add(r->PerCellMs());
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = bench::QuickMode() ? 3 : 10;
+  const map::GridShape shape{259, 259, 259};
+  const disk::DiskSpec spec = disk::MakeAtlas10k3();
+  lvm::Volume vol(spec);
+  auto mappings = bench::PaperMappings(vol, shape);
+  const map::Mapping& naive = *mappings[0];
+  const map::Mapping& zorder = *mappings[1];
+  const map::Mapping& mmap = *mappings.back();
+
+  std::printf("=== Ablation: scheduler / read-ahead / coalescing ===\n");
+  std::printf("Dim1 beams on %s, avg ms/cell\n\n", spec.name.c_str());
+
+  TextTable table({"policy", "Naive", "Z-order", "MultiMap"});
+  uint64_t seed = 999;
+
+  struct Row {
+    const char* name;
+    disk::SchedulerKind kind;
+    uint32_t depth;
+    bool queue_disables_readahead;
+    uint32_t coalesce;
+  };
+  const Row rows[] = {
+      {"Elevator d4 (default)", disk::SchedulerKind::kElevator, 4, true, 0},
+      {"FIFO d1", disk::SchedulerKind::kFifo, 1, true, 0},
+      {"SPTF d4", disk::SchedulerKind::kSptf, 4, true, 0},
+      {"SPTF d16", disk::SchedulerKind::kSptf, 16, true, 0},
+      {"SPTF d64", disk::SchedulerKind::kSptf, 64, true, 0},
+      {"Elevator + readahead", disk::SchedulerKind::kElevator, 4, false, 0},
+      {"Elevator + coalesce128", disk::SchedulerKind::kElevator, 4, true,
+       128},
+  };
+  for (const auto& row : rows) {
+    query::ExecOptions opts;
+    opts.batch.kind = row.kind;
+    opts.batch.queue_depth = row.depth;
+    opts.batch.queue_disables_readahead = row.queue_disables_readahead;
+    opts.coalesce_limit_sectors = row.coalesce;
+    table.AddRow(
+        {row.name,
+         TextTable::Num(Beam(vol, naive, 1, opts, reps, seed + 1).Mean(), 3),
+         TextTable::Num(Beam(vol, zorder, 1, opts, reps, seed + 2).Mean(), 3),
+         TextTable::Num(Beam(vol, mmap, 1, opts, reps, seed + 3).Mean(), 3)});
+    seed += 10;
+  }
+  table.Print();
+  std::printf(
+      "\nReading guide: SPTF with deep queues or active read-ahead/\n"
+      "coalescing collapses the curve baselines' small rank gaps to\n"
+      "near-free accesses and also flatters Naive; MultiMap's\n"
+      "semi-sequential path is policy-insensitive (already optimal).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared helpers for the figure-reproduction benches: mapping construction,
+// repetition loops, and table output in the shape of the paper's figures.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/multimap.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/curve_mapping.h"
+#include "mapping/mapping.h"
+#include "mapping/naive.h"
+#include "query/executor.h"
+#include "query/query.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mm::bench {
+
+/// The comparison set of Section 5: Naive, Z-order, Hilbert, MultiMap.
+/// Pass include_gray=true to add the Gray-code curve from related work.
+inline std::vector<std::unique_ptr<map::Mapping>> PaperMappings(
+    const lvm::Volume& vol, const map::GridShape& shape,
+    bool include_gray = false) {
+  std::vector<std::unique_ptr<map::Mapping>> out;
+  out.push_back(std::make_unique<map::NaiveMapping>(shape, 0));
+  out.push_back(std::make_unique<map::CurveMapping>(
+      map::MakeOctantOrder("zorder", shape.ndims()), shape, 0));
+  out.push_back(std::make_unique<map::CurveMapping>(
+      map::MakeOctantOrder("hilbert", shape.ndims()), shape, 0));
+  if (include_gray) {
+    out.push_back(std::make_unique<map::CurveMapping>(
+        map::MakeOctantOrder("gray", shape.ndims()), shape, 0));
+  }
+  auto mmap = core::MultiMapMapping::Create(vol, shape);
+  if (!mmap.ok()) {
+    std::fprintf(stderr, "MultiMap::Create failed: %s\n",
+                 mmap.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.push_back(std::move(mmap).value());
+  return out;
+}
+
+/// Mean per-cell I/O time of `reps` random full-extent beams along `dim`.
+inline RunningStats BeamPerCellStats(lvm::Volume& vol,
+                                     const map::Mapping& mapping,
+                                     uint32_t dim, int reps, uint64_t seed) {
+  query::Executor ex(&vol, &mapping);
+  Rng rng(seed);
+  RunningStats stats;
+  for (int rep = 0; rep < reps; ++rep) {
+    (void)ex.RandomizeHead(rng);
+    auto r = ex.RunBeam(query::RandomBeam(mapping.shape(), dim, rng));
+    if (!r.ok()) {
+      std::fprintf(stderr, "beam failed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    stats.Add(r->PerCellMs());
+  }
+  return stats;
+}
+
+/// True when the harness should run a reduced configuration (set
+/// MM_BENCH_QUICK=1); used by CI-style smoke runs.
+inline bool QuickMode() {
+  const char* v = std::getenv("MM_BENCH_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace mm::bench

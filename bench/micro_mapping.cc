@@ -1,0 +1,105 @@
+// A5: google-benchmark micro-benchmarks of the mapping layer: cell -> LBN
+// throughput per mapping, curve rank-in-box cost, run decomposition, and
+// the disk simulator's request service rate.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace mm;
+
+const map::GridShape kShape{259, 259, 259};
+
+void BM_NaiveLbnOf(benchmark::State& state) {
+  map::NaiveMapping m(kShape, 0);
+  Rng rng(1);
+  for (auto _ : state) {
+    map::Cell c = map::MakeCell(
+        {static_cast<uint32_t>(rng.Uniform(259)),
+         static_cast<uint32_t>(rng.Uniform(259)),
+         static_cast<uint32_t>(rng.Uniform(259))});
+    benchmark::DoNotOptimize(m.LbnOf(c));
+  }
+}
+BENCHMARK(BM_NaiveLbnOf);
+
+void BM_CurveRank(benchmark::State& state, const char* kind) {
+  map::CurveMapping m(map::MakeOctantOrder(kind, 3), kShape, 0);
+  Rng rng(1);
+  for (auto _ : state) {
+    map::Cell c = map::MakeCell(
+        {static_cast<uint32_t>(rng.Uniform(259)),
+         static_cast<uint32_t>(rng.Uniform(259)),
+         static_cast<uint32_t>(rng.Uniform(259))});
+    benchmark::DoNotOptimize(m.RankOf(c));
+  }
+}
+BENCHMARK_CAPTURE(BM_CurveRank, zorder, "zorder");
+BENCHMARK_CAPTURE(BM_CurveRank, hilbert, "hilbert");
+BENCHMARK_CAPTURE(BM_CurveRank, gray, "gray");
+
+void BM_MultiMapLbnOf(benchmark::State& state) {
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  auto m = core::MultiMapMapping::Create(vol, kShape);
+  Rng rng(1);
+  for (auto _ : state) {
+    map::Cell c = map::MakeCell(
+        {static_cast<uint32_t>(rng.Uniform(259)),
+         static_cast<uint32_t>(rng.Uniform(259)),
+         static_cast<uint32_t>(rng.Uniform(259))});
+    benchmark::DoNotOptimize((*m)->LbnOf(c));
+  }
+}
+BENCHMARK(BM_MultiMapLbnOf);
+
+void BM_RunsForBox(benchmark::State& state, const char* kind) {
+  std::unique_ptr<map::Mapping> m;
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  if (std::string(kind) == "naive") {
+    m = std::make_unique<map::NaiveMapping>(kShape, 0);
+  } else if (std::string(kind) == "multimap") {
+    auto created = core::MultiMapMapping::Create(vol, kShape);
+    m = std::move(created).value();
+  } else {
+    m = std::make_unique<map::CurveMapping>(map::MakeOctantOrder(kind, 3),
+                                            kShape, 0);
+  }
+  Rng rng(7);
+  std::vector<map::LbnRun> runs;
+  for (auto _ : state) {
+    const map::Box box = query::RandomRange(kShape, 1.0, rng);
+    runs.clear();
+    m->AppendRunsForBox(box, &runs);
+    benchmark::DoNotOptimize(runs.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_RunsForBox, naive, "naive");
+BENCHMARK_CAPTURE(BM_RunsForBox, zorder, "zorder");
+BENCHMARK_CAPTURE(BM_RunsForBox, hilbert, "hilbert");
+BENCHMARK_CAPTURE(BM_RunsForBox, multimap, "multimap");
+
+void BM_DiskServiceSingleSector(benchmark::State& state) {
+  disk::Disk d(disk::MakeAtlas10k3());
+  Rng rng(3);
+  for (auto _ : state) {
+    const uint64_t lbn = rng.Uniform(d.geometry().total_sectors());
+    benchmark::DoNotOptimize(d.Service({lbn, 1}));
+  }
+}
+BENCHMARK(BM_DiskServiceSingleSector);
+
+void BM_AdjacentLbn(benchmark::State& state) {
+  disk::Geometry geo(disk::MakeAtlas10k3());
+  Rng rng(5);
+  for (auto _ : state) {
+    const uint64_t lbn = rng.Uniform(geo.total_sectors() / 2);
+    benchmark::DoNotOptimize(
+        geo.AdjacentLbn(lbn, 1 + static_cast<uint32_t>(rng.Uniform(128))));
+  }
+}
+BENCHMARK(BM_AdjacentLbn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

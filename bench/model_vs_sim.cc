@@ -1,0 +1,62 @@
+// Validation A4: analytical model vs. simulator (stand-in for the paper's
+// CMU-PDL-05-102 cost model). Prints predicted vs. measured per-cell beam
+// costs and range totals for Naive and MultiMap on both disks.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "model/analytical.h"
+
+using namespace mm;
+
+int main() {
+  const int reps = bench::QuickMode() ? 3 : 10;
+  const map::GridShape shape{259, 259, 259};
+
+  std::printf("=== Analytical model vs. simulator ===\n\n");
+  uint64_t seed = 31415;
+  for (const auto& spec : disk::PaperDisks()) {
+    lvm::Volume vol(spec);
+    model::CostModel model(spec);
+    map::NaiveMapping naive(shape, 0);
+    auto mmap = core::MultiMapMapping::Create(vol, shape);
+    if (!mmap.ok()) return 1;
+
+    TextTable table({"quantity", "model[ms]", "sim[ms]", "err%"});
+    auto add = [&](const std::string& name, double m, double s) {
+      table.AddRow({name, TextTable::Num(m, 3), TextTable::Num(s, 3),
+                    TextTable::Num(100.0 * (m - s) / s, 1)});
+    };
+    for (uint32_t dim = 0; dim < 3; ++dim) {
+      add("naive beam d" + std::to_string(dim),
+          model.NaiveBeamPerCellMs(shape, dim),
+          bench::BeamPerCellStats(vol, naive, dim, reps, seed++).Mean());
+      add("multimap beam d" + std::to_string(dim),
+          model.MultiMapBeamPerCellMs(shape, (*mmap)->cube(), dim),
+          bench::BeamPerCellStats(vol, **mmap, dim, reps, seed++).Mean());
+    }
+    Rng rng(seed++);
+    for (double pct : {0.1, 1.0}) {
+      const map::Box box = query::RandomRange(shape, pct, rng);
+      query::Executor exn(&vol, &naive);
+      query::Executor exm(&vol, mmap->get());
+      RunningStats sn, sm;
+      for (int rep = 0; rep < reps; ++rep) {
+        (void)exn.RandomizeHead(rng);
+        auto rn = exn.RunRange(box);
+        if (rn.ok()) sn.Add(rn->io_ms);
+        (void)exm.RandomizeHead(rng);
+        auto rm = exm.RunRange(box);
+        if (rm.ok()) sm.Add(rm->io_ms);
+      }
+      add("naive range " + TextTable::Num(pct, 1) + "%",
+          model.NaiveRangeTotalMs(shape, box), sn.Mean());
+      add("multimap range " + TextTable::Num(pct, 1) + "%",
+          model.MultiMapRangeTotalMs(shape, (*mmap)->cube(), box),
+          sm.Mean());
+    }
+    std::printf("--- %s ---\n", spec.name.c_str());
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

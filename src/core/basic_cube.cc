@@ -1,0 +1,213 @@
+#include "core/basic_cube.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mm::core {
+
+namespace {
+
+Status CheckCommon(const map::GridShape& shape, uint32_t track_cells,
+                   uint32_t adjacency_d) {
+  if (shape.ndims() < 2) {
+    return Status::InvalidArgument(
+        "MultiMap requires at least 2 dimensions; use Naive for 1-D data");
+  }
+  if (shape.ndims() > map::kMaxDims) {
+    return Status::InvalidArgument("too many dimensions");
+  }
+  for (uint32_t i = 0; i < shape.ndims(); ++i) {
+    if (shape.dim(i) == 0) {
+      return Status::InvalidArgument("dataset dimension " +
+                                     std::to_string(i) + " is zero");
+    }
+  }
+  if (track_cells == 0) {
+    return Status::InvalidArgument("track holds zero cells");
+  }
+  if (adjacency_d == 0) {
+    return Status::InvalidArgument("adjacency degree D is zero");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BasicCube> ComputeBasicCube(const map::GridShape& shape,
+                                   uint32_t track_cells,
+                                   uint32_t adjacency_d,
+                                   uint64_t tracks_in_zone) {
+  MM_RETURN_NOT_OK(CheckCommon(shape, track_cells, adjacency_d));
+  const uint32_t n = shape.ndims();
+  BasicCube cube;
+  cube.k.assign(n, 1);
+
+  // Eq. 1: K_0 <= T (in cells).
+  cube.k[0] = std::min(shape.dim(0), track_cells);
+
+  // Middle dimensions, Eq. 3: the product must stay within D -- and within
+  // the zone's track count, so Eq. 2 can still fit at least one cube layer.
+  //
+  // Among feasible K_i we minimize over-coverage: the cube grid covers
+  // G_i*K_i >= S_i cells per dimension (G_i = ceil(S_i/K_i)) and every
+  // covered-but-absent cell wastes allocated tracks. Candidate K_i values
+  // are the distinct ceil(S_i/g) (the Pareto-optimal choices); with at most
+  // a few middle dimensions an exhaustive search with product pruning is
+  // cheap. Ties prefer larger cubes (better locality for large ranges).
+  const uint64_t mid_limit =
+      std::min<uint64_t>(adjacency_d, tracks_in_zone);
+  const uint32_t n_mid = n - 2;
+  if (n_mid > 0 && n_mid <= 3) {
+    // Balance floor: keeping every K_i at least half of the balanced value
+    // floor(D^(1/n_mid)) prevents degenerate K_i = 1 picks that would make
+    // beams along dimension i cross a cube boundary at every step.
+    uint32_t balanced = 1;
+    while (true) {
+      uint64_t p = 1;
+      for (uint32_t m = 0; m < n_mid; ++m) p *= balanced + 1;
+      if (p > mid_limit) break;
+      ++balanced;
+    }
+    std::vector<std::vector<uint32_t>> cand(n_mid);
+    for (uint32_t m = 0; m < n_mid; ++m) {
+      const uint32_t s = shape.dim(m + 1);
+      const uint32_t floor_k =
+          std::min<uint32_t>(s, std::max<uint32_t>(1, balanced / 2));
+      uint32_t last = 0;
+      for (uint32_t g = 1; g <= s; ++g) {
+        const uint32_t k = (s + g - 1) / g;
+        if (k != last && k <= mid_limit && k >= floor_k) {
+          cand[m].push_back(k);
+          last = k;
+        }
+        if (k == 1 || k < floor_k) break;
+      }
+      if (cand[m].empty()) cand[m].push_back(1);
+    }
+    std::vector<uint32_t> pick(n_mid, 1), best(n_mid, 1);
+    double best_cover = 1e300;
+    uint64_t best_volume = 0;
+    auto search = [&](auto&& self, uint32_t m, uint64_t product,
+                      double cover) -> void {
+      if (m == n_mid) {
+        const uint64_t volume = product;
+        if (cover < best_cover - 1e-9 ||
+            (cover < best_cover + 1e-9 && volume > best_volume)) {
+          best_cover = cover;
+          best_volume = volume;
+          best = pick;
+        }
+        return;
+      }
+      const uint32_t s = shape.dim(m + 1);
+      for (uint32_t k : cand[m]) {
+        if (product * k > mid_limit) continue;
+        const uint32_t g = (s + k - 1) / k;
+        pick[m] = k;
+        self(self, m + 1, product * k,
+             cover * (static_cast<double>(g) * k / s));
+      }
+    };
+    search(search, 0, 1, 1.0);
+    for (uint32_t m = 0; m < n_mid; ++m) cube.k[m + 1] = best[m];
+  } else if (n_mid > 3) {
+    // Many middle dimensions: greedy balanced growth, then shrink-to-fit.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      uint32_t pick_dim = 0, pick_val = UINT32_MAX;
+      uint64_t product = 1;
+      for (uint32_t i = 1; i + 1 < n; ++i) product *= cube.k[i];
+      for (uint32_t i = 1; i + 1 < n; ++i) {
+        if (cube.k[i] >= shape.dim(i)) continue;
+        if (product / cube.k[i] * (cube.k[i] + 1) > mid_limit) continue;
+        if (cube.k[i] < pick_val) {
+          pick_val = cube.k[i];
+          pick_dim = i;
+        }
+      }
+      if (pick_val != UINT32_MAX) {
+        ++cube.k[pick_dim];
+        grew = true;
+      }
+    }
+  }
+
+  // Shrink-to-fit: keep the per-dimension cube count G_i = ceil(S_i/K_i)
+  // but shrink each K_i to ceil(S_i/G_i). Constraints only relax (K never
+  // grows) while tail cubes shrink dramatically -- e.g. 259 cells over
+  // K=128 leaves tail cubes of width 3; over K=87 the cubes are 87/87/85.
+  auto shrink_to_fit = [&shape](uint32_t i, uint32_t k) {
+    const uint32_t g = (shape.dim(i) + k - 1) / k;
+    return (shape.dim(i) + g - 1) / g;
+  };
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    cube.k[i] = shrink_to_fit(i, cube.k[i]);
+  }
+
+  // Eq. 2: the last dimension takes the remaining tracks of the zone
+  // (computed against the shrunk middle product).
+  uint64_t mid_product = 1;
+  for (uint32_t i = 1; i + 1 < n; ++i) mid_product *= cube.k[i];
+  const uint64_t last_max = tracks_in_zone / mid_product;
+  if (last_max == 0) {
+    return Status::CapacityExceeded(
+        "zone with " + std::to_string(tracks_in_zone) +
+        " tracks cannot hold one basic-cube layer (needs " +
+        std::to_string(mid_product) + " tracks)");
+  }
+  cube.k[n - 1] = static_cast<uint32_t>(
+      std::min<uint64_t>(shape.dim(n - 1), last_max));
+  cube.k[n - 1] = shrink_to_fit(n - 1, cube.k[n - 1]);
+
+  return cube;
+}
+
+Result<BasicCube> ValidateBasicCube(const map::GridShape& shape,
+                                    std::vector<uint32_t> k,
+                                    uint32_t track_cells,
+                                    uint32_t adjacency_d,
+                                    uint64_t tracks_in_zone) {
+  MM_RETURN_NOT_OK(CheckCommon(shape, track_cells, adjacency_d));
+  const uint32_t n = shape.ndims();
+  if (k.size() != n) {
+    return Status::InvalidArgument("cube dims size != dataset dims");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    if (k[i] == 0) return Status::InvalidArgument("cube dimension is zero");
+    if (k[i] > shape.dim(i)) {
+      return Status::InvalidArgument(
+          "K_" + std::to_string(i) + "=" + std::to_string(k[i]) +
+          " exceeds dataset extent " + std::to_string(shape.dim(i)));
+    }
+  }
+  if (k[0] > track_cells) {
+    return Status::InvalidArgument(
+        "Eq. 1 violated: K_0=" + std::to_string(k[0]) + " > track cells " +
+        std::to_string(track_cells));
+  }
+  uint64_t mid_product = 1;
+  for (uint32_t i = 1; i + 1 < n; ++i) mid_product *= k[i];
+  if (mid_product > adjacency_d) {
+    return Status::InvalidArgument(
+        "Eq. 3 violated: prod K_1..K_{N-2} = " + std::to_string(mid_product) +
+        " > D = " + std::to_string(adjacency_d));
+  }
+  BasicCube cube;
+  cube.k = std::move(k);
+  if (cube.TracksPerCube() > tracks_in_zone) {
+    return Status::InvalidArgument(
+        "Eq. 2 violated: cube needs " +
+        std::to_string(cube.TracksPerCube()) + " tracks > zone's " +
+        std::to_string(tracks_in_zone));
+  }
+  return cube;
+}
+
+uint32_t MaxSupportedDims(uint32_t adjacency_d) {
+  uint32_t log2d = 0;
+  while ((1u << (log2d + 1)) <= adjacency_d) ++log2d;
+  return 2 + log2d;
+}
+
+}  // namespace mm::core

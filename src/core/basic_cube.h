@@ -1,0 +1,75 @@
+// Basic cube sizing (paper Section 4.2).
+//
+// The basic cube is the largest data cube that can be mapped while
+// preserving spatial locality. Its side lengths K_i must satisfy:
+//   Eq. 1:  K_0 <= T                   (first dimension fits on a track)
+//   Eq. 2:  K_{N-1} <= floor(tracks_in_zone / prod_{i=1}^{N-2} K_i)
+//   Eq. 3:  prod_{i=1}^{N-2} K_i <= D  (the last dimension's adjacency step
+//                                       stays within the settle distance)
+// Dim_0 maps along the track; Dim_i (i >= 1) maps to sequences of
+// (prod_{j=1}^{i-1} K_j)-th adjacent blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/cell.h"
+#include "util/result.h"
+
+namespace mm::core {
+
+/// Basic-cube side lengths K_0..K_{N-1} plus derived constants.
+struct BasicCube {
+  std::vector<uint32_t> k;
+
+  uint32_t ndims() const { return static_cast<uint32_t>(k.size()); }
+
+  /// Tracks occupied by one cube: prod_{i>=1} K_i.
+  uint64_t TracksPerCube() const {
+    uint64_t t = 1;
+    for (uint32_t i = 1; i < k.size(); ++i) t *= k[i];
+    return t;
+  }
+
+  /// Cells per cube.
+  uint64_t CellCount() const {
+    uint64_t n = 1;
+    for (uint32_t v : k) n *= v;
+    return n;
+  }
+
+  /// Adjacency step used when advancing one cell along dimension i >= 1:
+  /// prod_{j=1}^{i-1} K_j (the paper's Figure 5 inner jump).
+  uint64_t StepOf(uint32_t i) const {
+    uint64_t s = 1;
+    for (uint32_t j = 1; j < i; ++j) s *= k[j];
+    return s;
+  }
+};
+
+/// Computes basic-cube dimensions for a dataset of `shape` on a zone with
+/// track capacity `track_cells` (= floor(T / cell_sectors) cells per track),
+/// `tracks_in_zone` tracks, and adjacency degree D.
+///
+/// Policy: K_0 = min(S_0, track_cells); the middle dimensions are grown
+/// one cell at a time, smallest-first, while Eq. 3 holds (balanced cubes
+/// maximize the number of dimensions a given D supports, Eq. 4); K_{N-1}
+/// takes the rest of Eq. 2. Every K_i is clamped to S_i: a cube larger than
+/// the dataset wastes space without improving locality.
+Result<BasicCube> ComputeBasicCube(const map::GridShape& shape,
+                                   uint32_t track_cells, uint32_t adjacency_d,
+                                   uint64_t tracks_in_zone);
+
+/// Validates user-supplied cube dimensions against Eq. 1-3. Returns the
+/// validated cube or an explanatory error.
+Result<BasicCube> ValidateBasicCube(const map::GridShape& shape,
+                                    std::vector<uint32_t> k,
+                                    uint32_t track_cells,
+                                    uint32_t adjacency_d,
+                                    uint64_t tracks_in_zone);
+
+/// Eq. 5: the maximum dimensionality a disk with adjacency degree D can
+/// support with balanced cubes of side >= 2: N_max = 2 + log2(D).
+uint32_t MaxSupportedDims(uint32_t adjacency_d);
+
+}  // namespace mm::core

@@ -1,0 +1,370 @@
+#include "core/multimap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace mm::core {
+
+using map::Box;
+using map::Cell;
+using map::GridShape;
+using map::LbnRun;
+
+Result<std::unique_ptr<MultiMapMapping>> MultiMapMapping::Create(
+    const lvm::Volume& volume, GridShape shape, const Options& options) {
+  if (options.disk_index >= volume.disk_count()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  if (options.cell_sectors == 0) {
+    return Status::InvalidArgument("cell_sectors must be positive");
+  }
+  const disk::Geometry& geo = volume.disk(options.disk_index).geometry();
+  const uint32_t d_adj = volume.MaxAdjacency();
+  const uint32_t cs = options.cell_sectors;
+
+  // Size the basic cube against the most capable zone (longest tracks,
+  // counting only the part at or after start_track).
+  uint32_t best_track_cells = 0;
+  uint64_t best_zone_tracks = 0;
+  for (const auto& z : geo.zones()) {
+    const uint64_t zone_end = z.first_track + z.track_count;
+    if (zone_end <= options.start_track) continue;
+    const uint64_t avail =
+        zone_end - std::max(z.first_track, options.start_track);
+    const uint32_t track_cells = z.spt / cs;
+    if (track_cells > best_track_cells) {
+      best_track_cells = track_cells;
+      best_zone_tracks = avail;
+    }
+  }
+  if (best_track_cells == 0) {
+    return Status::CapacityExceeded("no zone available from start_track");
+  }
+
+  BasicCube cube;
+  if (options.cube_dims.empty()) {
+    MM_ASSIGN_OR_RETURN(cube, ComputeBasicCube(shape, best_track_cells,
+                                               d_adj, best_zone_tracks));
+  } else {
+    MM_ASSIGN_OR_RETURN(
+        cube, ValidateBasicCube(shape, options.cube_dims, best_track_cells,
+                                d_adj, best_zone_tracks));
+  }
+
+  auto m = std::unique_ptr<MultiMapMapping>(
+      new MultiMapMapping(std::move(shape), /*base_lbn=*/0, cs));
+  m->volume_base_ = volume.ToVolumeLbn(options.disk_index, 0);
+  const uint32_t n = m->shape_.ndims();
+
+  // Plans the cube grid and zone allocation for a given cube. Returns
+  // CapacityExceeded when the usable zones cannot hold every cube.
+  auto try_allocate = [&](const BasicCube& c) -> Status {
+    m->cube_ = c;
+    m->zones_.clear();
+    m->footprint_sectors_ = 0;
+    m->grid_.assign(n, 0);
+    m->grid_stride_.assign(n, 0);
+    m->step_.assign(n, 0);
+    uint64_t stride = 1;
+    for (uint32_t i = 0; i < n; ++i) {
+      m->grid_[i] = (m->shape_.dim(i) + c.k[i] - 1) / c.k[i];
+      m->grid_stride_[i] = stride;
+      stride *= m->grid_[i];
+      m->step_[i] = i == 0 ? 0 : c.StepOf(i);
+    }
+    m->cube_count_ = stride;
+    m->tracks_per_cube_ = c.TracksPerCube();
+
+    // Allocate cube slots zone by zone. A zone is usable if one lane fits
+    // (T >= K0 * cs) and it has room for at least one track group.
+    const uint32_t lane_sectors = c.k[0] * cs;
+    uint64_t remaining = m->cube_count_;
+    for (const auto& z : geo.zones()) {
+      if (remaining == 0) break;
+      if (z.spt < lane_sectors) continue;
+      const uint64_t zone_end = z.first_track + z.track_count;
+      const uint64_t track0 = std::max(z.first_track, options.start_track);
+      if (track0 >= zone_end) continue;
+      const uint64_t avail = zone_end - track0;
+      const uint64_t slots = avail / m->tracks_per_cube_;
+      const uint32_t lanes = z.spt / lane_sectors;
+      const uint64_t capacity = slots * lanes;
+      if (capacity == 0) continue;
+      const uint64_t take = std::min(capacity, remaining);
+      ZoneAlloc za;
+      za.zone_index = z.index;
+      za.track0 = track0;
+      za.zone_first_track = z.first_track;
+      za.zone_first_lbn = z.first_lbn;
+      za.spt = z.spt;
+      za.skew = z.skew;
+      za.settle_slots = static_cast<uint32_t>(std::ceil(
+          volume.disk(options.disk_index).spec().settle_ms /
+          volume.disk(options.disk_index).spec().RevolutionMs() * z.spt));
+      za.lanes = lanes;
+      za.first_cube = m->cube_count_ - remaining;
+      za.cube_capacity = take;
+      za.slots_used = (take + lanes - 1) / lanes;
+      m->zones_.push_back(za);
+      m->footprint_sectors_ += za.slots_used * m->tracks_per_cube_ * z.spt;
+      remaining -= take;
+    }
+    if (remaining > 0) {
+      return Status::CapacityExceeded(
+          "dataset needs " + std::to_string(m->cube_count_) +
+          " basic cubes; usable zones hold only " +
+          std::to_string(m->cube_count_ - remaining) +
+          " (K0 = " + std::to_string(c.k[0]) +
+          " cells/track lane; consider a smaller cube or another disk)");
+    }
+    return Status::OK();
+  };
+
+  Status st = try_allocate(cube);
+  // Auto-sized cubes retry with a halved last dimension: smaller track
+  // groups pack the zones' leftover tracks more tightly (Section 4.4: "a
+  // system can choose the best basic cube size based on ... its datasets").
+  while (!st.ok() && options.cube_dims.empty() && cube.k[n - 1] > 1) {
+    cube.k[n - 1] = (cube.k[n - 1] + 1) / 2;
+    const uint32_t g =
+        (m->shape_.dim(n - 1) + cube.k[n - 1] - 1) / cube.k[n - 1];
+    cube.k[n - 1] = (m->shape_.dim(n - 1) + g - 1) / g;
+    st = try_allocate(cube);
+  }
+  MM_RETURN_NOT_OK(st);
+  m->base_lbn_ =
+      m->volume_base_ + m->zones_.front().zone_first_lbn +
+      (m->zones_.front().track0 - m->zones_.front().zone_first_track) *
+          m->zones_.front().spt;
+  return m;
+}
+
+MultiMapMapping::Placement MultiMapMapping::Place(const uint32_t* q,
+                                                  const uint32_t* r) const {
+  const uint32_t n = shape_.ndims();
+  // Cube linear index and zone holding it.
+  uint64_t cube_index = 0;
+  for (uint32_t i = 0; i < n; ++i) cube_index += q[i] * grid_stride_[i];
+  const ZoneAlloc* za = &zones_.back();
+  for (const auto& z : zones_) {
+    if (cube_index < z.first_cube + z.cube_capacity) {
+      za = &z;
+      break;
+    }
+  }
+  const uint64_t pos = cube_index - za->first_cube;
+  const uint64_t lane = pos % za->lanes;
+  const uint64_t slot = pos / za->lanes;
+
+  // In-cube track offset and skew backshift accumulated by the adjacency
+  // jumps (each step-j jump moves j tracks forward, (j-1)*skew sectors
+  // back).
+  uint64_t track_rel = 0;
+  uint64_t backshift = 0;
+  for (uint32_t i = 1; i < n; ++i) {
+    track_rel += static_cast<uint64_t>(r[i]) * step_[i];
+    backshift += static_cast<uint64_t>(r[i]) * (step_[i] - 1);
+  }
+  const uint32_t spt = za->spt;
+  backshift = (backshift * za->skew) % spt;
+
+  Placement p;
+  p.zone = za;
+  p.track = za->track0 + slot * tracks_per_cube_ + track_rel;
+  const uint64_t lane_base =
+      lane * cube_.k[0] * cell_sectors_ +
+      static_cast<uint64_t>(r[0]) * cell_sectors_;
+  p.sector = static_cast<uint32_t>((lane_base + spt - backshift) % spt);
+  return p;
+}
+
+uint64_t MultiMapMapping::LbnOf(const Cell& cell) const {
+  const uint32_t n = shape_.ndims();
+  uint32_t q[map::kMaxDims], r[map::kMaxDims];
+  for (uint32_t i = 0; i < n; ++i) {
+    q[i] = cell[i] / cube_.k[i];
+    r[i] = cell[i] % cube_.k[i];
+  }
+  return volume_base_ + DiskLbn(Place(q, r));
+}
+
+void MultiMapMapping::AppendRunsForBox(const Box& box,
+                                       std::vector<LbnRun>* runs) const {
+  const uint32_t n = shape_.ndims();
+  Box clipped = box;
+  for (uint32_t i = 0; i < n; ++i) {
+    clipped.hi[i] = std::min(clipped.hi[i], shape_.dim(i));
+    if (clipped.hi[i] <= clipped.lo[i]) return;
+  }
+
+  // Iterate intersecting cubes (dim 0 fastest: allocation order).
+  uint32_t qlo[map::kMaxDims], qhi[map::kMaxDims], q[map::kMaxDims];
+  for (uint32_t i = 0; i < n; ++i) {
+    qlo[i] = clipped.lo[i] / cube_.k[i];
+    qhi[i] = (clipped.hi[i] - 1) / cube_.k[i] + 1;
+    q[i] = qlo[i];
+  }
+
+  while (true) {
+    // Box intersection with this cube, cube-relative.
+    uint32_t a[map::kMaxDims], b[map::kMaxDims], r[map::kMaxDims];
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t cube_lo = q[i] * cube_.k[i];
+      const uint32_t cube_hi = cube_lo + cube_.k[i];
+      a[i] = std::max(clipped.lo[i], cube_lo) - cube_lo;
+      b[i] = std::min(clipped.hi[i], cube_hi) - cube_lo;
+      r[i] = a[i];
+    }
+    const uint64_t run_cells = b[0] - a[0];
+    const uint64_t run_sectors = run_cells * cell_sectors_;
+
+    // Interleave factor for the layer sweep: a hop of k consecutive layer
+    // steps (along any in-cube dimension) lands k*skew sectors ahead -- the
+    // adjacency invariant -- so it chains at skew pace only if that leaves
+    // at least a settle rotation after the previous run's transfer. Runs
+    // wider than the skew guard band are emitted in k passes over the
+    // innermost non-singleton dimension, keeping every hop semi-sequential
+    // instead of missing a full revolution per layer.
+    const ZoneAlloc& za0 = *Place(q, r).zone;
+    const uint32_t k_ilv = static_cast<uint32_t>(std::max<uint64_t>(
+        1, (za0.settle_slots + run_sectors + za0.skew - 1) / za0.skew));
+    uint32_t dstar = 0;  // innermost in-cube dim with >= 2 layers
+    for (uint32_t i = 1; i < n; ++i) {
+      if (b[i] - a[i] >= 2) {
+        dstar = i;
+        break;
+      }
+    }
+
+    auto emit = [&](uint32_t* rr) {
+      const Placement p = Place(q, rr);
+      const uint32_t spt = p.zone->spt;
+      const uint64_t track_lbn =
+          volume_base_ + p.zone->zone_first_lbn +
+          (p.track - p.zone->zone_first_track) * spt;
+      if (p.sector + run_sectors <= spt) {
+        runs->push_back(LbnRun{track_lbn + p.sector,
+                               run_sectors / cell_sectors_});
+      } else {
+        // Lane window wraps past the track end: split; both pieces stay on
+        // this track and remain rotationally contiguous.
+        const uint64_t first = spt - p.sector;
+        runs->push_back(
+            LbnRun{track_lbn + p.sector, first / cell_sectors_});
+        runs->push_back(
+            LbnRun{track_lbn, (run_sectors - first) / cell_sectors_});
+      }
+    };
+
+    if (dstar == 0) {
+      // Single layer in this cube slice.
+      emit(r);
+    } else {
+      // Odometer over in-cube coordinates of dims >= 1 except dstar; an
+      // interleaved dstar sweep of Dim0 runs for each combination.
+      while (true) {
+        for (uint32_t pass = 0; pass < k_ilv; ++pass) {
+          for (uint32_t v = a[dstar] + pass; v < b[dstar]; v += k_ilv) {
+            r[dstar] = v;
+            emit(r);
+          }
+        }
+        r[dstar] = a[dstar];
+        uint32_t i = 1;
+        for (; i < n; ++i) {
+          if (i == dstar) continue;
+          if (++r[i] < b[i]) break;
+          r[i] = a[i];
+        }
+        if (i >= n) break;
+      }
+    }
+
+    uint32_t i = 0;
+    for (; i < n; ++i) {
+      if (++q[i] < qhi[i]) break;
+      q[i] = qlo[i];
+    }
+    if (i == n) break;
+  }
+}
+
+bool MultiMapMapping::IssueInMappingOrder(const map::Box& box) const {
+  const uint32_t n = shape_.ndims();
+  map::Box clipped = box;
+  for (uint32_t i = 0; i < n; ++i) {
+    clipped.hi[i] = std::min(clipped.hi[i], shape_.dim(i));
+    if (clipped.hi[i] <= clipped.lo[i]) return true;  // empty: moot
+  }
+  const ZoneAlloc& za = zones_.front();
+  const uint64_t w =
+      std::min<uint64_t>(clipped.hi[0] - clipped.lo[0], cube_.k[0]) *
+      cell_sectors_;
+
+  // Lane stacking: cubes with consecutive linear indices occupy adjacent
+  // lanes of the same track group, so their data on one track is
+  // contiguous -- but only when the box covers the full Dim0 extent of
+  // those lanes. Partial-width boxes leave rotational gaps between lanes
+  // and are treated as single-lane.
+  uint64_t lanes_eff = 1;
+  const bool full_dim0 =
+      clipped.lo[0] == 0 && clipped.hi[0] == shape_.dim(0);
+  if (full_dim0) {
+    uint64_t consecutive_cubes = 1;
+    for (uint32_t i = 0; i < 2 && i < n; ++i) {
+      const uint64_t c = (clipped.hi[i] - 1) / cube_.k[i] -
+                         clipped.lo[i] / cube_.k[i] + 1;
+      consecutive_cubes *= c;
+    }
+    lanes_eff = std::max<uint64_t>(
+        1, std::min<uint64_t>(za.lanes, consecutive_cubes));
+  }
+
+  // Semi-sequential interleave: k track-hops per layer, k*skew slots each.
+  const uint64_t k_ilv = std::max<uint64_t>(
+      1, (za.settle_slots + w + za.skew - 1) / za.skew);
+  const double interleave_slots = static_cast<double>(k_ilv) * za.skew;
+
+  // Ascending sweep: one visit per track carrying lanes_eff * w sectors.
+  const uint64_t w_track = lanes_eff * w;
+  const uint64_t gap = (za.skew + za.spt - w_track % za.spt) % za.spt;
+  const uint64_t sweep_track =
+      (gap >= za.settle_slots ? gap : gap + za.spt) + w_track;
+  const double sweep_slots =
+      static_cast<double>(sweep_track) / static_cast<double>(lanes_eff);
+
+  return interleave_slots <= sweep_slots;
+}
+
+double MultiMapMapping::WastedFraction() const {
+  const uint64_t used = shape_.CellCount() * cell_sectors_;
+  if (footprint_sectors_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(used) /
+                   static_cast<double>(footprint_sectors_);
+}
+
+Result<uint64_t> MultiMapMapping::LbnOfViaAdjacency(
+    const lvm::Volume& volume, const Cell& cell) const {
+  const uint32_t n = shape_.ndims();
+  Cell corner{};
+  uint32_t r[map::kMaxDims];
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t qi = cell[i] / cube_.k[i];
+    corner[i] = qi * cube_.k[i];
+    r[i] = cell[i] - corner[i];
+  }
+  // Figure 5: start at the cube's first block, advance r0 along the track,
+  // then jump r_i times by the dim-i adjacency step for each i >= 1.
+  uint64_t lbn = LbnOf(corner) + static_cast<uint64_t>(r[0]) * cell_sectors_;
+  for (uint32_t i = 1; i < n; ++i) {
+    for (uint32_t jump = 0; jump < r[i]; ++jump) {
+      MM_ASSIGN_OR_RETURN(
+          lbn, volume.GetAdjacent(lbn, static_cast<uint32_t>(step_[i])));
+    }
+  }
+  return lbn;
+}
+
+}  // namespace mm::core

@@ -1,0 +1,151 @@
+// MultiMap: the paper's data placement algorithm (Section 4).
+//
+// An N-D dataset is partitioned into basic cubes (basic_cube.h). Within a
+// cube, Dim0 runs along the disk track; Dim_i (i >= 1) advances by
+// (prod_{j=1}^{i-1} K_j)-th adjacent blocks, so any two neighboring cells
+// on any dimension are at most D tracks apart and reachable in one settle
+// time (semi-sequential access) with zero rotational latency.
+//
+// Large datasets (Section 4.4): the dataset is partitioned into a grid of
+// ceil(S_i / K_i) basic cubes. Cubes are packed P = floor(T / (K0 * cell
+// sectors)) per track group ("lanes"), never straddle a zone boundary, and
+// spill from zone to zone in allocation order. When K0 < T the tail of each
+// track group, (T mod K0*cs) sectors per track, is intentionally unused --
+// the space/performance trade-off the paper quantifies.
+//
+// Implementation note: cell -> LBN placement is the closed form obtained by
+// composing the LVM's GetAdjacent relation (each step-j jump moves j tracks
+// forward and (j-1)*skew sectors backward); tests verify the closed form
+// equals literally iterating Figure 5's GetAdjacent loop against the LVM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/basic_cube.h"
+#include "lvm/volume.h"
+#include "mapping/mapping.h"
+#include "util/result.h"
+
+namespace mm::core {
+
+class MultiMapMapping : public map::Mapping {
+ public:
+  struct Options {
+    /// Explicit basic-cube side lengths; empty selects them automatically
+    /// (balanced policy, see ComputeBasicCube).
+    std::vector<uint32_t> cube_dims;
+    /// Blocks per cell.
+    uint32_t cell_sectors = 1;
+    /// Member disk of the volume to allocate on (the paper reports
+    /// single-disk performance; declustering assigns chunks to disks).
+    uint32_t disk_index = 0;
+    /// First disk track available for allocation.
+    uint64_t start_track = 0;
+  };
+
+  /// Plans a MultiMap placement of `shape` on `volume`. Fails with
+  /// CapacityExceeded if the usable zones cannot hold the dataset, or
+  /// InvalidArgument if explicit cube dims violate Eq. 1-3.
+  static Result<std::unique_ptr<MultiMapMapping>> Create(
+      const lvm::Volume& volume, map::GridShape shape,
+      const Options& options);
+  static Result<std::unique_ptr<MultiMapMapping>> Create(
+      const lvm::Volume& volume, map::GridShape shape) {
+    return Create(volume, std::move(shape), Options());
+  }
+
+  std::string name() const override { return "MultiMap"; }
+
+  /// Narrow boxes follow the semi-sequential path in mapping order; wide
+  /// boxes (large per-track transfers, multiple lanes) are cheaper as an
+  /// ascending sequential sweep, so those plans are sorted like the linear
+  /// mappings' (Section 5.2 sequential-first policy, decided per query).
+  bool IssueInMappingOrder(const map::Box& box) const override;
+
+  uint64_t LbnOf(const map::Cell& cell) const override;
+
+  /// Runs are emitted cube by cube in allocation order, Dim0-sequential
+  /// within each cube layer -- the paper's sequential-first range policy
+  /// (Section 5.2). Runs split where a lane window wraps past the end of
+  /// its track (the two pieces stay rotationally contiguous).
+  void AppendRunsForBox(const map::Box& box,
+                        std::vector<map::LbnRun>* runs) const override;
+
+  uint64_t footprint_sectors() const override { return footprint_sectors_; }
+
+  // --- Introspection -----------------------------------------------------
+
+  const BasicCube& cube() const { return cube_; }
+  /// Cubes along each dimension: G_i = ceil(S_i / K_i).
+  const std::vector<uint32_t>& cube_grid() const { return grid_; }
+  uint64_t cube_count() const { return cube_count_; }
+  /// Fraction of the allocated footprint not holding cells (lane waste +
+  /// partial cubes). The paper's Section 4.4 bound for pure lane waste is
+  /// (T mod K0) / T.
+  double WastedFraction() const;
+
+  /// One past the last disk track the mapping occupies; a subsequent
+  /// allocation (e.g. the next uniform region of a skewed dataset,
+  /// Section 4.5) can start here.
+  uint64_t EndTrack() const {
+    uint64_t end = 0;
+    for (const auto& z : zones_) {
+      end = std::max(end, z.track0 + z.slots_used * tracks_per_cube_);
+    }
+    return end;
+  }
+
+  /// Computes a cell's LBN by literally executing Figure 5 -- repeated
+  /// GetAdjacent calls against the LVM -- starting from the cell's cube
+  /// corner. Slow; used by tests to pin the closed form to the algorithm.
+  Result<uint64_t> LbnOfViaAdjacency(const lvm::Volume& volume,
+                                     const map::Cell& cell) const;
+
+ private:
+  MultiMapMapping(map::GridShape shape, uint64_t base_lbn,
+                  uint32_t cell_sectors)
+      : Mapping(std::move(shape), base_lbn, cell_sectors) {}
+
+  /// Contiguous run of basic-cube slots inside one zone.
+  struct ZoneAlloc {
+    uint32_t zone_index = 0;
+    uint64_t track0 = 0;           ///< Disk track of slot 0.
+    uint64_t zone_first_track = 0; ///< For skew bookkeeping.
+    uint64_t zone_first_lbn = 0;   ///< Disk LBN of the zone's first sector.
+    uint32_t spt = 0;              ///< T in sectors.
+    uint32_t skew = 0;
+    uint32_t settle_slots = 0;     ///< Settle time in sector slots.
+    uint32_t lanes = 0;            ///< Cubes packed per track group.
+    uint64_t first_cube = 0;       ///< Global index of first cube here.
+    uint64_t cube_capacity = 0;    ///< Cubes allocated in this zone.
+    uint64_t slots_used = 0;       ///< Track groups consumed.
+  };
+
+  struct Placement {
+    uint64_t track = 0;   ///< Disk-global track.
+    uint32_t sector = 0;  ///< Logical sector of the cell's first block.
+    const ZoneAlloc* zone = nullptr;
+  };
+  /// Closed-form placement of a cell (given per-dim cube coords and
+  /// residuals, precomputed by the caller on hot paths).
+  Placement Place(const uint32_t* q, const uint32_t* r) const;
+
+  uint64_t DiskLbn(const Placement& p) const {
+    return p.zone->zone_first_lbn +
+           (p.track - p.zone->zone_first_track) * p.zone->spt + p.sector;
+  }
+
+  BasicCube cube_;
+  std::vector<uint32_t> grid_;
+  std::vector<uint64_t> grid_stride_;  // cube-linear-index strides
+  std::vector<uint64_t> step_;         // step_[i] = adjacency step of dim i
+  uint64_t tracks_per_cube_ = 1;
+  uint64_t cube_count_ = 0;
+  std::vector<ZoneAlloc> zones_;
+  uint64_t volume_base_ = 0;  ///< Volume LBN of the disk's first sector.
+  uint64_t footprint_sectors_ = 0;
+};
+
+}  // namespace mm::core

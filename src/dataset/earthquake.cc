@@ -1,0 +1,268 @@
+#include "dataset/earthquake.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mapping/curve.h"
+
+namespace mm::dataset {
+
+Octree BuildQuakeOctree(const QuakeParams& params) {
+  const uint32_t d = params.max_depth;
+  return Octree::Build(d, [d](double x, double y, double z) -> uint32_t {
+    (void)y;
+    // z is depth into the earth: finest resolution near the surface,
+    // coarsening with depth (layered ground model).
+    uint32_t depth;
+    if (z < 0.25) {
+      depth = d;
+    } else if (z < 0.5) {
+      depth = d - 1;
+    } else if (z < 0.75) {
+      depth = d - 2;
+    } else {
+      depth = d - 3;
+    }
+    // A slanted fault slab forces finest resolution along its path.
+    if (z < 0.6 && std::abs(x - (0.45 + 0.2 * z)) < 0.04) {
+      depth = d;
+    }
+    return depth;
+  });
+}
+
+const char* QuakeStore::LayoutName(Layout layout) {
+  switch (layout) {
+    case Layout::kNaive:
+      return "Naive";
+    case Layout::kZOrder:
+      return "Z-order";
+    case Layout::kHilbert:
+      return "Hilbert";
+    case Layout::kMultiMap:
+      return "MultiMap";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// Curve index of a position in the padded finest cube, via the automaton.
+uint64_t CurveIndexOf(const map::OctantOrder& order, uint32_t levels,
+                      uint32_t x, uint32_t y, uint32_t z) {
+  uint64_t index = 0;
+  uint32_t state = order.InitialState();
+  for (uint32_t level = levels; level-- > 0;) {
+    const uint32_t label = ((x >> level) & 1u) | (((y >> level) & 1u) << 1) |
+                           (((z >> level) & 1u) << 2);
+    const uint32_t rank = order.RankOf(state, label);
+    index = (index << 3) | rank;
+    state = order.ChildState(state, rank);
+  }
+  return index;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QuakeStore>> QuakeStore::Create(
+    const lvm::Volume& volume, const Octree& tree, Layout layout) {
+  auto store = std::unique_ptr<QuakeStore>(new QuakeStore(tree, layout));
+  store->leaf_lbn_.assign(tree.nodes().size(), UINT64_MAX);
+  store->total_leaves_ = tree.leaf_count();
+
+  // Collect leaf node indices.
+  std::vector<uint32_t> leaves;
+  leaves.reserve(tree.leaf_count());
+  for (uint32_t i = 0; i < tree.nodes().size(); ++i) {
+    if (tree.nodes()[i].is_leaf()) leaves.push_back(i);
+  }
+
+  if (layout != Layout::kMultiMap) {
+    // Linear layouts: order leaves by key, LBN = rank.
+    std::vector<std::pair<uint64_t, uint32_t>> keyed;
+    keyed.reserve(leaves.size());
+    std::unique_ptr<map::OctantOrder> order;
+    if (layout == Layout::kZOrder) order = map::MakeOctantOrder("zorder", 3);
+    if (layout == Layout::kHilbert) {
+      order = map::MakeOctantOrder("hilbert", 3);
+    }
+    for (uint32_t leaf : leaves) {
+      const Octree::Node& n = tree.nodes()[leaf];
+      uint64_t key;
+      if (layout == Layout::kNaive) {
+        // X as the major order (Section 5.4): X varies fastest.
+        key = (static_cast<uint64_t>(n.z) << 42) |
+              (static_cast<uint64_t>(n.y) << 21) | n.x;
+      } else {
+        key = CurveIndexOf(*order, tree.max_depth(), n.x, n.y, n.z);
+      }
+      keyed.emplace_back(key, leaf);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    if (keyed.size() > volume.total_sectors()) {
+      return Status::CapacityExceeded("volume too small for quake leaves");
+    }
+    for (uint64_t rank = 0; rank < keyed.size(); ++rank) {
+      store->leaf_lbn_[keyed[rank].second] = rank;
+    }
+    return store;
+  }
+
+  // MultiMap layout (Section 4.5): detect uniform subtrees, grow them, map
+  // each sufficiently large region with its own basic-cube grid; the rest
+  // falls back to a linear (X-major) tail area.
+  std::vector<Octree::UniformRegion> regions =
+      Octree::GrowRegions(tree.UniformSubtrees());
+  std::sort(regions.begin(), regions.end(),
+            [&](const Octree::UniformRegion& a,
+                const Octree::UniformRegion& b) {
+              return a.LeafCells(tree.max_depth()) >
+                     b.LeafCells(tree.max_depth());
+            });
+  constexpr uint64_t kMinRegionLeaves = 4096;
+  uint64_t next_track = 0;
+  for (const auto& r : regions) {
+    if (r.LeafCells(tree.max_depth()) < kMinRegionLeaves) continue;
+    const uint32_t s = r.LeafSize(tree.max_depth());
+    core::MultiMapMapping::Options opt;
+    opt.start_track = next_track;
+    auto mapping = core::MultiMapMapping::Create(
+        volume, map::GridShape{r.wx / s, r.wy / s, r.wz / s}, opt);
+    MM_RETURN_NOT_OK(mapping.status());
+    next_track = (*mapping)->EndTrack();
+    store->regions_.push_back(Region{r, s, std::move(*mapping)});
+  }
+
+  // Fallback: leaves not covered by any accepted region, X-major after the
+  // last region's tracks.
+  const disk::Geometry& geo = volume.disk(0).geometry();
+  if (next_track >= geo.total_tracks()) {
+    return Status::CapacityExceeded("regions fill the whole disk");
+  }
+  uint64_t fallback_base =
+      volume.ToVolumeLbn(0, geo.TrackFirstLbn(next_track));
+  std::vector<std::pair<uint64_t, uint32_t>> keyed;
+  for (uint32_t leaf : leaves) {
+    const Octree::Node& n = tree.nodes()[leaf];
+    bool in_region = false;
+    for (const auto& reg : store->regions_) {
+      if (n.x >= reg.bounds.x0 && n.x < reg.bounds.x0 + reg.bounds.wx &&
+          n.y >= reg.bounds.y0 && n.y < reg.bounds.y0 + reg.bounds.wy &&
+          n.z >= reg.bounds.z0 && n.z < reg.bounds.z0 + reg.bounds.wz) {
+        in_region = true;
+        break;
+      }
+    }
+    if (!in_region) {
+      const uint64_t key = (static_cast<uint64_t>(n.z) << 42) |
+                           (static_cast<uint64_t>(n.y) << 21) | n.x;
+      keyed.emplace_back(key, leaf);
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+  store->fallback_leaves_ = keyed.size();
+  if (fallback_base + keyed.size() > volume.total_sectors()) {
+    return Status::CapacityExceeded("fallback area exceeds volume");
+  }
+  for (uint64_t rank = 0; rank < keyed.size(); ++rank) {
+    store->leaf_lbn_[keyed[rank].second] = fallback_base + rank;
+  }
+  return store;
+}
+
+uint64_t QuakeStore::LbnOfLeaf(uint32_t node_index) const {
+  const Octree::Node& n = tree_->nodes()[node_index];
+  if (leaf_lbn_[node_index] != UINT64_MAX) return leaf_lbn_[node_index];
+  // Resolve through the containing region's mapping.
+  for (const auto& reg : regions_) {
+    if (n.x >= reg.bounds.x0 && n.x < reg.bounds.x0 + reg.bounds.wx &&
+        n.y >= reg.bounds.y0 && n.y < reg.bounds.y0 + reg.bounds.wy &&
+        n.z >= reg.bounds.z0 && n.z < reg.bounds.z0 + reg.bounds.wz) {
+      const map::Cell cell = map::MakeCell(
+          {(n.x - reg.bounds.x0) / reg.leaf_size,
+           (n.y - reg.bounds.y0) / reg.leaf_size,
+           (n.z - reg.bounds.z0) / reg.leaf_size});
+      return reg.mapping->LbnOf(cell);
+    }
+  }
+  return UINT64_MAX;  // unreachable for leaves
+}
+
+QuakeStore::Plan QuakeStore::PlanBox(const map::Box& box) const {
+  Plan plan;
+  if (layout_ != Layout::kMultiMap) {
+    std::vector<uint64_t> lbns;
+    tree_->VisitLeavesInBox(box, [&](uint32_t leaf) {
+      lbns.push_back(leaf_lbn_[leaf]);
+    });
+    plan.leaves = lbns.size();
+    std::sort(lbns.begin(), lbns.end());
+    for (uint64_t lbn : lbns) {
+      if (!plan.requests.empty() &&
+          plan.requests.back().lbn + plan.requests.back().sectors == lbn) {
+        ++plan.requests.back().sectors;
+      } else {
+        plan.requests.push_back(disk::IoRequest{lbn, 1});
+      }
+    }
+    return plan;
+  }
+
+  plan.mapping_order = true;
+  // Region pieces: clip the box to each region, convert to leaf cells.
+  for (const auto& reg : regions_) {
+    map::Box local;
+    bool empty = false;
+    const uint32_t pos[3] = {reg.bounds.x0, reg.bounds.y0, reg.bounds.z0};
+    const uint32_t ext[3] = {reg.bounds.wx, reg.bounds.wy, reg.bounds.wz};
+    for (int d = 0; d < 3; ++d) {
+      const uint32_t lo = std::max(box.lo[d], pos[d]);
+      const uint32_t hi = std::min(box.hi[d], pos[d] + ext[d]);
+      if (hi <= lo) {
+        empty = true;
+        break;
+      }
+      local.lo[d] = (lo - pos[d]) / reg.leaf_size;
+      local.hi[d] = (hi - pos[d] + reg.leaf_size - 1) / reg.leaf_size;
+    }
+    if (empty) continue;
+    std::vector<map::LbnRun> runs;
+    reg.mapping->AppendRunsForBox(local, &runs);
+    for (const auto& r : runs) {
+      plan.leaves += r.cells;
+      uint64_t sectors = r.cells;
+      uint64_t lbn = r.lbn;
+      while (sectors > 0) {
+        const uint32_t chunk =
+            static_cast<uint32_t>(std::min<uint64_t>(sectors, 1u << 30));
+        plan.requests.push_back(disk::IoRequest{lbn, chunk});
+        lbn += chunk;
+        sectors -= chunk;
+      }
+    }
+  }
+  // Fallback leaves intersecting the box, sorted ascending at the end.
+  std::vector<uint64_t> lbns;
+  tree_->VisitLeavesInBox(box, [&](uint32_t leaf) {
+    if (leaf_lbn_[leaf] != UINT64_MAX) lbns.push_back(leaf_lbn_[leaf]);
+  });
+  plan.leaves += lbns.size();
+  std::sort(lbns.begin(), lbns.end());
+  for (uint64_t lbn : lbns) {
+    if (!plan.requests.empty() &&
+        plan.requests.back().lbn + plan.requests.back().sectors == lbn) {
+      ++plan.requests.back().sectors;
+    } else {
+      plan.requests.push_back(disk::IoRequest{lbn, 1});
+    }
+  }
+  return plan;
+}
+
+double QuakeStore::RegionCoverage() const {
+  if (layout_ != Layout::kMultiMap || total_leaves_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(fallback_leaves_) /
+                   static_cast<double>(total_leaves_);
+}
+
+}  // namespace mm::dataset

@@ -1,0 +1,98 @@
+// Earthquake-style skewed 3-D dataset with an octree index.
+//
+// Substitute for the paper's 64 GB ground-motion dataset (Section 5.4):
+// a layered-earth density profile -- finest resolution in the soft
+// near-surface quarter, coarsening with depth -- cut by a slanted fault
+// slab that forces finest resolution along its path. Like the paper's
+// dataset it yields a handful of large uniform subareas (the biggest
+// holding well over half the elements) plus a non-uniform remainder.
+//
+// Four layouts store the octree leaves (one leaf = one cell = one block):
+//   Naive    -- leaves sorted with X as the major order;
+//   Z-order / Hilbert -- leaves sorted by curve value of their position;
+//   MultiMap -- Section 4.5: uniform regions detected from the octree,
+//               grown through same-density neighbors, each mapped as its
+//               own basic-cube grid; residual leaves fall back to a
+//               linear layout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/multimap.h"
+#include "dataset/octree.h"
+#include "disk/request.h"
+#include "lvm/volume.h"
+#include "mapping/cell.h"
+#include "util/result.h"
+
+namespace mm::dataset {
+
+/// Parameters of the synthetic quake-like density profile.
+struct QuakeParams {
+  /// Octree depth: the domain is (2^max_depth)^3 finest cells. The paper's
+  /// dataset has 114M elements; depth 8 yields ~5M leaves, a scaled
+  /// substitute with the same skew structure (see DESIGN.md).
+  uint32_t max_depth = 8;
+};
+
+/// Builds the octree for the layered-earth + fault profile.
+Octree BuildQuakeOctree(const QuakeParams& params = QuakeParams());
+
+/// One stored layout of the octree's leaves on a volume.
+class QuakeStore {
+ public:
+  enum class Layout { kNaive, kZOrder, kHilbert, kMultiMap };
+  static const char* LayoutName(Layout layout);
+
+  /// Plans the placement of `tree`'s leaves on disk 0 of `volume`.
+  /// The tree must outlive the store.
+  static Result<std::unique_ptr<QuakeStore>> Create(const lvm::Volume& volume,
+                                                    const Octree& tree,
+                                                    Layout layout);
+
+  Layout layout() const { return layout_; }
+  std::string name() const { return LayoutName(layout_); }
+
+  /// Volume LBN holding a leaf (by octree node index).
+  uint64_t LbnOfLeaf(uint32_t node_index) const;
+
+  /// Plans the fetch of every leaf intersecting `box` (finest units).
+  struct Plan {
+    std::vector<disk::IoRequest> requests;
+    uint64_t leaves = 0;
+    /// Service in emission order (semi-sequential paths) vs. sorted.
+    bool mapping_order = false;
+  };
+  Plan PlanBox(const map::Box& box) const;
+
+  // --- Introspection (MultiMap layout) -----------------------------------
+
+  /// Uniform regions mapped with MultiMap (empty for linear layouts).
+  size_t region_count() const { return regions_.size(); }
+  /// Fraction of leaves covered by MultiMap regions.
+  double RegionCoverage() const;
+
+ private:
+  QuakeStore(const Octree& tree, Layout layout)
+      : tree_(&tree), layout_(layout) {}
+
+  struct Region {
+    Octree::UniformRegion bounds;
+    uint32_t leaf_size = 1;  ///< Finest cells per leaf side.
+    std::unique_ptr<core::MultiMapMapping> mapping;
+  };
+
+  const Octree* tree_;
+  Layout layout_;
+  /// node index -> volume LBN (leaves only; UINT64_MAX for region leaves,
+  /// which resolve through their region's mapping).
+  std::vector<uint64_t> leaf_lbn_;
+  std::vector<Region> regions_;
+  uint64_t total_leaves_ = 0;
+  uint64_t fallback_leaves_ = 0;
+};
+
+}  // namespace mm::dataset

@@ -1,0 +1,205 @@
+#include "dataset/octree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace mm::dataset {
+
+uint32_t Octree::RegionTargetDepth(uint32_t x, uint32_t y, uint32_t z,
+                                   uint8_t level, const DepthFn& fn) const {
+  // Sample a 3x3x3 grid of points inside the region; the density profiles
+  // used here vary smoothly enough for that.
+  const double size = static_cast<double>(1u << (max_depth_ - level));
+  const double ext = static_cast<double>(extent());
+  uint32_t depth = 0;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (int k = 0; k < 3; ++k) {
+        const double px = (x + size * (0.1 + 0.4 * i)) / ext;
+        const double py = (y + size * (0.1 + 0.4 * j)) / ext;
+        const double pz = (z + size * (0.1 + 0.4 * k)) / ext;
+        depth = std::max(depth, fn(px, py, pz));
+      }
+    }
+  }
+  return std::min(depth, max_depth_);
+}
+
+int32_t Octree::BuildNode(uint32_t x, uint32_t y, uint32_t z, uint8_t level,
+                          const DepthFn& target_depth) {
+  // Iterative worklist expansion keeps each node's 8 children consecutive.
+  const int32_t root = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{x, y, z, level, -1});
+  std::vector<int32_t> work{root};
+  while (!work.empty()) {
+    const int32_t index = work.back();
+    work.pop_back();
+    const Node n = nodes_[index];  // copy: push_back invalidates refs
+    if (n.level < max_depth_ &&
+        RegionTargetDepth(n.x, n.y, n.z, n.level, target_depth) > n.level) {
+      const uint32_t half = 1u << (max_depth_ - n.level - 1);
+      const int32_t first = static_cast<int32_t>(nodes_.size());
+      nodes_[index].first_child = first;
+      for (uint32_t c = 0; c < 8; ++c) {
+        nodes_.push_back(Node{n.x + ((c & 1u) ? half : 0),
+                              n.y + ((c & 2u) ? half : 0),
+                              n.z + ((c & 4u) ? half : 0),
+                              static_cast<uint8_t>(n.level + 1), -1});
+        work.push_back(first + static_cast<int32_t>(c));
+      }
+    } else {
+      ++leaf_count_;
+    }
+  }
+  return root;
+}
+
+Octree Octree::Build(uint32_t max_depth, const DepthFn& target_depth) {
+  Octree t;
+  t.max_depth_ = max_depth;
+  t.BuildNode(0, 0, 0, 0, target_depth);
+  return t;
+}
+
+uint32_t Octree::LeafAt(uint32_t x, uint32_t y, uint32_t z) const {
+  assert(x < extent() && y < extent() && z < extent());
+  uint32_t index = 0;
+  while (!nodes_[index].is_leaf()) {
+    const Node& n = nodes_[index];
+    const uint32_t half = 1u << (max_depth_ - n.level - 1);
+    uint32_t c = 0;
+    if (x >= n.x + half) c |= 1u;
+    if (y >= n.y + half) c |= 2u;
+    if (z >= n.z + half) c |= 4u;
+    index = static_cast<uint32_t>(n.first_child) + c;
+  }
+  return index;
+}
+
+void Octree::VisitLeavesInBox(
+    const map::Box& box, const std::function<void(uint32_t)>& fn) const {
+  std::vector<uint32_t> work{0};
+  while (!work.empty()) {
+    const uint32_t index = work.back();
+    work.pop_back();
+    const Node& n = nodes_[index];
+    const uint32_t size = NodeSize(n);
+    const uint32_t pos[3] = {n.x, n.y, n.z};
+    bool overlap = true;
+    for (int d = 0; d < 3; ++d) {
+      if (pos[d] >= box.hi[d] || pos[d] + size <= box.lo[d]) {
+        overlap = false;
+        break;
+      }
+    }
+    if (!overlap) continue;
+    if (n.is_leaf()) {
+      fn(index);
+    } else {
+      for (uint32_t c = 0; c < 8; ++c) {
+        work.push_back(static_cast<uint32_t>(n.first_child) + c);
+      }
+    }
+  }
+}
+
+int32_t Octree::UniformLevel(const Node& node,
+                             std::vector<int32_t>* memo) const {
+  const size_t index = static_cast<size_t>(&node - nodes_.data());
+  if ((*memo)[index] != INT32_MIN) return (*memo)[index];
+  int32_t result;
+  if (node.is_leaf()) {
+    result = node.level;
+  } else {
+    // Evaluate every child (no early exit): CollectUniform later reads the
+    // memo of descendants of mixed nodes.
+    result = -2;  // sentinel: unset
+    for (uint32_t c = 0; c < 8; ++c) {
+      const int32_t child = UniformLevel(
+          nodes_[static_cast<uint32_t>(node.first_child) + c], memo);
+      if (result == -2) {
+        result = child;
+      } else if (child != result) {
+        result = -1;
+      }
+    }
+  }
+  (*memo)[index] = result;
+  return result;
+}
+
+void Octree::CollectUniform(uint32_t node_index,
+                            const std::vector<int32_t>& memo,
+                            std::vector<UniformRegion>* out) const {
+  const Node& n = nodes_[node_index];
+  if (memo[node_index] >= 0) {
+    UniformRegion r;
+    r.x0 = n.x;
+    r.y0 = n.y;
+    r.z0 = n.z;
+    r.wx = r.wy = r.wz = NodeSize(n);
+    r.leaf_level = static_cast<uint8_t>(memo[node_index]);
+    out->push_back(r);
+    return;
+  }
+  if (n.is_leaf()) return;  // unreachable: leaves are uniform
+  for (uint32_t c = 0; c < 8; ++c) {
+    CollectUniform(static_cast<uint32_t>(n.first_child) + c, memo, out);
+  }
+}
+
+std::vector<Octree::UniformRegion> Octree::UniformSubtrees() const {
+  std::vector<int32_t> memo(nodes_.size(), INT32_MIN);
+  UniformLevel(nodes_[0], &memo);
+  std::vector<UniformRegion> out;
+  CollectUniform(0, memo, &out);
+  return out;
+}
+
+std::vector<Octree::UniformRegion> Octree::GrowRegions(
+    std::vector<UniformRegion> regions) {
+  // Greedy pairwise merge: two regions with the same leaf level merge when
+  // they are face-adjacent along one axis with identical cross-sections.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (size_t i = 0; i < regions.size() && !merged; ++i) {
+      for (size_t j = i + 1; j < regions.size() && !merged; ++j) {
+        UniformRegion& a = regions[i];
+        UniformRegion& b = regions[j];
+        if (a.leaf_level != b.leaf_level) continue;
+        // Try each axis.
+        for (int axis = 0; axis < 3 && !merged; ++axis) {
+          uint32_t a_pos[3] = {a.x0, a.y0, a.z0};
+          uint32_t a_ext[3] = {a.wx, a.wy, a.wz};
+          uint32_t b_pos[3] = {b.x0, b.y0, b.z0};
+          uint32_t b_ext[3] = {b.wx, b.wy, b.wz};
+          const int u = (axis + 1) % 3, v = (axis + 2) % 3;
+          if (a_pos[u] != b_pos[u] || a_ext[u] != b_ext[u]) continue;
+          if (a_pos[v] != b_pos[v] || a_ext[v] != b_ext[v]) continue;
+          const UniformRegion* lo = nullptr;
+          if (a_pos[axis] + a_ext[axis] == b_pos[axis]) {
+            lo = &a;
+          } else if (b_pos[axis] + b_ext[axis] == a_pos[axis]) {
+            lo = &b;
+          } else {
+            continue;
+          }
+          UniformRegion m = *lo;
+          uint32_t m_ext[3] = {m.wx, m.wy, m.wz};
+          m_ext[axis] = a_ext[axis] + b_ext[axis];
+          m.wx = m_ext[0];
+          m.wy = m_ext[1];
+          m.wz = m_ext[2];
+          regions[i] = m;
+          regions.erase(regions.begin() + static_cast<ptrdiff_t>(j));
+          merged = true;
+        }
+      }
+    }
+  }
+  return regions;
+}
+
+}  // namespace mm::dataset

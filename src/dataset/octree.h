@@ -1,0 +1,100 @@
+// Octree index over a cubic 3-D domain, used by the earthquake-style
+// skewed dataset (paper Sections 4.5 and 5.4). Leaves sit at density-
+// dependent depths; the paper's dataset "has roughly four uniform subareas,
+// two of them accounting for more than 60% of elements", found by taking
+// "the largest sub-trees on which all the leaf nodes are at the same level"
+// and growing them through neighbors of similar density.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mapping/cell.h"
+
+namespace mm::dataset {
+
+/// An octree over the cube [0, 2^max_depth)^3 of finest-resolution cells.
+class Octree {
+ public:
+  struct Node {
+    uint32_t x = 0, y = 0, z = 0;  ///< Origin in finest-cell units.
+    uint8_t level = 0;             ///< 0 = root; leaves at level L cover
+                                   ///< 2^(max_depth-L) finest cells a side.
+    int32_t first_child = -1;      ///< Index of 8 consecutive children.
+
+    bool is_leaf() const { return first_child < 0; }
+  };
+
+  /// Target refinement depth at a point, in [0, max_depth]; the tree
+  /// subdivides a node while any sampled point in its region wants a
+  /// deeper level than the node's.
+  using DepthFn = std::function<uint32_t(double x, double y, double z)>;
+
+  /// Builds the tree for the given maximum depth and density profile.
+  static Octree Build(uint32_t max_depth, const DepthFn& target_depth);
+
+  uint32_t max_depth() const { return max_depth_; }
+  /// Domain side length in finest cells (2^max_depth).
+  uint32_t extent() const { return 1u << max_depth_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  uint64_t leaf_count() const { return leaf_count_; }
+
+  /// Side length of a node in finest cells.
+  uint32_t NodeSize(const Node& n) const {
+    return 1u << (max_depth_ - n.level);
+  }
+
+  /// Index of the leaf containing the finest-resolution cell (x, y, z).
+  uint32_t LeafAt(uint32_t x, uint32_t y, uint32_t z) const;
+
+  /// Calls fn(node_index) for every leaf intersecting the half-open box
+  /// [lo, hi) in finest-cell units.
+  void VisitLeavesInBox(const map::Box& box,
+                        const std::function<void(uint32_t)>& fn) const;
+
+  /// A maximal subtree (grown region) whose leaves all sit at one level:
+  /// an axis-aligned box of uniform-size leaves.
+  struct UniformRegion {
+    uint32_t x0 = 0, y0 = 0, z0 = 0;   ///< Origin, finest units.
+    uint32_t wx = 0, wy = 0, wz = 0;   ///< Extent, finest units.
+    uint8_t leaf_level = 0;            ///< All leaves at this level.
+
+    uint32_t LeafSize(uint32_t max_depth) const {
+      return 1u << (max_depth - leaf_level);
+    }
+    /// Leaves (= cells) per dimension and total.
+    uint64_t LeafCells(uint32_t max_depth) const {
+      const uint32_t s = LeafSize(max_depth);
+      return static_cast<uint64_t>(wx / s) * (wy / s) * (wz / s);
+    }
+  };
+
+  /// Maximal same-leaf-level subtrees (Section 4.5 step 1).
+  std::vector<UniformRegion> UniformSubtrees() const;
+
+  /// Grows regions by merging box-adjacent regions with the same leaf
+  /// level and matching cross-sections (Section 4.5 step 2). Idempotent
+  /// once no merge applies.
+  static std::vector<UniformRegion> GrowRegions(
+      std::vector<UniformRegion> regions);
+
+ private:
+  // Recursive builder; returns node index.
+  int32_t BuildNode(uint32_t x, uint32_t y, uint32_t z, uint8_t level,
+                    const DepthFn& target_depth);
+  // Max target depth sampled over a node's region.
+  uint32_t RegionTargetDepth(uint32_t x, uint32_t y, uint32_t z,
+                             uint8_t level, const DepthFn& fn) const;
+  // Returns leaf level if all leaves under `node` share one, else -1.
+  int32_t UniformLevel(const Node& node,
+                       std::vector<int32_t>* memo) const;
+  void CollectUniform(uint32_t node_index, const std::vector<int32_t>& memo,
+                      std::vector<UniformRegion>* out) const;
+
+  uint32_t max_depth_ = 0;
+  std::vector<Node> nodes_;
+  uint64_t leaf_count_ = 0;
+};
+
+}  // namespace mm::dataset

@@ -1,0 +1,102 @@
+#include "dataset/olap.h"
+
+namespace mm::dataset {
+
+map::GridShape OlapFullShape() { return map::GridShape{1182, 150, 25, 50}; }
+
+map::GridShape OlapChunkShape() { return map::GridShape{591, 75, 25, 25}; }
+
+namespace {
+
+map::Cell RandomFixed(const map::GridShape& shape, Rng& rng) {
+  map::Cell c{};
+  for (uint32_t i = 0; i < shape.ndims(); ++i) {
+    c[i] = static_cast<uint32_t>(rng.Uniform(shape.dim(i)));
+  }
+  return c;
+}
+
+}  // namespace
+
+query::BeamQuery OlapQ1(const map::GridShape& shape, Rng& rng) {
+  query::BeamQuery q;
+  q.dim = kOrderDay;
+  q.fixed = RandomFixed(shape, rng);
+  q.lo = 0;
+  q.hi = shape.dim(kOrderDay);
+  return q;
+}
+
+query::BeamQuery OlapQ2(const map::GridShape& shape, Rng& rng) {
+  query::BeamQuery q;
+  q.dim = kNationId;
+  q.fixed = RandomFixed(shape, rng);
+  q.lo = 0;
+  q.hi = shape.dim(kNationId);
+  return q;
+}
+
+map::Box OlapQ3(const map::GridShape& shape, Rng& rng) {
+  const map::Cell fixed = RandomFixed(shape, rng);
+  map::Box box;
+  const uint32_t year = std::min(kCellsPerYear, shape.dim(kOrderDay));
+  box.lo[kOrderDay] = static_cast<uint32_t>(
+      rng.Uniform(shape.dim(kOrderDay) - year + 1));
+  box.hi[kOrderDay] = box.lo[kOrderDay] + year;
+  box.lo[kQuantity] = 0;
+  box.hi[kQuantity] = shape.dim(kQuantity);
+  box.lo[kNationId] = fixed[kNationId];
+  box.hi[kNationId] = fixed[kNationId] + 1;
+  box.lo[kProduct] = fixed[kProduct];
+  box.hi[kProduct] = fixed[kProduct] + 1;
+  return box;
+}
+
+map::Box OlapQ4(const map::GridShape& shape, Rng& rng) {
+  map::Box box = OlapQ3(shape, rng);
+  box.lo[kNationId] = 0;
+  box.hi[kNationId] = shape.dim(kNationId);
+  return box;
+}
+
+map::Box OlapQ5(const map::GridShape& shape, Rng& rng) {
+  map::Box box;
+  const uint32_t extent[4] = {10, 10, 10, 10};  // 20 days = 10 cells
+  for (uint32_t d = 0; d < 4; ++d) {
+    const uint32_t side = std::min(extent[d], shape.dim(d));
+    box.lo[d] =
+        static_cast<uint32_t>(rng.Uniform(shape.dim(d) - side + 1));
+    box.hi[d] = box.lo[d] + side;
+  }
+  return box;
+}
+
+std::vector<OrderRow> GenerateOrders(uint64_t count, Rng& rng) {
+  std::vector<OrderRow> rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    OrderRow r;
+    r.order_day = static_cast<uint32_t>(rng.Uniform(2361));
+    // TPC-H-flavored skew: small quantities dominate.
+    const double q = rng.NextDouble();
+    r.quantity = static_cast<uint32_t>(q * q * 150.0);
+    r.nation = static_cast<uint32_t>(rng.Uniform(25));
+    r.product = static_cast<uint32_t>(rng.Uniform(50));
+    r.price = 900.0 + rng.NextDouble() * 104000.0;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<uint32_t> RollUp(const std::vector<OrderRow>& rows,
+                             const map::GridShape& full_shape) {
+  std::vector<uint32_t> counts(full_shape.CellCount(), 0);
+  for (const auto& r : rows) {
+    const map::Cell c = map::MakeCell(
+        {r.order_day / 2, r.quantity, r.nation, r.product});
+    ++counts[full_shape.LinearIndex(c)];
+  }
+  return counts;
+}
+
+}  // namespace mm::dataset

@@ -1,0 +1,78 @@
+// 4-D OLAP cube derived from TPC-H (paper Section 5.5).
+//
+// The paper builds the cube
+//     (OrderDate, Quantity, NationID, Product)
+// from lineitem x orders x customer, sized (2361, 150, 25, 50) by distinct
+// values, then rolls up OrderDate into 2-day buckets -> (1182, 150, 25, 50)
+// and splits it into per-disk chunks of (591, 75, 25, 25). Each cell holds
+// the sales of one product at one order size to one country within 2 days.
+//
+// Queries (per-chunk, as the paper measures single-disk performance):
+//   Q1  beam over OrderDay (all dates, fixed quantity/nation/product)
+//   Q2  beam over NationID (all countries)
+//   Q3  2-D range: one year x all quantities (fixed nation, product)
+//   Q4  3-D range: one year x all quantities x all nations (fixed product)
+//   Q5  4-D range: 20 days x 10 quantities x 10 countries x 10 products
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/cell.h"
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace mm::dataset {
+
+/// Dimension roles in the OLAP cube.
+enum OlapDim : uint32_t {
+  kOrderDay = 0,  ///< 2-day buckets after roll-up.
+  kQuantity = 1,
+  kNationId = 2,
+  kProduct = 3,
+};
+
+/// The full rolled-up cube: (1182, 150, 25, 50).
+map::GridShape OlapFullShape();
+
+/// One per-disk chunk: (591, 75, 25, 25).
+map::GridShape OlapChunkShape();
+
+/// Cells covering one year of 2-day buckets.
+constexpr uint32_t kCellsPerYear = 183;
+
+/// Q1: beam along OrderDay at a random (quantity, nation, product).
+query::BeamQuery OlapQ1(const map::GridShape& shape, Rng& rng);
+
+/// Q2: beam along NationID at a random (day, quantity, product).
+query::BeamQuery OlapQ2(const map::GridShape& shape, Rng& rng);
+
+/// Q3: one year x all quantities, fixed nation and product.
+map::Box OlapQ3(const map::GridShape& shape, Rng& rng);
+
+/// Q4: one year x all quantities x all nations, fixed product.
+map::Box OlapQ4(const map::GridShape& shape, Rng& rng);
+
+/// Q5: 20 days x 10 quantities x 10 countries x 10 products.
+map::Box OlapQ5(const map::GridShape& shape, Rng& rng);
+
+/// A synthetic order row, for deriving the cube the way the paper derives
+/// it from TPC-H tables (used by examples and tests; the benches use the
+/// cube shape directly).
+struct OrderRow {
+  uint32_t order_day = 0;  ///< Day index, 0..2360.
+  uint32_t quantity = 0;   ///< 0..149.
+  uint32_t nation = 0;     ///< 0..24.
+  uint32_t product = 0;    ///< 0..49.
+  double price = 0;
+};
+
+/// Generates `count` pseudo-TPC-H rows.
+std::vector<OrderRow> GenerateOrders(uint64_t count, Rng& rng);
+
+/// Rolls rows up into cell counts for the full cube (OrderDate -> 2-day
+/// buckets), returning a dense row-major (LinearIndex) histogram.
+std::vector<uint32_t> RollUp(const std::vector<OrderRow>& rows,
+                             const map::GridShape& full_shape);
+
+}  // namespace mm::dataset

@@ -1,0 +1,311 @@
+#include "disk/disk.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mm::disk {
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return "FIFO";
+    case SchedulerKind::kSstf:
+      return "SSTF";
+    case SchedulerKind::kSptf:
+      return "SPTF";
+    case SchedulerKind::kElevator:
+      return "Elevator";
+  }
+  return "Unknown";
+}
+
+Disk::Disk(const DiskSpec& spec)
+    : spec_(spec), geometry_(spec), seek_(spec), rotation_(spec) {}
+
+void Disk::Reset() {
+  now_ms_ = 0;
+  current_track_ = 0;
+  cache_valid_ = false;
+  cache_track_ = 0;
+  cache_begin_u_ = 0;
+  stats_ = DiskStats{};
+}
+
+uint64_t Disk::UnrolledSlot(double at_ms, uint32_t spt) const {
+  const double sector_ms = rotation_.revolution_ms() / spt;
+  return static_cast<uint64_t>(at_ms / sector_ms + 1e-9);
+}
+
+uint64_t Disk::CachedPrefix(const TrackGeom& geom, uint32_t sector,
+                            uint64_t n, double at_ms) const {
+  if (!spec_.readahead || readahead_suppressed_ || !cache_valid_ ||
+      geom.track != cache_track_) {
+    return 0;
+  }
+  const uint64_t u_now = UnrolledSlot(at_ms, geom.spt);
+  if (u_now <= cache_begin_u_) return 0;
+  const uint64_t arc = std::min<uint64_t>(u_now - cache_begin_u_, geom.spt);
+  const uint64_t track_in_zone =
+      geom.track - geometry_.ZoneOfTrack(geom.track).first_track;
+  const uint32_t slot = geom.PhysSlot(sector, track_in_zone);
+  const uint64_t pos = u_now % geom.spt;
+  // How many slots ago did `slot` finish passing under the head?
+  const uint64_t behind = (pos + geom.spt - ((slot + 1) % geom.spt)) %
+                          geom.spt;
+  if (behind >= arc) return 0;
+  // Sectors slot..slot+behind are buffered; the request's prefix that fits
+  // in that span is served from the buffer.
+  return std::min<uint64_t>(n, behind + 1);
+}
+
+void Disk::PositioningCost(uint64_t from_track, double at_ms, uint64_t lbn,
+                           double* seek_ms, double* rot_ms,
+                           bool* is_settle_seek, bool* is_head_switch) const {
+  const TrackGeom from = geometry_.Track(from_track);
+  const uint64_t to_track = geometry_.TrackOfLbn(lbn);
+  const TrackGeom to = geometry_.Track(to_track);
+  const bool surface_change = from.surface != to.surface;
+  *seek_ms = seek_.SeekTime(from.cylinder, to.cylinder, surface_change);
+  const uint32_t dist = from.cylinder > to.cylinder
+                            ? from.cylinder - to.cylinder
+                            : to.cylinder - from.cylinder;
+  *is_settle_seek = dist > 0 && dist <= seek_.settle_cylinders();
+  *is_head_switch = dist == 0 && surface_change;
+  const double arrival = at_ms + *seek_ms;
+  const double target_angle = geometry_.AngleOfLbn(lbn);
+  *rot_ms = rotation_.RotateTime(rotation_.AngleAt(arrival), target_angle);
+}
+
+double Disk::EstimatePositioning(uint64_t lbn) const {
+  const uint64_t track = geometry_.TrackOfLbn(lbn);
+  const TrackGeom geom = geometry_.Track(track);
+  if (CachedPrefix(geom, static_cast<uint32_t>(lbn - geom.first_lbn), 1,
+                   now_ms_) > 0) {
+    return 0.0;
+  }
+  double seek_ms = 0, rot_ms = 0;
+  bool settle = false, hs = false;
+  PositioningCost(current_track_, now_ms_, lbn, &seek_ms, &rot_ms, &settle,
+                  &hs);
+  return seek_ms + rot_ms;
+}
+
+Result<Completion> Disk::Service(const IoRequest& request,
+                                 bool charge_overhead) {
+  if (request.sectors == 0) {
+    return Status::InvalidArgument("request with zero sectors");
+  }
+  if (request.lbn + request.sectors > geometry_.total_sectors()) {
+    return Status::OutOfRange(
+        "request [" + std::to_string(request.lbn) + ", +" +
+        std::to_string(request.sectors) + ") beyond disk capacity " +
+        std::to_string(geometry_.total_sectors()));
+  }
+
+  Completion c;
+  c.request = request;
+  c.start_ms = now_ms_;
+  if (charge_overhead) {
+    c.phases.overhead_ms = spec_.command_overhead_ms;
+    now_ms_ += spec_.command_overhead_ms;
+  }
+
+  uint64_t lbn = request.lbn;
+  uint64_t remaining = request.sectors;
+  bool first_segment = true;
+  while (remaining > 0) {
+    const uint64_t track = geometry_.TrackOfLbn(lbn);
+    const TrackGeom geom = geometry_.Track(track);
+    const uint32_t sector = static_cast<uint32_t>(lbn - geom.first_lbn);
+    uint64_t run = std::min<uint64_t>(remaining, geom.spt - sector);
+
+    // Read-ahead buffer: sectors that already passed under the head on
+    // this track are delivered at bus speed (modeled as free).
+    if (first_segment) {
+      const uint64_t cached = CachedPrefix(geom, sector, run, now_ms_);
+      if (cached > 0) {
+        ++stats_.buffer_hits;
+        stats_.buffered_sectors += cached;
+        lbn += cached;
+        remaining -= cached;
+        run -= cached;
+        if (run == 0) {
+          first_segment = false;  // continue into next track if any
+          continue;
+        }
+        // The remainder starts exactly at the head position: the normal
+        // positioning below yields zero seek and zero rotation.
+      }
+    }
+
+    // Position: a real seek for the first segment; for continuation
+    // segments this is the track crossing (head switch or one-cylinder
+    // seek), whose cost is hidden inside the skew.
+    double seek_ms = 0, rot_ms = 0;
+    bool settle = false, hs = false;
+    PositioningCost(current_track_, now_ms_, lbn, &seek_ms, &rot_ms, &settle,
+                    &hs);
+    now_ms_ += seek_ms + rot_ms;
+    c.phases.seek_ms += seek_ms;
+    c.phases.rot_ms += rot_ms;
+    if (seek_ms > 0 || rot_ms > 0 || first_segment) {
+      if (settle) ++stats_.settle_seeks;
+      if (!settle && !hs && seek_ms > 0) ++stats_.seeks;
+      if (hs) ++stats_.head_switches;
+    }
+    if (!first_segment) ++c.track_switches;
+
+    // Track the read-ahead arc: seeking to a different track invalidates
+    // the buffer; rotational waits on the same track only grow it (the
+    // head keeps reading while it waits).
+    if (!cache_valid_ || track != cache_track_) {
+      cache_valid_ = true;
+      cache_track_ = track;
+      cache_begin_u_ = UnrolledSlot(now_ms_, geom.spt);
+    }
+
+    const double xfer = rotation_.TransferTime(run, geom.spt);
+    now_ms_ += xfer;
+    c.phases.xfer_ms += xfer;
+
+    current_track_ = track;
+    lbn += run;
+    remaining -= run;
+    first_segment = false;
+  }
+
+  c.end_ms = now_ms_;
+  ++stats_.requests;
+  stats_.sectors += request.sectors;
+  stats_.phases += c.phases;
+  stats_.track_switches += c.track_switches;
+  return c;
+}
+
+Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
+                                       const BatchOptions& options) {
+  return ServiceBatch(requests, options, nullptr);
+}
+
+Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
+                                       const BatchOptions& options,
+                                       std::vector<Completion>* completions) {
+  BatchResult result;
+  result.start_ms = now_ms_;
+  if (requests.empty()) {
+    result.end_ms = now_ms_;
+    return result;
+  }
+  if (options.queue_depth == 0) {
+    return Status::InvalidArgument("queue_depth must be positive");
+  }
+
+  // The drive's queue window: indices into `requests`.
+  std::vector<size_t> window;
+  window.reserve(options.queue_depth);
+  size_t next = 0;
+
+  auto refill = [&] {
+    while (window.size() < options.queue_depth && next < requests.size()) {
+      window.push_back(next++);
+    }
+  };
+
+  refill();
+  // TCQ semantics: look-ahead is suspended while more than one request is
+  // queued at the drive.
+  const bool suppress =
+      options.queue_disables_readahead && requests.size() > 1;
+  readahead_suppressed_ = suppress;
+  while (!window.empty()) {
+    size_t pick = 0;  // kFifo: oldest outstanding request.
+    switch (options.kind) {
+      case SchedulerKind::kFifo:
+        break;
+      case SchedulerKind::kSstf: {
+        const TrackGeom cur = geometry_.Track(current_track_);
+        uint32_t best = UINT32_MAX;
+        for (size_t i = 0; i < window.size(); ++i) {
+          const uint64_t t = geometry_.TrackOfLbn(requests[window[i]].lbn);
+          const uint32_t cyl = geometry_.CylinderOfTrack(t);
+          const uint32_t d =
+              cyl > cur.cylinder ? cyl - cur.cylinder : cur.cylinder - cyl;
+          if (d < best) {
+            best = d;
+            pick = i;
+          }
+        }
+        break;
+      }
+      case SchedulerKind::kSptf: {
+        double best = 1e300;
+        for (size_t i = 0; i < window.size(); ++i) {
+          const double cost = EstimatePositioning(requests[window[i]].lbn);
+          if (cost < best) {
+            best = cost;
+            pick = i;
+          }
+        }
+        break;
+      }
+      case SchedulerKind::kElevator: {
+        // Ascending sweep from the head's current first LBN, wrapping.
+        const uint64_t pos = geometry_.TrackFirstLbn(current_track_);
+        uint64_t best_ge = UINT64_MAX, best_any = UINT64_MAX;
+        size_t pick_ge = SIZE_MAX, pick_any = 0;
+        for (size_t i = 0; i < window.size(); ++i) {
+          const uint64_t l = requests[window[i]].lbn;
+          if (l >= pos && l < best_ge) {
+            best_ge = l;
+            pick_ge = i;
+          }
+          if (l < best_any) {
+            best_any = l;
+            pick_any = i;
+          }
+        }
+        pick = pick_ge != SIZE_MAX ? pick_ge : pick_any;
+        break;
+      }
+    }
+
+    // TCQ pipelining: the drive stages the next queued command during the
+    // current service, so a command that opens with a seek pays no
+    // turnaround (the seek starts the instant the previous transfer ends).
+    // A same-track rotational continuation cannot hide the turnaround --
+    // the gate must be re-armed in the angular gap itself -- so it still
+    // pays the command overhead. The first command of a batch always pays.
+    const IoRequest& req = requests[window[pick]];
+    const bool same_track =
+        geometry_.TrackOfLbn(req.lbn) == current_track_;
+    const bool charge_overhead = result.requests == 0 || same_track;
+    auto serviced = Service(req, charge_overhead);
+    if (!serviced.ok()) {
+      readahead_suppressed_ = false;
+      return serviced.status();
+    }
+    const Completion& c = *serviced;
+    if (completions != nullptr) completions->push_back(c);
+    result.phases += c.phases;
+    ++result.requests;
+    result.sectors += c.request.sectors;
+    window.erase(window.begin() + static_cast<ptrdiff_t>(pick));
+    refill();
+  }
+  readahead_suppressed_ = false;
+
+  result.end_ms = now_ms_;
+  return result;
+}
+
+double Disk::StreamingBandwidthMBps() const {
+  const Geometry::ZoneInfo& z = geometry_.zone(0);
+  const double track_bytes =
+      static_cast<double>(z.spt) * spec_.sector_bytes;
+  const double track_time_ms =
+      rotation_.revolution_ms() +
+      rotation_.TransferTime(z.skew, z.spt);  // skew time between tracks
+  return track_bytes / 1e6 / (track_time_ms / 1e3);
+}
+
+}  // namespace mm::disk

@@ -1,0 +1,134 @@
+// Single-disk simulator.
+//
+// The simulator keeps a head position (global track) and a clock; platter
+// angle is a pure function of the clock. Servicing a request costs
+//   command overhead + seek (settle-flat for short distances) +
+//   rotational latency (wait for the target slot to come around) +
+//   transfer (sector time per sector, with settle+skew handling at track
+//   boundaries).
+// Semi-sequential accesses (paper Section 3.2) therefore cost exactly one
+// settle each with no rotational latency -- not because the simulator special
+// cases them, but because the track skew places adjacent blocks one settle
+// rotation ahead (see geometry.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "disk/geometry.h"
+#include "disk/mechanics.h"
+#include "disk/request.h"
+#include "disk/scheduler.h"
+#include "disk/spec.h"
+#include "util/result.h"
+
+namespace mm::disk {
+
+/// Aggregate statistics since the last Reset().
+struct DiskStats {
+  uint64_t requests = 0;
+  uint64_t sectors = 0;
+  ServicePhases phases;
+  uint64_t seeks = 0;          ///< Seeks with nonzero cylinder distance.
+  uint64_t settle_seeks = 0;   ///< Seeks within the settle-flat region.
+  uint64_t head_switches = 0;  ///< Same-cylinder surface changes.
+  uint64_t track_switches = 0; ///< Track crossings during transfers.
+  uint64_t buffer_hits = 0;    ///< Requests (partially) fed from read-ahead.
+  uint64_t buffered_sectors = 0;  ///< Sectors delivered from the buffer.
+};
+
+/// Result of servicing a batch of requests.
+struct BatchResult {
+  double start_ms = 0;
+  double end_ms = 0;
+  uint64_t requests = 0;
+  uint64_t sectors = 0;
+  ServicePhases phases;
+
+  double TotalMs() const { return end_ms - start_ms; }
+};
+
+/// A simulated disk drive.
+class Disk {
+ public:
+  explicit Disk(const DiskSpec& spec);
+
+  const DiskSpec& spec() const { return spec_; }
+  const Geometry& geometry() const { return geometry_; }
+
+  /// Current simulated time in ms.
+  double now_ms() const { return now_ms_; }
+  /// Global track index the head is currently on.
+  uint64_t current_track() const { return current_track_; }
+
+  /// Moves the clock to 0 and the head to track 0; clears statistics.
+  void Reset();
+
+  /// Services one request immediately, advancing the clock. Returns the
+  /// completion record with a per-phase time breakdown.
+  ///
+  /// `charge_overhead=false` models tagged-queue pipelining: the drive
+  /// decodes the next queued command while the current one is being
+  /// serviced, so only the first command of a busy batch pays the
+  /// command overhead.
+  Result<Completion> Service(const IoRequest& request,
+                             bool charge_overhead = true);
+
+  /// Estimated positioning cost (seek + rotational latency, no transfer or
+  /// overhead) to reach `lbn` from the current head position and time;
+  /// zero when the block sits in the read-ahead buffer. Does not modify
+  /// state. Used by the SPTF scheduler.
+  double EstimatePositioning(uint64_t lbn) const;
+
+  /// Services a batch of requests under the given scheduling policy, with a
+  /// bounded queue window (see scheduler.h). Requests enter the drive queue
+  /// in span order. Returns aggregate timing.
+  Result<BatchResult> ServiceBatch(std::span<const IoRequest> requests,
+                                   const BatchOptions& options = {});
+
+  /// As ServiceBatch, but also appends each Completion to `completions`
+  /// (in service order) when the pointer is non-null.
+  Result<BatchResult> ServiceBatch(std::span<const IoRequest> requests,
+                                   const BatchOptions& options,
+                                   std::vector<Completion>* completions);
+
+  const DiskStats& stats() const { return stats_; }
+
+  /// Streaming bandwidth of the outermost zone in MB/s (sector payload over
+  /// revolution + skew time), for reporting.
+  double StreamingBandwidthMBps() const;
+
+ private:
+  // Positioning (seek + rotation) to the first sector of `lbn` starting from
+  // (track, time); returns the phase costs without mutating the disk.
+  void PositioningCost(uint64_t from_track, double at_ms, uint64_t lbn,
+                       double* seek_ms, double* rot_ms,
+                       bool* is_settle_seek, bool* is_head_switch) const;
+
+  // Read-ahead bookkeeping: while the head sits on `cache_track_`, the
+  // buffer holds the last min(u_now - cache_begin_u_, spt) sectors that
+  // passed under the head, where u(t) = floor(t / sector_time) is the
+  // unrolled slot counter of that track's zone. Seeking to another track
+  // invalidates the buffer; rotational waits on the same track grow it.
+  uint64_t UnrolledSlot(double at_ms, uint32_t spt) const;
+  // Number of sectors of [sector, sector+n) on `geom` currently buffered
+  // as a prefix (0 when read-ahead is off or the track differs).
+  uint64_t CachedPrefix(const TrackGeom& geom, uint32_t sector, uint64_t n,
+                        double at_ms) const;
+
+  DiskSpec spec_;
+  Geometry geometry_;
+  SeekModel seek_;
+  RotationModel rotation_;
+
+  double now_ms_ = 0;
+  uint64_t current_track_ = 0;
+  bool cache_valid_ = false;
+  bool readahead_suppressed_ = false;  // set during queued batch service
+  uint64_t cache_track_ = 0;
+  uint64_t cache_begin_u_ = 0;
+  DiskStats stats_;
+};
+
+}  // namespace mm::disk

@@ -1,0 +1,173 @@
+#include "disk/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace mm::disk {
+
+namespace {
+
+// Skew covers the rotation during one settle (or head switch, whichever is
+// larger) plus command processing, plus one guard sector, so that a
+// back-to-back access to the skewed position on the next track -- issued
+// right after the source sector's transfer -- arrives before the target
+// slot instead of missing a revolution by a hair.
+uint32_t ComputeSkew(const DiskSpec& spec, uint32_t spt) {
+  const double switch_ms = std::max(spec.settle_ms, spec.head_switch_ms) +
+                           spec.command_overhead_ms;
+  const double sectors = switch_ms / spec.RevolutionMs() * spt;
+  // Drives provision a small proportional margin on top of the physical
+  // minimum (servo retries, thermal drift); ~0.5% of a track.
+  const uint32_t guard = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::ceil(0.005 * spt)));
+  return static_cast<uint32_t>(std::ceil(sectors)) + guard;
+}
+
+}  // namespace
+
+Geometry::Geometry(const DiskSpec& spec) : spec_(spec) {
+  uint32_t cyl = 0;
+  uint64_t track = 0;
+  uint64_t lbn = 0;
+  zones_.reserve(spec.zones.size());
+  for (uint32_t zi = 0; zi < spec.zones.size(); ++zi) {
+    const ZoneSpec& zs = spec.zones[zi];
+    ZoneInfo z;
+    z.index = zi;
+    z.first_cylinder = cyl;
+    z.cylinder_count = zs.cylinders;
+    z.spt = zs.sectors_per_track;
+    z.skew = ComputeSkew(spec, zs.sectors_per_track);
+    z.first_track = track;
+    z.track_count =
+        static_cast<uint64_t>(zs.cylinders) * spec.surfaces;
+    z.first_lbn = lbn;
+    z.sector_count = z.track_count * zs.sectors_per_track;
+    zones_.push_back(z);
+    cyl += zs.cylinders;
+    track += z.track_count;
+    lbn += z.sector_count;
+  }
+  total_tracks_ = track;
+  total_sectors_ = lbn;
+}
+
+const Geometry::ZoneInfo& Geometry::ZoneOfLbn(uint64_t lbn) const {
+  // Zones are few (<= ~16); binary search over first_lbn.
+  auto it = std::upper_bound(
+      zones_.begin(), zones_.end(), lbn,
+      [](uint64_t v, const ZoneInfo& z) { return v < z.first_lbn; });
+  return *(it - 1);
+}
+
+const Geometry::ZoneInfo& Geometry::ZoneOfTrack(uint64_t track) const {
+  auto it = std::upper_bound(
+      zones_.begin(), zones_.end(), track,
+      [](uint64_t v, const ZoneInfo& z) { return v < z.first_track; });
+  return *(it - 1);
+}
+
+uint64_t Geometry::TrackOfLbn(uint64_t lbn) const {
+  const ZoneInfo& z = ZoneOfLbn(lbn);
+  return z.first_track + (lbn - z.first_lbn) / z.spt;
+}
+
+uint64_t Geometry::TrackFirstLbn(uint64_t track) const {
+  const ZoneInfo& z = ZoneOfTrack(track);
+  return z.first_lbn + (track - z.first_track) * z.spt;
+}
+
+uint32_t Geometry::TrackLength(uint64_t track) const {
+  return ZoneOfTrack(track).spt;
+}
+
+TrackGeom Geometry::Track(uint64_t track) const {
+  const ZoneInfo& z = ZoneOfTrack(track);
+  TrackGeom g;
+  g.track = track;
+  g.first_lbn = z.first_lbn + (track - z.first_track) * z.spt;
+  g.spt = z.spt;
+  g.skew = z.skew;
+  g.cylinder = CylinderOfTrack(track);
+  g.surface = SurfaceOfTrack(track);
+  g.zone = z.index;
+  return g;
+}
+
+Result<PhysLoc> Geometry::LbnToPhys(uint64_t lbn) const {
+  if (lbn >= total_sectors_) {
+    return Status::OutOfRange("LBN " + std::to_string(lbn) +
+                              " beyond disk capacity");
+  }
+  const ZoneInfo& z = ZoneOfLbn(lbn);
+  const uint64_t rel = lbn - z.first_lbn;
+  const uint64_t track = z.first_track + rel / z.spt;
+  PhysLoc loc;
+  loc.cylinder = CylinderOfTrack(track);
+  loc.surface = SurfaceOfTrack(track);
+  loc.sector = static_cast<uint32_t>(rel % z.spt);
+  return loc;
+}
+
+Result<uint64_t> Geometry::PhysToLbn(const PhysLoc& loc) const {
+  if (loc.cylinder >= spec_.TotalCylinders()) {
+    return Status::OutOfRange("cylinder out of range");
+  }
+  if (loc.surface >= spec_.surfaces) {
+    return Status::OutOfRange("surface out of range");
+  }
+  const uint64_t track =
+      static_cast<uint64_t>(loc.cylinder) * spec_.surfaces + loc.surface;
+  const ZoneInfo& z = ZoneOfTrack(track);
+  if (loc.sector >= z.spt) {
+    return Status::OutOfRange("sector beyond track length");
+  }
+  return z.first_lbn + (track - z.first_track) * z.spt + loc.sector;
+}
+
+uint32_t Geometry::PhysSlotOfLbn(uint64_t lbn) const {
+  const ZoneInfo& z = ZoneOfLbn(lbn);
+  const uint64_t rel = lbn - z.first_lbn;
+  const uint64_t track_in_zone = rel / z.spt;
+  const uint64_t sector = rel % z.spt;
+  return static_cast<uint32_t>((sector + track_in_zone * z.skew) % z.spt);
+}
+
+double Geometry::AngleOfLbn(uint64_t lbn) const {
+  const ZoneInfo& z = ZoneOfLbn(lbn);
+  return static_cast<double>(PhysSlotOfLbn(lbn)) / z.spt;
+}
+
+Result<uint64_t> Geometry::AdjacentLbn(uint64_t lbn, uint32_t j) const {
+  if (j == 0 || j > spec_.AdjacentBlocks()) {
+    return Status::InvalidArgument(
+        "adjacency index must be in [1, D=" +
+        std::to_string(spec_.AdjacentBlocks()) + "], got " +
+        std::to_string(j));
+  }
+  if (lbn >= total_sectors_) {
+    return Status::OutOfRange("LBN beyond disk capacity");
+  }
+  const ZoneInfo& z = ZoneOfLbn(lbn);
+  const uint64_t rel = lbn - z.first_lbn;
+  const uint64_t track_in_zone = rel / z.spt;
+  const uint64_t sector = rel % z.spt;
+  if (track_in_zone + j >= z.track_count) {
+    return Status::OutOfRange(
+        "adjacent block would cross a zone boundary (track " +
+        std::to_string(track_in_zone + j) + " of " +
+        std::to_string(z.track_count) + " in zone " + std::to_string(z.index) +
+        ")");
+  }
+  // The j-th adjacent block sits at the same angular offset -- one skew --
+  // from the source, for every j: phys slot (p + skew) on track + j. Its
+  // logical sector therefore regresses by (j-1)*skew relative to the source.
+  const uint64_t spt = z.spt;
+  // sector' = (sector + (1 - j) * skew) mod spt, computed without negatives.
+  const uint64_t back = (static_cast<uint64_t>(j - 1) * z.skew) % spt;
+  const uint64_t new_sector = (sector + spt - back) % spt;
+  return z.first_lbn + (track_in_zone + j) * spt + new_sector;
+}
+
+}  // namespace mm::disk

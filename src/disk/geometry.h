@@ -1,0 +1,141 @@
+// Disk geometry: the mapping between logical block numbers (LBNs) and
+// physical locations (cylinder, surface, sector), including zoned recording
+// and track/cylinder skew.
+//
+// LBN layout is cylinder-major: all surfaces of cylinder 0 (one track per
+// surface, in surface order), then cylinder 1, and so on. Zones are runs of
+// cylinders sharing a sectors-per-track value T; outer zones come first and
+// have larger T.
+//
+// Skew: logical sector 0 of each successive track within a zone is rotated
+// by `skew` physical sector positions relative to the previous track, where
+// skew covers the rotation during one head settle plus one guard sector for
+// the in-flight source transfer. This is how real drives sustain streaming
+// across track boundaries, and it is exactly what makes the adjacency model
+// work: the block at the same angular offset (one settle rotation) on any of
+// the next D tracks can be accessed for one settle time with zero rotational
+// latency (paper Section 3, Figure 1(b)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/spec.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mm::disk {
+
+/// Physical location of a block: cylinder, surface, and logical sector
+/// (position in LBN order within its track, before skew is applied).
+struct PhysLoc {
+  uint32_t cylinder = 0;
+  uint32_t surface = 0;
+  uint32_t sector = 0;
+
+  bool operator==(const PhysLoc&) const = default;
+};
+
+/// Geometry of one track, resolved once and passed around on hot paths.
+struct TrackGeom {
+  uint64_t track = 0;      ///< Global track index (cylinder-major).
+  uint64_t first_lbn = 0;  ///< LBN of logical sector 0.
+  uint32_t spt = 0;        ///< Sectors per track (the paper's T).
+  uint32_t skew = 0;       ///< Skew offset vs. previous track, in sectors.
+  uint32_t cylinder = 0;
+  uint32_t surface = 0;
+  uint32_t zone = 0;
+
+  /// Physical rotational slot of a logical sector on this track.
+  uint32_t PhysSlot(uint32_t logical_sector, uint64_t track_in_zone) const {
+    return static_cast<uint32_t>(
+        (logical_sector + track_in_zone * skew) % spt);
+  }
+};
+
+/// Immutable derived geometry for a DiskSpec.
+class Geometry {
+ public:
+  explicit Geometry(const DiskSpec& spec);
+
+  uint64_t total_sectors() const { return total_sectors_; }
+  uint64_t total_tracks() const { return total_tracks_; }
+  uint32_t surfaces() const { return spec_.surfaces; }
+  uint32_t zone_count() const { return static_cast<uint32_t>(zones_.size()); }
+
+  /// Derived per-zone data.
+  struct ZoneInfo {
+    uint32_t index = 0;
+    uint32_t first_cylinder = 0;
+    uint32_t cylinder_count = 0;
+    uint32_t spt = 0;
+    uint32_t skew = 0;         ///< Track-to-track skew in sectors.
+    uint64_t first_track = 0;  ///< Global index of the zone's first track.
+    uint64_t track_count = 0;
+    uint64_t first_lbn = 0;
+    uint64_t sector_count = 0;
+  };
+
+  const ZoneInfo& zone(uint32_t index) const { return zones_[index]; }
+  const std::vector<ZoneInfo>& zones() const { return zones_; }
+
+  /// Zone containing the given LBN. Precondition: lbn < total_sectors().
+  const ZoneInfo& ZoneOfLbn(uint64_t lbn) const;
+
+  /// Zone containing the given global track index.
+  const ZoneInfo& ZoneOfTrack(uint64_t track) const;
+
+  /// Global track index holding the given LBN.
+  uint64_t TrackOfLbn(uint64_t lbn) const;
+
+  /// LBN of logical sector 0 of the given track.
+  uint64_t TrackFirstLbn(uint64_t track) const;
+
+  /// Sectors per track for the given track (the paper's T; zone-dependent).
+  uint32_t TrackLength(uint64_t track) const;
+
+  /// Full geometry of a track, for hot paths.
+  TrackGeom Track(uint64_t track) const;
+
+  uint32_t CylinderOfTrack(uint64_t track) const {
+    return static_cast<uint32_t>(track / spec_.surfaces);
+  }
+  uint32_t SurfaceOfTrack(uint64_t track) const {
+    return static_cast<uint32_t>(track % spec_.surfaces);
+  }
+
+  /// LBN -> physical location. Returns OutOfRange past end of disk.
+  Result<PhysLoc> LbnToPhys(uint64_t lbn) const;
+
+  /// Physical location -> LBN. Returns OutOfRange for invalid locations.
+  Result<uint64_t> PhysToLbn(const PhysLoc& loc) const;
+
+  /// Physical rotational slot (0..spt-1) of an LBN on its track, with skew
+  /// applied. The platter angle of slot k on a track with T sectors is k/T
+  /// of a revolution.
+  uint32_t PhysSlotOfLbn(uint64_t lbn) const;
+
+  /// Angular position (fraction of a revolution, in [0,1)) of the *start* of
+  /// the given LBN's sector.
+  double AngleOfLbn(uint64_t lbn) const;
+
+  /// The j-th adjacent block of `lbn` (paper Section 3.1): the block on
+  /// track(lbn)+j that sits at the same angular offset -- one settle rotation
+  /// -- from `lbn`, and can therefore be accessed in exactly one settle time
+  /// with no rotational latency, for any j in [1, D].
+  ///
+  /// Returns OutOfRange if track(lbn)+j crosses a zone boundary (adjacency is
+  /// only defined within a zone, where track length and skew are constant;
+  /// MultiMap never maps a basic cube across zones) or the end of the disk.
+  Result<uint64_t> AdjacentLbn(uint64_t lbn, uint32_t j) const;
+
+  const DiskSpec& spec() const { return spec_; }
+
+ private:
+  DiskSpec spec_;
+  std::vector<ZoneInfo> zones_;
+  uint64_t total_sectors_ = 0;
+  uint64_t total_tracks_ = 0;
+};
+
+}  // namespace mm::disk

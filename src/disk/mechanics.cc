@@ -1,0 +1,53 @@
+#include "disk/mechanics.h"
+
+#include <algorithm>
+
+namespace mm::disk {
+
+SeekModel::SeekModel(const DiskSpec& spec)
+    : settle_ms_(spec.settle_ms),
+      head_switch_ms_(spec.head_switch_ms),
+      settle_cylinders_(spec.settle_cylinders),
+      sqrt_coeff_(spec.seek_sqrt_coeff_ms),
+      knee_(spec.knee_cylinders),
+      max_distance_(std::max<uint32_t>(spec.TotalCylinders(), 2) - 1) {
+  knee_ = std::min(knee_, max_distance_);
+  knee_time_ =
+      settle_ms_ +
+      sqrt_coeff_ * (std::sqrt(static_cast<double>(knee_)) -
+                     std::sqrt(static_cast<double>(settle_cylinders_)));
+  if (max_distance_ > knee_) {
+    linear_slope_ = (spec.full_stroke_ms - knee_time_) /
+                    static_cast<double>(max_distance_ - knee_);
+    // A spec with a too-small full-stroke time would make long seeks cheaper
+    // than mid seeks; clamp to a non-decreasing curve.
+    linear_slope_ = std::max(linear_slope_, 0.0);
+  } else {
+    linear_slope_ = 0.0;
+  }
+}
+
+double SeekModel::SeekTimeForDistance(uint32_t d) const {
+  if (d == 0) return 0.0;
+  if (d <= settle_cylinders_) return settle_ms_;
+  if (d <= knee_) {
+    return settle_ms_ +
+           sqrt_coeff_ * (std::sqrt(static_cast<double>(d)) -
+                          std::sqrt(static_cast<double>(settle_cylinders_)));
+  }
+  return knee_time_ + linear_slope_ * static_cast<double>(d - knee_);
+}
+
+double SeekModel::SeekTime(uint32_t from_cyl, uint32_t to_cyl,
+                           bool surface_change) const {
+  const uint32_t d =
+      from_cyl > to_cyl ? from_cyl - to_cyl : to_cyl - from_cyl;
+  if (d == 0) {
+    return surface_change ? head_switch_ms_ : 0.0;
+  }
+  // Head switch overlaps the arm movement; the settle at the destination
+  // covers re-acquiring the (possibly different) surface's servo track.
+  return SeekTimeForDistance(d);
+}
+
+}  // namespace mm::disk

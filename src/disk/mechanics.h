@@ -1,0 +1,76 @@
+// Mechanical timing model: seek curve and rotation.
+//
+// The seek curve follows the paper's Figure 1(a): a flat, settle-dominated
+// region for distances up to C cylinders, then a sqrt-shaped acceleration
+// region, then a linear coast region out to the full-stroke time. The flat
+// region is the property MultiMap exploits: every one of the D = R*C tracks
+// around the head can be reached in constant (settle) time.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "disk/spec.h"
+
+namespace mm::disk {
+
+/// Precomputed seek-time curve for a DiskSpec.
+class SeekModel {
+ public:
+  explicit SeekModel(const DiskSpec& spec);
+
+  /// Seek time in ms between cylinders, including head switch when the
+  /// surface changes. A zero-distance, same-surface "seek" is free.
+  double SeekTime(uint32_t from_cyl, uint32_t to_cyl,
+                  bool surface_change) const;
+
+  /// Seek time for a cylinder distance alone (no surface considerations).
+  double SeekTimeForDistance(uint32_t distance) const;
+
+  /// The settle-only region boundary (the paper's C).
+  uint32_t settle_cylinders() const { return settle_cylinders_; }
+
+ private:
+  double settle_ms_;
+  double head_switch_ms_;
+  uint32_t settle_cylinders_;
+  double sqrt_coeff_;
+  uint32_t knee_;
+  double knee_time_;
+  double linear_slope_;
+  uint32_t max_distance_;
+};
+
+/// Rotation timing helper.
+class RotationModel {
+ public:
+  explicit RotationModel(const DiskSpec& spec)
+      : rev_ms_(spec.RevolutionMs()) {}
+
+  double revolution_ms() const { return rev_ms_; }
+
+  /// Angular position of the platter (fraction of a revolution in [0,1))
+  /// at absolute time `t_ms`. At t=0 the platter is at angle 0.
+  double AngleAt(double t_ms) const {
+    const double frac = std::fmod(t_ms, rev_ms_) / rev_ms_;
+    return frac < 0 ? frac + 1.0 : frac;
+  }
+
+  /// Time to rotate from angle `from` to angle `to` (fractions of a
+  /// revolution), always waiting forward.
+  double RotateTime(double from, double to) const {
+    double d = to - from;
+    d -= std::floor(d);
+    return d * rev_ms_;
+  }
+
+  /// Transfer time of n sectors on a track with `spt` sectors.
+  double TransferTime(uint64_t sectors, uint32_t spt) const {
+    return static_cast<double>(sectors) * rev_ms_ / spt;
+  }
+
+ private:
+  double rev_ms_;
+};
+
+}  // namespace mm::disk

@@ -1,0 +1,46 @@
+// I/O request and completion types shared by the disk simulator, the LVM and
+// the query executor.
+#pragma once
+
+#include <cstdint>
+
+namespace mm::disk {
+
+/// A read request for `sectors` contiguous LBNs starting at `lbn`.
+struct IoRequest {
+  uint64_t lbn = 0;
+  uint32_t sectors = 1;
+
+  bool operator==(const IoRequest&) const = default;
+};
+
+/// Time spent in each service phase of a request, in ms.
+struct ServicePhases {
+  double overhead_ms = 0;  ///< Command processing overhead.
+  double seek_ms = 0;      ///< Arm movement + settle (incl. head switches).
+  double rot_ms = 0;       ///< Rotational latency.
+  double xfer_ms = 0;      ///< Media transfer.
+
+  double Total() const { return overhead_ms + seek_ms + rot_ms + xfer_ms; }
+
+  ServicePhases& operator+=(const ServicePhases& o) {
+    overhead_ms += o.overhead_ms;
+    seek_ms += o.seek_ms;
+    rot_ms += o.rot_ms;
+    xfer_ms += o.xfer_ms;
+    return *this;
+  }
+};
+
+/// Completion record for one serviced request.
+struct Completion {
+  IoRequest request;
+  double start_ms = 0;  ///< Simulated time at which service began.
+  double end_ms = 0;    ///< Simulated time at which the last sector landed.
+  ServicePhases phases;
+  uint32_t track_switches = 0;  ///< Track boundaries crossed while reading.
+
+  double ServiceMs() const { return end_ms - start_ms; }
+};
+
+}  // namespace mm::disk

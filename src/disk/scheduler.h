@@ -1,0 +1,41 @@
+// On-disk request scheduling.
+//
+// The paper's storage manager issues batches of requests and relies on the
+// disk's internal scheduler to fetch them efficiently: "The disk's internal
+// scheduler will ensure that they are fetched in the most efficient way,
+// i.e., along the semi-sequential path" (Section 5.2). Real drives hold a
+// bounded queue (tagged command queueing) and typically use a variant of
+// shortest positioning time first (SPTF). We model that: the host hands the
+// batch over in order; the drive keeps up to `queue_depth` requests
+// outstanding and picks among them by policy.
+#pragma once
+
+#include <cstdint>
+
+namespace mm::disk {
+
+/// Scheduling policy used within the drive's queue window.
+enum class SchedulerKind {
+  kFifo,      ///< Service strictly in arrival order.
+  kSstf,      ///< Shortest seek (cylinder distance) first.
+  kSptf,      ///< Shortest positioning (seek + rotation) time first.
+  kElevator,  ///< Ascending-LBN sweep, wrapping at the end.
+};
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+/// Options controlling batch service.
+struct BatchOptions {
+  SchedulerKind kind = SchedulerKind::kSptf;
+  /// Maximum requests outstanding at the drive at once. Paper-era SCSI
+  /// stacks ran modest tagged queue depths; a small window is also what
+  /// reproduces the paper's measured per-cell times (see
+  /// bench/ablate_scheduler for the sensitivity study).
+  uint32_t queue_depth = 4;
+  /// Drives suspend look-ahead while the tagged queue is non-empty (the
+  /// buffer scan interferes with queued scheduling); single outstanding
+  /// requests still benefit from the track buffer. Disable for ablation.
+  bool queue_disables_readahead = true;
+};
+
+}  // namespace mm::disk

@@ -1,0 +1,62 @@
+#include "disk/spec.h"
+
+namespace mm::disk {
+
+DiskSpec MakeAtlas10k3() {
+  DiskSpec s;
+  s.name = "Atlas10kIII";
+  s.surfaces = 8;  // 4 platters
+  s.rpm = 10000.0;
+  s.settle_ms = 1.35;
+  s.settle_cylinders = 16;  // D = 8 * 16 = 128, as used in the paper (5.3)
+  s.head_switch_ms = 1.1;
+  s.seek_sqrt_coeff_ms = 0.047;
+  s.knee_cylinders = 6000;
+  s.full_stroke_ms = 10.5;
+  s.command_overhead_ms = 0.1;
+  // 8 zones x 2075 cylinders = 16600 cylinders; 132800 tracks; with the
+  // sectors-per-track progression below this yields ~71.8M sectors ~ 36.7 GB.
+  const uint32_t spt[] = {686, 644, 602, 560, 524, 486, 448, 396};
+  for (uint32_t t : spt) s.zones.push_back(ZoneSpec{2075, t});
+  return s;
+}
+
+DiskSpec MakeCheetah36Es() {
+  DiskSpec s;
+  s.name = "Cheetah36ES";
+  s.surfaces = 4;  // 2 platters
+  s.rpm = 10000.0;
+  s.settle_ms = 1.45;
+  s.settle_cylinders = 32;  // D = 4 * 32 = 128
+  s.head_switch_ms = 1.0;
+  s.seek_sqrt_coeff_ms = 0.045;
+  s.knee_cylinders = 6000;
+  s.full_stroke_ms = 9.5;
+  s.command_overhead_ms = 0.1;
+  // 8 zones x 3612 cylinders = 28896 cylinders; 115584 tracks; ~71.7M sectors.
+  const uint32_t spt[] = {736, 700, 668, 636, 604, 572, 540, 504};
+  for (uint32_t t : spt) s.zones.push_back(ZoneSpec{3612, t});
+  return s;
+}
+
+DiskSpec MakeTestDisk() {
+  DiskSpec s;
+  s.name = "TestDisk";
+  s.surfaces = 2;
+  s.rpm = 6000.0;  // 10 ms revolution: round numbers for tests
+  s.settle_ms = 1.0;
+  s.settle_cylinders = 2;  // D = 4
+  s.head_switch_ms = 0.8;
+  s.seek_sqrt_coeff_ms = 0.5;
+  s.knee_cylinders = 4;
+  s.full_stroke_ms = 5.0;
+  s.command_overhead_ms = 0.0;
+  s.zones = {ZoneSpec{4, 20}, ZoneSpec{4, 16}};
+  return s;
+}
+
+std::vector<DiskSpec> PaperDisks() {
+  return {MakeAtlas10k3(), MakeCheetah36Es()};
+}
+
+}  // namespace mm::disk

@@ -1,0 +1,103 @@
+// Disk drive parameter specifications.
+//
+// The paper evaluates on two real 10 krpm SCSI drives (Seagate Cheetah 36ES
+// and Maxtor Atlas 10k III) behind a logical volume manager. We substitute a
+// detailed simulator; the two presets below are calibrated from the drives'
+// public spec sheets (capacity ~36.7 GB, 10,000 rpm, settle-dominated short
+// seeks of ~1.3-1.5 ms, zoned recording with several hundred sectors per
+// track). Absolute times are approximations; the mechanisms the paper relies
+// on (streaming vs. semi-sequential vs. random gap, settle-flat seek region,
+// zoning) are faithfully reproduced. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mm::disk {
+
+/// One recording zone: a run of cylinders sharing a sectors-per-track count.
+struct ZoneSpec {
+  /// Number of cylinders in this zone.
+  uint32_t cylinders = 0;
+  /// Sectors per track (the paper's T); constant within a zone.
+  uint32_t sectors_per_track = 0;
+};
+
+/// Full parameter set for a simulated drive.
+struct DiskSpec {
+  std::string name;
+
+  /// Tracks per cylinder (the paper's R); one per recording surface.
+  uint32_t surfaces = 4;
+
+  /// Spindle speed in revolutions per minute.
+  double rpm = 10000.0;
+
+  /// Head settle time in ms: the (near-constant) cost of any seek of up to
+  /// `settle_cylinders` cylinders. This is the paper's Figure 1(a) flat
+  /// region, and the cost of one semi-sequential hop.
+  double settle_ms = 1.3;
+
+  /// The paper's C: seeks of <= C cylinders cost settle_ms only.
+  uint32_t settle_cylinders = 16;
+
+  /// Head switch time (surface change within a cylinder), ms. Comparable to
+  /// settle time on modern drives.
+  double head_switch_ms = 1.0;
+
+  /// Coefficient b of the sqrt region: seek(d) = settle + b*(sqrt(d)-sqrt(C))
+  /// for C < d <= knee_cylinders.
+  double seek_sqrt_coeff_ms = 0.04;
+
+  /// Boundary between the sqrt and linear seek regions, in cylinders.
+  uint32_t knee_cylinders = 6000;
+
+  /// Full-stroke seek time in ms; fixes the slope of the linear region.
+  double full_stroke_ms = 10.5;
+
+  /// Per-command processing overhead (controller + bus), ms.
+  double command_overhead_ms = 0.1;
+
+  /// Bytes per sector (cell size unit; the paper uses 512-byte cells).
+  uint32_t sector_bytes = 512;
+
+  /// Track-buffer read-ahead: while the head stays on a track, every sector
+  /// that passes underneath is buffered (up to one full track) and later
+  /// requests for buffered sectors are served at bus speed. All paper-era
+  /// drives do this; without it, short ascending gaps -- e.g. Z-order scans
+  /// along Dim0 -- would each pay a near-full missed revolution. Disable
+  /// only for ablation (bench/ablate_scheduler) and targeted tests.
+  bool readahead = true;
+
+  /// Zones, outermost (longest tracks) first.
+  std::vector<ZoneSpec> zones;
+
+  /// Revolution time in ms.
+  double RevolutionMs() const { return 60000.0 / rpm; }
+
+  /// Total cylinders across all zones.
+  uint32_t TotalCylinders() const {
+    uint32_t n = 0;
+    for (const auto& z : zones) n += z.cylinders;
+    return n;
+  }
+
+  /// The paper's D: number of blocks adjacent to each LBN, one per track
+  /// reachable within the settle time (D = R * C).
+  uint32_t AdjacentBlocks() const { return surfaces * settle_cylinders; }
+};
+
+/// Preset approximating the Maxtor Atlas 10k III used in the paper.
+DiskSpec MakeAtlas10k3();
+
+/// Preset approximating the Seagate Cheetah 36ES used in the paper.
+DiskSpec MakeCheetah36Es();
+
+/// A deliberately small drive for fast unit tests (tiny zones, short tracks).
+DiskSpec MakeTestDisk();
+
+/// Returns both paper disks, in the order the paper's figures present them.
+std::vector<DiskSpec> PaperDisks();
+
+}  // namespace mm::disk

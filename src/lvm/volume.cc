@@ -1,0 +1,93 @@
+#include "lvm/volume.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mm::lvm {
+
+Volume::Volume(const std::vector<disk::DiskSpec>& specs) {
+  uint64_t lbn = 0;
+  max_adjacency_ = UINT32_MAX;
+  for (const auto& spec : specs) {
+    disks_.push_back(std::make_unique<disk::Disk>(spec));
+    first_lbn_.push_back(lbn);
+    lbn += disks_.back()->geometry().total_sectors();
+    max_adjacency_ = std::min(max_adjacency_, spec.AdjacentBlocks());
+  }
+  first_lbn_.push_back(lbn);
+  total_sectors_ = lbn;
+}
+
+Result<Volume::Location> Volume::Resolve(uint64_t volume_lbn) const {
+  if (volume_lbn >= total_sectors_) {
+    return Status::OutOfRange("volume LBN " + std::to_string(volume_lbn) +
+                              " beyond capacity " +
+                              std::to_string(total_sectors_));
+  }
+  // Disks are few; linear scan over the boundary table.
+  uint32_t d = 0;
+  while (volume_lbn >= first_lbn_[d + 1]) ++d;
+  return Location{d, volume_lbn - first_lbn_[d]};
+}
+
+uint64_t Volume::ToVolumeLbn(uint32_t disk_index, uint64_t disk_lbn) const {
+  return first_lbn_[disk_index] + disk_lbn;
+}
+
+Result<uint64_t> Volume::GetAdjacent(uint64_t volume_lbn,
+                                     uint32_t step) const {
+  MM_ASSIGN_OR_RETURN(Location loc, Resolve(volume_lbn));
+  MM_ASSIGN_OR_RETURN(
+      uint64_t adj, disks_[loc.disk]->geometry().AdjacentLbn(loc.lbn, step));
+  return ToVolumeLbn(loc.disk, adj);
+}
+
+Result<TrackBoundaries> Volume::GetTrackBoundaries(
+    uint64_t volume_lbn) const {
+  MM_ASSIGN_OR_RETURN(Location loc, Resolve(volume_lbn));
+  const disk::Geometry& geo = disks_[loc.disk]->geometry();
+  const uint64_t track = geo.TrackOfLbn(loc.lbn);
+  TrackBoundaries tb;
+  tb.length = geo.TrackLength(track);
+  tb.first_lbn = ToVolumeLbn(loc.disk, geo.TrackFirstLbn(track));
+  tb.last_lbn = tb.first_lbn + tb.length - 1;
+  return tb;
+}
+
+void Volume::Reset() {
+  for (auto& d : disks_) d->Reset();
+}
+
+Result<VolumeBatchResult> Volume::ServiceBatch(
+    std::span<const disk::IoRequest> requests,
+    const disk::BatchOptions& options) {
+  // Route to member disks, preserving issue order per disk.
+  std::vector<std::vector<disk::IoRequest>> shares(disks_.size());
+  for (const auto& r : requests) {
+    MM_ASSIGN_OR_RETURN(Location loc, Resolve(r.lbn));
+    if (loc.lbn + r.sectors >
+        disks_[loc.disk]->geometry().total_sectors()) {
+      return Status::InvalidArgument(
+          "request straddles a disk boundary at volume LBN " +
+          std::to_string(r.lbn));
+    }
+    shares[loc.disk].push_back({loc.lbn, r.sectors});
+  }
+
+  VolumeBatchResult out;
+  out.per_disk.resize(disks_.size());
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    if (shares[d].empty()) continue;
+    MM_ASSIGN_OR_RETURN(disk::BatchResult br,
+                        disks_[d]->ServiceBatch(shares[d], options));
+    out.per_disk[d] = br;
+    out.makespan_ms = std::max(out.makespan_ms, br.TotalMs());
+    out.total_busy_ms += br.TotalMs();
+    out.requests += br.requests;
+    out.sectors += br.sectors;
+    out.phases += br.phases;
+  }
+  return out;
+}
+
+}  // namespace mm::lvm

@@ -1,0 +1,116 @@
+// Logical volume manager (LVM).
+//
+// The paper's prototype "consists of a logical volume manager (LVM) and a
+// database storage manager. The LVM exports a single logical volume mapped
+// across multiple disks and identifies adjacent blocks" (Section 5.1). The
+// adjacency model is exposed through two interface functions (Section 3.2),
+// which we name GetAdjacent and GetTrackBoundaries.
+//
+// Volume address space: member disks are concatenated (disk 0's blocks,
+// then disk 1's, ...). Data is declustered across disks at allocation time
+// -- the paper distributes whole basic cubes / chunks to different disks and
+// reports per-disk performance -- so the LVM keeps addressing simple and
+// never lets a track or adjacency relation span two disks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/request.h"
+#include "disk/scheduler.h"
+#include "disk/spec.h"
+#include "util/result.h"
+
+namespace mm::lvm {
+
+/// Track extent of the track containing an LBN, as exported to applications
+/// (the paper's get_track_boundaries): applications learn track length T
+/// without learning cylinder/surface details.
+struct TrackBoundaries {
+  uint64_t first_lbn = 0;  ///< First volume LBN of the track.
+  uint64_t last_lbn = 0;   ///< Last volume LBN of the track (inclusive).
+  uint32_t length = 0;     ///< Track length T in blocks.
+};
+
+/// Result of servicing a volume batch: per-disk breakdown plus makespan.
+struct VolumeBatchResult {
+  std::vector<disk::BatchResult> per_disk;
+  /// Wall-clock of the batch assuming disks service their shares in
+  /// parallel (paper Section 4.4: multiple disks scale throughput; latency
+  /// per disk is unchanged).
+  double makespan_ms = 0;
+  /// Sum of busy time across disks.
+  double total_busy_ms = 0;
+  uint64_t requests = 0;
+  uint64_t sectors = 0;
+  /// Per-phase totals summed over member disks.
+  disk::ServicePhases phases;
+};
+
+/// A logical volume over one or more simulated disks.
+class Volume {
+ public:
+  /// Creates a volume whose member disks use the given specs.
+  explicit Volume(const std::vector<disk::DiskSpec>& specs);
+
+  /// Convenience: single-disk volume.
+  explicit Volume(const disk::DiskSpec& spec)
+      : Volume(std::vector<disk::DiskSpec>{spec}) {}
+
+  size_t disk_count() const { return disks_.size(); }
+  disk::Disk& disk(size_t i) { return *disks_[i]; }
+  const disk::Disk& disk(size_t i) const { return *disks_[i]; }
+
+  /// Total volume capacity in blocks.
+  uint64_t total_sectors() const { return total_sectors_; }
+
+  /// Volume LBN -> member disk and disk-local LBN.
+  struct Location {
+    uint32_t disk = 0;
+    uint64_t lbn = 0;
+  };
+  Result<Location> Resolve(uint64_t volume_lbn) const;
+
+  /// Member disk + local LBN -> volume LBN.
+  uint64_t ToVolumeLbn(uint32_t disk_index, uint64_t disk_lbn) const;
+
+  // --- Adjacency-model interface (paper Section 3.2) -------------------
+
+  /// Returns the `step`-th adjacent block of `volume_lbn`: the block
+  /// `step` tracks away that can be accessed in one settle time with no
+  /// rotational latency. step must be in [1, MaxAdjacency()].
+  Result<uint64_t> GetAdjacent(uint64_t volume_lbn, uint32_t step) const;
+
+  /// Returns the boundaries and length T of the track holding `volume_lbn`.
+  Result<TrackBoundaries> GetTrackBoundaries(uint64_t volume_lbn) const;
+
+  /// The number of adjacent blocks D exposed by the volume: the minimum
+  /// over member disks (a conservative, disk-generic value, as the paper's
+  /// LVM exposes).
+  uint32_t MaxAdjacency() const { return max_adjacency_; }
+
+  // --- Execution --------------------------------------------------------
+
+  /// Resets all member disks (time 0, heads parked, stats cleared).
+  void Reset();
+
+  /// Services a batch of volume-addressed requests. Requests are routed to
+  /// member disks preserving order, each disk schedules its share with
+  /// `options`, and disks run in parallel.
+  ///
+  /// Requests must not straddle a disk boundary.
+  Result<VolumeBatchResult> ServiceBatch(
+      std::span<const disk::IoRequest> requests,
+      const disk::BatchOptions& options = {});
+
+ private:
+  std::vector<std::unique_ptr<disk::Disk>> disks_;
+  std::vector<uint64_t> first_lbn_;  // per disk, plus total at the end
+  uint64_t total_sectors_ = 0;
+  uint32_t max_adjacency_ = 0;
+};
+
+}  // namespace mm::lvm

@@ -1,0 +1,136 @@
+// Core geometric types: cells (grid coordinates), boxes (query ranges) and
+// grid shapes (dataset extents).
+//
+// The paper imposes an N-D grid on the dataset; each discrete cell maps to
+// one or more disk blocks (Section 4). Queries are beams (1-D lines) and
+// ranges (N-D boxes) over cells (Section 5.1).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mm::map {
+
+/// Maximum supported dimensionality. The paper shows D on the order of
+/// hundreds supports >10 dimensions (Eq. 5); 8 covers every experiment and
+/// keeps cells cheap value types.
+constexpr uint32_t kMaxDims = 8;
+
+/// An N-D grid coordinate; entries beyond the dataset's dimensionality are
+/// zero and ignored.
+using Cell = std::array<uint32_t, kMaxDims>;
+
+/// Constructs a Cell from a short list, e.g. MakeCell({x, y, z}).
+inline Cell MakeCell(std::initializer_list<uint32_t> values) {
+  Cell c{};
+  uint32_t i = 0;
+  for (uint32_t v : values) {
+    assert(i < kMaxDims);
+    c[i++] = v;
+  }
+  return c;
+}
+
+/// Dataset extent: S_i cells along each of ndims dimensions.
+class GridShape {
+ public:
+  GridShape() = default;
+  explicit GridShape(std::vector<uint32_t> dims) : dims_(std::move(dims)) {}
+  GridShape(std::initializer_list<uint32_t> dims) : dims_(dims) {}
+
+  uint32_t ndims() const { return static_cast<uint32_t>(dims_.size()); }
+  uint32_t dim(uint32_t i) const { return dims_[i]; }
+  const std::vector<uint32_t>& dims() const { return dims_; }
+
+  uint64_t CellCount() const {
+    uint64_t n = 1;
+    for (uint32_t d : dims_) n *= d;
+    return n;
+  }
+
+  bool Contains(const Cell& c) const {
+    for (uint32_t i = 0; i < ndims(); ++i) {
+      if (c[i] >= dims_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Row-major linear index with dimension 0 fastest (the paper's Naive
+  /// order: Dim0 is the major order).
+  uint64_t LinearIndex(const Cell& c) const {
+    uint64_t idx = 0;
+    for (uint32_t i = ndims(); i-- > 0;) {
+      idx = idx * dims_[i] + c[i];
+    }
+    return idx;
+  }
+
+  /// Inverse of LinearIndex.
+  Cell CellAt(uint64_t index) const {
+    Cell c{};
+    for (uint32_t i = 0; i < ndims(); ++i) {
+      c[i] = static_cast<uint32_t>(index % dims_[i]);
+      index /= dims_[i];
+    }
+    return c;
+  }
+
+  /// Smallest W such that every dimension fits in 2^W cells.
+  uint32_t BitsPerDim() const {
+    uint32_t w = 0;
+    for (uint32_t d : dims_) {
+      uint32_t need = 0;
+      while ((1u << need) < d) ++need;
+      w = std::max(w, need);
+    }
+    return w;
+  }
+
+  std::string ToString() const {
+    std::string s = "(";
+    for (uint32_t i = 0; i < ndims(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + ")";
+  }
+
+  bool operator==(const GridShape&) const = default;
+
+ private:
+  std::vector<uint32_t> dims_;
+};
+
+/// Half-open N-D box [lo, hi) of cells.
+struct Box {
+  Cell lo{};
+  Cell hi{};
+
+  static Box Full(const GridShape& shape) {
+    Box b;
+    for (uint32_t i = 0; i < shape.ndims(); ++i) b.hi[i] = shape.dim(i);
+    return b;
+  }
+
+  uint64_t CellCount(uint32_t ndims) const {
+    uint64_t n = 1;
+    for (uint32_t i = 0; i < ndims; ++i) {
+      if (hi[i] <= lo[i]) return 0;
+      n *= hi[i] - lo[i];
+    }
+    return n;
+  }
+
+  bool Contains(const Cell& c, uint32_t ndims) const {
+    for (uint32_t i = 0; i < ndims; ++i) {
+      if (c[i] < lo[i] || c[i] >= hi[i]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace mm::map

@@ -1,0 +1,159 @@
+// Space-filling-curve automata.
+//
+// All three curves (Z-order / Morton, Gray-code, Hilbert) are hierarchical:
+// a 2^W-sided N-D cube splits into 2^N orthants per level, and the curve
+// visits the orthants in an order that may depend on a per-node state
+// (orientation). Expressing each curve as a small automaton --
+//   LabelAt(state, rank)   : which orthant is visited rank-th,
+//   RankOf(state, label)   : at which position an orthant is visited,
+//   ChildState(state, rank): orientation inside that orthant --
+// lets one generic engine (curve_mapping.h) compute cell ranks, compact
+// rank-in-box indices (so non-power-of-two grids are stored without holes,
+// as the paper's implementation packs cells in curve order), and contiguous
+// run decompositions of query boxes.
+//
+// Orthant labels are bitmasks: bit d of the label is dimension d's bit at
+// the current level.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace mm::map {
+
+/// Per-level orthant visit order for a hierarchical space-filling curve.
+class OctantOrder {
+ public:
+  explicit OctantOrder(uint32_t dims) : dims_(dims) {}
+  virtual ~OctantOrder() = default;
+
+  uint32_t dims() const { return dims_; }
+  uint32_t fanout() const { return 1u << dims_; }
+
+  virtual std::string name() const = 0;
+  virtual uint32_t InitialState() const = 0;
+  /// Orthant visited at position `rank` (0 <= rank < 2^N) within a node.
+  virtual uint32_t LabelAt(uint32_t state, uint32_t rank) const = 0;
+  /// Position at which orthant `label` is visited; inverse of LabelAt.
+  virtual uint32_t RankOf(uint32_t state, uint32_t label) const = 0;
+  /// State of the child node entered at position `rank`.
+  virtual uint32_t ChildState(uint32_t state, uint32_t rank) const = 0;
+
+ protected:
+  uint32_t dims_;
+};
+
+/// Z-order (Morton) curve: orthants in plain binary-counter order, no
+/// orientation state. Dimension 0 varies fastest.
+class ZOrderOrder : public OctantOrder {
+ public:
+  explicit ZOrderOrder(uint32_t dims) : OctantOrder(dims) {}
+  std::string name() const override { return "Z-order"; }
+  uint32_t InitialState() const override { return 0; }
+  uint32_t LabelAt(uint32_t, uint32_t rank) const override { return rank; }
+  uint32_t RankOf(uint32_t, uint32_t label) const override { return label; }
+  uint32_t ChildState(uint32_t, uint32_t) const override { return 0; }
+};
+
+/// Gray-code curve (Faloutsos): cells ordered by the binary-reflected Gray
+/// code rank of their interleaved coordinate bits. Consecutive cells differ
+/// in exactly one bit of the interleaved code. State is the carry bit: the
+/// least significant rank bit of the parent level.
+class GrayOrder : public OctantOrder {
+ public:
+  explicit GrayOrder(uint32_t dims) : OctantOrder(dims) {}
+  std::string name() const override { return "Gray"; }
+  uint32_t InitialState() const override { return 0; }
+  uint32_t LabelAt(uint32_t state, uint32_t rank) const override {
+    // label_b = rank_b XOR rank_{b+1}, with rank_N = carry-in.
+    return rank ^ ((rank >> 1) | (state << (dims_ - 1)));
+  }
+  uint32_t RankOf(uint32_t state, uint32_t label) const override {
+    uint32_t rank = 0;
+    uint32_t carry = state;
+    for (uint32_t b = dims_; b-- > 0;) {
+      carry = ((label >> b) & 1u) ^ carry;
+      rank |= carry << b;
+    }
+    return rank;
+  }
+  uint32_t ChildState(uint32_t, uint32_t rank) const override {
+    return rank & 1u;
+  }
+};
+
+/// Hilbert curve via the compact-Hilbert state formulation (Hamilton):
+/// state is (entry corner e, intra-subcube direction d); the orthant visit
+/// order is the Gray code sequence transformed by rotate/reflect.
+/// Consecutive cells along the full curve differ by exactly 1 in exactly
+/// one coordinate (verified by property tests).
+class HilbertOrder : public OctantOrder {
+ public:
+  explicit HilbertOrder(uint32_t dims) : OctantOrder(dims) {}
+  std::string name() const override { return "Hilbert"; }
+  uint32_t InitialState() const override { return Pack(0, 0); }
+  uint32_t LabelAt(uint32_t state, uint32_t rank) const override {
+    const uint32_t e = Entry(state), d = Dir(state);
+    return RotL(Gc(rank), d + 1) ^ e;
+  }
+  uint32_t RankOf(uint32_t state, uint32_t label) const override {
+    const uint32_t e = Entry(state), d = Dir(state);
+    return GcInv(RotR(label ^ e, d + 1));
+  }
+  uint32_t ChildState(uint32_t state, uint32_t rank) const override {
+    const uint32_t e = Entry(state), d = Dir(state);
+    const uint32_t e_child = e ^ RotL(EntryOf(rank), d + 1);
+    const uint32_t d_child = (d + DirOf(rank) + 1) % dims_;
+    return Pack(e_child, d_child);
+  }
+
+ private:
+  static uint32_t Pack(uint32_t e, uint32_t d) { return e | (d << 8); }
+  static uint32_t Entry(uint32_t s) { return s & 0xFFu; }
+  static uint32_t Dir(uint32_t s) { return s >> 8; }
+
+  static uint32_t Gc(uint32_t i) { return i ^ (i >> 1); }
+  static uint32_t GcInv(uint32_t g) {
+    uint32_t i = g;
+    i ^= i >> 1;
+    i ^= i >> 2;
+    i ^= i >> 4;
+    return i;
+  }
+  uint32_t RotL(uint32_t x, uint32_t k) const {
+    k %= dims_;
+    const uint32_t mask = fanout() - 1;
+    return ((x << k) | (x >> (dims_ - k))) & mask;
+  }
+  uint32_t RotR(uint32_t x, uint32_t k) const {
+    k %= dims_;
+    const uint32_t mask = fanout() - 1;
+    return ((x >> k) | (x << (dims_ - k))) & mask;
+  }
+  /// Trailing set bits.
+  static uint32_t Tsb(uint32_t i) {
+    uint32_t n = 0;
+    while (i & 1u) {
+      ++n;
+      i >>= 1;
+    }
+    return n;
+  }
+  /// Entry corner of the subcell visited at position i (Hamilton's e(i)).
+  static uint32_t EntryOf(uint32_t i) {
+    if (i == 0) return 0;
+    return Gc(2 * ((i - 1) / 2));
+  }
+  /// Intra-subcube direction of the subcell at position i (Hamilton's d(i)).
+  uint32_t DirOf(uint32_t i) const {
+    if (i == 0) return 0;
+    return (i & 1u) ? Tsb(i) % dims_ : Tsb(i - 1) % dims_;
+  }
+};
+
+/// Factory by curve name ("zorder", "gray", "hilbert").
+std::unique_ptr<OctantOrder> MakeOctantOrder(const std::string& kind,
+                                             uint32_t dims);
+
+}  // namespace mm::map

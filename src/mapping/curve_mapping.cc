@@ -1,0 +1,173 @@
+#include "mapping/curve_mapping.h"
+
+#include <cassert>
+
+namespace mm::map {
+
+CurveMapping::CurveMapping(std::unique_ptr<OctantOrder> order,
+                           GridShape shape, uint64_t base_lbn,
+                           uint32_t cell_sectors)
+    : Mapping(std::move(shape), base_lbn, cell_sectors),
+      order_(std::move(order)),
+      levels_(shape_.BitsPerDim()) {
+  assert(order_->dims() == shape_.ndims());
+}
+
+uint64_t CurveMapping::GridCellsInOrthant(const uint32_t* pref,
+                                          uint32_t level) const {
+  const uint32_t n = shape_.ndims();
+  uint64_t count = 1;
+  for (uint32_t d = 0; d < n; ++d) {
+    const uint64_t lo = static_cast<uint64_t>(pref[d]) << level;
+    const uint64_t span = 1ull << level;
+    const uint64_t dim = shape_.dim(d);
+    if (lo >= dim) return 0;
+    count *= std::min(span, dim - lo);
+  }
+  return count;
+}
+
+uint64_t CurveMapping::RankOf(const Cell& cell) const {
+  assert(shape_.Contains(cell));
+  const uint32_t n = shape_.ndims();
+  uint64_t rank = 0;
+  uint32_t state = order_->InitialState();
+  uint32_t pref[kMaxDims] = {};
+
+  for (uint32_t level = levels_; level-- > 0;) {
+    // Orthant label holding the target cell at this level.
+    uint32_t label = 0;
+    for (uint32_t d = 0; d < n; ++d) {
+      label |= ((cell[d] >> level) & 1u) << d;
+    }
+    const uint32_t target_pos = order_->RankOf(state, label);
+    // Count whole grid-clipped orthants that precede the target.
+    for (uint32_t pos = 0; pos < target_pos; ++pos) {
+      const uint32_t l = order_->LabelAt(state, pos);
+      uint32_t child_pref[kMaxDims];
+      for (uint32_t d = 0; d < n; ++d) {
+        child_pref[d] = (pref[d] << 1) | ((l >> d) & 1u);
+      }
+      rank += GridCellsInOrthant(child_pref, level);
+    }
+    for (uint32_t d = 0; d < n; ++d) {
+      pref[d] = (pref[d] << 1) | ((cell[d] >> level) & 1u);
+    }
+    state = order_->ChildState(state, target_pos);
+  }
+  return rank;
+}
+
+Result<Cell> CurveMapping::CellAtRank(uint64_t rank) const {
+  if (rank >= shape_.CellCount()) {
+    return Status::OutOfRange("rank beyond cell count");
+  }
+  const uint32_t n = shape_.ndims();
+  uint32_t state = order_->InitialState();
+  uint32_t pref[kMaxDims] = {};
+  uint64_t remaining = rank;
+
+  for (uint32_t level = levels_; level-- > 0;) {
+    bool descended = false;
+    for (uint32_t pos = 0; pos < order_->fanout(); ++pos) {
+      const uint32_t l = order_->LabelAt(state, pos);
+      uint32_t child_pref[kMaxDims];
+      for (uint32_t d = 0; d < n; ++d) {
+        child_pref[d] = (pref[d] << 1) | ((l >> d) & 1u);
+      }
+      const uint64_t inside = GridCellsInOrthant(child_pref, level);
+      if (remaining < inside) {
+        for (uint32_t d = 0; d < n; ++d) pref[d] = child_pref[d];
+        state = order_->ChildState(state, pos);
+        descended = true;
+        break;
+      }
+      remaining -= inside;
+    }
+    if (!descended) {
+      return Status::Internal("rank walk failed to descend");
+    }
+  }
+  Cell c{};
+  for (uint32_t d = 0; d < n; ++d) c[d] = pref[d];
+  return c;
+}
+
+void CurveMapping::RecurseRuns(uint32_t level, uint32_t state,
+                               uint32_t* pref, uint64_t preceding,
+                               const Box& query,
+                               std::vector<LbnRun>* runs) const {
+  const uint32_t n = shape_.ndims();
+
+  // Grid-clipped extent of this orthant.
+  uint64_t grid_cells = 1;
+  bool fully_inside_query = true;
+  bool overlaps_query = true;
+  for (uint32_t d = 0; d < n; ++d) {
+    const uint64_t lo = static_cast<uint64_t>(pref[d]) << level;
+    const uint64_t hi = std::min<uint64_t>(lo + (1ull << level),
+                                           shape_.dim(d));
+    if (hi <= lo) return;  // outside the grid: zero cells, nothing precedes
+    grid_cells *= hi - lo;
+    const uint64_t qlo = query.lo[d], qhi = query.hi[d];
+    if (lo >= qhi || hi <= qlo) overlaps_query = false;
+    if (lo < qlo || hi > qhi) fully_inside_query = false;
+  }
+  if (!overlaps_query) return;
+
+  if (fully_inside_query) {
+    // All grid cells of this orthant are consecutive on the compacted
+    // curve: ranks [preceding, preceding + grid_cells).
+    const uint64_t lbn = base_lbn_ + preceding * cell_sectors_;
+    if (!runs->empty() &&
+        runs->back().lbn + runs->back().cells * cell_sectors_ == lbn) {
+      runs->back().cells += grid_cells;
+    } else {
+      runs->push_back(LbnRun{lbn, grid_cells});
+    }
+    return;
+  }
+
+  assert(level > 0);  // a single cell is either disjoint or fully inside
+  uint64_t running = preceding;
+  for (uint32_t pos = 0; pos < order_->fanout(); ++pos) {
+    const uint32_t l = order_->LabelAt(state, pos);
+    uint32_t child_pref[kMaxDims];
+    for (uint32_t d = 0; d < n; ++d) {
+      child_pref[d] = (pref[d] << 1) | ((l >> d) & 1u);
+    }
+    const uint64_t inside = GridCellsInOrthant(child_pref, level - 1);
+    if (inside > 0) {
+      RecurseRuns(level - 1, order_->ChildState(state, pos), child_pref,
+                  running, query, runs);
+      running += inside;
+    }
+  }
+}
+
+void CurveMapping::AppendRunsForBox(const Box& box,
+                                    std::vector<LbnRun>* runs) const {
+  Box clipped = box;
+  const uint32_t n = shape_.ndims();
+  for (uint32_t d = 0; d < n; ++d) {
+    clipped.hi[d] = std::min(clipped.hi[d], shape_.dim(d));
+    if (clipped.hi[d] <= clipped.lo[d]) return;
+  }
+  if (levels_ == 0) {
+    // Degenerate 1-cell-per-dim grid.
+    runs->push_back(LbnRun{base_lbn_, 1});
+    return;
+  }
+  uint32_t pref[kMaxDims] = {};
+  RecurseRuns(levels_, order_->InitialState(), pref, 0, clipped, runs);
+}
+
+std::unique_ptr<OctantOrder> MakeOctantOrder(const std::string& kind,
+                                             uint32_t dims) {
+  if (kind == "zorder") return std::make_unique<ZOrderOrder>(dims);
+  if (kind == "gray") return std::make_unique<GrayOrder>(dims);
+  if (kind == "hilbert") return std::make_unique<HilbertOrder>(dims);
+  return nullptr;
+}
+
+}  // namespace mm::map

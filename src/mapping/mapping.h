@@ -1,0 +1,78 @@
+// The Mapping interface: a placement of an N-D grid of cells onto the
+// logical volume's block address space.
+//
+// Four concrete mappings reproduce the paper's comparison set (Section 5):
+//   Naive    -- row-major linearization along Dim0,
+//   Z-order  -- Morton curve order,
+//   Hilbert  -- Hilbert curve order,
+//   MultiMap -- the paper's contribution (src/core/),
+// plus Gray-code curve order from the related-work discussion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/cell.h"
+
+namespace mm::map {
+
+/// A maximal run of cells occupying contiguous LBNs.
+struct LbnRun {
+  uint64_t lbn = 0;    ///< Volume LBN of the first sector of the run.
+  uint64_t cells = 0;  ///< Length in cells.
+
+  bool operator==(const LbnRun&) const = default;
+};
+
+/// Abstract placement of a cell grid onto volume LBNs.
+class Mapping {
+ public:
+  Mapping(GridShape shape, uint64_t base_lbn, uint32_t cell_sectors)
+      : shape_(std::move(shape)),
+        base_lbn_(base_lbn),
+        cell_sectors_(cell_sectors) {}
+  virtual ~Mapping() = default;
+
+  virtual std::string name() const = 0;
+
+  const GridShape& shape() const { return shape_; }
+  uint64_t base_lbn() const { return base_lbn_; }
+  /// Blocks per cell (the paper notes a cell may occupy multiple LBNs
+  /// without affecting the approach; every experiment uses 1).
+  uint32_t cell_sectors() const { return cell_sectors_; }
+
+  /// Volume LBN of the first sector of `cell`. Precondition: cell is inside
+  /// shape(). Hot path: must not allocate.
+  virtual uint64_t LbnOf(const Cell& cell) const = 0;
+
+  /// Appends maximal contiguous-LBN runs covering exactly the cells of
+  /// `box` (clipped to the grid), in ascending LBN order unless documented
+  /// otherwise by the implementation.
+  virtual void AppendRunsForBox(const Box& box,
+                                std::vector<LbnRun>* runs) const = 0;
+
+  /// Number of volume sectors the mapping occupies starting at base_lbn(),
+  /// including any space intentionally left unused (MultiMap's track-lane
+  /// waste, Section 4.4).
+  virtual uint64_t footprint_sectors() const = 0;
+
+  /// True if the storage manager should issue the runs for `box` in the
+  /// order AppendRunsForBox emits them (e.g. MultiMap's semi-sequential
+  /// path order); false to sort ascending by LBN, which is what the
+  /// paper's storage manager does for the linearizing mappings, and what
+  /// MultiMap itself prefers for wide boxes where a sequential sweep beats
+  /// track-hopping (Section 5.2 "favoring sequential over semi-sequential
+  /// access for range queries").
+  virtual bool IssueInMappingOrder(const Box& box) const {
+    (void)box;
+    return false;
+  }
+
+ protected:
+  GridShape shape_;
+  uint64_t base_lbn_ = 0;
+  uint32_t cell_sectors_ = 1;
+};
+
+}  // namespace mm::map

@@ -1,0 +1,36 @@
+#include "mapping/naive.h"
+
+namespace mm::map {
+
+void NaiveMapping::AppendRunsForBox(const Box& box,
+                                    std::vector<LbnRun>* runs) const {
+  const uint32_t n = shape_.ndims();
+  Box clipped = box;
+  for (uint32_t i = 0; i < n; ++i) {
+    clipped.hi[i] = std::min(clipped.hi[i], shape_.dim(i));
+    if (clipped.hi[i] <= clipped.lo[i]) return;
+  }
+  const uint64_t width = clipped.hi[0] - clipped.lo[0];
+
+  // Iterate non-major coordinates in ascending linear-index order (dim 1
+  // fastest) and emit one Dim0 run per combination, merging adjacent runs.
+  Cell cur = clipped.lo;
+  while (true) {
+    const uint64_t lbn = LbnOf(cur);
+    if (!runs->empty() &&
+        runs->back().lbn + runs->back().cells * cell_sectors_ == lbn) {
+      runs->back().cells += width;
+    } else {
+      runs->push_back(LbnRun{lbn, width});
+    }
+    // Odometer over dims 1..n-1.
+    uint32_t i = 1;
+    for (; i < n; ++i) {
+      if (++cur[i] < clipped.hi[i]) break;
+      cur[i] = clipped.lo[i];
+    }
+    if (i == n) break;
+  }
+}
+
+}  // namespace mm::map

@@ -1,0 +1,34 @@
+// Naive mapping: row-major linearization with Dim0 as the major order
+// (paper Sections 1 and 5: "Naive linearizes an N-D space along Dim0").
+//
+// Access along Dim0 is sequential; access along Dim_i (i >= 1) strides
+// prod_{j<i} S_j blocks and degenerates toward random-access performance --
+// the shortcoming MultiMap removes.
+#pragma once
+
+#include <vector>
+
+#include "mapping/mapping.h"
+
+namespace mm::map {
+
+class NaiveMapping : public Mapping {
+ public:
+  NaiveMapping(GridShape shape, uint64_t base_lbn, uint32_t cell_sectors = 1)
+      : Mapping(std::move(shape), base_lbn, cell_sectors) {}
+
+  std::string name() const override { return "Naive"; }
+
+  uint64_t LbnOf(const Cell& cell) const override {
+    return base_lbn_ + shape_.LinearIndex(cell) * cell_sectors_;
+  }
+
+  void AppendRunsForBox(const Box& box,
+                        std::vector<LbnRun>* runs) const override;
+
+  uint64_t footprint_sectors() const override {
+    return shape_.CellCount() * cell_sectors_;
+  }
+};
+
+}  // namespace mm::map

@@ -1,0 +1,220 @@
+#include "model/analytical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "disk/geometry.h"
+
+namespace mm::model {
+
+CostModel::CostModel(const disk::DiskSpec& spec, uint32_t zone_index)
+    : spec_(spec), seek_(spec), rev_ms_(spec.RevolutionMs()) {
+  const disk::Geometry geo(spec);
+  const auto& z = geo.zone(std::min<uint32_t>(
+      zone_index, static_cast<uint32_t>(geo.zones().size() - 1)));
+  spt_ = z.spt;
+  skew_ = z.skew;
+  sector_ms_ = rev_ms_ / spt_;
+}
+
+double CostModel::StridedStepMs(uint64_t stride_sectors,
+                                uint64_t run_sectors,
+                                uint32_t extra_tracks) const {
+  const uint64_t delta_tracks = stride_sectors / spt_ + extra_tracks;
+  const uint64_t delta_sectors = stride_sectors % spt_;
+  // Angular offset between the two run starts, in sector slots.
+  const uint64_t gap_slots = (delta_sectors + delta_tracks * skew_) % spt_;
+  const double run_ms = static_cast<double>(run_sectors) * sector_ms_;
+
+  if (delta_tracks == 0) {
+    // Same track: the head keeps reading while the command processes, so
+    // targets that already passed underneath are read-ahead buffer hits.
+    const double head_slots =
+        static_cast<double>(run_sectors) +
+        spec_.command_overhead_ms / sector_ms_;
+    const double gap = static_cast<double>(gap_slots);
+    if (gap + static_cast<double>(run_sectors) <= head_slots) {
+      return spec_.command_overhead_ms;  // fully buffered
+    }
+    if (gap < head_slots) {
+      // Buffered prefix; the tail streams from the head position.
+      return spec_.command_overhead_ms +
+             (gap + static_cast<double>(run_sectors) - head_slots) *
+                 sector_ms_;
+    }
+    return spec_.command_overhead_ms + (gap - head_slots) * sector_ms_ +
+           run_ms;
+  }
+
+  const uint64_t delta_cyl =
+      std::max<uint64_t>(1, delta_tracks / spec_.surfaces);
+  const double seek =
+      std::max(spec_.settle_ms,
+               seek_.SeekTimeForDistance(static_cast<uint32_t>(
+                   std::min<uint64_t>(delta_cyl,
+                                      spec_.TotalCylinders() - 1))));
+  // Rotation left after the previous transfer, command processing and the
+  // seek; fold into [0, rev).
+  double rot = static_cast<double>(gap_slots) * sector_ms_ - run_ms -
+               spec_.command_overhead_ms - seek;
+  rot = std::fmod(rot, rev_ms_);
+  if (rot < 0) rot += rev_ms_;
+  return spec_.command_overhead_ms + seek + rot + run_ms;
+}
+
+double CostModel::SemiSequentialHopMs(uint64_t run_sectors) const {
+  // The skew window is sized to cover settle + command overhead, so the
+  // hop completes in exactly one skew rotation (minus the source sector
+  // already behind us), or the positioning time if that is longer.
+  const double window = (skew_ - 1.0) * sector_ms_;
+  const double positioning =
+      spec_.command_overhead_ms + spec_.settle_ms;
+  return std::max(window, positioning) +
+         static_cast<double>(run_sectors) * sector_ms_;
+}
+
+double CostModel::RandomAccessMs(uint64_t run_sectors) const {
+  // Average seek approximated at one-third of full stroke; rotational
+  // latency averages half a revolution.
+  const double avg_seek = seek_.SeekTimeForDistance(
+      std::max<uint32_t>(1, spec_.TotalCylinders() / 3));
+  return spec_.command_overhead_ms + avg_seek + rev_ms_ / 2 +
+         static_cast<double>(run_sectors) * sector_ms_;
+}
+
+double CostModel::StreamingMs(uint64_t sectors) const {
+  const double track_crossings =
+      static_cast<double>(sectors) / static_cast<double>(spt_);
+  return static_cast<double>(sectors) * sector_ms_ +
+         track_crossings * skew_ * sector_ms_;
+}
+
+double CostModel::NaiveBeamPerCellMs(const map::GridShape& shape,
+                                     uint32_t dim,
+                                     uint32_t cell_sectors) const {
+  const uint32_t n_cells = shape.dim(dim);
+  if (dim == 0) {
+    // One request: position once, then stream.
+    const double total = spec_.command_overhead_ms + RandomAccessMs(0) +
+                         StreamingMs(static_cast<uint64_t>(n_cells) *
+                                     cell_sectors);
+    return total / n_cells;
+  }
+  uint64_t stride = cell_sectors;
+  for (uint32_t j = 0; j < dim; ++j) stride *= shape.dim(j);
+  // A stride not divisible by T crosses one extra track boundary for a
+  // (stride mod T)/T fraction of the steps; blend the two cases.
+  const double p_cross =
+      static_cast<double>(stride % spt_) / static_cast<double>(spt_);
+  return (1.0 - p_cross) * StridedStepMs(stride, cell_sectors, 0) +
+         p_cross * StridedStepMs(stride, cell_sectors, 1);
+}
+
+double CostModel::MultiMapBeamPerCellMs(const map::GridShape& shape,
+                                        const core::BasicCube& cube,
+                                        uint32_t dim,
+                                        uint32_t cell_sectors) const {
+  if (dim == 0) {
+    // Matches Naive's streaming along the track, with a cube boundary jump
+    // every K0 cells (amortized; adjacent dim-0 cubes share track groups
+    // via lanes, so the jump is at most a settle).
+    const uint32_t n_cells = shape.dim(0);
+    const uint32_t k0 = cube.k[0];
+    const double boundary_jumps =
+        static_cast<double>(n_cells) / k0 - 1;
+    const double total =
+        spec_.command_overhead_ms + RandomAccessMs(0) +
+        StreamingMs(static_cast<uint64_t>(n_cells) * cell_sectors) +
+        std::max(0.0, boundary_jumps) * spec_.settle_ms;
+    return total / n_cells;
+  }
+  // Within a cube: settle-paced semi-sequential hops. Crossing to the next
+  // cube along dim: a short seek over the cube's track footprint plus an
+  // average half rotation.
+  const double in_cube = SemiSequentialHopMs(cell_sectors);
+  const uint64_t cube_tracks = cube.TracksPerCube();
+  const double cross =
+      spec_.command_overhead_ms +
+      std::max(spec_.settle_ms,
+               seek_.SeekTimeForDistance(static_cast<uint32_t>(
+                   std::max<uint64_t>(1, cube_tracks / spec_.surfaces)))) +
+      rev_ms_ / 2 + cell_sectors * sector_ms_;
+  const uint32_t k = cube.k[dim];
+  const double cross_frac = 1.0 / k;
+  return in_cube * (1.0 - cross_frac) + cross * cross_frac;
+}
+
+double CostModel::NaiveRangeTotalMs(const map::GridShape& shape,
+                                    const map::Box& box,
+                                    uint32_t cell_sectors) const {
+  const uint32_t n = shape.ndims();
+  uint64_t w[map::kMaxDims];
+  for (uint32_t i = 0; i < n; ++i) {
+    w[i] = box.hi[i] > box.lo[i] ? box.hi[i] - box.lo[i] : 0;
+    if (w[i] == 0) return 0;
+  }
+  const uint64_t run_sectors = w[0] * cell_sectors;
+
+  // The executor issues one Dim0 run per combination of the other coords,
+  // ascending. A "level-i transition" increments x_i and resets x_j (j<i);
+  // its LBN delta is stride_i minus the span already walked at the lower
+  // levels. Level i fires (w_i - 1) * prod_{j>i} w_j times.
+  double total = RandomAccessMs(run_sectors);  // first run
+  uint64_t stride = cell_sectors;              // stride_i = cs*prod_{j<i}S_j
+  uint64_t lower_span = 0;                     // sum_{j<i} (w_j-1)*stride_j
+  for (uint32_t i = 1; i < n; ++i) {
+    stride *= shape.dim(i - 1);
+    const uint64_t delta = stride - lower_span;
+    uint64_t fires = w[i] - 1;
+    for (uint32_t j = i + 1; j < n; ++j) fires *= w[j];
+    total += static_cast<double>(fires) * StridedStepMs(delta, run_sectors);
+    lower_span += (w[i] - 1) * stride;
+  }
+  return total;
+}
+
+double CostModel::MultiMapRangeTotalMs(const map::GridShape& shape,
+                                       const core::BasicCube& cube,
+                                       const map::Box& box,
+                                       uint32_t cell_sectors) const {
+  const uint32_t n = shape.ndims();
+  (void)shape;
+  uint64_t w[map::kMaxDims];
+  uint64_t total_cells = 1;
+  for (uint32_t i = 0; i < n; ++i) {
+    w[i] = box.hi[i] > box.lo[i] ? box.hi[i] - box.lo[i] : 0;
+    if (w[i] == 0) return 0;
+    total_cells *= w[i];
+  }
+  const uint64_t runs = total_cells / w[0];  // one Dim0 run per layer cell
+  const uint64_t run_sectors = w[0] * cell_sectors;
+
+  // Cube layers inside one cube chain at skew pace in k interleaved
+  // passes, where k hops of k tracks keep every landing at least a settle
+  // rotation away (matching MultiMapMapping's emission order): the
+  // per-layer cost is k * skew * t_sector. The box touches
+  // ~prod ceil(w_i/K_i) cubes, each entered with a short seek plus an
+  // average half rotation.
+  const uint32_t settle_slots = static_cast<uint32_t>(
+      std::ceil(spec_.settle_ms / rev_ms_ * spt_));
+  const uint64_t k_ilv = std::max<uint64_t>(
+      1, (settle_slots + run_sectors + skew_ - 1) / skew_);
+  const double per_layer =
+      static_cast<double>(k_ilv) * skew_ * sector_ms_;
+  double cubes_touched = 1;
+  for (uint32_t i = 0; i < n; ++i) {
+    cubes_touched *= std::ceil(static_cast<double>(w[i]) / cube.k[i]);
+  }
+  const double cube_cross =
+      std::max(spec_.settle_ms,
+               seek_.SeekTimeForDistance(static_cast<uint32_t>(
+                   std::max<uint64_t>(1, cube.TracksPerCube() /
+                                             spec_.surfaces)))) +
+      rev_ms_ / 2 + static_cast<double>(run_sectors) * sector_ms_;
+  const double in_cube_steps =
+      std::max(0.0, static_cast<double>(runs) - cubes_touched);
+  return RandomAccessMs(run_sectors) + in_cube_steps * per_layer +
+         std::max(0.0, cubes_touched - 1) * cube_cross;
+}
+
+}  // namespace mm::model

@@ -1,0 +1,93 @@
+// Analytical I/O cost model for Naive and MultiMap (the paper references
+// its companion technical report CMU-PDL-05-102 for the details; this is
+// our reconstruction of that model, validated against the simulator in
+// tests/model_test.cc and bench/model_vs_sim).
+//
+// The core primitive prices one "strided step": moving the head from the
+// start of one fixed-length run to the start of the next run `stride`
+// blocks ahead and reading it. Because track skew and settle time are
+// known, the rotational phase is deterministic given the stride:
+//   delta_tracks = stride / T,  delta_sectors = stride mod T
+//   angular gap  = (delta_sectors + delta_tracks * skew) mod T   [slots]
+//   seek         = seek curve over delta_tracks/R cylinders (min settle)
+//   rot          = (gap - run) * t_sector - seek, folded into [0, rev)
+// A beam along dimension i of a Naive-mapped dataset is `n` such steps of
+// stride prod_{j<i} S_j; MultiMap beams along i >= 1 are settle-paced
+// semi-sequential hops plus cube-boundary corrections.
+#pragma once
+
+#include <cstdint>
+
+#include "core/basic_cube.h"
+#include "disk/mechanics.h"
+#include "disk/spec.h"
+#include "mapping/cell.h"
+
+namespace mm::model {
+
+/// Analytical cost model for one disk (per-zone track length).
+class CostModel {
+ public:
+  /// Builds the model using the geometry of the given zone.
+  explicit CostModel(const disk::DiskSpec& spec, uint32_t zone_index = 0);
+
+  // --- Primitives --------------------------------------------------------
+
+  /// Time for one strided step: position from the start of the previous
+  /// `run_sectors`-long run to a run `stride_sectors` ahead, then read it.
+  /// Includes per-command overhead. `extra_tracks` forces the step to
+  /// cross that many additional track boundaries (strides not divisible by
+  /// T cross floor(stride/T) or one more track depending on the start
+  /// offset; callers blend the two cases).
+  double StridedStepMs(uint64_t stride_sectors, uint64_t run_sectors,
+                       uint32_t extra_tracks = 0) const;
+
+  /// Cost of one semi-sequential hop (access to any j-th adjacent block):
+  /// overhead + settle + skew alignment + transfer.
+  double SemiSequentialHopMs(uint64_t run_sectors) const;
+
+  /// Expected cost of an unrelated access: average seek + half a
+  /// revolution + transfer.
+  double RandomAccessMs(uint64_t run_sectors) const;
+
+  /// Streaming transfer: n sectors at media rate including track-crossing
+  /// skew gaps.
+  double StreamingMs(uint64_t sectors) const;
+
+  // --- Beam queries (per-cell expected time, n cells per beam) -----------
+
+  /// Naive mapping, beam along `dim` of `shape`.
+  double NaiveBeamPerCellMs(const map::GridShape& shape, uint32_t dim,
+                            uint32_t cell_sectors = 1) const;
+
+  /// MultiMap, beam along `dim` with basic cube `cube`.
+  double MultiMapBeamPerCellMs(const map::GridShape& shape,
+                               const core::BasicCube& cube, uint32_t dim,
+                               uint32_t cell_sectors = 1) const;
+
+  // --- Range queries (total expected time) --------------------------------
+
+  /// Naive mapping, range `box` on `shape`.
+  double NaiveRangeTotalMs(const map::GridShape& shape, const map::Box& box,
+                           uint32_t cell_sectors = 1) const;
+
+  /// MultiMap, range `box` with basic cube `cube`.
+  double MultiMapRangeTotalMs(const map::GridShape& shape,
+                              const core::BasicCube& cube,
+                              const map::Box& box,
+                              uint32_t cell_sectors = 1) const;
+
+  double revolution_ms() const { return rev_ms_; }
+  double sector_ms() const { return sector_ms_; }
+  uint32_t track_sectors() const { return spt_; }
+
+ private:
+  disk::DiskSpec spec_;
+  disk::SeekModel seek_;
+  double rev_ms_;
+  uint32_t spt_;
+  uint32_t skew_;
+  double sector_ms_;
+};
+
+}  // namespace mm::model

@@ -1,0 +1,102 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+namespace mm::query {
+
+QueryPlan Executor::Plan(const map::Box& box) const {
+  std::vector<map::LbnRun> runs;
+  mapping_->AppendRunsForBox(box, &runs);
+
+  QueryPlan plan;
+  plan.mapping_order = mapping_->IssueInMappingOrder(box);
+  const uint64_t cs = mapping_->cell_sectors();
+  for (const auto& r : runs) plan.cells += r.cells;
+
+  // Sector extents to issue.
+  struct Extent {
+    uint64_t lbn;
+    uint64_t sectors;
+  };
+  std::vector<Extent> extents;
+  extents.reserve(runs.size());
+  for (const auto& r : runs) extents.push_back({r.lbn, r.cells * cs});
+
+  if (!plan.mapping_order) {
+    // Section 5.2: "the storage manager sorts those requests in ascending
+    // LBN order to maximize disk performance."
+    std::sort(extents.begin(), extents.end(),
+              [](const Extent& a, const Extent& b) { return a.lbn < b.lbn; });
+    // Merge adjacent extents, and coalesce extents separated by small
+    // holes into one request that reads through the hole and discards it
+    // (cheaper than the rotational miss the hole would otherwise cost).
+    size_t w = 0;
+    for (const Extent& e : extents) {
+      if (w > 0) {
+        const uint64_t prev_end = extents[w - 1].lbn + extents[w - 1].sectors;
+        if (e.lbn <= prev_end + options_.coalesce_limit_sectors) {
+          const uint64_t new_end = std::max(prev_end, e.lbn + e.sectors);
+          extents[w - 1].sectors = new_end - extents[w - 1].lbn;
+          continue;
+        }
+      }
+      extents[w++] = e;
+    }
+    extents.resize(w);
+  }
+
+  plan.requests.reserve(extents.size());
+  for (const Extent& e : extents) {
+    uint64_t sectors = e.sectors;
+    uint64_t lbn = e.lbn;
+    // Split extents that exceed the request size field (never hit by the
+    // paper's workloads, but a 2^32-sector extent must not wrap).
+    while (sectors > 0) {
+      const uint32_t chunk = static_cast<uint32_t>(
+          std::min<uint64_t>(sectors, 1ull << 30));
+      plan.requests.push_back(disk::IoRequest{lbn, chunk});
+      lbn += chunk;
+      sectors -= chunk;
+    }
+  }
+  return plan;
+}
+
+Result<QueryResult> Executor::RunRange(const map::Box& box) {
+  const QueryPlan plan = Plan(box);
+  disk::BatchOptions batch = options_.batch;
+  if (plan.mapping_order) {
+    // The mapping's emission order IS the schedule (semi-sequential path /
+    // interleaved sweeps); the drive must not re-sort it.
+    batch.kind = disk::SchedulerKind::kFifo;
+  } else if (plan.requests.size() > options_.elevator_threshold) {
+    batch.kind = disk::SchedulerKind::kElevator;
+  }
+  MM_ASSIGN_OR_RETURN(lvm::VolumeBatchResult br,
+                      volume_->ServiceBatch(plan.requests, batch));
+  QueryResult qr;
+  qr.io_ms = br.makespan_ms;
+  qr.requests = br.requests;
+  qr.sectors = br.sectors;
+  qr.cells = plan.cells;
+  qr.phases = br.phases;
+  return qr;
+}
+
+Result<QueryResult> Executor::RunBeam(const BeamQuery& beam) {
+  if (beam.dim >= mapping_->shape().ndims()) {
+    return Status::InvalidArgument("beam dimension out of range");
+  }
+  return RunRange(beam.ToBox(mapping_->shape()));
+}
+
+Result<double> Executor::RandomizeHead(Rng& rng) {
+  const uint64_t lbn = rng.Uniform(volume_->total_sectors());
+  MM_ASSIGN_OR_RETURN(lvm::Volume::Location loc, volume_->Resolve(lbn));
+  const double before = volume_->disk(loc.disk).now_ms();
+  auto c = volume_->disk(loc.disk).Service(disk::IoRequest{loc.lbn, 1});
+  MM_RETURN_NOT_OK(c.status());
+  return volume_->disk(loc.disk).now_ms() - before;
+}
+
+}  // namespace mm::query

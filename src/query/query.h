@@ -1,0 +1,79 @@
+// Query types (paper Section 5.1):
+//   Beam queries  -- 1-D queries retrieving cells along a line parallel to
+//                    one dimension (e.g. velocity history of one point over
+//                    time in the earthquake dataset).
+//   Range queries -- N-D boxes; the paper draws equal-length cubes with a
+//                    given selectivity at random positions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "mapping/cell.h"
+#include "util/rng.h"
+
+namespace mm::query {
+
+/// A beam along `dim`: cells (fixed[0], ..., x_dim in [lo, hi), ...).
+struct BeamQuery {
+  uint32_t dim = 0;
+  map::Cell fixed{};  ///< Coordinates on the other dimensions.
+  uint32_t lo = 0;
+  uint32_t hi = 0;  ///< Exclusive; 0 means "full extent".
+
+  /// The equivalent box.
+  map::Box ToBox(const map::GridShape& shape) const {
+    map::Box b;
+    for (uint32_t i = 0; i < shape.ndims(); ++i) {
+      if (i == dim) {
+        b.lo[i] = lo;
+        b.hi[i] = hi == 0 ? shape.dim(i) : hi;
+      } else {
+        b.lo[i] = fixed[i];
+        b.hi[i] = fixed[i] + 1;
+      }
+    }
+    return b;
+  }
+};
+
+/// Draws a full-extent beam along `dim` with random fixed coordinates
+/// (the paper: "Each run selects a random value ... for the two fixed
+/// dimensions and fetches all cells along the remaining dimension").
+inline BeamQuery RandomBeam(const map::GridShape& shape, uint32_t dim,
+                            Rng& rng) {
+  BeamQuery q;
+  q.dim = dim;
+  q.lo = 0;
+  q.hi = shape.dim(dim);
+  for (uint32_t i = 0; i < shape.ndims(); ++i) {
+    if (i != dim) {
+      q.fixed[i] = static_cast<uint32_t>(rng.Uniform(shape.dim(i)));
+    }
+  }
+  return q;
+}
+
+/// Draws an equal-side-length N-D range with selectivity `pct` percent of
+/// the dataset volume, placed uniformly at random ("the borders of range
+/// queries are generated randomly across the entire domain").
+inline map::Box RandomRange(const map::GridShape& shape, double pct,
+                            Rng& rng) {
+  const uint32_t n = shape.ndims();
+  const double frac = pct / 100.0;
+  const double side_frac = std::pow(frac, 1.0 / n);
+  map::Box box;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t side = static_cast<uint32_t>(
+        std::max(1.0, std::round(side_frac * shape.dim(i))));
+    side = std::min(side, shape.dim(i));
+    const uint32_t max_lo = shape.dim(i) - side;
+    box.lo[i] =
+        max_lo == 0 ? 0 : static_cast<uint32_t>(rng.Uniform(max_lo + 1));
+    box.hi[i] = box.lo[i] + side;
+  }
+  return box;
+}
+
+}  // namespace mm::query

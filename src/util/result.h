@@ -1,0 +1,71 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace mm {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Callers must check ok() (or status()) before dereferencing. Accessing the
+/// value of an errored Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables `return status;`).
+  Result(Status st) : v_(std::move(st)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// The error status; Status::OK() if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if errored.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define MM_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto MM_CONCAT_(_res_, __LINE__) = (expr);     \
+  if (!MM_CONCAT_(_res_, __LINE__).ok())         \
+    return MM_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(MM_CONCAT_(_res_, __LINE__)).value()
+
+#define MM_CONCAT_INNER_(a, b) a##b
+#define MM_CONCAT_(a, b) MM_CONCAT_INNER_(a, b)
+
+}  // namespace mm

@@ -1,0 +1,71 @@
+// Streaming statistics accumulator used by the experiment harnesses to report
+// mean / stddev / min / max per-query I/O times, as the paper does
+// ("values are averages over 15 runs, and the standard deviation is less
+// than 1% of the reported times").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace mm {
+
+/// Accumulates samples and reports summary statistics.
+class RunningStats {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sum_ += x;
+    sum_sq_ += x * x;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+
+  double Mean() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double Stddev() const {
+    const size_t n = samples_.size();
+    if (n < 2) return 0.0;
+    const double mean = Mean();
+    const double var =
+        (sum_sq_ - static_cast<double>(n) * mean * mean) /
+        static_cast<double>(n - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+  }
+
+  double Min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Percentile in [0, 100] by nearest-rank on a sorted copy.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace mm

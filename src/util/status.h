@@ -1,0 +1,77 @@
+// Minimal Status type for error handling without exceptions, in the style of
+// Apache Arrow / RocksDB. Library code returns Status (or Result<T>) from any
+// operation that can fail; hot paths that cannot fail use plain values.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mm {
+
+/// Error categories used across the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotSupported = 3,
+  kInternal = 4,
+  kCapacityExceeded = 5,
+};
+
+/// Returns a short human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation: success (OK) or an error code plus message.
+///
+/// Cheap to copy when OK (no allocation); errors carry a message string.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK Status to the caller.
+#define MM_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::mm::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace mm

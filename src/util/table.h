@@ -1,0 +1,60 @@
+// Fixed-width text table printer for the benchmark harnesses: every bench
+// binary prints the same rows/series the paper's figures report, and this
+// keeps the output aligned and diff-friendly.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mm {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with the given precision.
+  static std::string Num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(header_.size());
+    for (size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        os << "| " << std::setw(static_cast<int>(width[i])) << std::left
+           << row[i] << " ";
+      }
+      os << "|\n";
+    };
+    print_row(header_);
+    for (size_t i = 0; i < header_.size(); ++i) {
+      os << "|" << std::string(width[i] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mm

@@ -1,0 +1,119 @@
+#include "core/basic_cube.h"
+
+#include <gtest/gtest.h>
+
+namespace mm::core {
+namespace {
+
+TEST(BasicCubeTest, PaperExample3D) {
+  // The paper's synthetic 3-D experiment: 259^3 chunk, D = 128. On a zone
+  // with 686-sector tracks and 16600 tracks: K0 = 259 (dataset < T),
+  // K1 = 128 (Eq. 3), K2 = min(259, 16600/128) = 129 (Eq. 2).
+  auto cube = ComputeBasicCube(map::GridShape{259, 259, 259}, 686, 128,
+                               16600);
+  ASSERT_TRUE(cube.ok());
+  // K1: feasible ceil(259/g) values under D=128 are {87, 65, 52, ...};
+  // the over-coverage objective picks 65 (4 cubes cover 260 of 259 cells).
+  // K2: Eq. 2 allows 16600/65 = 255 < 259, so G2 = 2, shrink to 130.
+  EXPECT_EQ(cube->k, (std::vector<uint32_t>{259, 65, 130}));
+  EXPECT_EQ(cube->TracksPerCube(), 65u * 130u);
+  EXPECT_EQ(cube->StepOf(1), 1u);
+  EXPECT_EQ(cube->StepOf(2), 65u);
+}
+
+TEST(BasicCubeTest, Eq1ClampsToTrackLength) {
+  auto cube = ComputeBasicCube(map::GridShape{1000, 10}, 686, 128, 16600);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_LE(cube->k[0], 686u);  // Eq. 1: K0 <= T
+  // Shrink-to-fit balances the two dim-0 cubes: ceil(1000/2) = 500.
+  EXPECT_EQ(cube->k[0], 500u);
+}
+
+TEST(BasicCubeTest, MiddleDimsBalancedUnderEq3) {
+  // 5-D dataset: three middle dims share D = 128 -> balanced 5x5x5 = 125
+  // covers the 50-cell extents exactly (10 cubes per dim).
+  auto cube = ComputeBasicCube(map::GridShape{100, 50, 50, 50, 40}, 500,
+                               128, 100000);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->k[1], 5u);
+  EXPECT_EQ(cube->k[2], 5u);
+  EXPECT_EQ(cube->k[3], 5u);
+  EXPECT_EQ(cube->k[4], 40u);
+}
+
+TEST(BasicCubeTest, MiddleDimsClampToDatasetExtent) {
+  // S1 = 3 < what D would allow: K1 must not exceed 3 (a larger cube would
+  // only waste space).
+  auto cube = ComputeBasicCube(map::GridShape{100, 3, 100}, 500, 128, 10000);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->k[1], 3u);
+}
+
+TEST(BasicCubeTest, TwoDimensionalHasNoMiddleConstraint) {
+  // N=2: Dim1 is the last dimension; bounded by zone tracks, not D.
+  auto cube = ComputeBasicCube(map::GridShape{100, 500}, 200, 4, 300);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->k[0], 100u);
+  // min(500, 300 tracks) = 300, then shrink-to-fit over G1=2: 250.
+  EXPECT_EQ(cube->k[1], 250u);
+}
+
+TEST(BasicCubeTest, RejectsOneDimensional) {
+  EXPECT_FALSE(ComputeBasicCube(map::GridShape{100}, 200, 128, 300).ok());
+}
+
+TEST(BasicCubeTest, RejectsZeroExtent) {
+  EXPECT_FALSE(
+      ComputeBasicCube(map::GridShape{100, 0}, 200, 128, 300).ok());
+}
+
+TEST(BasicCubeTest, MiddleDimsAlsoRespectZoneTracks) {
+  // D = 128 but the zone has only 100 tracks: K1 must stop at 100 so that
+  // Eq. 2 can still place one layer (K2 >= 1).
+  auto cube = ComputeBasicCube(map::GridShape{10, 200, 200}, 50, 128, 100);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->k[1], 100u);
+  EXPECT_EQ(cube->k[2], 1u);
+  EXPECT_LE(cube->TracksPerCube(), 100u);
+}
+
+TEST(ValidateBasicCubeTest, AcceptsPaperCube) {
+  auto cube = ValidateBasicCube(map::GridShape{259, 259, 259},
+                                {259, 128, 129}, 686, 128, 16600);
+  ASSERT_TRUE(cube.ok());
+}
+
+TEST(ValidateBasicCubeTest, RejectsEq1Violation) {
+  auto cube = ValidateBasicCube(map::GridShape{700, 10, 10}, {700, 5, 5},
+                                686, 128, 16600);
+  EXPECT_FALSE(cube.ok());
+}
+
+TEST(ValidateBasicCubeTest, RejectsEq3Violation) {
+  auto cube = ValidateBasicCube(map::GridShape{259, 259, 259},
+                                {259, 129, 10}, 686, 128, 16600);
+  EXPECT_FALSE(cube.ok());
+  EXPECT_EQ(cube.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateBasicCubeTest, RejectsEq2Violation) {
+  auto cube = ValidateBasicCube(map::GridShape{259, 259, 259},
+                                {259, 128, 200}, 686, 128, 16600);
+  EXPECT_FALSE(cube.ok());  // 128*200 = 25600 tracks > 16600
+}
+
+TEST(ValidateBasicCubeTest, RejectsCubeLargerThanDataset) {
+  auto cube = ValidateBasicCube(map::GridShape{10, 10}, {20, 10}, 686, 128,
+                                16600);
+  EXPECT_FALSE(cube.ok());
+}
+
+TEST(MaxSupportedDimsTest, MatchesEq5) {
+  EXPECT_EQ(MaxSupportedDims(128), 9u);   // 2 + log2(128)
+  EXPECT_EQ(MaxSupportedDims(256), 10u);  // paper: "more than 10 dims" for
+  EXPECT_EQ(MaxSupportedDims(4), 4u);     // D in the hundreds
+  EXPECT_EQ(MaxSupportedDims(1), 2u);
+}
+
+}  // namespace
+}  // namespace mm::core

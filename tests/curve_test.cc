@@ -1,0 +1,332 @@
+// Property tests for the space-filling-curve automata and the generic
+// rank/run engine. The Hilbert unit-step test is the strongest check: any
+// error in the orientation-state recursion breaks curve continuity.
+#include "mapping/curve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mapping/curve_mapping.h"
+
+namespace mm::map {
+namespace {
+
+std::unique_ptr<CurveMapping> Make(const std::string& kind, GridShape shape,
+                                   uint64_t base = 0) {
+  auto order = MakeOctantOrder(kind, shape.ndims());
+  EXPECT_NE(order, nullptr) << kind;
+  return std::make_unique<CurveMapping>(std::move(order), std::move(shape),
+                                        base);
+}
+
+// Enumerates the full visit order of a mapping by inverting ranks.
+std::vector<Cell> VisitOrder(const CurveMapping& m) {
+  std::vector<Cell> cells;
+  const uint64_t n = m.shape().CellCount();
+  for (uint64_t r = 0; r < n; ++r) {
+    auto c = m.CellAtRank(r);
+    EXPECT_TRUE(c.ok()) << "rank " << r;
+    cells.push_back(*c);
+  }
+  return cells;
+}
+
+// --- Automaton-level checks --------------------------------------------
+
+TEST(OctantOrderTest, LabelAtRankOfAreInverse) {
+  for (const char* kind : {"zorder", "gray", "hilbert"}) {
+    for (uint32_t dims = 1; dims <= 5; ++dims) {
+      auto order = MakeOctantOrder(kind, dims);
+      ASSERT_NE(order, nullptr);
+      // Exercise a spread of reachable states by walking children.
+      std::set<uint32_t> states{order->InitialState()};
+      for (int round = 0; round < 3; ++round) {
+        std::set<uint32_t> next = states;
+        for (uint32_t s : states) {
+          for (uint32_t r = 0; r < order->fanout(); ++r) {
+            next.insert(order->ChildState(s, r));
+          }
+        }
+        states = next;
+      }
+      for (uint32_t s : states) {
+        std::set<uint32_t> seen;
+        for (uint32_t r = 0; r < order->fanout(); ++r) {
+          const uint32_t l = order->LabelAt(s, r);
+          EXPECT_LT(l, order->fanout());
+          EXPECT_TRUE(seen.insert(l).second)
+              << kind << " dims=" << dims << " state=" << s
+              << ": duplicate label";
+          EXPECT_EQ(order->RankOf(s, l), r)
+              << kind << " dims=" << dims << " state=" << s << " rank=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(OctantOrderTest, GrayAndHilbertVisitOrdersAreGrayCodes) {
+  // Within any node, consecutive orthant labels must differ in exactly one
+  // bit for both Gray and Hilbert (that is what eliminates long jumps).
+  for (const char* kind : {"gray", "hilbert"}) {
+    for (uint32_t dims = 1; dims <= 5; ++dims) {
+      auto order = MakeOctantOrder(kind, dims);
+      std::set<uint32_t> states{order->InitialState()};
+      for (int round = 0; round < 3; ++round) {
+        std::set<uint32_t> next = states;
+        for (uint32_t s : states) {
+          for (uint32_t r = 0; r < order->fanout(); ++r) {
+            next.insert(order->ChildState(s, r));
+          }
+        }
+        states = next;
+      }
+      for (uint32_t s : states) {
+        for (uint32_t r = 0; r + 1 < order->fanout(); ++r) {
+          const uint32_t diff =
+              order->LabelAt(s, r) ^ order->LabelAt(s, r + 1);
+          EXPECT_EQ(diff & (diff - 1), 0u) << kind << " dims=" << dims;
+          EXPECT_NE(diff, 0u);
+        }
+      }
+    }
+  }
+}
+
+// --- Full-curve properties ----------------------------------------------
+
+using ShapeParam = std::vector<uint32_t>;
+
+class CurveBijectivityTest
+    : public ::testing::TestWithParam<std::tuple<std::string, ShapeParam>> {};
+
+TEST_P(CurveBijectivityTest, RanksAreAPermutation) {
+  const auto& [kind, dims] = GetParam();
+  auto m = Make(kind, GridShape(dims));
+  const uint64_t count = m->shape().CellCount();
+  std::vector<bool> seen(count, false);
+  Cell c{};
+  const uint32_t n = m->shape().ndims();
+  // Odometer over all cells.
+  uint64_t visited = 0;
+  while (true) {
+    const uint64_t r = m->RankOf(c);
+    ASSERT_LT(r, count);
+    EXPECT_FALSE(seen[r]) << "duplicate rank " << r;
+    seen[r] = true;
+    ++visited;
+    uint32_t i = 0;
+    for (; i < n; ++i) {
+      if (++c[i] < m->shape().dim(i)) break;
+      c[i] = 0;
+    }
+    if (i == n) break;
+  }
+  EXPECT_EQ(visited, count);
+}
+
+TEST_P(CurveBijectivityTest, CellAtRankInvertsRankOf) {
+  const auto& [kind, dims] = GetParam();
+  auto m = Make(kind, GridShape(dims));
+  for (uint64_t r = 0; r < m->shape().CellCount(); ++r) {
+    auto c = m->CellAtRank(r);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(m->RankOf(*c), r);
+  }
+  EXPECT_FALSE(m->CellAtRank(m->shape().CellCount()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CurveBijectivityTest,
+    ::testing::Combine(
+        ::testing::Values("zorder", "gray", "hilbert"),
+        ::testing::Values(ShapeParam{16, 16}, ShapeParam{13, 7},
+                          ShapeParam{8, 8, 8}, ShapeParam{5, 9, 3},
+                          ShapeParam{4, 4, 4, 4}, ShapeParam{3, 5, 2, 4},
+                          ShapeParam{17}, ShapeParam{2, 2, 2, 2, 2})),
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param);
+      for (auto d : std::get<1>(info.param)) s += "_" + std::to_string(d);
+      return s;
+    });
+
+TEST(HilbertTest, UnitStepOnFullCubes) {
+  // The defining Hilbert property: consecutive cells along the curve are
+  // grid neighbors (L1 distance exactly 1).
+  for (ShapeParam dims :
+       {ShapeParam{16, 16}, ShapeParam{8, 8, 8}, ShapeParam{4, 4, 4, 4},
+        ShapeParam{32, 32}, ShapeParam{2, 2, 2, 2, 2}}) {
+    auto m = Make("hilbert", GridShape(dims));
+    const auto cells = VisitOrder(*m);
+    for (size_t i = 0; i + 1 < cells.size(); ++i) {
+      uint32_t l1 = 0;
+      for (uint32_t d = 0; d < dims.size(); ++d) {
+        l1 += cells[i][d] > cells[i + 1][d] ? cells[i][d] - cells[i + 1][d]
+                                            : cells[i + 1][d] - cells[i][d];
+      }
+      ASSERT_EQ(l1, 1u) << "step " << i << " is not a unit step";
+    }
+  }
+}
+
+TEST(GrayTest, SingleBitStepOnFullCubes) {
+  // Gray-curve property: consecutive cells differ in exactly one bit of
+  // one coordinate (a power-of-two jump along a single dimension).
+  for (ShapeParam dims : {ShapeParam{16, 16}, ShapeParam{8, 8, 8}}) {
+    auto m = Make("gray", GridShape(dims));
+    const auto cells = VisitOrder(*m);
+    for (size_t i = 0; i + 1 < cells.size(); ++i) {
+      uint32_t changed = 0;
+      bool power_of_two = true;
+      for (uint32_t d = 0; d < dims.size(); ++d) {
+        const uint32_t diff = cells[i][d] ^ cells[i + 1][d];
+        if (diff != 0) {
+          ++changed;
+          power_of_two &= (diff & (diff - 1)) == 0;
+        }
+      }
+      ASSERT_EQ(changed, 1u) << "step " << i;
+      ASSERT_TRUE(power_of_two) << "step " << i;
+    }
+  }
+}
+
+TEST(ZOrderTest, KnownMortonOrder2D) {
+  auto m = Make("zorder", GridShape{4, 4});
+  // Morton order with dim0 fastest: (0,0) (1,0) (0,1) (1,1) (2,0) ...
+  EXPECT_EQ(m->RankOf(MakeCell({0, 0})), 0u);
+  EXPECT_EQ(m->RankOf(MakeCell({1, 0})), 1u);
+  EXPECT_EQ(m->RankOf(MakeCell({0, 1})), 2u);
+  EXPECT_EQ(m->RankOf(MakeCell({1, 1})), 3u);
+  EXPECT_EQ(m->RankOf(MakeCell({2, 0})), 4u);
+  EXPECT_EQ(m->RankOf(MakeCell({3, 3})), 15u);
+}
+
+TEST(ZOrderTest, CompactionSkipsOutOfGridCells) {
+  // Grid 3x2 inside padded 4x4: curve order without holes.
+  auto m = Make("zorder", GridShape{3, 2});
+  // Padded morton visits (0,0)(1,0)(0,1)(1,1) | (2,0)(3,0)(2,1)(3,1) ...
+  // In-grid sequence: (0,0)(1,0)(0,1)(1,1)(2,0)(2,1).
+  EXPECT_EQ(m->RankOf(MakeCell({0, 0})), 0u);
+  EXPECT_EQ(m->RankOf(MakeCell({1, 0})), 1u);
+  EXPECT_EQ(m->RankOf(MakeCell({0, 1})), 2u);
+  EXPECT_EQ(m->RankOf(MakeCell({1, 1})), 3u);
+  EXPECT_EQ(m->RankOf(MakeCell({2, 0})), 4u);
+  EXPECT_EQ(m->RankOf(MakeCell({2, 1})), 5u);
+}
+
+TEST(HilbertTest, Known2DOrder) {
+  // Order-2 Hilbert curve on 4x4, starting at (0,0). The first quadrant
+  // visit order must traverse the four 2x2 blocks as a U.
+  auto m = Make("hilbert", GridShape{4, 4});
+  const auto cells = VisitOrder(*m);
+  EXPECT_EQ(cells.front(), MakeCell({0, 0}));
+  // The curve must end at a corner adjacent to the start quadrant row.
+  EXPECT_EQ(cells.back(), MakeCell({3, 0}));
+}
+
+// --- Run decomposition vs brute force ------------------------------------
+
+class CurveRunsTest
+    : public ::testing::TestWithParam<std::tuple<std::string, ShapeParam>> {};
+
+std::vector<LbnRun> BruteForceRuns(const CurveMapping& m, const Box& box) {
+  std::vector<uint64_t> lbns;
+  const uint32_t n = m.shape().ndims();
+  Cell c = box.lo;
+  if (box.CellCount(n) == 0) return {};
+  while (true) {
+    if (m.shape().Contains(c)) lbns.push_back(m.LbnOf(c));
+    uint32_t i = 0;
+    for (; i < n; ++i) {
+      if (++c[i] < box.hi[i]) break;
+      c[i] = box.lo[i];
+    }
+    if (i == n) break;
+  }
+  std::sort(lbns.begin(), lbns.end());
+  std::vector<LbnRun> runs;
+  for (uint64_t l : lbns) {
+    if (!runs.empty() && runs.back().lbn + runs.back().cells == l) {
+      ++runs.back().cells;
+    } else {
+      runs.push_back(LbnRun{l, 1});
+    }
+  }
+  return runs;
+}
+
+TEST_P(CurveRunsTest, MatchesBruteForceOnRandomBoxes) {
+  const auto& [kind, dims] = GetParam();
+  auto m = Make(kind, GridShape(dims), /*base=*/1000);
+  const uint32_t n = m->shape().ndims();
+  uint64_t seed = 12345;
+  auto next = [&] {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(seed >> 33);
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    Box box;
+    for (uint32_t d = 0; d < n; ++d) {
+      const uint32_t a = next() % m->shape().dim(d);
+      const uint32_t b = next() % m->shape().dim(d);
+      box.lo[d] = std::min(a, b);
+      box.hi[d] = std::max(a, b) + 1;
+    }
+    std::vector<LbnRun> got;
+    m->AppendRunsForBox(box, &got);
+    const auto want = BruteForceRuns(*m, box);
+    ASSERT_EQ(got, want) << kind << " trial " << trial;
+  }
+}
+
+TEST_P(CurveRunsTest, FullGridIsOneRun) {
+  const auto& [kind, dims] = GetParam();
+  auto m = Make(kind, GridShape(dims), /*base=*/64);
+  std::vector<LbnRun> runs;
+  m->AppendRunsForBox(Box::Full(m->shape()), &runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].lbn, 64u);
+  EXPECT_EQ(runs[0].cells, m->shape().CellCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CurveRunsTest,
+    ::testing::Combine(
+        ::testing::Values("zorder", "gray", "hilbert"),
+        ::testing::Values(ShapeParam{16, 16}, ShapeParam{13, 7},
+                          ShapeParam{9, 6, 5}, ShapeParam{5, 4, 3, 3})),
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param);
+      for (auto d : std::get<1>(info.param)) s += "_" + std::to_string(d);
+      return s;
+    });
+
+TEST(CurveRunsTest, EmptyAndDegenerateBoxes) {
+  auto m = Make("hilbert", GridShape{8, 8});
+  std::vector<LbnRun> runs;
+  Box empty;  // hi == lo == 0
+  m->AppendRunsForBox(empty, &runs);
+  EXPECT_TRUE(runs.empty());
+  // Box clipped entirely outside the grid.
+  Box outside;
+  outside.lo = MakeCell({9, 9});
+  outside.hi = MakeCell({12, 12});
+  m->AppendRunsForBox(outside, &runs);
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(CurveMappingTest, CellSectorsScaleLbns) {
+  auto order = MakeOctantOrder("zorder", 2);
+  CurveMapping m(std::move(order), GridShape{4, 4}, 100, 8);
+  EXPECT_EQ(m.LbnOf(MakeCell({0, 0})), 100u);
+  EXPECT_EQ(m.LbnOf(MakeCell({1, 0})), 108u);
+  EXPECT_EQ(m.footprint_sectors(), 16u * 8);
+}
+
+}  // namespace
+}  // namespace mm::map

@@ -1,0 +1,168 @@
+#include "disk/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/spec.h"
+
+namespace mm::disk {
+namespace {
+
+class GeometryTest : public ::testing::Test {
+ protected:
+  DiskSpec spec_ = MakeTestDisk();
+  Geometry geo_{spec_};
+};
+
+TEST_F(GeometryTest, TotalsMatchSpec) {
+  // TestDisk: zone0 4 cyl x 2 surf x 20 spt = 160; zone1 4x2x16 = 128.
+  EXPECT_EQ(geo_.total_sectors(), 288u);
+  EXPECT_EQ(geo_.total_tracks(), 16u);
+  EXPECT_EQ(geo_.zone_count(), 2u);
+}
+
+TEST_F(GeometryTest, ZoneDerivedFields) {
+  const auto& z0 = geo_.zone(0);
+  EXPECT_EQ(z0.first_cylinder, 0u);
+  EXPECT_EQ(z0.spt, 20u);
+  EXPECT_EQ(z0.first_lbn, 0u);
+  EXPECT_EQ(z0.track_count, 8u);
+  const auto& z1 = geo_.zone(1);
+  EXPECT_EQ(z1.first_cylinder, 4u);
+  EXPECT_EQ(z1.spt, 16u);
+  EXPECT_EQ(z1.first_lbn, 160u);
+  EXPECT_EQ(z1.first_track, 8u);
+}
+
+TEST_F(GeometryTest, SkewCoversSettlePlusGuard) {
+  // rev = 10 ms; settle = 1.0 ms -> 1.0/10*20 = 2 sectors; +1 guard = 3.
+  EXPECT_EQ(geo_.zone(0).skew, 3u);
+  // zone 1: 1.0/10*16 = 1.6 -> ceil 2; +1 = 3.
+  EXPECT_EQ(geo_.zone(1).skew, 3u);
+}
+
+TEST_F(GeometryTest, LbnToPhysRoundTrip) {
+  for (uint64_t lbn = 0; lbn < geo_.total_sectors(); ++lbn) {
+    auto loc = geo_.LbnToPhys(lbn);
+    ASSERT_TRUE(loc.ok()) << lbn;
+    auto back = geo_.PhysToLbn(*loc);
+    ASSERT_TRUE(back.ok()) << lbn;
+    EXPECT_EQ(*back, lbn);
+  }
+}
+
+TEST_F(GeometryTest, LbnToPhysKnownValues) {
+  // LBN 0 = cylinder 0, surface 0, sector 0.
+  auto l0 = geo_.LbnToPhys(0);
+  ASSERT_TRUE(l0.ok());
+  EXPECT_EQ(*l0, (PhysLoc{0, 0, 0}));
+  // LBN 20 = first sector of track 1 = cyl 0, surface 1.
+  auto l20 = geo_.LbnToPhys(20);
+  ASSERT_TRUE(l20.ok());
+  EXPECT_EQ(*l20, (PhysLoc{0, 1, 0}));
+  // LBN 40 = cylinder 1.
+  auto l40 = geo_.LbnToPhys(40);
+  ASSERT_TRUE(l40.ok());
+  EXPECT_EQ(*l40, (PhysLoc{1, 0, 0}));
+  // First LBN of zone 1 = cylinder 4.
+  auto l160 = geo_.LbnToPhys(160);
+  ASSERT_TRUE(l160.ok());
+  EXPECT_EQ(*l160, (PhysLoc{4, 0, 0}));
+}
+
+TEST_F(GeometryTest, OutOfRangeLbnRejected) {
+  EXPECT_FALSE(geo_.LbnToPhys(geo_.total_sectors()).ok());
+  EXPECT_FALSE(geo_.PhysToLbn(PhysLoc{8, 0, 0}).ok());
+  EXPECT_FALSE(geo_.PhysToLbn(PhysLoc{0, 2, 0}).ok());
+  EXPECT_FALSE(geo_.PhysToLbn(PhysLoc{0, 0, 20}).ok());
+  // Sector 16 is valid in zone 0 (spt 20) but not zone 1 (spt 16).
+  EXPECT_TRUE(geo_.PhysToLbn(PhysLoc{0, 0, 16}).ok());
+  EXPECT_FALSE(geo_.PhysToLbn(PhysLoc{4, 0, 16}).ok());
+}
+
+TEST_F(GeometryTest, TrackHelpersAgree) {
+  for (uint64_t lbn = 0; lbn < geo_.total_sectors(); ++lbn) {
+    const uint64_t track = geo_.TrackOfLbn(lbn);
+    EXPECT_LE(geo_.TrackFirstLbn(track), lbn);
+    EXPECT_LT(lbn, geo_.TrackFirstLbn(track) + geo_.TrackLength(track));
+    const TrackGeom g = geo_.Track(track);
+    EXPECT_EQ(g.first_lbn, geo_.TrackFirstLbn(track));
+    EXPECT_EQ(g.spt, geo_.TrackLength(track));
+    EXPECT_EQ(g.cylinder, geo_.CylinderOfTrack(track));
+  }
+}
+
+TEST_F(GeometryTest, SkewAdvancesPerTrackWithinZone) {
+  // Logical sector 0 of track i sits at phys slot (i * skew) % spt.
+  const auto& z = geo_.zone(0);
+  for (uint64_t t = 0; t < z.track_count; ++t) {
+    const uint64_t lbn = geo_.TrackFirstLbn(t);
+    EXPECT_EQ(geo_.PhysSlotOfLbn(lbn), (t * z.skew) % z.spt) << "track " << t;
+  }
+}
+
+// --- Adjacency ---------------------------------------------------------
+
+TEST_F(GeometryTest, AdjacentSameAngularOffsetForAllJ) {
+  // The defining property (paper 3.1): all D adjacent blocks of an LBN sit
+  // at the same physical offset from it.
+  const uint32_t d_max = spec_.AdjacentBlocks();
+  for (uint64_t lbn : {0ull, 7ull, 23ull, 55ull}) {
+    const uint32_t base_slot = geo_.PhysSlotOfLbn(lbn);
+    const auto& z = geo_.ZoneOfLbn(lbn);
+    for (uint32_t j = 1; j <= d_max; ++j) {
+      auto adj = geo_.AdjacentLbn(lbn, j);
+      if (!adj.ok()) continue;  // zone boundary
+      const uint32_t adj_slot = geo_.PhysSlotOfLbn(*adj);
+      EXPECT_EQ((base_slot + z.skew) % z.spt, adj_slot)
+          << "lbn=" << lbn << " j=" << j;
+      EXPECT_EQ(geo_.TrackOfLbn(*adj), geo_.TrackOfLbn(lbn) + j);
+    }
+  }
+}
+
+TEST_F(GeometryTest, FirstAdjacentIsNextTrackSameSector) {
+  // With skew = settle rotation, the 1st adjacent block of LBN x is x + T,
+  // which is what the paper's Figure 2 illustrates (LBN 0 -> LBN 5 for T=5).
+  const auto& z = geo_.zone(0);
+  for (uint64_t lbn = 0; lbn < z.spt * 4; ++lbn) {
+    auto adj = geo_.AdjacentLbn(lbn, 1);
+    ASSERT_TRUE(adj.ok());
+    EXPECT_EQ(*adj, lbn + z.spt);
+  }
+}
+
+TEST_F(GeometryTest, AdjacentRejectsBadArguments) {
+  EXPECT_FALSE(geo_.AdjacentLbn(0, 0).ok());
+  EXPECT_FALSE(geo_.AdjacentLbn(0, spec_.AdjacentBlocks() + 1).ok());
+  EXPECT_FALSE(geo_.AdjacentLbn(geo_.total_sectors(), 1).ok());
+  // Crossing from zone 0 (8 tracks) into zone 1 must be refused.
+  const uint64_t last_z0_track_lbn = geo_.TrackFirstLbn(7);
+  EXPECT_FALSE(geo_.AdjacentLbn(last_z0_track_lbn, 1).ok());
+}
+
+TEST(GeometryPaperDisks, CapacityIsRoughly36GB) {
+  for (const auto& spec : PaperDisks()) {
+    Geometry geo(spec);
+    const double gb = static_cast<double>(geo.total_sectors()) *
+                      spec.sector_bytes / 1e9;
+    EXPECT_GT(gb, 33.0) << spec.name;
+    EXPECT_LT(gb, 40.0) << spec.name;
+    EXPECT_EQ(spec.AdjacentBlocks(), 128u) << spec.name;  // paper: D = 128
+  }
+}
+
+TEST(GeometryPaperDisks, AdjacencyPropertyHoldsOnRealGeometry) {
+  const DiskSpec spec = MakeAtlas10k3();
+  Geometry geo(spec);
+  const uint64_t lbn = 123456;
+  const auto& z = geo.ZoneOfLbn(lbn);
+  const uint32_t base_slot = geo.PhysSlotOfLbn(lbn);
+  for (uint32_t j = 1; j <= spec.AdjacentBlocks(); j += 13) {
+    auto adj = geo.AdjacentLbn(lbn, j);
+    ASSERT_TRUE(adj.ok());
+    EXPECT_EQ((base_slot + z.skew) % z.spt, geo.PhysSlotOfLbn(*adj));
+  }
+}
+
+}  // namespace
+}  // namespace mm::disk

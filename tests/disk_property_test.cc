@@ -1,0 +1,202 @@
+// Property sweeps over all disk presets and zones: the invariants the
+// layout layer builds on must hold for every geometry, not just the
+// hand-checked examples in disk_sim_test.cc.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/spec.h"
+#include "util/rng.h"
+
+namespace mm::disk {
+namespace {
+
+class DiskPropertyTest : public ::testing::TestWithParam<DiskSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, DiskPropertyTest,
+                         ::testing::Values(MakeTestDisk(), MakeAtlas10k3(),
+                                           MakeCheetah36Es()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(DiskPropertyTest, ZonesPartitionTheDisk) {
+  Geometry geo(GetParam());
+  uint64_t lbn = 0, track = 0;
+  uint32_t cyl = 0;
+  for (const auto& z : geo.zones()) {
+    EXPECT_EQ(z.first_lbn, lbn);
+    EXPECT_EQ(z.first_track, track);
+    EXPECT_EQ(z.first_cylinder, cyl);
+    lbn += z.sector_count;
+    track += z.track_count;
+    cyl += z.cylinder_count;
+  }
+  EXPECT_EQ(lbn, geo.total_sectors());
+  EXPECT_EQ(track, geo.total_tracks());
+}
+
+TEST_P(DiskPropertyTest, LbnPhysRoundTripSampled) {
+  Geometry geo(GetParam());
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t lbn = rng.Uniform(geo.total_sectors());
+    auto loc = geo.LbnToPhys(lbn);
+    ASSERT_TRUE(loc.ok());
+    auto back = geo.PhysToLbn(*loc);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, lbn);
+  }
+}
+
+TEST_P(DiskPropertyTest, AdjacencyAngularInvariantEveryZone) {
+  // For every zone: the j-th adjacent block of an interior LBN sits at
+  // exactly +skew angular slots, for every j up to D.
+  const DiskSpec& spec = GetParam();
+  Geometry geo(spec);
+  Rng rng(17);
+  for (const auto& z : geo.zones()) {
+    for (int trial = 0; trial < 20; ++trial) {
+      // Interior track: room for D tracks below the zone end.
+      if (z.track_count <= spec.AdjacentBlocks() + 1) continue;
+      const uint64_t t =
+          rng.Uniform(z.track_count - spec.AdjacentBlocks() - 1);
+      const uint64_t lbn =
+          z.first_lbn + t * z.spt + rng.Uniform(z.spt);
+      const uint32_t base = geo.PhysSlotOfLbn(lbn);
+      const uint32_t j =
+          1 + static_cast<uint32_t>(rng.Uniform(spec.AdjacentBlocks()));
+      auto adj = geo.AdjacentLbn(lbn, j);
+      ASSERT_TRUE(adj.ok()) << z.index;
+      EXPECT_EQ(geo.PhysSlotOfLbn(*adj), (base + z.skew) % z.spt)
+          << "zone " << z.index << " j " << j;
+    }
+  }
+}
+
+TEST_P(DiskPropertyTest, SemiSequentialHopBoundedEveryZone) {
+  // A first-adjacent hop costs at most skew rotation time + transfer, in
+  // every zone (never a missed revolution).
+  const DiskSpec& spec = GetParam();
+  Disk disk(spec);
+  const Geometry& geo = disk.geometry();
+  Rng rng(29);
+  for (const auto& z : geo.zones()) {
+    if (z.track_count < 4) continue;
+    const double sector_ms = spec.RevolutionMs() / z.spt;
+    for (int trial = 0; trial < 5; ++trial) {
+      const uint64_t lbn = z.first_lbn +
+                           rng.Uniform((z.track_count - 2) * z.spt);
+      disk.Reset();
+      ASSERT_TRUE(disk.Service({lbn, 1}).ok());
+      auto adj = geo.AdjacentLbn(lbn, 1);
+      ASSERT_TRUE(adj.ok());
+      auto c = disk.Service({*adj, 1});
+      ASSERT_TRUE(c.ok());
+      EXPECT_LE(c->ServiceMs(),
+                spec.command_overhead_ms + (z.skew + 1) * sector_ms + 1e-9)
+          << "zone " << z.index;
+      EXPECT_GE(c->ServiceMs(), spec.settle_ms * 0.5) << "zone " << z.index;
+    }
+  }
+}
+
+TEST_P(DiskPropertyTest, SequentialFullSweepNeverMissesARevolution) {
+  // Reading N consecutive full tracks costs at most the initial
+  // positioning (up to one revolution: command overhead can rotate the
+  // head just past sector 0) plus N * (rev + skew + 1): every track
+  // crossing is absorbed by the skew.
+  const DiskSpec& spec = GetParam();
+  Disk disk(spec);
+  const Geometry& geo = disk.geometry();
+  const auto& z = geo.zone(0);
+  const uint64_t tracks = std::min<uint64_t>(10, z.track_count - 1);
+  auto c = disk.Service({0, static_cast<uint32_t>(z.spt * tracks)});
+  ASSERT_TRUE(c.ok());
+  const double sector_ms = spec.RevolutionMs() / z.spt;
+  const double bound =
+      spec.command_overhead_ms + spec.RevolutionMs() +
+      static_cast<double>(tracks) *
+          (spec.RevolutionMs() + (z.skew + 1) * sector_ms);
+  EXPECT_LE(c->ServiceMs(), bound);
+  EXPECT_EQ(c->track_switches, static_cast<uint32_t>(tracks - 1));
+}
+
+TEST_P(DiskPropertyTest, ServiceIsDeterministic) {
+  const DiskSpec& spec = GetParam();
+  Rng rng(31);
+  std::vector<IoRequest> reqs;
+  Geometry geo(spec);
+  for (int i = 0; i < 50; ++i) {
+    reqs.push_back({rng.Uniform(geo.total_sectors() - 8), 1 + (i % 8)});
+  }
+  Disk a(spec), b(spec);
+  auto ra = a.ServiceBatch(reqs, {SchedulerKind::kSptf, 8, true});
+  auto rb = b.ServiceBatch(reqs, {SchedulerKind::kSptf, 8, true});
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_DOUBLE_EQ(ra->TotalMs(), rb->TotalMs());
+}
+
+TEST_P(DiskPropertyTest, ClockNeverMovesBackwards) {
+  const DiskSpec& spec = GetParam();
+  Disk disk(spec);
+  Rng rng(37);
+  double prev = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto c = disk.Service(
+        {rng.Uniform(disk.geometry().total_sectors()), 1});
+    ASSERT_TRUE(c.ok());
+    EXPECT_GE(c->end_ms, c->start_ms);
+    EXPECT_GE(c->start_ms, prev);
+    prev = c->end_ms;
+  }
+}
+
+TEST_P(DiskPropertyTest, PhasesSumToServiceTime) {
+  const DiskSpec& spec = GetParam();
+  Disk disk(spec);
+  Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    auto c = disk.Service(
+        {rng.Uniform(disk.geometry().total_sectors() - 64), 1 + (i % 64)});
+    ASSERT_TRUE(c.ok());
+    EXPECT_NEAR(c->phases.Total(), c->ServiceMs(), 1e-9);
+  }
+}
+
+TEST_P(DiskPropertyTest, ElevatorOnSortedEqualsFifo) {
+  // For an ascending request stream, elevator and FIFO must produce the
+  // same schedule (the storage manager's sort makes them equivalent).
+  const DiskSpec& spec = GetParam();
+  Geometry geo(spec);
+  std::vector<IoRequest> reqs;
+  const uint64_t n =
+      std::min<uint64_t>(100, geo.total_sectors() / 10);
+  uint64_t lbn = 1;
+  Rng rng(43);
+  for (uint64_t i = 0; i < n; ++i) {
+    reqs.push_back({lbn, 1});
+    lbn += 1 + rng.Uniform((geo.total_sectors() - lbn - 1) / (n - i + 1) + 1);
+  }
+  ASSERT_LT(lbn, geo.total_sectors());
+  Disk a(spec), b(spec);
+  auto ra = a.ServiceBatch(reqs, {SchedulerKind::kFifo, 8, true});
+  auto rb = b.ServiceBatch(reqs, {SchedulerKind::kElevator, 8, true});
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_DOUBLE_EQ(ra->TotalMs(), rb->TotalMs());
+}
+
+TEST_P(DiskPropertyTest, StreamingBandwidthIsPlausible) {
+  const DiskSpec& spec = GetParam();
+  if (spec.name == "TestDisk") {
+    GTEST_SKIP() << "toy geometry, not a real drive profile";
+  }
+  Disk disk(spec);
+  const double bw = disk.StreamingBandwidthMBps();
+  // Paper-era 10 krpm drives stream tens of MB/s on outer tracks.
+  EXPECT_GT(bw, 10.0);
+  EXPECT_LT(bw, 120.0);
+}
+
+}  // namespace
+}  // namespace mm::disk

@@ -1,0 +1,305 @@
+#include "disk/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/spec.h"
+
+namespace mm::disk {
+namespace {
+
+constexpr double kTinyMs = 1e-9;
+
+class DiskSimTest : public ::testing::Test {
+ protected:
+  DiskSpec spec_ = MakeTestDisk();  // rev 10ms, settle 1ms, spt 20/16, skew 3
+  Disk disk_{spec_};
+};
+
+TEST_F(DiskSimTest, SingleSectorAtTimeZero) {
+  // Head starts at track 0, time 0, platter angle 0. LBN 0 is at slot 0:
+  // no seek, no rotation, one sector transfer (10/20 = 0.5 ms).
+  auto c = disk_.Service({0, 1});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->phases.seek_ms, 0.0, kTinyMs);
+  EXPECT_NEAR(c->phases.rot_ms, 0.0, kTinyMs);
+  EXPECT_NEAR(c->phases.xfer_ms, 0.5, kTinyMs);
+  EXPECT_NEAR(disk_.now_ms(), 0.5, kTinyMs);
+}
+
+TEST_F(DiskSimTest, RotationalLatencyWaitsForTargetSlot) {
+  // LBN 5 is at slot 5 on track 0: rotation from angle 0 to slot 5 =
+  // 5 * 0.5 ms = 2.5 ms, then 0.5 ms transfer.
+  auto c = disk_.Service({5, 1});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->phases.seek_ms, 0.0, kTinyMs);
+  EXPECT_NEAR(c->phases.rot_ms, 2.5, kTinyMs);
+  EXPECT_NEAR(c->phases.xfer_ms, 0.5, kTinyMs);
+}
+
+TEST_F(DiskSimTest, RereadIsServedFromReadAheadBuffer) {
+  // Read LBN 0, then request LBN 0 again: the sector just passed under the
+  // head, so it is in the track buffer and served at bus speed (free).
+  ASSERT_TRUE(disk_.Service({0, 1}).ok());
+  auto c = disk_.Service({0, 1});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->ServiceMs(), 0.0, kTinyMs);
+  EXPECT_EQ(disk_.stats().buffer_hits, 1u);
+}
+
+TEST_F(DiskSimTest, MissedSlotWaitsNearlyFullRevolutionWithoutReadahead) {
+  DiskSpec spec = MakeTestDisk();
+  spec.readahead = false;
+  Disk disk(spec);
+  ASSERT_TRUE(disk.Service({0, 1}).ok());
+  auto c = disk.Service({0, 1});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->phases.rot_ms, 9.5, kTinyMs);
+}
+
+TEST_F(DiskSimTest, BufferArcGrowsDuringRotationalWaitsOnSameTrack) {
+  // Read LBN 0, then LBN 10 (same track, rotational wait): while waiting,
+  // slots 1..9 pass under the head and enter the buffer. A follow-up read
+  // of LBN 4 must be free.
+  ASSERT_TRUE(disk_.Service({0, 1}).ok());
+  ASSERT_TRUE(disk_.Service({10, 1}).ok());
+  auto c = disk_.Service({4, 1});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->ServiceMs(), 0.0, kTinyMs);
+}
+
+TEST_F(DiskSimTest, SeekInvalidatesReadAheadBuffer) {
+  ASSERT_TRUE(disk_.Service({0, 1}).ok());
+  ASSERT_TRUE(disk_.Service({40, 1}).ok());  // different cylinder
+  auto c = disk_.Service({0, 1});            // back to track 0
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(c->ServiceMs(), 0.5);  // settle + rotation, not a buffer hit
+}
+
+TEST_F(DiskSimTest, PartialBufferHitReadsOnlyTheTail) {
+  // Read LBN 0..1, wait for slots to pass by reading LBN 8, then request
+  // LBN 0..11: prefix 0..8 is buffered; the tail continues from the head.
+  ASSERT_TRUE(disk_.Service({0, 2}).ok());
+  ASSERT_TRUE(disk_.Service({8, 1}).ok());
+  const double before = disk_.now_ms();
+  auto c = disk_.Service({0, 12});
+  ASSERT_TRUE(c.ok());
+  // Sectors 0..8 cached (head at slot 9); sectors 9,10,11 transfer in
+  // 3 * 0.5 ms with no rotation.
+  EXPECT_NEAR(disk_.now_ms() - before, 1.5, kTinyMs);
+  EXPECT_NEAR(c->phases.rot_ms, 0.0, kTinyMs);
+}
+
+TEST_F(DiskSimTest, FullTrackReadTakesOneRevolution) {
+  auto c = disk_.Service({0, 20});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->phases.xfer_ms, 10.0, kTinyMs);
+  EXPECT_NEAR(c->phases.rot_ms, 0.0, kTinyMs);
+}
+
+TEST_F(DiskSimTest, SequentialTrackCrossingCostsAboutSkew) {
+  // Reading across the track 0 -> track 1 boundary: the continuation starts
+  // at slot skew on track 1; head switch (0.8 ms) fits within the skew
+  // rotation (3 sectors = 1.5 ms), so the crossing costs exactly skew time.
+  auto c = disk_.Service({0, 40});  // tracks 0 and 1, 20 sectors each
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->track_switches, 1u);
+  // Total = 40 sectors * 0.5 + crossing gap. The gap is hidden inside
+  // seek(0.8 head switch) + rot(0.7 alignment) = 1.5 ms = skew.
+  EXPECT_NEAR(c->ServiceMs(), 20.0 + 1.5, kTinyMs);
+}
+
+TEST_F(DiskSimTest, SemiSequentialHopCostsSettleOnly) {
+  // The core property the paper builds on: accessing the j-th adjacent
+  // block costs one settle with zero rotational latency beyond the guard.
+  Geometry geo(spec_);
+  ASSERT_TRUE(disk_.Service({0, 1}).ok());  // position: end of LBN 0
+  auto adj = geo.AdjacentLbn(0, 1);
+  ASSERT_TRUE(adj.ok());
+  auto c = disk_.Service({*adj, 1});
+  ASSERT_TRUE(c.ok());
+  // Seek = head switch (track 0 -> 1 same cylinder) = 0.8 ms; rotation:
+  // arrival at slot 1 + 0.8/0.5 = slot 2.6; target slot 3 -> 0.2 ms wait.
+  EXPECT_NEAR(c->phases.seek_ms, 0.8, kTinyMs);
+  EXPECT_NEAR(c->phases.rot_ms, 0.2, kTinyMs);
+  // Total positioning = settle-equivalent (skew) time, never a full rev.
+  EXPECT_LT(c->phases.seek_ms + c->phases.rot_ms, 2.0);
+}
+
+TEST_F(DiskSimTest, SemiSequentialPathSustainsSettlePace) {
+  // Walk 4 consecutive first-adjacent hops (track i -> i+1 ... within zone 0
+  // minus boundary): each hop must cost settle-ish time, not a revolution.
+  Geometry geo(spec_);
+  uint64_t lbn = 0;
+  ASSERT_TRUE(disk_.Service({lbn, 1}).ok());
+  for (int hop = 0; hop < 4; ++hop) {
+    auto adj = geo.AdjacentLbn(lbn, 1);
+    ASSERT_TRUE(adj.ok());
+    lbn = *adj;
+    const double before = disk_.now_ms();
+    auto c = disk_.Service({lbn, 1});
+    ASSERT_TRUE(c.ok());
+    const double hop_ms = disk_.now_ms() - before;
+    // settle/head-switch + <=1 sector alignment + 1 sector transfer.
+    EXPECT_LE(hop_ms, spec_.settle_ms + 0.5 + 0.5 + kTinyMs) << "hop " << hop;
+    EXPECT_GE(hop_ms, 0.8) << "hop " << hop;
+  }
+}
+
+TEST_F(DiskSimTest, ZoneCrossingTransferUsesNewTrackLength) {
+  // A request spanning the last zone-0 track and first zone-1 track.
+  Geometry geo(spec_);
+  const uint64_t z1_first = geo.zone(1).first_lbn;  // 160
+  auto c = disk_.Service({z1_first - 2, 4});
+  ASSERT_TRUE(c.ok());
+  // 2 sectors at 0.5 ms + 2 sectors at 10/16 = 0.625 ms.
+  EXPECT_NEAR(c->phases.xfer_ms, 2 * 0.5 + 2 * 0.625, kTinyMs);
+}
+
+TEST_F(DiskSimTest, RejectsInvalidRequests) {
+  EXPECT_FALSE(disk_.Service({0, 0}).ok());
+  EXPECT_FALSE(disk_.Service({288, 1}).ok());
+  EXPECT_FALSE(disk_.Service({287, 2}).ok());
+  EXPECT_TRUE(disk_.Service({287, 1}).ok());
+}
+
+TEST_F(DiskSimTest, StatsAccumulateAndReset) {
+  ASSERT_TRUE(disk_.Service({0, 1}).ok());
+  ASSERT_TRUE(disk_.Service({40, 1}).ok());  // cylinder 1: settle seek
+  EXPECT_EQ(disk_.stats().requests, 2u);
+  EXPECT_EQ(disk_.stats().sectors, 2u);
+  EXPECT_EQ(disk_.stats().settle_seeks, 1u);
+  disk_.Reset();
+  EXPECT_EQ(disk_.stats().requests, 0u);
+  EXPECT_NEAR(disk_.now_ms(), 0.0, kTinyMs);
+}
+
+// --- Seek model --------------------------------------------------------
+
+TEST(SeekModelTest, FlatRegionThenMonotone) {
+  const DiskSpec spec = MakeAtlas10k3();
+  SeekModel seek(spec);
+  EXPECT_EQ(seek.SeekTimeForDistance(0), 0.0);
+  for (uint32_t d = 1; d <= spec.settle_cylinders; ++d) {
+    EXPECT_EQ(seek.SeekTimeForDistance(d), spec.settle_ms) << d;
+  }
+  double prev = spec.settle_ms;
+  for (uint32_t d = spec.settle_cylinders + 1; d < spec.TotalCylinders();
+       d += 97) {
+    const double t = seek.SeekTimeForDistance(d);
+    EXPECT_GE(t, prev - 1e-12) << d;
+    prev = t;
+  }
+  EXPECT_NEAR(seek.SeekTimeForDistance(spec.TotalCylinders() - 1),
+              spec.full_stroke_ms, 0.3);
+}
+
+TEST(SeekModelTest, AverageSeekIsPlausible) {
+  // Average over random cylinder pairs should land near the spec-sheet
+  // 4.5-5.5 ms for these drives.
+  for (const auto& spec : PaperDisks()) {
+    SeekModel seek(spec);
+    const uint32_t n = spec.TotalCylinders();
+    double sum = 0;
+    int count = 0;
+    for (uint32_t a = 0; a < n; a += 997) {
+      for (uint32_t b = 0; b < n; b += 1709) {
+        sum += seek.SeekTimeForDistance(a > b ? a - b : b - a);
+        ++count;
+      }
+    }
+    const double avg = sum / count;
+    EXPECT_GT(avg, 3.5) << spec.name;
+    EXPECT_LT(avg, 6.5) << spec.name;
+  }
+}
+
+// --- Batch scheduling ---------------------------------------------------
+
+TEST_F(DiskSimTest, BatchFifoServicesInOrder) {
+  std::vector<IoRequest> reqs = {{100, 1}, {0, 1}, {50, 1}};
+  std::vector<Completion> done;
+  auto r = disk_.ServiceBatch(reqs, {SchedulerKind::kFifo, 64}, &done);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].request.lbn, 100u);
+  EXPECT_EQ(done[1].request.lbn, 0u);
+  EXPECT_EQ(done[2].request.lbn, 50u);
+}
+
+TEST_F(DiskSimTest, BatchServicesEveryRequestExactlyOnce) {
+  std::vector<IoRequest> reqs;
+  for (uint64_t i = 0; i < 97; ++i) reqs.push_back({(i * 37) % 288, 1});
+  for (auto kind : {SchedulerKind::kFifo, SchedulerKind::kSstf,
+                    SchedulerKind::kSptf, SchedulerKind::kElevator}) {
+    disk_.Reset();
+    std::vector<Completion> done;
+    auto r = disk_.ServiceBatch(reqs, {kind, 8}, &done);
+    ASSERT_TRUE(r.ok()) << SchedulerKindName(kind);
+    EXPECT_EQ(r->requests, reqs.size());
+    ASSERT_EQ(done.size(), reqs.size());
+    std::vector<uint64_t> got;
+    for (const auto& c : done) got.push_back(c.request.lbn);
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> want;
+    for (const auto& q : reqs) want.push_back(q.lbn);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << SchedulerKindName(kind);
+  }
+}
+
+TEST_F(DiskSimTest, SptfNoSlowerThanFifoOnScrambledBatch) {
+  std::vector<IoRequest> reqs;
+  for (uint64_t i = 0; i < 64; ++i) reqs.push_back({(i * 89 + 11) % 288, 1});
+  auto fifo = disk_.ServiceBatch(reqs, {SchedulerKind::kFifo, 64});
+  ASSERT_TRUE(fifo.ok());
+  disk_.Reset();
+  auto sptf = disk_.ServiceBatch(reqs, {SchedulerKind::kSptf, 64});
+  ASSERT_TRUE(sptf.ok());
+  EXPECT_LE(sptf->TotalMs(), fifo->TotalMs() + kTinyMs);
+}
+
+TEST_F(DiskSimTest, QueueDepthOneDegeneratesToFifo) {
+  std::vector<IoRequest> reqs = {{100, 1}, {0, 1}, {200, 1}, {30, 1}};
+  std::vector<Completion> sptf_done;
+  auto r = disk_.ServiceBatch(reqs, {SchedulerKind::kSptf, 1}, &sptf_done);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(sptf_done[i].request.lbn, reqs[i].lbn);
+  }
+}
+
+TEST_F(DiskSimTest, EmptyBatchIsNoop) {
+  auto r = disk_.ServiceBatch({}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->requests, 0u);
+  EXPECT_NEAR(r->TotalMs(), 0.0, kTinyMs);
+}
+
+TEST(DiskPaperTest, StreamingVsRandomGapIsTwoOrdersOfMagnitude) {
+  // Section 1: "the performance difference between streaming bandwidth and
+  // non-sequential accesses is at least two orders of magnitude."
+  const DiskSpec spec = MakeAtlas10k3();
+  Disk disk(spec);
+  // Streaming: read 50 full tracks sequentially.
+  auto seq = disk.Service({0, 686 * 50});
+  ASSERT_TRUE(seq.ok());
+  const double seq_per_sector = seq->ServiceMs() / (686.0 * 50);
+  // Random-ish: single sectors scattered across the disk.
+  disk.Reset();
+  Geometry geo(spec);
+  double rand_total = 0;
+  uint64_t lbn = 17;
+  for (int i = 0; i < 200; ++i) {
+    lbn = (lbn * 2654435761u + 12345) % geo.total_sectors();
+    auto c = disk.Service({lbn, 1});
+    ASSERT_TRUE(c.ok());
+    rand_total += c->ServiceMs();
+  }
+  const double rand_per_sector = rand_total / 200.0;
+  EXPECT_GT(rand_per_sector / seq_per_sector, 100.0);
+}
+
+}  // namespace
+}  // namespace mm::disk

@@ -1,0 +1,123 @@
+#include "lvm/volume.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/spec.h"
+
+namespace mm::lvm {
+namespace {
+
+class VolumeTest : public ::testing::Test {
+ protected:
+  // Two test disks of 288 sectors each.
+  Volume vol_{std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                          disk::MakeTestDisk()}};
+};
+
+TEST_F(VolumeTest, CapacityIsSumOfDisks) {
+  EXPECT_EQ(vol_.disk_count(), 2u);
+  EXPECT_EQ(vol_.total_sectors(), 576u);
+}
+
+TEST_F(VolumeTest, ResolveMapsAcrossDisks) {
+  auto a = vol_.Resolve(0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->disk, 0u);
+  EXPECT_EQ(a->lbn, 0u);
+  auto b = vol_.Resolve(287);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->disk, 0u);
+  auto c = vol_.Resolve(288);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->disk, 1u);
+  EXPECT_EQ(c->lbn, 0u);
+  EXPECT_FALSE(vol_.Resolve(576).ok());
+}
+
+TEST_F(VolumeTest, RoundTripVolumeLbn) {
+  for (uint64_t v : {0ull, 100ull, 287ull, 288ull, 575ull}) {
+    auto loc = vol_.Resolve(v);
+    ASSERT_TRUE(loc.ok());
+    EXPECT_EQ(vol_.ToVolumeLbn(loc->disk, loc->lbn), v);
+  }
+}
+
+TEST_F(VolumeTest, GetTrackBoundariesReportsT) {
+  // Track 0 of disk 0: zone 0, spt 20.
+  auto tb = vol_.GetTrackBoundaries(7);
+  ASSERT_TRUE(tb.ok());
+  EXPECT_EQ(tb->first_lbn, 0u);
+  EXPECT_EQ(tb->last_lbn, 19u);
+  EXPECT_EQ(tb->length, 20u);
+  // First track of disk 1 (volume LBN 288).
+  auto tb2 = vol_.GetTrackBoundaries(288 + 5);
+  ASSERT_TRUE(tb2.ok());
+  EXPECT_EQ(tb2->first_lbn, 288u);
+  EXPECT_EQ(tb2->length, 20u);
+  // A zone-1 track on disk 0 (zone 1 starts at LBN 160, spt 16).
+  auto tb3 = vol_.GetTrackBoundaries(160);
+  ASSERT_TRUE(tb3.ok());
+  EXPECT_EQ(tb3->length, 16u);
+}
+
+TEST_F(VolumeTest, GetAdjacentStaysOnDisk) {
+  // First adjacent of volume LBN 288 (disk 1, LBN 0) = disk 1, LBN 20.
+  auto adj = vol_.GetAdjacent(288, 1);
+  ASSERT_TRUE(adj.ok());
+  EXPECT_EQ(*adj, 288u + 20u);
+  // Adjacency never crosses the disk boundary: the last zone-0 track of
+  // disk 0 has no adjacent within its zone.
+  auto bad = vol_.GetAdjacent(140, 1);  // track 7 of 8 in zone 0
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(VolumeTest, MaxAdjacencyIsMinOverDisks) {
+  EXPECT_EQ(vol_.MaxAdjacency(), 4u);  // TestDisk: R=2 * C=2
+}
+
+TEST_F(VolumeTest, BatchRoutesAndRunsDisksInParallel) {
+  std::vector<disk::IoRequest> reqs = {
+      {0, 1},    // disk 0
+      {288, 1},  // disk 1
+      {40, 1},   // disk 0
+  };
+  auto r = vol_.ServiceBatch(reqs, {disk::SchedulerKind::kFifo, 8});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->requests, 3u);
+  EXPECT_EQ(r->sectors, 3u);
+  // Makespan is the max over per-disk busy times, not the sum.
+  EXPECT_LE(r->makespan_ms, r->total_busy_ms);
+  EXPECT_GT(r->per_disk[0].requests, 0u);
+  EXPECT_GT(r->per_disk[1].requests, 0u);
+}
+
+TEST_F(VolumeTest, BatchRejectsStraddlingRequest) {
+  std::vector<disk::IoRequest> reqs = {{287, 2}};
+  EXPECT_FALSE(vol_.ServiceBatch(reqs, {}).ok());
+}
+
+TEST_F(VolumeTest, ResetClearsAllDisks) {
+  std::vector<disk::IoRequest> reqs = {{0, 1}, {288, 1}};
+  ASSERT_TRUE(vol_.ServiceBatch(reqs, {}).ok());
+  vol_.Reset();
+  EXPECT_EQ(vol_.disk(0).now_ms(), 0.0);
+  EXPECT_EQ(vol_.disk(1).now_ms(), 0.0);
+}
+
+TEST(VolumeSingleDiskTest, AdjacencyMatchesGeometry) {
+  Volume vol(disk::MakeAtlas10k3());
+  const disk::Geometry& geo = vol.disk(0).geometry();
+  for (uint64_t lbn : {0ull, 999ull, 123456ull}) {
+    for (uint32_t j : {1u, 7u, 128u}) {
+      auto via_vol = vol.GetAdjacent(lbn, j);
+      auto via_geo = geo.AdjacentLbn(lbn, j);
+      ASSERT_EQ(via_vol.ok(), via_geo.ok());
+      if (via_vol.ok()) EXPECT_EQ(*via_vol, *via_geo);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mm::lvm

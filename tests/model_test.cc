@@ -1,0 +1,180 @@
+// Validates the analytical cost model against the simulator: the model's
+// purpose is what the paper used its tech-report model for -- predicting
+// Naive vs MultiMap I/O times from disk parameters -- so we require
+// agreement on every beam dimension and on range totals within a modest
+// tolerance, plus exactness on the strided-step primitive.
+#include "model/analytical.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/multimap.h"
+#include "disk/disk.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/naive.h"
+#include "query/executor.h"
+#include "util/stats.h"
+
+namespace mm::model {
+namespace {
+
+using map::Box;
+using map::GridShape;
+
+constexpr double kBeamTolerance = 0.30;   // 30%
+constexpr double kRangeTolerance = 0.35;  // 35%
+
+void ExpectWithin(double got, double want, double tol,
+                  const std::string& what) {
+  EXPECT_LE(std::abs(got - want), tol * std::max(got, want))
+      << what << ": model=" << got << " sim=" << want;
+}
+
+class ModelVsSimTest : public ::testing::Test {
+ protected:
+  disk::DiskSpec spec_ = disk::MakeAtlas10k3();
+  lvm::Volume vol_{spec_};
+  GridShape shape_{259, 259, 30};
+  CostModel model_{spec_, 0};
+
+  double SimBeamPerCell(const map::Mapping& m, uint32_t dim,
+                        uint64_t seed) {
+    query::Executor ex(&vol_, &m);
+    Rng rng(seed);
+    RunningStats stats;
+    for (int rep = 0; rep < 5; ++rep) {
+      EXPECT_TRUE(ex.RandomizeHead(rng).ok());
+      auto r = ex.RunBeam(query::RandomBeam(shape_, dim, rng));
+      EXPECT_TRUE(r.ok());
+      stats.Add(r->PerCellMs());
+    }
+    return stats.Mean();
+  }
+
+  double SimRangeTotal(const map::Mapping& m, const Box& box,
+                       uint64_t seed) {
+    query::Executor ex(&vol_, &m);
+    Rng rng(seed);
+    RunningStats stats;
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_TRUE(ex.RandomizeHead(rng).ok());
+      auto r = ex.RunRange(box);
+      EXPECT_TRUE(r.ok());
+      stats.Add(r->io_ms);
+    }
+    return stats.Mean();
+  }
+};
+
+TEST_F(ModelVsSimTest, StridedStepMatchesSimExactlyOnSameTrack) {
+  // Two single-sector requests `stride` apart on one track: the model's
+  // strided step must equal the simulator's second-request service time.
+  for (uint64_t stride : {5ull, 100ull, 300ull, 685ull}) {
+    disk::Disk d(spec_);
+    ASSERT_TRUE(d.Service({0, 1}).ok());
+    auto c = d.Service({stride, 1});
+    ASSERT_TRUE(c.ok());
+    const double sim = c->ServiceMs();
+    const double model = model_.StridedStepMs(stride, 1);
+    EXPECT_NEAR(model, sim, 0.02) << "stride " << stride;
+  }
+}
+
+TEST_F(ModelVsSimTest, StridedStepMatchesSimAcrossTracks) {
+  for (uint64_t stride : {686ull, 2000ull, 67081ull, 686ull * 50}) {
+    disk::Disk d(spec_);
+    ASSERT_TRUE(d.Service({0, 1}).ok());
+    auto c = d.Service({stride, 1});
+    ASSERT_TRUE(c.ok());
+    const double sim = c->ServiceMs();
+    const double model = model_.StridedStepMs(stride, 1);
+    // Across tracks the model approximates the cylinder distance; allow a
+    // little slack but stay within a fraction of a revolution.
+    EXPECT_NEAR(model, sim, 0.7) << "stride " << stride;
+  }
+}
+
+TEST_F(ModelVsSimTest, SemiSequentialHopMatchesAdjacentAccess) {
+  disk::Disk d(spec_);
+  disk::Geometry geo(spec_);
+  ASSERT_TRUE(d.Service({0, 1}).ok());
+  auto adj = geo.AdjacentLbn(0, 1);
+  ASSERT_TRUE(adj.ok());
+  auto c = d.Service({*adj, 1});
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(model_.SemiSequentialHopMs(1), c->ServiceMs(), 0.05);
+}
+
+TEST_F(ModelVsSimTest, NaiveBeamsAllDims) {
+  map::NaiveMapping naive(shape_, 0);
+  for (uint32_t dim = 0; dim < 3; ++dim) {
+    const double sim = SimBeamPerCell(naive, dim, 500 + dim);
+    const double model = model_.NaiveBeamPerCellMs(shape_, dim);
+    ExpectWithin(model, sim, kBeamTolerance,
+                 "naive beam dim " + std::to_string(dim));
+  }
+}
+
+TEST_F(ModelVsSimTest, MultiMapBeamsAllDims) {
+  auto mmap = core::MultiMapMapping::Create(vol_, shape_);
+  ASSERT_TRUE(mmap.ok());
+  for (uint32_t dim = 0; dim < 3; ++dim) {
+    const double sim = SimBeamPerCell(**mmap, dim, 600 + dim);
+    const double model =
+        model_.MultiMapBeamPerCellMs(shape_, (*mmap)->cube(), dim);
+    ExpectWithin(model, sim, kBeamTolerance,
+                 "multimap beam dim " + std::to_string(dim));
+  }
+}
+
+TEST_F(ModelVsSimTest, NaiveRangeTotals) {
+  map::NaiveMapping naive(shape_, 0);
+  Rng rng(321);
+  for (double pct : {0.1, 1.0, 5.0}) {
+    const Box box = query::RandomRange(shape_, pct, rng);
+    const double sim = SimRangeTotal(naive, box, 700);
+    const double model = model_.NaiveRangeTotalMs(shape_, box);
+    ExpectWithin(model, sim, kRangeTolerance,
+                 "naive range pct=" + std::to_string(pct));
+  }
+}
+
+TEST_F(ModelVsSimTest, MultiMapRangeTotals) {
+  auto mmap = core::MultiMapMapping::Create(vol_, shape_);
+  ASSERT_TRUE(mmap.ok());
+  Rng rng(654);
+  for (double pct : {0.1, 1.0, 5.0}) {
+    const Box box = query::RandomRange(shape_, pct, rng);
+    const double sim = SimRangeTotal(**mmap, box, 800);
+    const double model =
+        model_.MultiMapRangeTotalMs(shape_, (*mmap)->cube(), box);
+    ExpectWithin(model, sim, kRangeTolerance,
+                 "multimap range pct=" + std::to_string(pct));
+  }
+}
+
+TEST_F(ModelVsSimTest, ModelPredictsTheHeadlineOrdering) {
+  // The model must reproduce the paper's qualitative claims on its own:
+  // MultiMap matches Naive on Dim0 and beats it on the other dimensions.
+  auto mmap = core::MultiMapMapping::Create(vol_, shape_);
+  ASSERT_TRUE(mmap.ok());
+  const auto& cube = (*mmap)->cube();
+  EXPECT_LT(model_.MultiMapBeamPerCellMs(shape_, cube, 0),
+            2.0 * model_.NaiveBeamPerCellMs(shape_, 0) + 0.05);
+  EXPECT_LT(model_.MultiMapBeamPerCellMs(shape_, cube, 1),
+            model_.NaiveBeamPerCellMs(shape_, 1));
+  EXPECT_LT(model_.MultiMapBeamPerCellMs(shape_, cube, 2),
+            model_.NaiveBeamPerCellMs(shape_, 2));
+}
+
+TEST(CostModelBasicsTest, StreamingBandwidthIsTwoOrdersAboveRandom) {
+  CostModel model(disk::MakeAtlas10k3());
+  const double stream_per_sector = model.StreamingMs(100000) / 100000;
+  const double random = model.RandomAccessMs(1);
+  EXPECT_GT(random / stream_per_sector, 100.0);
+}
+
+}  // namespace
+}  // namespace mm::model

@@ -1,0 +1,92 @@
+#include "mapping/naive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace mm::map {
+namespace {
+
+TEST(NaiveMappingTest, LinearizesAlongDim0) {
+  NaiveMapping m(GridShape{5, 3}, 0);
+  // Figure 2's layout in LBN space: (x0, x1) -> x1*5 + x0.
+  EXPECT_EQ(m.LbnOf(MakeCell({0, 0})), 0u);
+  EXPECT_EQ(m.LbnOf(MakeCell({4, 0})), 4u);
+  EXPECT_EQ(m.LbnOf(MakeCell({0, 1})), 5u);
+  EXPECT_EQ(m.LbnOf(MakeCell({4, 2})), 14u);
+}
+
+TEST(NaiveMappingTest, BaseAndCellSectorsRespected) {
+  NaiveMapping m(GridShape{4, 4}, 1000, 4);
+  EXPECT_EQ(m.LbnOf(MakeCell({1, 2})), 1000u + (2 * 4 + 1) * 4);
+  EXPECT_EQ(m.footprint_sectors(), 64u);
+}
+
+TEST(NaiveMappingTest, RunsForRowBoxAreCoalesced) {
+  NaiveMapping m(GridShape{10, 10}, 0);
+  // Full-width rows coalesce into a single run.
+  Box box;
+  box.lo = MakeCell({0, 2});
+  box.hi = MakeCell({10, 5});
+  std::vector<LbnRun> runs;
+  m.AppendRunsForBox(box, &runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (LbnRun{20, 30}));
+}
+
+TEST(NaiveMappingTest, RunsForPartialRows) {
+  NaiveMapping m(GridShape{10, 10}, 0);
+  Box box;
+  box.lo = MakeCell({3, 1});
+  box.hi = MakeCell({6, 3});
+  std::vector<LbnRun> runs;
+  m.AppendRunsForBox(box, &runs);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (LbnRun{13, 3}));
+  EXPECT_EQ(runs[1], (LbnRun{23, 3}));
+}
+
+TEST(NaiveMappingTest, RunsClipToGrid) {
+  NaiveMapping m(GridShape{4, 4}, 0);
+  Box box;
+  box.lo = MakeCell({2, 2});
+  box.hi = MakeCell({9, 9});
+  std::vector<LbnRun> runs;
+  m.AppendRunsForBox(box, &runs);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (LbnRun{10, 2}));
+  EXPECT_EQ(runs[1], (LbnRun{14, 2}));
+}
+
+TEST(NaiveMappingTest, ThreeDimensionalRuns) {
+  NaiveMapping m(GridShape{4, 3, 2}, 0);
+  std::vector<LbnRun> runs;
+  m.AppendRunsForBox(Box::Full(m.shape()), &runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (LbnRun{0, 24}));
+
+  Box beam;  // a Dim2 beam at (1, 1, *)
+  beam.lo = MakeCell({1, 1, 0});
+  beam.hi = MakeCell({2, 2, 2});
+  runs.clear();
+  m.AppendRunsForBox(beam, &runs);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (LbnRun{5, 1}));    // (1,1,0) = 0*12 + 1*4 + 1
+  EXPECT_EQ(runs[1], (LbnRun{17, 1}));   // (1,1,1) = 12 + 5
+}
+
+TEST(NaiveMappingTest, OneDimensionalGrid) {
+  NaiveMapping m(GridShape{7}, 3);
+  EXPECT_EQ(m.LbnOf(MakeCell({6})), 9u);
+  Box box;
+  box.lo = MakeCell({2});
+  box.hi = MakeCell({5});
+  std::vector<LbnRun> runs;
+  m.AppendRunsForBox(box, &runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (LbnRun{5, 3}));
+}
+
+}  // namespace
+}  // namespace mm::map

@@ -1,0 +1,156 @@
+#include "dataset/octree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mm::dataset {
+namespace {
+
+// Uniform depth-2 tree: every leaf at level 2.
+Octree UniformTree() {
+  return Octree::Build(2, [](double, double, double) { return 2u; });
+}
+
+TEST(OctreeTest, UniformBuildCounts) {
+  Octree t = UniformTree();
+  EXPECT_EQ(t.extent(), 4u);
+  EXPECT_EQ(t.leaf_count(), 64u);
+  // 1 root + 8 + 64 nodes.
+  EXPECT_EQ(t.nodes().size(), 73u);
+}
+
+TEST(OctreeTest, ChildrenPartitionParent) {
+  Octree t = UniformTree();
+  for (const auto& n : t.nodes()) {
+    if (n.is_leaf()) continue;
+    const uint32_t half = t.NodeSize(n) / 2;
+    std::set<std::tuple<uint32_t, uint32_t, uint32_t>> origins;
+    for (uint32_t c = 0; c < 8; ++c) {
+      const auto& ch = t.nodes()[static_cast<uint32_t>(n.first_child) + c];
+      EXPECT_EQ(ch.level, n.level + 1);
+      EXPECT_TRUE(ch.x == n.x || ch.x == n.x + half);
+      EXPECT_TRUE(ch.y == n.y || ch.y == n.y + half);
+      EXPECT_TRUE(ch.z == n.z || ch.z == n.z + half);
+      origins.insert({ch.x, ch.y, ch.z});
+    }
+    EXPECT_EQ(origins.size(), 8u);  // all distinct
+  }
+}
+
+TEST(OctreeTest, LeafAtFindsContainingLeaf) {
+  // Refine only the octant at origin.
+  Octree t = Octree::Build(3, [](double x, double y, double z) {
+    return (x < 0.5 && y < 0.5 && z < 0.5) ? 3u : 1u;
+  });
+  for (uint32_t x = 0; x < t.extent(); x += 3) {
+    for (uint32_t y = 0; y < t.extent(); y += 3) {
+      for (uint32_t z = 0; z < t.extent(); z += 3) {
+        const uint32_t leaf = t.LeafAt(x, y, z);
+        const auto& n = t.nodes()[leaf];
+        EXPECT_TRUE(n.is_leaf());
+        const uint32_t size = t.NodeSize(n);
+        EXPECT_GE(x, n.x);
+        EXPECT_LT(x, n.x + size);
+        EXPECT_GE(y, n.y);
+        EXPECT_LT(y, n.y + size);
+        EXPECT_GE(z, n.z);
+        EXPECT_LT(z, n.z + size);
+      }
+    }
+  }
+}
+
+TEST(OctreeTest, SkewedDepths) {
+  // Left half fine, right half coarse.
+  Octree t = Octree::Build(3, [](double x, double, double) {
+    return x < 0.5 ? 3u : 1u;
+  });
+  EXPECT_TRUE(t.nodes()[t.LeafAt(0, 0, 0)].level == 3);
+  EXPECT_TRUE(t.nodes()[t.LeafAt(7, 7, 7)].level <= 2);
+}
+
+TEST(OctreeTest, VisitLeavesInBoxFindsExactSet) {
+  Octree t = Octree::Build(3, [](double x, double, double) {
+    return x < 0.5 ? 3u : 2u;
+  });
+  map::Box box;
+  box.lo = map::MakeCell({2, 3, 1});
+  box.hi = map::MakeCell({6, 7, 4});
+  std::set<uint32_t> visited;
+  t.VisitLeavesInBox(box, [&](uint32_t leaf) { visited.insert(leaf); });
+  // Brute force: every cell's containing leaf.
+  std::set<uint32_t> expected;
+  for (uint32_t x = box.lo[0]; x < box.hi[0]; ++x) {
+    for (uint32_t y = box.lo[1]; y < box.hi[1]; ++y) {
+      for (uint32_t z = box.lo[2]; z < box.hi[2]; ++z) {
+        expected.insert(t.LeafAt(x, y, z));
+      }
+    }
+  }
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(OctreeTest, UniformSubtreesCoverUniformAreas) {
+  // Left half fine (level 3), right half coarse (level 1): expect maximal
+  // uniform subtrees, disjoint, covering the domain.
+  Octree t = Octree::Build(3, [](double x, double, double) {
+    return x < 0.5 ? 3u : 1u;
+  });
+  auto regions = t.UniformSubtrees();
+  uint64_t covered = 0;
+  for (const auto& r : regions) {
+    covered += static_cast<uint64_t>(r.wx) * r.wy * r.wz;
+  }
+  // Uniform subtrees partition the whole domain (every leaf is uniform).
+  EXPECT_EQ(covered, 8ull * 8 * 8);
+  // The fine half: its largest subtree should be a 4-cube at leaf level 3.
+  bool found_fine = false;
+  for (const auto& r : regions) {
+    if (r.leaf_level == 3 && r.wx == 4 && r.wy == 4 && r.wz == 4) {
+      found_fine = true;
+    }
+  }
+  EXPECT_TRUE(found_fine);
+}
+
+TEST(OctreeTest, GrowRegionsMergesAdjacentBoxes) {
+  std::vector<Octree::UniformRegion> regions;
+  // Two 4-cubes stacked along y, same leaf level.
+  regions.push_back({0, 0, 0, 4, 4, 4, 3});
+  regions.push_back({0, 4, 0, 4, 4, 4, 3});
+  // A different-level cube that must not merge.
+  regions.push_back({4, 0, 0, 4, 4, 4, 2});
+  auto grown = Octree::GrowRegions(regions);
+  ASSERT_EQ(grown.size(), 2u);
+  bool found = false;
+  for (const auto& r : grown) {
+    if (r.leaf_level == 3) {
+      EXPECT_EQ(r.wy, 8u);
+      EXPECT_EQ(r.wx, 4u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OctreeTest, GrowRegionsChainsMerges) {
+  // Four cubes in a row merge into one long box.
+  std::vector<Octree::UniformRegion> regions;
+  for (uint32_t i = 0; i < 4; ++i) {
+    regions.push_back({i * 2, 0, 0, 2, 2, 2, 2});
+  }
+  auto grown = Octree::GrowRegions(regions);
+  ASSERT_EQ(grown.size(), 1u);
+  EXPECT_EQ(grown[0].wx, 8u);
+}
+
+TEST(OctreeTest, LeafCellsAccountsLeafSize) {
+  Octree::UniformRegion r{0, 0, 0, 8, 8, 4, 2};
+  // max_depth 3: level-2 leaves are 2 finest cells a side.
+  EXPECT_EQ(r.LeafSize(3), 2u);
+  EXPECT_EQ(r.LeafCells(3), 4u * 4 * 2);
+}
+
+}  // namespace
+}  // namespace mm::dataset

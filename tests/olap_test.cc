@@ -1,0 +1,82 @@
+#include "dataset/olap.h"
+
+#include <gtest/gtest.h>
+
+#include "core/multimap.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+
+namespace mm::dataset {
+namespace {
+
+TEST(OlapTest, ShapesMatchPaper) {
+  EXPECT_EQ(OlapFullShape(), (map::GridShape{1182, 150, 25, 50}));
+  EXPECT_EQ(OlapChunkShape(), (map::GridShape{591, 75, 25, 25}));
+  // 8 chunks tile the full cube.
+  EXPECT_EQ(OlapFullShape().CellCount(), 8 * OlapChunkShape().CellCount());
+}
+
+TEST(OlapTest, QueriesHavePaperExtents) {
+  const map::GridShape shape = OlapChunkShape();
+  Rng rng(42);
+  for (int i = 0; i < 20; ++i) {
+    const auto q1 = OlapQ1(shape, rng);
+    EXPECT_EQ(q1.dim, kOrderDay);
+    EXPECT_EQ(q1.ToBox(shape).CellCount(4), 591u);
+
+    const auto q2 = OlapQ2(shape, rng);
+    EXPECT_EQ(q2.dim, kNationId);
+    EXPECT_EQ(q2.ToBox(shape).CellCount(4), 25u);
+
+    const auto q3 = OlapQ3(shape, rng);
+    EXPECT_EQ(q3.CellCount(4), 183ull * 75);  // year x quantities
+    EXPECT_EQ(q3.hi[kNationId] - q3.lo[kNationId], 1u);
+
+    const auto q4 = OlapQ4(shape, rng);
+    EXPECT_EQ(q4.CellCount(4), 183ull * 75 * 25);
+
+    const auto q5 = OlapQ5(shape, rng);
+    EXPECT_EQ(q5.CellCount(4), 10ull * 10 * 10 * 10);
+    for (uint32_t d = 0; d < 4; ++d) {
+      EXPECT_LE(q5.hi[d], shape.dim(d));
+    }
+  }
+}
+
+TEST(OlapTest, RollUpDerivesCube) {
+  Rng rng(7);
+  const auto rows = GenerateOrders(20000, rng);
+  const auto counts = RollUp(rows, OlapFullShape());
+  uint64_t total = 0;
+  for (uint32_t c : counts) total += c;
+  EXPECT_EQ(total, rows.size());
+  // Roll-up halves OrderDate: day d lands in bucket d/2.
+  const OrderRow& r = rows[0];
+  const map::Cell cell = map::MakeCell(
+      {r.order_day / 2, r.quantity, r.nation, r.product});
+  EXPECT_GT(counts[OlapFullShape().LinearIndex(cell)], 0u);
+}
+
+TEST(OlapTest, GeneratedRowsStayInRange) {
+  Rng rng(11);
+  for (const auto& r : GenerateOrders(5000, rng)) {
+    EXPECT_LT(r.order_day, 2361u);
+    EXPECT_LT(r.quantity, 150u);
+    EXPECT_LT(r.nation, 25u);
+    EXPECT_LT(r.product, 50u);
+    EXPECT_GT(r.price, 0.0);
+  }
+}
+
+TEST(OlapTest, ChunkFitsMultiMapOnPaperDisks) {
+  for (const auto& spec : disk::PaperDisks()) {
+    lvm::Volume vol(spec);
+    auto m = core::MultiMapMapping::Create(vol, OlapChunkShape());
+    ASSERT_TRUE(m.ok()) << spec.name << ": " << m.status();
+    // Eq. 3: the two middle dims (Quantity, NationID) share D = 128.
+    EXPECT_LE((*m)->cube().k[1] * (*m)->cube().k[2], 128u) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace mm::dataset

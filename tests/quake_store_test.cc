@@ -1,0 +1,115 @@
+#include "dataset/earthquake.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "disk/spec.h"
+
+namespace mm::dataset {
+namespace {
+
+class QuakeStoreTest : public ::testing::Test {
+ protected:
+  // Small tree (depth 5 = 32^3 domain) on the Atlas-like disk.
+  lvm::Volume vol_{disk::MakeAtlas10k3()};
+  Octree tree_ = BuildQuakeOctree(QuakeParams{5});
+};
+
+TEST_F(QuakeStoreTest, TreeHasSkewedStructure) {
+  EXPECT_GT(tree_.leaf_count(), 1000u);
+  auto regions = Octree::GrowRegions(tree_.UniformSubtrees());
+  EXPECT_GE(regions.size(), 2u);
+  // The biggest grown region must hold a majority-scale share of leaves
+  // (the paper's dataset: two subareas hold > 60% of elements).
+  uint64_t best = 0;
+  for (const auto& r : regions) {
+    best = std::max(best, r.LeafCells(tree_.max_depth()));
+  }
+  EXPECT_GT(static_cast<double>(best) /
+                static_cast<double>(tree_.leaf_count()),
+            0.3);
+}
+
+TEST_F(QuakeStoreTest, LinearLayoutsAssignDistinctLbns) {
+  for (auto layout : {QuakeStore::Layout::kNaive, QuakeStore::Layout::kZOrder,
+                      QuakeStore::Layout::kHilbert}) {
+    auto store = QuakeStore::Create(vol_, tree_, layout);
+    ASSERT_TRUE(store.ok()) << store.status();
+    std::set<uint64_t> lbns;
+    for (uint32_t i = 0; i < tree_.nodes().size(); ++i) {
+      if (!tree_.nodes()[i].is_leaf()) continue;
+      const uint64_t lbn = (*store)->LbnOfLeaf(i);
+      EXPECT_TRUE(lbns.insert(lbn).second) << "dup lbn " << lbn;
+      EXPECT_LT(lbn, tree_.leaf_count());
+    }
+    EXPECT_EQ(lbns.size(), tree_.leaf_count());
+  }
+}
+
+TEST_F(QuakeStoreTest, MultiMapLayoutCoversEveryLeafOnce) {
+  auto store =
+      QuakeStore::Create(vol_, tree_, QuakeStore::Layout::kMultiMap);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_GT((*store)->region_count(), 0u);
+  EXPECT_GT((*store)->RegionCoverage(), 0.3);
+  std::set<uint64_t> lbns;
+  for (uint32_t i = 0; i < tree_.nodes().size(); ++i) {
+    if (!tree_.nodes()[i].is_leaf()) continue;
+    const uint64_t lbn = (*store)->LbnOfLeaf(i);
+    ASSERT_NE(lbn, UINT64_MAX) << "leaf " << i << " unmapped";
+    EXPECT_TRUE(lbns.insert(lbn).second) << "dup lbn " << lbn;
+  }
+  EXPECT_EQ(lbns.size(), tree_.leaf_count());
+}
+
+TEST_F(QuakeStoreTest, PlanBoxFetchesExactLeafSet) {
+  for (auto layout :
+       {QuakeStore::Layout::kNaive, QuakeStore::Layout::kMultiMap}) {
+    auto store = QuakeStore::Create(vol_, tree_, layout);
+    ASSERT_TRUE(store.ok());
+    map::Box box;
+    box.lo = map::MakeCell({3, 10, 2});
+    box.hi = map::MakeCell({17, 25, 30});
+    const auto plan = (*store)->PlanBox(box);
+    // Expected leaves.
+    std::set<uint64_t> want;
+    tree_.VisitLeavesInBox(box, [&](uint32_t leaf) {
+      want.insert((*store)->LbnOfLeaf(leaf));
+    });
+    std::set<uint64_t> got;
+    uint64_t got_sectors = 0;
+    for (const auto& r : plan.requests) {
+      for (uint32_t k = 0; k < r.sectors; ++k) got.insert(r.lbn + k);
+      got_sectors += r.sectors;
+    }
+    EXPECT_EQ(got, want) << (*store)->name();
+    EXPECT_EQ(plan.leaves, want.size()) << (*store)->name();
+    EXPECT_EQ(got_sectors, got.size()) << "no request overlap";
+  }
+}
+
+TEST_F(QuakeStoreTest, BeamAndRangeServiceRuns) {
+  for (auto layout :
+       {QuakeStore::Layout::kNaive, QuakeStore::Layout::kZOrder,
+        QuakeStore::Layout::kHilbert, QuakeStore::Layout::kMultiMap}) {
+    vol_.Reset();
+    auto store = QuakeStore::Create(vol_, tree_, layout);
+    ASSERT_TRUE(store.ok());
+    map::Box beam;
+    beam.lo = map::MakeCell({0, 11, 7});
+    beam.hi = map::MakeCell({tree_.extent(), 12, 8});
+    const auto plan = (*store)->PlanBox(beam);
+    ASSERT_GT(plan.leaves, 0u);
+    auto br = vol_.ServiceBatch(
+        plan.requests,
+        {plan.mapping_order ? disk::SchedulerKind::kFifo
+                            : disk::SchedulerKind::kElevator,
+         4, true});
+    ASSERT_TRUE(br.ok()) << (*store)->name();
+    EXPECT_GT(br->makespan_ms, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mm::dataset
