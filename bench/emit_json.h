@@ -1,0 +1,78 @@
+// Machine-readable benchmark results: every bench can emit a flat
+// BENCH_<name>.json of metrics next to its table output, so perf trajectory
+// is tracked across PRs (see README.md "Benchmark results").
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mm::bench {
+
+/// Collects named metrics and writes them as one flat JSON object:
+///   {"bench": "<name>", "metrics": {"k": v, ...}, "notes": {"k": "v", ...}}
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  void Note(const std::string& key, const std::string& value) {
+    notes_.emplace_back(key, value);
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + Escape(name_) + "\",\n";
+    out += "  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out += i ? ",\n    " : "\n    ";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", metrics_[i].second);
+      out += "\"" + Escape(metrics_[i].first) + "\": " + buf;
+    }
+    out += metrics_.empty() ? "},\n" : "\n  },\n";
+    out += "  \"notes\": {";
+    for (size_t i = 0; i < notes_.size(); ++i) {
+      out += i ? ",\n    " : "\n    ";
+      out += "\"" + Escape(notes_[i].first) + "\": \"" +
+             Escape(notes_[i].second) + "\"";
+    }
+    out += notes_.empty() ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+  }
+
+  /// Writes the JSON to `path`; returns false (and prints to stderr) on
+  /// I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "emit_json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+}  // namespace mm::bench

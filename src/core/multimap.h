@@ -19,8 +19,10 @@
 // equals literally iterating Figure 5's GetAdjacent loop against the LVM.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/basic_cube.h"

@@ -1,6 +1,7 @@
 #include "disk/disk.h"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 namespace mm::disk {
@@ -20,11 +21,15 @@ const char* SchedulerKindName(SchedulerKind kind) {
 }
 
 Disk::Disk(const DiskSpec& spec)
-    : spec_(spec), geometry_(spec), seek_(spec), rotation_(spec) {}
+    : spec_(spec), geometry_(spec), seek_(spec), rotation_(spec) {
+  head_geom_ = geometry_.Track(0);
+}
 
 void Disk::Reset() {
   now_ms_ = 0;
   current_track_ = 0;
+  head_geom_ = geometry_.Track(0);
+  xfer_cursor_.Invalidate();
   cache_valid_ = false;
   cache_track_ = 0;
   cache_begin_u_ = 0;
@@ -45,9 +50,7 @@ uint64_t Disk::CachedPrefix(const TrackGeom& geom, uint32_t sector,
   const uint64_t u_now = UnrolledSlot(at_ms, geom.spt);
   if (u_now <= cache_begin_u_) return 0;
   const uint64_t arc = std::min<uint64_t>(u_now - cache_begin_u_, geom.spt);
-  const uint64_t track_in_zone =
-      geom.track - geometry_.ZoneOfTrack(geom.track).first_track;
-  const uint32_t slot = geom.PhysSlot(sector, track_in_zone);
+  const uint32_t slot = geom.PhysSlotHere(sector);
   const uint64_t pos = u_now % geom.spt;
   // How many slots ago did `slot` finish passing under the head?
   const uint64_t behind = (pos + geom.spt - ((slot + 1) % geom.spt)) %
@@ -58,12 +61,29 @@ uint64_t Disk::CachedPrefix(const TrackGeom& geom, uint32_t sector,
   return std::min<uint64_t>(n, behind + 1);
 }
 
-void Disk::PositioningCost(uint64_t from_track, double at_ms, uint64_t lbn,
+uint64_t Disk::CachedPrefixRef(const TrackGeom& geom, uint32_t sector,
+                               uint64_t n, double at_ms) const {
+  if (!spec_.readahead || readahead_suppressed_ || !cache_valid_ ||
+      geom.track != cache_track_) {
+    return 0;
+  }
+  const uint64_t u_now = UnrolledSlot(at_ms, geom.spt);
+  if (u_now <= cache_begin_u_) return 0;
+  const uint64_t arc = std::min<uint64_t>(u_now - cache_begin_u_, geom.spt);
+  const uint64_t track_in_zone =
+      geom.track - geometry_.ZoneOfTrackRef(geom.track).first_track;
+  const uint32_t slot = geom.PhysSlot(sector, track_in_zone);
+  const uint64_t pos = u_now % geom.spt;
+  const uint64_t behind = (pos + geom.spt - ((slot + 1) % geom.spt)) %
+                          geom.spt;
+  if (behind >= arc) return 0;
+  return std::min<uint64_t>(n, behind + 1);
+}
+
+void Disk::PositioningCost(const TrackGeom& from, double at_ms,
+                           const TrackGeom& to, double target_angle,
                            double* seek_ms, double* rot_ms,
                            bool* is_settle_seek, bool* is_head_switch) const {
-  const TrackGeom from = geometry_.Track(from_track);
-  const uint64_t to_track = geometry_.TrackOfLbn(lbn);
-  const TrackGeom to = geometry_.Track(to_track);
   const bool surface_change = from.surface != to.surface;
   *seek_ms = seek_.SeekTime(from.cylinder, to.cylinder, surface_change);
   const uint32_t dist = from.cylinder > to.cylinder
@@ -72,26 +92,85 @@ void Disk::PositioningCost(uint64_t from_track, double at_ms, uint64_t lbn,
   *is_settle_seek = dist > 0 && dist <= seek_.settle_cylinders();
   *is_head_switch = dist == 0 && surface_change;
   const double arrival = at_ms + *seek_ms;
-  const double target_angle = geometry_.AngleOfLbn(lbn);
   *rot_ms = rotation_.RotateTime(rotation_.AngleAt(arrival), target_angle);
 }
 
+void Disk::PositioningCostRef(uint64_t from_track, double at_ms, uint64_t lbn,
+                              double* seek_ms, double* rot_ms,
+                              bool* is_settle_seek,
+                              bool* is_head_switch) const {
+  const TrackGeom from = geometry_.TrackRef(from_track);
+  const uint64_t to_track = geometry_.TrackOfLbnRef(lbn);
+  const TrackGeom to = geometry_.TrackRef(to_track);
+  const bool surface_change = from.surface != to.surface;
+  *seek_ms = seek_.SeekTime(from.cylinder, to.cylinder, surface_change);
+  const uint32_t dist = from.cylinder > to.cylinder
+                            ? from.cylinder - to.cylinder
+                            : to.cylinder - from.cylinder;
+  *is_settle_seek = dist > 0 && dist <= seek_.settle_cylinders();
+  *is_head_switch = dist == 0 && surface_change;
+  const double arrival = at_ms + *seek_ms;
+  const double target_angle = geometry_.AngleOfLbnRef(lbn);
+  *rot_ms = rotation_.RotateTime(rotation_.AngleAtRef(arrival), target_angle);
+}
+
 double Disk::EstimatePositioning(uint64_t lbn) const {
-  const uint64_t track = geometry_.TrackOfLbn(lbn);
-  const TrackGeom geom = geometry_.Track(track);
-  if (CachedPrefix(geom, static_cast<uint32_t>(lbn - geom.first_lbn), 1,
-                   now_ms_) > 0) {
+  const TrackGeom geom = geometry_.Track(geometry_.TrackOfLbn(lbn));
+  const uint32_t sector = static_cast<uint32_t>(lbn - geom.first_lbn);
+  if (CachedPrefix(geom, sector, 1, now_ms_) > 0) {
     return 0.0;
   }
   double seek_ms = 0, rot_ms = 0;
   bool settle = false, hs = false;
-  PositioningCost(current_track_, now_ms_, lbn, &seek_ms, &rot_ms, &settle,
-                  &hs);
+  PositioningCost(head_geom_, now_ms_, geom, geom.AngleOf(sector), &seek_ms,
+                  &rot_ms, &settle, &hs);
   return seek_ms + rot_ms;
+}
+
+double Disk::EstimatePositioningRef(uint64_t lbn) const {
+  const uint64_t track = geometry_.TrackOfLbnRef(lbn);
+  const TrackGeom geom = geometry_.TrackRef(track);
+  if (CachedPrefixRef(geom, static_cast<uint32_t>(lbn - geom.first_lbn), 1,
+                      now_ms_) > 0) {
+    return 0.0;
+  }
+  double seek_ms = 0, rot_ms = 0;
+  bool settle = false, hs = false;
+  PositioningCostRef(current_track_, now_ms_, lbn, &seek_ms, &rot_ms, &settle,
+                     &hs);
+  return seek_ms + rot_ms;
+}
+
+double Disk::EstimateQueued(const Queued& q) const {
+  if (CachedPrefix(q.geom, q.sector, 1, now_ms_) > 0) return 0.0;
+  double seek_ms = 0, rot_ms = 0;
+  bool settle = false, hs = false;
+  PositioningCost(head_geom_, now_ms_, q.geom, q.angle, &seek_ms, &rot_ms,
+                  &settle, &hs);
+  return seek_ms + rot_ms;
+}
+
+Disk::Queued Disk::Admit(const IoRequest& req, uint64_t seq) const {
+  Queued q;
+  q.req = req;
+  q.seq = seq;
+  // Out-of-range LBNs resolve against the last zone (clamped), exactly as
+  // the reference path's upper_bound does; Service() rejects them when
+  // picked either way.
+  q.geom = geometry_.Track(geometry_.TrackOfLbn(req.lbn));
+  q.sector = static_cast<uint32_t>(req.lbn - q.geom.first_lbn);
+  q.angle = q.geom.AngleOf(q.sector);
+  return q;
 }
 
 Result<Completion> Disk::Service(const IoRequest& request,
                                  bool charge_overhead) {
+  return ServiceWithHint(request, charge_overhead, nullptr);
+}
+
+Result<Completion> Disk::ServiceWithHint(const IoRequest& request,
+                                         bool charge_overhead,
+                                         const TrackGeom* hint) {
   if (request.sectors == 0) {
     return Status::InvalidArgument("request with zero sectors");
   }
@@ -113,9 +192,11 @@ Result<Completion> Disk::Service(const IoRequest& request,
   uint64_t lbn = request.lbn;
   uint64_t remaining = request.sectors;
   bool first_segment = true;
+  if (hint != nullptr) xfer_cursor_.Prime(*hint);
   while (remaining > 0) {
-    const uint64_t track = geometry_.TrackOfLbn(lbn);
-    const TrackGeom geom = geometry_.Track(track);
+    // The cursor resolves the first track of a request once, then crosses
+    // subsequent tracks with pure arithmetic (zone boundaries re-resolve).
+    const TrackGeom& geom = xfer_cursor_.SeekLbn(lbn);
     const uint32_t sector = static_cast<uint32_t>(lbn - geom.first_lbn);
     uint64_t run = std::min<uint64_t>(remaining, geom.spt - sector);
 
@@ -141,10 +222,11 @@ Result<Completion> Disk::Service(const IoRequest& request,
     // Position: a real seek for the first segment; for continuation
     // segments this is the track crossing (head switch or one-cylinder
     // seek), whose cost is hidden inside the skew.
+    const uint32_t pos_sector = static_cast<uint32_t>(lbn - geom.first_lbn);
     double seek_ms = 0, rot_ms = 0;
     bool settle = false, hs = false;
-    PositioningCost(current_track_, now_ms_, lbn, &seek_ms, &rot_ms, &settle,
-                    &hs);
+    PositioningCost(head_geom_, now_ms_, geom, geom.AngleOf(pos_sector),
+                    &seek_ms, &rot_ms, &settle, &hs);
     now_ms_ += seek_ms + rot_ms;
     c.phases.seek_ms += seek_ms;
     c.phases.rot_ms += rot_ms;
@@ -158,6 +240,89 @@ Result<Completion> Disk::Service(const IoRequest& request,
     // Track the read-ahead arc: seeking to a different track invalidates
     // the buffer; rotational waits on the same track only grow it (the
     // head keeps reading while it waits).
+    if (!cache_valid_ || geom.track != cache_track_) {
+      cache_valid_ = true;
+      cache_track_ = geom.track;
+      cache_begin_u_ = UnrolledSlot(now_ms_, geom.spt);
+    }
+
+    const double xfer = rotation_.TransferTime(run, geom.spt);
+    now_ms_ += xfer;
+    c.phases.xfer_ms += xfer;
+
+    current_track_ = geom.track;
+    head_geom_ = geom;
+    lbn += run;
+    remaining -= run;
+    first_segment = false;
+  }
+
+  c.end_ms = now_ms_;
+  ++stats_.requests;
+  stats_.sectors += request.sectors;
+  stats_.phases += c.phases;
+  stats_.track_switches += c.track_switches;
+  return c;
+}
+
+Result<Completion> Disk::ServiceRef(const IoRequest& request,
+                                    bool charge_overhead) {
+  if (request.sectors == 0) {
+    return Status::InvalidArgument("request with zero sectors");
+  }
+  if (request.lbn + request.sectors > geometry_.total_sectors()) {
+    return Status::OutOfRange(
+        "request [" + std::to_string(request.lbn) + ", +" +
+        std::to_string(request.sectors) + ") beyond disk capacity " +
+        std::to_string(geometry_.total_sectors()));
+  }
+
+  Completion c;
+  c.request = request;
+  c.start_ms = now_ms_;
+  if (charge_overhead) {
+    c.phases.overhead_ms = spec_.command_overhead_ms;
+    now_ms_ += spec_.command_overhead_ms;
+  }
+
+  uint64_t lbn = request.lbn;
+  uint64_t remaining = request.sectors;
+  bool first_segment = true;
+  while (remaining > 0) {
+    const uint64_t track = geometry_.TrackOfLbnRef(lbn);
+    const TrackGeom geom = geometry_.TrackRef(track);
+    const uint32_t sector = static_cast<uint32_t>(lbn - geom.first_lbn);
+    uint64_t run = std::min<uint64_t>(remaining, geom.spt - sector);
+
+    if (first_segment) {
+      const uint64_t cached = CachedPrefixRef(geom, sector, run, now_ms_);
+      if (cached > 0) {
+        ++stats_.buffer_hits;
+        stats_.buffered_sectors += cached;
+        lbn += cached;
+        remaining -= cached;
+        run -= cached;
+        if (run == 0) {
+          first_segment = false;
+          continue;
+        }
+      }
+    }
+
+    double seek_ms = 0, rot_ms = 0;
+    bool settle = false, hs = false;
+    PositioningCostRef(current_track_, now_ms_, lbn, &seek_ms, &rot_ms,
+                       &settle, &hs);
+    now_ms_ += seek_ms + rot_ms;
+    c.phases.seek_ms += seek_ms;
+    c.phases.rot_ms += rot_ms;
+    if (seek_ms > 0 || rot_ms > 0 || first_segment) {
+      if (settle) ++stats_.settle_seeks;
+      if (!settle && !hs && seek_ms > 0) ++stats_.seeks;
+      if (hs) ++stats_.head_switches;
+    }
+    if (!first_segment) ++c.track_switches;
+
     if (!cache_valid_ || track != cache_track_) {
       cache_valid_ = true;
       cache_track_ = track;
@@ -169,6 +334,7 @@ Result<Completion> Disk::Service(const IoRequest& request,
     c.phases.xfer_ms += xfer;
 
     current_track_ = track;
+    head_geom_ = geom;  // keep the fast paths' head cache coherent
     lbn += run;
     remaining -= run;
     first_segment = false;
@@ -200,6 +366,211 @@ Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
     return Status::InvalidArgument("queue_depth must be positive");
   }
 
+  // TCQ semantics: look-ahead is suspended while more than one request is
+  // queued at the drive.
+  const bool suppress =
+      options.queue_disables_readahead && requests.size() > 1;
+  readahead_suppressed_ = suppress;
+
+  auto service_picked = [&](const IoRequest& req, uint64_t req_track,
+                            const TrackGeom* hint) -> Status {
+    // TCQ pipelining: the drive stages the next queued command during the
+    // current service, so a command that opens with a seek pays no
+    // turnaround (the seek starts the instant the previous transfer ends).
+    // A same-track rotational continuation cannot hide the turnaround --
+    // the gate must be re-armed in the angular gap itself -- so it still
+    // pays the command overhead. The first command of a batch always pays.
+    const bool charge_overhead =
+        result.requests == 0 || req_track == current_track_;
+    auto serviced = ServiceWithHint(req, charge_overhead, hint);
+    if (!serviced.ok()) return serviced.status();
+    const Completion& c = *serviced;
+    if (completions != nullptr) completions->push_back(c);
+    result.phases += c.phases;
+    ++result.requests;
+    result.sectors += c.request.sectors;
+    return Status::OK();
+  };
+
+  if (options.kind == SchedulerKind::kFifo) {
+    // FIFO never reorders: the queue window is behaviorally a no-op, so the
+    // batch is serviced straight from the span with no window bookkeeping.
+    for (const IoRequest& req : requests) {
+      Status st =
+          service_picked(req, geometry_.TrackOfLbn(req.lbn), nullptr);
+      if (!st.ok()) {
+        readahead_suppressed_ = false;
+        return st;
+      }
+    }
+    readahead_suppressed_ = false;
+    result.end_ms = now_ms_;
+    return result;
+  }
+
+  if (options.kind == SchedulerKind::kElevator) {
+    // Presorted cursor: the batch is rank-sorted by (lbn, arrival) once;
+    // the queue window is then a bitmap over ranks, admission sets a bit,
+    // service clears one, and each pick is a binary search for the head
+    // position plus a find-next-set scan -- near-constant per pick where
+    // the reference rescans and erase()s an O(window) vector. The pick is
+    // provably identical: the first set rank at or past the head is the
+    // window's smallest (lbn, arrival) >= pos, and the wrap case takes the
+    // globally smallest, exactly the reference's tie-breaking.
+    const size_t n = requests.size();
+    std::vector<uint32_t> order(n);  // rank -> request index
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return requests[a].lbn != requests[b].lbn
+                 ? requests[a].lbn < requests[b].lbn
+                 : a < b;
+    });
+    std::vector<uint64_t> lbns(n);      // rank -> lbn, for the pick search
+    std::vector<uint32_t> rank_of(n);   // request index -> rank
+    for (size_t r = 0; r < n; ++r) {
+      lbns[r] = requests[order[r]].lbn;
+      rank_of[order[r]] = static_cast<uint32_t>(r);
+    }
+    std::vector<uint64_t> bits((n + 63) / 64, 0);
+    auto next_set = [&](size_t from) -> size_t {
+      size_t w = from / 64;
+      if (w >= bits.size()) return n;
+      uint64_t word = bits[w] & (~0ull << (from % 64));
+      while (word == 0) {
+        if (++w == bits.size()) return n;
+        word = bits[w];
+      }
+      return w * 64 + static_cast<size_t>(std::countr_zero(word));
+    };
+    size_t next_admit = 0, live = 0;
+    auto admit = [&] {
+      while (live < options.queue_depth && next_admit < n) {
+        const uint32_t r = rank_of[next_admit++];
+        bits[r / 64] |= 1ull << (r % 64);
+        ++live;
+      }
+    };
+    // Rank of the first lbn >= pos: the head lands on the last pick's
+    // track, so a short walk from that rank almost always settles before
+    // the capped step budget; the binary search is the fallback.
+    auto rank_of_pos = [&](uint64_t pos, size_t hint) -> size_t {
+      size_t r = std::min(hint, n);
+      for (int s = 0; s < 32; ++s) {
+        if (r > 0 && lbns[r - 1] >= pos) {
+          --r;
+        } else if (r < n && lbns[r] < pos) {
+          ++r;
+        } else {
+          return r;
+        }
+      }
+      return static_cast<size_t>(
+          std::lower_bound(lbns.begin(), lbns.end(), pos) - lbns.begin());
+    };
+    size_t hint_rank = 0;
+    admit();
+    while (live > 0) {
+      // Ascending sweep from the head's current first LBN, wrapping.
+      const uint64_t pos = head_geom_.first_lbn;
+      const size_t r0 = rank_of_pos(pos, hint_rank);
+      size_t pick = next_set(r0);
+      if (pick == n) pick = next_set(0);
+      bits[pick / 64] &= ~(1ull << (pick % 64));
+      --live;
+      hint_rank = pick;
+      const IoRequest& req = requests[order[pick]];
+      const TrackGeom geom = geometry_.Track(geometry_.TrackOfLbn(req.lbn));
+      Status st = service_picked(req, geom.track, &geom);
+      if (!st.ok()) {
+        readahead_suppressed_ = false;
+        return st;
+      }
+      admit();
+    }
+    readahead_suppressed_ = false;
+    result.end_ms = now_ms_;
+    return result;
+  }
+
+  // SSTF/SPTF: an unordered window with each request's geometry resolved
+  // once at admission; removal is an index swap. Picks scan cached fields,
+  // tie-breaking on admission order to match the reference window's
+  // first-oldest semantics.
+  std::vector<Queued> window;
+  window.reserve(options.queue_depth);
+  size_t next = 0;
+  uint64_t seq = 0;
+
+  auto refill = [&] {
+    while (window.size() < options.queue_depth && next < requests.size()) {
+      window.push_back(Admit(requests[next++], seq++));
+    }
+  };
+
+  refill();
+  while (!window.empty()) {
+    size_t pick = 0;
+    if (options.kind == SchedulerKind::kSstf) {
+      uint32_t best = UINT32_MAX;
+      uint64_t best_seq = UINT64_MAX;
+      for (size_t i = 0; i < window.size(); ++i) {
+        const uint32_t cyl = window[i].geom.cylinder;
+        const uint32_t d = cyl > head_geom_.cylinder
+                               ? cyl - head_geom_.cylinder
+                               : head_geom_.cylinder - cyl;
+        if (d < best || (d == best && window[i].seq < best_seq)) {
+          best = d;
+          best_seq = window[i].seq;
+          pick = i;
+        }
+      }
+    } else {  // kSptf
+      double best = 1e300;
+      uint64_t best_seq = UINT64_MAX;
+      for (size_t i = 0; i < window.size(); ++i) {
+        const double cost = EstimateQueued(window[i]);
+        if (cost < best || (cost == best && window[i].seq < best_seq)) {
+          best = cost;
+          best_seq = window[i].seq;
+          pick = i;
+        }
+      }
+    }
+
+    const Queued picked = window[pick];
+    window[pick] = std::move(window.back());
+    window.pop_back();
+    Status st = service_picked(picked.req, picked.geom.track, &picked.geom);
+    if (!st.ok()) {
+      readahead_suppressed_ = false;
+      return st;
+    }
+    refill();
+  }
+  readahead_suppressed_ = false;
+
+  result.end_ms = now_ms_;
+  return result;
+}
+
+Result<BatchResult> Disk::ServiceBatchRef(std::span<const IoRequest> requests,
+                                          const BatchOptions& options) {
+  return ServiceBatchRef(requests, options, nullptr);
+}
+
+Result<BatchResult> Disk::ServiceBatchRef(
+    std::span<const IoRequest> requests, const BatchOptions& options,
+    std::vector<Completion>* completions) {
+  BatchResult result;
+  result.start_ms = now_ms_;
+  if (requests.empty()) {
+    result.end_ms = now_ms_;
+    return result;
+  }
+  if (options.queue_depth == 0) {
+    return Status::InvalidArgument("queue_depth must be positive");
+  }
+
   // The drive's queue window: indices into `requests`.
   std::vector<size_t> window;
   window.reserve(options.queue_depth);
@@ -212,8 +583,6 @@ Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
   };
 
   refill();
-  // TCQ semantics: look-ahead is suspended while more than one request is
-  // queued at the drive.
   const bool suppress =
       options.queue_disables_readahead && requests.size() > 1;
   readahead_suppressed_ = suppress;
@@ -223,10 +592,10 @@ Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
       case SchedulerKind::kFifo:
         break;
       case SchedulerKind::kSstf: {
-        const TrackGeom cur = geometry_.Track(current_track_);
+        const TrackGeom cur = geometry_.TrackRef(current_track_);
         uint32_t best = UINT32_MAX;
         for (size_t i = 0; i < window.size(); ++i) {
-          const uint64_t t = geometry_.TrackOfLbn(requests[window[i]].lbn);
+          const uint64_t t = geometry_.TrackOfLbnRef(requests[window[i]].lbn);
           const uint32_t cyl = geometry_.CylinderOfTrack(t);
           const uint32_t d =
               cyl > cur.cylinder ? cyl - cur.cylinder : cur.cylinder - cyl;
@@ -240,7 +609,7 @@ Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
       case SchedulerKind::kSptf: {
         double best = 1e300;
         for (size_t i = 0; i < window.size(); ++i) {
-          const double cost = EstimatePositioning(requests[window[i]].lbn);
+          const double cost = EstimatePositioningRef(requests[window[i]].lbn);
           if (cost < best) {
             best = cost;
             pick = i;
@@ -250,7 +619,7 @@ Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
       }
       case SchedulerKind::kElevator: {
         // Ascending sweep from the head's current first LBN, wrapping.
-        const uint64_t pos = geometry_.TrackFirstLbn(current_track_);
+        const uint64_t pos = geometry_.TrackFirstLbnRef(current_track_);
         uint64_t best_ge = UINT64_MAX, best_any = UINT64_MAX;
         size_t pick_ge = SIZE_MAX, pick_any = 0;
         for (size_t i = 0; i < window.size(); ++i) {
@@ -269,17 +638,11 @@ Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
       }
     }
 
-    // TCQ pipelining: the drive stages the next queued command during the
-    // current service, so a command that opens with a seek pays no
-    // turnaround (the seek starts the instant the previous transfer ends).
-    // A same-track rotational continuation cannot hide the turnaround --
-    // the gate must be re-armed in the angular gap itself -- so it still
-    // pays the command overhead. The first command of a batch always pays.
     const IoRequest& req = requests[window[pick]];
     const bool same_track =
-        geometry_.TrackOfLbn(req.lbn) == current_track_;
+        geometry_.TrackOfLbnRef(req.lbn) == current_track_;
     const bool charge_overhead = result.requests == 0 || same_track;
-    auto serviced = Service(req, charge_overhead);
+    auto serviced = ServiceRef(req, charge_overhead);
     if (!serviced.ok()) {
       readahead_suppressed_ = false;
       return serviced.status();

@@ -10,6 +10,15 @@
 // settle each with no rotational latency -- not because the simulator special
 // cases them, but because the track skew places adjacent blocks one settle
 // rotation ahead (see geometry.h).
+//
+// Hot-path structure: Service() walks multi-track transfers with a
+// TrackCursor (pure arithmetic per track crossing), the head's resolved
+// TrackGeom is carried between requests, and ServiceBatch() caches each
+// queued request's track/cylinder/angle once at admission so scheduler picks
+// never re-resolve geometry. The pre-optimization implementations are kept
+// callable as ServiceRef / ServiceBatchRef / EstimatePositioningRef; they
+// produce bit-identical results (LBNs, completion order, timing) and exist
+// for the equivalence tests and bench/micro_hotpath.cc.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +63,11 @@ class Disk {
  public:
   explicit Disk(const DiskSpec& spec);
 
+  // The simulator carries internal cursors referring to its own geometry;
+  // copying would alias another disk's state.
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
   const DiskSpec& spec() const { return spec_; }
   const Geometry& geometry() const { return geometry_; }
 
@@ -93,6 +107,21 @@ class Disk {
                                    const BatchOptions& options,
                                    std::vector<Completion>* completions);
 
+  // --- Reference implementations -----------------------------------------
+  // The pre-optimization service paths, verbatim: per-call binary-search
+  // geometry resolution, an erase()-based queue window, and per-pick
+  // re-resolution. Results are bit-identical to the fast paths above. Kept
+  // for the scheduler regression/equivalence tests and the hot-path bench.
+
+  Result<Completion> ServiceRef(const IoRequest& request,
+                                bool charge_overhead = true);
+  double EstimatePositioningRef(uint64_t lbn) const;
+  Result<BatchResult> ServiceBatchRef(std::span<const IoRequest> requests,
+                                      const BatchOptions& options = {});
+  Result<BatchResult> ServiceBatchRef(std::span<const IoRequest> requests,
+                                      const BatchOptions& options,
+                                      std::vector<Completion>* completions);
+
   const DiskStats& stats() const { return stats_; }
 
   /// Streaming bandwidth of the outermost zone in MB/s (sector payload over
@@ -100,11 +129,38 @@ class Disk {
   double StreamingBandwidthMBps() const;
 
  private:
-  // Positioning (seek + rotation) to the first sector of `lbn` starting from
-  // (track, time); returns the phase costs without mutating the disk.
-  void PositioningCost(uint64_t from_track, double at_ms, uint64_t lbn,
-                       double* seek_ms, double* rot_ms,
-                       bool* is_settle_seek, bool* is_head_switch) const;
+  // A queued request with its geometry resolved once at admission, so
+  // scheduler picks are pure arithmetic over cached fields.
+  struct Queued {
+    IoRequest req;
+    uint64_t seq = 0;     // admission order; ties resolve to the oldest
+    TrackGeom geom;       // track holding the request's first sector
+    uint32_t sector = 0;  // logical sector of the first LBN within geom
+    double angle = 0;     // platter angle of that sector's start
+  };
+
+  // Positioning (seek + rotation) from a resolved head position to a
+  // resolved target; returns the phase costs without mutating the disk.
+  void PositioningCost(const TrackGeom& from, double at_ms,
+                       const TrackGeom& to, double target_angle,
+                       double* seek_ms, double* rot_ms, bool* is_settle_seek,
+                       bool* is_head_switch) const;
+  // Pre-optimization version: resolves everything from (track, lbn).
+  void PositioningCostRef(uint64_t from_track, double at_ms, uint64_t lbn,
+                          double* seek_ms, double* rot_ms,
+                          bool* is_settle_seek, bool* is_head_switch) const;
+
+  // SPTF estimate over an admission-cached entry (no geometry resolution).
+  double EstimateQueued(const Queued& q) const;
+
+  // Service with the first track's geometry already resolved (primes the
+  // transfer cursor); `hint` must describe the track holding request.lbn.
+  Result<Completion> ServiceWithHint(const IoRequest& request,
+                                     bool charge_overhead,
+                                     const TrackGeom* hint);
+
+  // Resolves a request's first sector into a Queued entry.
+  Queued Admit(const IoRequest& req, uint64_t seq) const;
 
   // Read-ahead bookkeeping: while the head sits on `cache_track_`, the
   // buffer holds the last min(u_now - cache_begin_u_, spt) sectors that
@@ -116,6 +172,8 @@ class Disk {
   // as a prefix (0 when read-ahead is off or the track differs).
   uint64_t CachedPrefix(const TrackGeom& geom, uint32_t sector, uint64_t n,
                         double at_ms) const;
+  uint64_t CachedPrefixRef(const TrackGeom& geom, uint32_t sector, uint64_t n,
+                           double at_ms) const;
 
   DiskSpec spec_;
   Geometry geometry_;
@@ -124,6 +182,8 @@ class Disk {
 
   double now_ms_ = 0;
   uint64_t current_track_ = 0;
+  TrackGeom head_geom_;            // resolved geometry of current_track_
+  TrackCursor xfer_cursor_{geometry_};  // walks multi-track transfers
   bool cache_valid_ = false;
   bool readahead_suppressed_ = false;  // set during queued batch service
   uint64_t cache_track_ = 0;

@@ -44,6 +44,15 @@ Geometry::Geometry(const DiskSpec& spec) : spec_(spec) {
         static_cast<uint64_t>(zs.cylinders) * spec.surfaces;
     z.first_lbn = lbn;
     z.sector_count = z.track_count * zs.sectors_per_track;
+    // Reciprocal for exact division by spt: shift = floor(log2(spt)),
+    // magic = floor(2^(64+shift) / spt) (clamped to 64 bits when spt is a
+    // power of two; DivModSpt's fixup absorbs the underestimate).
+    while ((1u << (z.spt_shift + 1)) <= z.spt) ++z.spt_shift;
+    const unsigned __int128 numer = static_cast<unsigned __int128>(1)
+                                    << (64 + z.spt_shift);
+    const unsigned __int128 magic = numer / z.spt;
+    z.spt_magic = magic > UINT64_MAX ? UINT64_MAX
+                                     : static_cast<uint64_t>(magic);
     zones_.push_back(z);
     cyl += zs.cylinders;
     track += z.track_count;
@@ -53,7 +62,36 @@ Geometry::Geometry(const DiskSpec& spec) : spec_(spec) {
   total_sectors_ = lbn;
 }
 
-const Geometry::ZoneInfo& Geometry::ZoneOfLbn(uint64_t lbn) const {
+const Geometry::ZoneInfo& Geometry::ZoneOfLbnSlow(uint64_t lbn) const {
+  // Memo miss: walk from the memoized zone (accesses are zone-local, so the
+  // target is almost always a neighbor). Out-of-range values clamp to the
+  // last zone, matching the reference upper_bound behavior.
+  uint32_t i = lbn_zone_memo_;
+  while (lbn < zones_[i].first_lbn) --i;
+  while (i + 1 < zones_.size() &&
+         lbn - zones_[i].first_lbn >= zones_[i].sector_count) {
+    ++i;
+  }
+  lbn_zone_memo_ = i;
+  return zones_[i];
+}
+
+const Geometry::ZoneInfo& Geometry::ZoneOfTrackSlow(uint64_t track) const {
+  uint32_t i = track_zone_memo_;
+  while (track < zones_[i].first_track) --i;
+  while (i + 1 < zones_.size() &&
+         track - zones_[i].first_track >= zones_[i].track_count) {
+    ++i;
+  }
+  track_zone_memo_ = i;
+  return zones_[i];
+}
+
+// --- Reference implementations ---------------------------------------------
+// The pre-optimization code paths, verbatim: a binary search over zone
+// boundaries per call. Kept for equivalence tests and the hot-path bench.
+
+const Geometry::ZoneInfo& Geometry::ZoneOfLbnRef(uint64_t lbn) const {
   // Zones are few (<= ~16); binary search over first_lbn.
   auto it = std::upper_bound(
       zones_.begin(), zones_.end(), lbn,
@@ -61,32 +99,29 @@ const Geometry::ZoneInfo& Geometry::ZoneOfLbn(uint64_t lbn) const {
   return *(it - 1);
 }
 
-const Geometry::ZoneInfo& Geometry::ZoneOfTrack(uint64_t track) const {
+const Geometry::ZoneInfo& Geometry::ZoneOfTrackRef(uint64_t track) const {
   auto it = std::upper_bound(
       zones_.begin(), zones_.end(), track,
       [](uint64_t v, const ZoneInfo& z) { return v < z.first_track; });
   return *(it - 1);
 }
 
-uint64_t Geometry::TrackOfLbn(uint64_t lbn) const {
-  const ZoneInfo& z = ZoneOfLbn(lbn);
+uint64_t Geometry::TrackOfLbnRef(uint64_t lbn) const {
+  const ZoneInfo& z = ZoneOfLbnRef(lbn);
   return z.first_track + (lbn - z.first_lbn) / z.spt;
 }
 
-uint64_t Geometry::TrackFirstLbn(uint64_t track) const {
-  const ZoneInfo& z = ZoneOfTrack(track);
+uint64_t Geometry::TrackFirstLbnRef(uint64_t track) const {
+  const ZoneInfo& z = ZoneOfTrackRef(track);
   return z.first_lbn + (track - z.first_track) * z.spt;
 }
 
-uint32_t Geometry::TrackLength(uint64_t track) const {
-  return ZoneOfTrack(track).spt;
-}
-
-TrackGeom Geometry::Track(uint64_t track) const {
-  const ZoneInfo& z = ZoneOfTrack(track);
+TrackGeom Geometry::TrackRef(uint64_t track) const {
+  const ZoneInfo& z = ZoneOfTrackRef(track);
   TrackGeom g;
   g.track = track;
-  g.first_lbn = z.first_lbn + (track - z.first_track) * z.spt;
+  g.track_in_zone = track - z.first_track;
+  g.first_lbn = z.first_lbn + g.track_in_zone * z.spt;
   g.spt = z.spt;
   g.skew = z.skew;
   g.cylinder = CylinderOfTrack(track);
@@ -94,6 +129,21 @@ TrackGeom Geometry::Track(uint64_t track) const {
   g.zone = z.index;
   return g;
 }
+
+uint32_t Geometry::PhysSlotOfLbnRef(uint64_t lbn) const {
+  const ZoneInfo& z = ZoneOfLbnRef(lbn);
+  const uint64_t rel = lbn - z.first_lbn;
+  const uint64_t track_in_zone = rel / z.spt;
+  const uint64_t sector = rel % z.spt;
+  return static_cast<uint32_t>((sector + track_in_zone * z.skew) % z.spt);
+}
+
+double Geometry::AngleOfLbnRef(uint64_t lbn) const {
+  const ZoneInfo& z = ZoneOfLbnRef(lbn);
+  return static_cast<double>(PhysSlotOfLbnRef(lbn)) / z.spt;
+}
+
+// ---------------------------------------------------------------------------
 
 Result<PhysLoc> Geometry::LbnToPhys(uint64_t lbn) const {
   if (lbn >= total_sectors_) {
@@ -124,19 +174,6 @@ Result<uint64_t> Geometry::PhysToLbn(const PhysLoc& loc) const {
     return Status::OutOfRange("sector beyond track length");
   }
   return z.first_lbn + (track - z.first_track) * z.spt + loc.sector;
-}
-
-uint32_t Geometry::PhysSlotOfLbn(uint64_t lbn) const {
-  const ZoneInfo& z = ZoneOfLbn(lbn);
-  const uint64_t rel = lbn - z.first_lbn;
-  const uint64_t track_in_zone = rel / z.spt;
-  const uint64_t sector = rel % z.spt;
-  return static_cast<uint32_t>((sector + track_in_zone * z.skew) % z.spt);
-}
-
-double Geometry::AngleOfLbn(uint64_t lbn) const {
-  const ZoneInfo& z = ZoneOfLbn(lbn);
-  return static_cast<double>(PhysSlotOfLbn(lbn)) / z.spt;
 }
 
 Result<uint64_t> Geometry::AdjacentLbn(uint64_t lbn, uint32_t j) const {

@@ -15,6 +15,16 @@
 // work: the block at the same angular offset (one settle rotation) on any of
 // the next D tracks can be accessed for one settle time with zero rotational
 // latency (paper Section 3, Figure 1(b)).
+//
+// Hot-path structure: the per-LBN/per-track resolvers (ZoneOfLbn,
+// TrackOfLbn, Track, PhysSlotOfLbn, AngleOfLbn) are memoized on the last
+// zone touched -- disk workloads are overwhelmingly zone-local, so lookups
+// are O(1) amortized instead of a binary search per call -- and TrackCursor
+// carries a resolved TrackGeom across consecutive track crossings with pure
+// arithmetic. The original binary-search implementations are kept callable
+// as *Ref for equivalence tests and the hot-path benchmark
+// (bench/micro_hotpath.cc). The memo makes the resolvers not thread-safe
+// per Geometry instance, matching the single-threaded simulator.
 #pragma once
 
 #include <cstdint>
@@ -45,11 +55,21 @@ struct TrackGeom {
   uint32_t cylinder = 0;
   uint32_t surface = 0;
   uint32_t zone = 0;
+  uint64_t track_in_zone = 0;  ///< Track index relative to the zone start.
+
+  bool operator==(const TrackGeom&) const = default;
 
   /// Physical rotational slot of a logical sector on this track.
-  uint32_t PhysSlot(uint32_t logical_sector, uint64_t track_in_zone) const {
-    return static_cast<uint32_t>(
-        (logical_sector + track_in_zone * skew) % spt);
+  uint32_t PhysSlot(uint32_t logical_sector, uint64_t tiz) const {
+    return static_cast<uint32_t>((logical_sector + tiz * skew) % spt);
+  }
+  /// As PhysSlot, using this track's own zone-relative index.
+  uint32_t PhysSlotHere(uint32_t logical_sector) const {
+    return PhysSlot(logical_sector, track_in_zone);
+  }
+  /// Angular position (fraction of a revolution) of a logical sector's start.
+  double AngleOf(uint32_t logical_sector) const {
+    return static_cast<double>(PhysSlotHere(logical_sector)) / spt;
   }
 };
 
@@ -63,7 +83,10 @@ class Geometry {
   uint32_t surfaces() const { return spec_.surfaces; }
   uint32_t zone_count() const { return static_cast<uint32_t>(zones_.size()); }
 
-  /// Derived per-zone data.
+  /// Derived per-zone data, including a precomputed reciprocal for exact
+  /// division by spt (libdivide-style): the hot resolvers divide by a
+  /// runtime sectors-per-track on every call, and a multiply-high plus a
+  /// bounded fixup is several times cheaper than a hardware 64-bit divide.
   struct ZoneInfo {
     uint32_t index = 0;
     uint32_t first_cylinder = 0;
@@ -74,28 +97,89 @@ class Geometry {
     uint64_t track_count = 0;
     uint64_t first_lbn = 0;
     uint64_t sector_count = 0;
+    uint64_t spt_magic = 0;    ///< floor(2^(64+spt_shift) / spt), clamped.
+    uint32_t spt_shift = 0;    ///< floor(log2(spt)).
+
+    struct DivMod {
+      uint64_t quot;
+      uint64_t rem;
+    };
+    /// Exact n / spt and n % spt. The magic multiply underestimates the
+    /// quotient by at most 2, which the loop corrects with exact integer
+    /// comparisons; results equal the hardware divide for every n.
+    DivMod DivModSpt(uint64_t n) const {
+      uint64_t q = static_cast<uint64_t>(
+                       (static_cast<unsigned __int128>(n) * spt_magic) >>
+                       64) >>
+                   spt_shift;
+      uint64_t r = n - q * spt;
+      while (r >= spt) {
+        ++q;
+        r -= spt;
+      }
+      return {q, r};
+    }
   };
 
   const ZoneInfo& zone(uint32_t index) const { return zones_[index]; }
   const std::vector<ZoneInfo>& zones() const { return zones_; }
 
   /// Zone containing the given LBN. Precondition: lbn < total_sectors().
-  const ZoneInfo& ZoneOfLbn(uint64_t lbn) const;
+  /// O(1) amortized: memoized on the zone of the previous lookup.
+  const ZoneInfo& ZoneOfLbn(uint64_t lbn) const {
+    const ZoneInfo& m = zones_[lbn_zone_memo_];
+    if (lbn - m.first_lbn < m.sector_count) return m;
+    return ZoneOfLbnSlow(lbn);
+  }
 
-  /// Zone containing the given global track index.
-  const ZoneInfo& ZoneOfTrack(uint64_t track) const;
+  /// Zone containing the given global track index. O(1) amortized.
+  const ZoneInfo& ZoneOfTrack(uint64_t track) const {
+    const ZoneInfo& m = zones_[track_zone_memo_];
+    if (track - m.first_track < m.track_count) return m;
+    return ZoneOfTrackSlow(track);
+  }
 
   /// Global track index holding the given LBN.
-  uint64_t TrackOfLbn(uint64_t lbn) const;
+  uint64_t TrackOfLbn(uint64_t lbn) const {
+    const ZoneInfo& z = ZoneOfLbn(lbn);
+    return z.first_track + z.DivModSpt(lbn - z.first_lbn).quot;
+  }
 
   /// LBN of logical sector 0 of the given track.
-  uint64_t TrackFirstLbn(uint64_t track) const;
+  uint64_t TrackFirstLbn(uint64_t track) const {
+    const ZoneInfo& z = ZoneOfTrack(track);
+    return z.first_lbn + (track - z.first_track) * z.spt;
+  }
 
   /// Sectors per track for the given track (the paper's T; zone-dependent).
-  uint32_t TrackLength(uint64_t track) const;
+  uint32_t TrackLength(uint64_t track) const { return ZoneOfTrack(track).spt; }
 
   /// Full geometry of a track, for hot paths.
-  TrackGeom Track(uint64_t track) const;
+  TrackGeom Track(uint64_t track) const {
+    const ZoneInfo& z = ZoneOfTrack(track);
+    TrackGeom g;
+    g.track = track;
+    g.track_in_zone = track - z.first_track;
+    g.first_lbn = z.first_lbn + g.track_in_zone * z.spt;
+    g.spt = z.spt;
+    g.skew = z.skew;
+    g.cylinder = CylinderOfTrack(track);
+    g.surface = SurfaceOfTrack(track);
+    g.zone = z.index;
+    return g;
+  }
+
+  // --- Reference implementations (the pre-optimization binary searches) --
+  // Kept callable, and bit-identical in results to the fast paths above,
+  // for the equivalence tests and bench/micro_hotpath.cc.
+
+  const ZoneInfo& ZoneOfLbnRef(uint64_t lbn) const;
+  const ZoneInfo& ZoneOfTrackRef(uint64_t track) const;
+  uint64_t TrackOfLbnRef(uint64_t lbn) const;
+  uint64_t TrackFirstLbnRef(uint64_t track) const;
+  TrackGeom TrackRef(uint64_t track) const;
+  uint32_t PhysSlotOfLbnRef(uint64_t lbn) const;
+  double AngleOfLbnRef(uint64_t lbn) const;
 
   uint32_t CylinderOfTrack(uint64_t track) const {
     return static_cast<uint32_t>(track / spec_.surfaces);
@@ -113,11 +197,19 @@ class Geometry {
   /// Physical rotational slot (0..spt-1) of an LBN on its track, with skew
   /// applied. The platter angle of slot k on a track with T sectors is k/T
   /// of a revolution.
-  uint32_t PhysSlotOfLbn(uint64_t lbn) const;
+  uint32_t PhysSlotOfLbn(uint64_t lbn) const {
+    const ZoneInfo& z = ZoneOfLbn(lbn);
+    const ZoneInfo::DivMod dm = z.DivModSpt(lbn - z.first_lbn);
+    return static_cast<uint32_t>(
+        z.DivModSpt(dm.rem + dm.quot * z.skew).rem);
+  }
 
   /// Angular position (fraction of a revolution, in [0,1)) of the *start* of
   /// the given LBN's sector.
-  double AngleOfLbn(uint64_t lbn) const;
+  double AngleOfLbn(uint64_t lbn) const {
+    const ZoneInfo& z = ZoneOfLbn(lbn);
+    return static_cast<double>(PhysSlotOfLbn(lbn)) / z.spt;
+  }
 
   /// The j-th adjacent block of `lbn` (paper Section 3.1): the block on
   /// track(lbn)+j that sits at the same angular offset -- one settle rotation
@@ -132,10 +224,94 @@ class Geometry {
   const DiskSpec& spec() const { return spec_; }
 
  private:
+  const ZoneInfo& ZoneOfLbnSlow(uint64_t lbn) const;
+  const ZoneInfo& ZoneOfTrackSlow(uint64_t track) const;
+
   DiskSpec spec_;
   std::vector<ZoneInfo> zones_;
   uint64_t total_sectors_ = 0;
   uint64_t total_tracks_ = 0;
+  // Last-zone memos (separate for LBN- and track-keyed lookups). Mutable:
+  // pure caches, observable only through timing. See header comment on
+  // thread-safety.
+  mutable uint32_t lbn_zone_memo_ = 0;
+  mutable uint32_t track_zone_memo_ = 0;
+};
+
+/// Incremental track resolver for streaming hot paths: carries a resolved
+/// TrackGeom across consecutive track crossings with pure arithmetic,
+/// re-resolving only at zone boundaries or on non-local jumps. Produces
+/// TrackGeoms bit-identical to Geometry::Track().
+class TrackCursor {
+ public:
+  explicit TrackCursor(const Geometry& geo) : geo_(&geo) {}
+
+  /// Geometry of the track holding `lbn`. O(1) when `lbn` falls on the
+  /// current or the immediately following track (the streaming case).
+  const TrackGeom& SeekLbn(uint64_t lbn) {
+    if (valid_) {
+      if (lbn - geom_.first_lbn < geom_.spt) return geom_;
+      if (lbn - geom_.first_lbn < 2ull * geom_.spt &&
+          geom_.track + 1 < zone_end_track_) {
+        return Next();
+      }
+    }
+    return MoveTo(geo_->TrackOfLbn(lbn));
+  }
+
+  /// Geometry of global track `track`; O(1) for the current or next track.
+  const TrackGeom& SeekTrack(uint64_t track) {
+    if (valid_) {
+      if (track == geom_.track) return geom_;
+      if (track == geom_.track + 1 && track < zone_end_track_) return Next();
+    }
+    return MoveTo(track);
+  }
+
+  /// Advances to the next track. Pure arithmetic within a zone.
+  const TrackGeom& Next() {
+    const uint64_t next = geom_.track + 1;
+    if (!valid_ || next >= zone_end_track_) return MoveTo(next);
+    geom_.track = next;
+    ++geom_.track_in_zone;
+    geom_.first_lbn += geom_.spt;
+    if (++geom_.surface == geo_->surfaces()) {
+      geom_.surface = 0;
+      ++geom_.cylinder;
+    }
+    return geom_;
+  }
+
+  /// Full re-resolution (zone crossing or random jump).
+  const TrackGeom& MoveTo(uint64_t track) {
+    geom_ = geo_->Track(track);
+    const Geometry::ZoneInfo& z = geo_->zone(geom_.zone);
+    zone_end_track_ = z.first_track + z.track_count;
+    valid_ = true;
+    return geom_;
+  }
+
+  /// Adopts an externally resolved TrackGeom (e.g. one cached at queue
+  /// admission), skipping re-resolution. `g` must be a value produced by
+  /// Geometry::Track()/TrackRef() of the same geometry.
+  void Prime(const TrackGeom& g) {
+    geom_ = g;
+    const Geometry::ZoneInfo& z = geo_->zone(g.zone);
+    zone_end_track_ = z.first_track + z.track_count;
+    valid_ = true;
+  }
+
+  /// Forgets the current position (next access re-resolves).
+  void Invalidate() { valid_ = false; }
+
+  bool valid() const { return valid_; }
+  const TrackGeom& geom() const { return geom_; }
+
+ private:
+  const Geometry* geo_;
+  TrackGeom geom_;
+  uint64_t zone_end_track_ = 0;  ///< First track past the current zone.
+  bool valid_ = false;
 };
 
 }  // namespace mm::disk

@@ -45,15 +45,52 @@ class SeekModel {
 class RotationModel {
  public:
   explicit RotationModel(const DiskSpec& spec)
-      : rev_ms_(spec.RevolutionMs()) {}
+      : rev_ms_(spec.RevolutionMs()), inv_rev_ms_(1.0 / rev_ms_) {}
 
   double revolution_ms() const { return rev_ms_; }
 
   /// Angular position of the platter (fraction of a revolution in [0,1))
   /// at absolute time `t_ms`. At t=0 the platter is at angle 0.
+  ///
+  /// Hot path: libm fmod costs ~10x a multiply on common libms, and the
+  /// simulator computes an angle per scheduler candidate per pick. PosMod()
+  /// computes the same remainder exactly (see below), so this is
+  /// bit-identical to AngleAtRef().
   double AngleAt(double t_ms) const {
+    const double frac = PosMod(t_ms) / rev_ms_;
+    return frac < 0 ? frac + 1.0 : frac;
+  }
+
+  /// Pre-optimization implementation (std::fmod); kept callable for the
+  /// reference service paths and equivalence tests.
+  double AngleAtRef(double t_ms) const {
     const double frac = std::fmod(t_ms, rev_ms_) / rev_ms_;
     return frac < 0 ? frac + 1.0 : frac;
+  }
+
+  /// Exactly std::fmod(t_ms, rev_ms_), computed with a reciprocal multiply
+  /// and an FMA instead of libm's iterative argument reduction.
+  ///
+  /// Exactness: for integer q, fma(-q, rev, t) rounds t - q*rev once; when
+  /// q is the true floor quotient the infinitely-precise remainder is
+  /// representable (it has no more significand bits than t), so the single
+  /// rounding is exact. The estimated quotient can be off by one ulp of
+  /// the division, which the fixup loop corrects with exact comparisons.
+  /// Quotients near 2^53 lose integer exactness, so huge inputs fall back
+  /// to libm; the simulated clock never gets near that.
+  double PosMod(double t_ms) const {
+    if (!(t_ms >= 0) || t_ms >= 1e12) return std::fmod(t_ms, rev_ms_);
+    double q = std::trunc(t_ms * inv_rev_ms_);
+    double r = std::fma(-q, rev_ms_, t_ms);
+    while (r < 0) {
+      q -= 1;
+      r = std::fma(-q, rev_ms_, t_ms);
+    }
+    while (r >= rev_ms_) {
+      q += 1;
+      r = std::fma(-q, rev_ms_, t_ms);
+    }
+    return r;
   }
 
   /// Time to rotate from angle `from` to angle `to` (fractions of a
@@ -71,6 +108,7 @@ class RotationModel {
 
  private:
   double rev_ms_;
+  double inv_rev_ms_;
 };
 
 }  // namespace mm::disk

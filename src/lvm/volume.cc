@@ -61,8 +61,11 @@ void Volume::Reset() {
 Result<VolumeBatchResult> Volume::ServiceBatch(
     std::span<const disk::IoRequest> requests,
     const disk::BatchOptions& options) {
-  // Route to member disks, preserving issue order per disk.
-  std::vector<std::vector<disk::IoRequest>> shares(disks_.size());
+  // Route to member disks, preserving issue order per disk. The share
+  // buffers are members reused across calls (cleared, capacity kept) so
+  // steady-state routing performs no allocations.
+  shares_.resize(disks_.size());
+  for (auto& s : shares_) s.clear();
   for (const auto& r : requests) {
     MM_ASSIGN_OR_RETURN(Location loc, Resolve(r.lbn));
     if (loc.lbn + r.sectors >
@@ -71,15 +74,15 @@ Result<VolumeBatchResult> Volume::ServiceBatch(
           "request straddles a disk boundary at volume LBN " +
           std::to_string(r.lbn));
     }
-    shares[loc.disk].push_back({loc.lbn, r.sectors});
+    shares_[loc.disk].push_back({loc.lbn, r.sectors});
   }
 
   VolumeBatchResult out;
   out.per_disk.resize(disks_.size());
   for (size_t d = 0; d < disks_.size(); ++d) {
-    if (shares[d].empty()) continue;
+    if (shares_[d].empty()) continue;
     MM_ASSIGN_OR_RETURN(disk::BatchResult br,
-                        disks_[d]->ServiceBatch(shares[d], options));
+                        disks_[d]->ServiceBatch(shares_[d], options));
     out.per_disk[d] = br;
     out.makespan_ms = std::max(out.makespan_ms, br.TotalMs());
     out.total_busy_ms += br.TotalMs();

@@ -111,6 +111,9 @@ class Volume {
   std::vector<uint64_t> first_lbn_;  // per disk, plus total at the end
   uint64_t total_sectors_ = 0;
   uint32_t max_adjacency_ = 0;
+  // Per-disk request shares, reused across ServiceBatch calls so routing
+  // is allocation-free on the steady state (capacities persist).
+  std::vector<std::vector<disk::IoRequest>> shares_;
 };
 
 }  // namespace mm::lvm

@@ -6,11 +6,13 @@
 // ranges (N-D boxes) over cells (Section 5.1).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mm::map {

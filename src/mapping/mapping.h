@@ -69,6 +69,16 @@ class Mapping {
     return false;
   }
 
+  /// True when the mapping is translation-invariant: for any two in-grid
+  /// boxes with identical per-dimension extents, the runs of one equal the
+  /// runs of the other with every LBN shifted by the difference of the
+  /// boxes' LbnOf(lo), and IssueInMappingOrder depends only on the box
+  /// extents. (This implies LbnOf is affine in the cell coordinates.)
+  /// Row-major linearizations qualify; space-filling curves and MultiMap's
+  /// cube packing do not. Enables the executor's translation-template plan
+  /// cache, which replans a repeated query shape as a pure LBN offset.
+  virtual bool TranslationInvariant() const { return false; }
+
  protected:
   GridShape shape_;
   uint64_t base_lbn_ = 0;

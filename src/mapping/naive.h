@@ -6,6 +6,8 @@
 // the shortcoming MultiMap removes.
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "mapping/mapping.h"
@@ -29,6 +31,10 @@ class NaiveMapping : public Mapping {
   uint64_t footprint_sectors() const override {
     return shape_.CellCount() * cell_sectors_;
   }
+
+  /// Row-major linearization: runs translate with the box, and issue order
+  /// is always ascending-LBN.
+  bool TranslationInvariant() const override { return true; }
 };
 
 }  // namespace mm::map

@@ -4,25 +4,124 @@
 
 namespace mm::query {
 
-QueryPlan Executor::Plan(const map::Box& box) const {
-  std::vector<map::LbnRun> runs;
+Executor::Executor(lvm::Volume* volume, const map::Mapping* mapping,
+                   ExecOptions options)
+    : volume_(volume), mapping_(mapping), options_(options) {
+  ti_ = mapping_->TranslationInvariant();
+  ndims_ = mapping_->shape().ndims();
+  for (uint32_t i = 0; i < ndims_; ++i) dims_[i] = mapping_->shape().dim(i);
+  if (ti_) {
+    // TranslationInvariant implies LbnOf is affine in the cell coordinates
+    // (apply the run-translation property to 1-cell boxes); probe the
+    // per-dimension strides once so template hits never call the mapping.
+    const map::Cell zero{};
+    const uint64_t lbn0 = mapping_->LbnOf(zero);
+    for (uint32_t i = 0; i < ndims_; ++i) {
+      if (mapping_->shape().dim(i) > 1) {
+        map::Cell unit{};
+        unit[i] = 1;
+        strides_[i] = mapping_->LbnOf(unit) - lbn0;
+      }
+    }
+  }
+}
+
+namespace {
+
+// Branchless hit probe, unrolled over a compile-time dimension count for
+// the hot shapes: accumulates every miss condition (clipped-empty or
+// extent mismatch) into one flag while evaluating the affine LBN offset.
+template <uint32_t N>
+inline bool ProbeHit(const map::Box& box, const uint32_t* dims,
+                     const uint32_t* tmpl_ext, const uint64_t* strides,
+                     uint64_t* dot_out) {
+  uint32_t miss = 0;
+  uint64_t dot = 0;
+  for (uint32_t i = 0; i < N; ++i) {
+    const uint32_t lo = box.lo[i];
+    const uint32_t hi = std::min(box.hi[i], dims[i]);
+    miss |= static_cast<uint32_t>(hi <= lo);
+    // (hi - lo) underflows when already miss; the XOR garbage is harmless.
+    miss |= (hi - lo) ^ tmpl_ext[i];
+    dot += strides[i] * lo;
+  }
+  *dot_out = dot;
+  return miss == 0;
+}
+
+}  // namespace
+
+Executor::Probe Executor::ProbeTemplate(const map::Box& box) const {
+  Probe p;
+  p.hit = tmpl_valid_;
+  for (uint32_t i = 0; i < ndims_; ++i) {
+    const uint32_t hi = std::min(box.hi[i], dims_[i]);
+    if (hi <= box.lo[i]) {
+      p.empty = true;
+      p.hit = false;
+      return p;
+    }
+    p.ext[i] = hi - box.lo[i];
+    p.hit = p.hit && p.ext[i] == tmpl_ext_[i];
+    p.dot += strides_[i] * box.lo[i];
+  }
+  return p;
+}
+
+bool Executor::TemplateHit(const map::Box& box, uint64_t* delta) const {
+  if (!tmpl_valid_) return false;
+  uint64_t dot = 0;
+  bool hit;
+  switch (ndims_) {
+    case 2:
+      hit = ProbeHit<2>(box, dims_, tmpl_ext_, strides_, &dot);
+      break;
+    case 3:
+      hit = ProbeHit<3>(box, dims_, tmpl_ext_, strides_, &dot);
+      break;
+    case 4:
+      hit = ProbeHit<4>(box, dims_, tmpl_ext_, strides_, &dot);
+      break;
+    default: {
+      const Probe p = ProbeTemplate(box);
+      *delta = p.dot - tmpl_dot_;
+      return p.hit;
+    }
+  }
+  *delta = dot - tmpl_dot_;
+  return hit;
+}
+
+void Executor::CaptureTemplate(const Probe& probe, const QueryPlan& plan) {
+  tmpl_valid_ = true;
+  for (uint32_t i = 0; i < ndims_; ++i) tmpl_ext_[i] = probe.ext[i];
+  tmpl_dot_ = probe.dot;
+  tmpl_cells_ = plan.cells;
+  tmpl_mapping_order_ = plan.mapping_order;
+  tmpl_requests_ = plan.requests;
+  tmpl_single_ = plan.requests.size() == 1;
+  if (tmpl_single_) tmpl_first_ = plan.requests[0];
+}
+
+void Executor::PlanWith(const map::Box& box, PlanScratch* scratch,
+                        QueryPlan* plan) const {
+  std::vector<map::LbnRun>& runs = scratch->runs;
+  runs.clear();
   mapping_->AppendRunsForBox(box, &runs);
 
-  QueryPlan plan;
-  plan.mapping_order = mapping_->IssueInMappingOrder(box);
+  plan->requests.clear();
+  plan->cells = 0;
+  plan->mapping_order = mapping_->IssueInMappingOrder(box);
   const uint64_t cs = mapping_->cell_sectors();
-  for (const auto& r : runs) plan.cells += r.cells;
+  for (const auto& r : runs) plan->cells += r.cells;
 
-  // Sector extents to issue.
-  struct Extent {
-    uint64_t lbn;
-    uint64_t sectors;
-  };
-  std::vector<Extent> extents;
+  using Extent = PlanScratch::Extent;
+  std::vector<Extent>& extents = scratch->extents;
+  extents.clear();
   extents.reserve(runs.size());
   for (const auto& r : runs) extents.push_back({r.lbn, r.cells * cs});
 
-  if (!plan.mapping_order) {
+  if (!plan->mapping_order) {
     // Section 5.2: "the storage manager sorts those requests in ascending
     // LBN order to maximize disk performance."
     std::sort(extents.begin(), extents.end(),
@@ -45,7 +144,7 @@ QueryPlan Executor::Plan(const map::Box& box) const {
     extents.resize(w);
   }
 
-  plan.requests.reserve(extents.size());
+  plan->requests.reserve(extents.size());
   for (const Extent& e : extents) {
     uint64_t sectors = e.sectors;
     uint64_t lbn = e.lbn;
@@ -54,16 +153,118 @@ QueryPlan Executor::Plan(const map::Box& box) const {
     while (sectors > 0) {
       const uint32_t chunk = static_cast<uint32_t>(
           std::min<uint64_t>(sectors, 1ull << 30));
-      plan.requests.push_back(disk::IoRequest{lbn, chunk});
+      plan->requests.push_back(disk::IoRequest{lbn, chunk});
       lbn += chunk;
       sectors -= chunk;
     }
   }
+}
+
+QueryPlan Executor::Plan(const map::Box& box) const {
+  // Reference path: fresh buffers every call, as the pre-optimization
+  // planner allocated. Kept for equivalence tests and the hot-path bench.
+  PlanScratch scratch;
+  QueryPlan plan;
+  PlanWith(box, &scratch, &plan);
   return plan;
 }
 
-Result<QueryResult> Executor::RunRange(const map::Box& box) {
-  const QueryPlan plan = Plan(box);
+void Executor::PlanInto(const map::Box& box, QueryPlan* plan) {
+  if (ti_) {
+    uint64_t delta;
+    if (TemplateHit(box, &delta)) {
+      plan->cells = tmpl_cells_;
+      plan->mapping_order = tmpl_mapping_order_;
+      if (tmpl_single_) {  // point/beam queries: one request
+        if (plan->requests.size() != 1) plan->requests.resize(1);
+        plan->requests[0] = {tmpl_first_.lbn + delta, tmpl_first_.sectors};
+        return;
+      }
+      const size_t n = tmpl_requests_.size();
+      if (plan->requests.size() != n) plan->requests.resize(n);
+      disk::IoRequest* dst = plan->requests.data();
+      const disk::IoRequest* src = tmpl_requests_.data();
+      for (size_t i = 0; i < n; ++i) {
+        dst[i] = {src[i].lbn + delta, src[i].sectors};
+      }
+      return;
+    }
+    const Probe p = ProbeTemplate(box);
+    if (!p.empty) {
+      PlanWith(box, &scratch_, plan);
+      CaptureTemplate(p, *plan);
+      return;
+    }
+  }
+  PlanWith(box, &scratch_, plan);
+}
+
+void Executor::PlanBatch(std::span<const map::Box> boxes, BatchPlan* out) {
+  const size_t n = boxes.size();
+  // Pre-size the per-plan tables so the loop writes by index; only the
+  // request arena grows (reserved for the single-request common case).
+  out->requests.clear();
+  out->requests.reserve(n);
+  out->offsets.resize(n + 1);
+  out->cells.resize(n);
+  out->mapping_order.resize(n);
+  size_t* offsets = out->offsets.data();
+  uint64_t* cells = out->cells.data();
+  uint8_t* morder = out->mapping_order.data();
+  offsets[0] = 0;
+  size_t start = 0;
+  if (ti_ && tmpl_valid_ && tmpl_single_) {
+    // Streak loop for the single-request template (point/beam workloads):
+    // one probe and four indexed stores per query, nothing else. Falls
+    // back to the general loop at the first non-matching box.
+    out->requests.resize(n);
+    disk::IoRequest* req = out->requests.data();
+    const uint64_t base_lbn = tmpl_first_.lbn;
+    const uint32_t sectors = tmpl_first_.sectors;
+    const uint64_t tcells = tmpl_cells_;
+    const uint8_t torder = tmpl_mapping_order_ ? 1 : 0;
+    size_t k = 0;
+    for (; k < n; ++k) {
+      uint64_t delta;
+      if (!TemplateHit(boxes[k], &delta)) break;
+      req[k] = {base_lbn + delta, sectors};
+      offsets[k + 1] = k + 1;
+      cells[k] = tcells;
+      morder[k] = torder;
+    }
+    if (k == n) return;
+    out->requests.resize(k);
+    start = k;
+  }
+  for (size_t k = start; k < n; ++k) {
+    const map::Box& box = boxes[k];
+    if (ti_) {
+      uint64_t delta;
+      if (TemplateHit(box, &delta)) {
+        if (tmpl_single_) {
+          out->requests.push_back(
+              {tmpl_first_.lbn + delta, tmpl_first_.sectors});
+        } else {
+          for (const disk::IoRequest& r : tmpl_requests_) {
+            out->requests.push_back({r.lbn + delta, r.sectors});
+          }
+        }
+        offsets[k + 1] = out->requests.size();
+        cells[k] = tmpl_cells_;
+        morder[k] = tmpl_mapping_order_ ? 1 : 0;
+        continue;
+      }
+    }
+    PlanInto(box, &plan_scratch_);  // miss path also captures the template
+    out->requests.insert(out->requests.end(), plan_scratch_.requests.begin(),
+                         plan_scratch_.requests.end());
+    offsets[k + 1] = out->requests.size();
+    cells[k] = plan_scratch_.cells;
+    morder[k] = plan_scratch_.mapping_order ? 1 : 0;
+  }
+}
+
+Result<QueryResult> Executor::Execute(const QueryPlan& plan) {
   disk::BatchOptions batch = options_.batch;
   if (plan.mapping_order) {
     // The mapping's emission order IS the schedule (semi-sequential path /
@@ -83,11 +284,26 @@ Result<QueryResult> Executor::RunRange(const map::Box& box) {
   return qr;
 }
 
+Result<QueryResult> Executor::RunRange(const map::Box& box) {
+  PlanInto(box, &plan_scratch_);
+  return Execute(plan_scratch_);
+}
+
 Result<QueryResult> Executor::RunBeam(const BeamQuery& beam) {
   if (beam.dim >= mapping_->shape().ndims()) {
     return Status::InvalidArgument("beam dimension out of range");
   }
   return RunRange(beam.ToBox(mapping_->shape()));
+}
+
+Result<QueryResult> Executor::RunBatch(std::span<const map::Box> boxes) {
+  QueryResult total;
+  for (const map::Box& box : boxes) {
+    PlanInto(box, &plan_scratch_);
+    MM_ASSIGN_OR_RETURN(QueryResult qr, Execute(plan_scratch_));
+    total += qr;
+  }
+  return total;
 }
 
 Result<double> Executor::RandomizeHead(Rng& rng) {

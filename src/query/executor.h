@@ -5,9 +5,17 @@
 // mappings, mapping order for MultiMap (sequential-first for ranges, the
 // semi-sequential path for beams) -- and issues the batch to the volume,
 // relying on the disk's internal scheduler within its queue window.
+//
+// Hot-path structure: planning is allocation-free on the steady state. The
+// executor owns a PlanScratch (run/extent buffers) that PlanInto() and the
+// Run* entry points reuse across queries, and RunBatch() services many
+// queries per call so per-query setup is amortized. The original
+// allocate-per-query Plan() is kept as the reference implementation for the
+// equivalence tests and bench/micro_hotpath.cc.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "disk/request.h"
@@ -52,7 +60,8 @@ struct QueryPlan {
   bool mapping_order = false;
 };
 
-/// Timing result of one query.
+/// Timing result of one query (or, via RunBatch, of a batch of queries:
+/// io_ms then accumulates per-query makespans).
 struct QueryResult {
   double io_ms = 0;        ///< Total I/O time of the batch.
   uint64_t cells = 0;      ///< Cells fetched.
@@ -63,6 +72,38 @@ struct QueryResult {
   double PerCellMs() const {
     return cells == 0 ? 0.0 : io_ms / static_cast<double>(cells);
   }
+
+  QueryResult& operator+=(const QueryResult& o) {
+    io_ms += o.io_ms;
+    cells += o.cells;
+    requests += o.requests;
+    sectors += o.sectors;
+    phases += o.phases;
+    return *this;
+  }
+};
+
+/// Reusable planning buffers, owned by the Executor so steady-state
+/// planning performs no allocations once capacities have grown to the
+/// workload's high-water mark.
+struct PlanScratch {
+  /// A contiguous sector extent to issue.
+  struct Extent {
+    uint64_t lbn;
+    uint64_t sectors;
+  };
+  std::vector<map::LbnRun> runs;
+  std::vector<Extent> extents;
+};
+
+/// Many plans in one flat arena (PlanBatch): the requests of plan i are
+/// requests[offsets[i] .. offsets[i+1]), with per-plan cell counts and
+/// issue-order flags alongside.
+struct BatchPlan {
+  std::vector<disk::IoRequest> requests;
+  std::vector<size_t> offsets;  ///< boxes.size() + 1 entries.
+  std::vector<uint64_t> cells;
+  std::vector<uint8_t> mapping_order;
 };
 
 /// Executes beam and range queries for one mapping on one volume.
@@ -70,20 +111,40 @@ class Executor {
  public:
   /// Both pointers are borrowed and must outlive the executor.
   Executor(lvm::Volume* volume, const map::Mapping* mapping,
-           ExecOptions options = ExecOptions())
-      : volume_(volume), mapping_(mapping), options_(options) {}
+           ExecOptions options = ExecOptions());
 
   /// Plans the I/O requests for a box without executing them: runs from
   /// the mapping, ordered per the mapping's issue policy (sorted ascending
   /// + hole-coalesced for linear mappings; emission order for
   /// semi-sequential plans), split into sector-addressed requests.
+  ///
+  /// Reference implementation: allocates fresh buffers per call. The hot
+  /// path is PlanInto(); results are identical.
   QueryPlan Plan(const map::Box& box) const;
+
+  /// As Plan(), but reuses the executor's PlanScratch and the caller's
+  /// QueryPlan buffers: allocation-free once capacities have grown. For
+  /// TranslationInvariant mappings, a repeated query shape is replanned
+  /// from a cached template as a pure LBN offset (the paper's random-range
+  /// and beam workloads replan one shape thousands of times).
+  void PlanInto(const map::Box& box, QueryPlan* plan);
+
+  /// Plans many boxes in one call into a flat request arena, amortizing
+  /// all per-query setup; identical requests to per-box Plan() calls.
+  void PlanBatch(std::span<const map::Box> boxes, BatchPlan* out);
 
   /// Executes a range query (N-D box).
   Result<QueryResult> RunRange(const map::Box& box);
 
   /// Executes a beam query.
   Result<QueryResult> RunBeam(const BeamQuery& beam);
+
+  /// Executes many range queries in one call, reusing all planning and
+  /// routing buffers across them: the steady state performs no
+  /// allocations. Queries are planned and serviced in span order
+  /// (sequentially, as the paper's closed-loop workloads are); io_ms
+  /// accumulates the per-query makespans.
+  Result<QueryResult> RunBatch(std::span<const map::Box> boxes);
 
   /// Moves the head to a uniformly random position by servicing a 1-sector
   /// read there; clears the association between consecutive queries, as the
@@ -92,10 +153,52 @@ class Executor {
 
   const map::Mapping& mapping() const { return *mapping_; }
 
+  /// Result of probing the translation-template cache: the box clipped to
+  /// the grid, its affine LBN offset, and whether the cached template's
+  /// extents match. (Public only for the probe helper; not part of the
+  /// stable API.)
+  struct Probe {
+    bool empty = false;  // clipped box has no cells
+    bool hit = false;
+    uint64_t dot = 0;  // sum of stride_i * clipped.lo[i], mod 2^64
+    uint32_t ext[map::kMaxDims] = {};
+  };
+
  private:
+  // Plans `box` into `plan` using `scratch` buffers (shared planning core).
+  void PlanWith(const map::Box& box, PlanScratch* scratch,
+                QueryPlan* plan) const;
+  // Services an already-planned query.
+  Result<QueryResult> Execute(const QueryPlan& plan);
+
+  // Clips the box and evaluates the affine LBN offset; hit means the
+  // cached template's clipped extents match and the plan is the template
+  // shifted by (dot - tmpl_dot_).
+  Probe ProbeTemplate(const map::Box& box) const;
+  // Branchless hit-only probe (the hot path); on hit sets *delta to the
+  // LBN shift of the cached template.
+  bool TemplateHit(const map::Box& box, uint64_t* delta) const;
+  void CaptureTemplate(const Probe& probe, const QueryPlan& plan);
+
   lvm::Volume* volume_;
   const map::Mapping* mapping_;
   ExecOptions options_;
+  PlanScratch scratch_;
+  QueryPlan plan_scratch_;  // reused by RunRange/RunBeam/RunBatch
+
+  // Translation-template plan cache (TranslationInvariant mappings only).
+  bool ti_ = false;
+  uint32_t ndims_ = 0;
+  uint32_t dims_[map::kMaxDims] = {};     // cached shape extents
+  uint64_t strides_[map::kMaxDims] = {};  // affine LbnOf coefficients
+  bool tmpl_valid_ = false;
+  bool tmpl_single_ = false;           // exactly one request (point/beam)
+  uint32_t tmpl_ext_[map::kMaxDims] = {};
+  uint64_t tmpl_dot_ = 0;
+  uint64_t tmpl_cells_ = 0;
+  bool tmpl_mapping_order_ = false;
+  disk::IoRequest tmpl_first_;         // the request when tmpl_single_
+  std::vector<disk::IoRequest> tmpl_requests_;
 };
 
 }  // namespace mm::query

@@ -3,6 +3,7 @@
 // keeps the output aligned and diff-friendly.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <iomanip>
 #include <iostream>

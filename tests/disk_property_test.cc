@@ -128,7 +128,8 @@ TEST_P(DiskPropertyTest, ServiceIsDeterministic) {
   std::vector<IoRequest> reqs;
   Geometry geo(spec);
   for (int i = 0; i < 50; ++i) {
-    reqs.push_back({rng.Uniform(geo.total_sectors() - 8), 1 + (i % 8)});
+    reqs.push_back(
+        {rng.Uniform(geo.total_sectors() - 8), 1u + (i % 8u)});
   }
   Disk a(spec), b(spec);
   auto ra = a.ServiceBatch(reqs, {SchedulerKind::kSptf, 8, true});
@@ -158,7 +159,7 @@ TEST_P(DiskPropertyTest, PhasesSumToServiceTime) {
   Rng rng(41);
   for (int i = 0; i < 200; ++i) {
     auto c = disk.Service(
-        {rng.Uniform(disk.geometry().total_sectors() - 64), 1 + (i % 64)});
+        {rng.Uniform(disk.geometry().total_sectors() - 64), 1u + (i % 64u)});
     ASSERT_TRUE(c.ok());
     EXPECT_NEAR(c->phases.Total(), c->ServiceMs(), 1e-9);
   }

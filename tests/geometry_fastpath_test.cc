@@ -1,0 +1,147 @@
+// Property tests pinning the memoized geometry fast paths and the
+// incremental TrackCursor to the reference binary-search implementations:
+// bit-identical results across zone boundaries, the last LBN of the disk,
+// and adversarial (memo-hostile) access patterns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "disk/geometry.h"
+#include "disk/spec.h"
+#include "util/rng.h"
+
+namespace mm::disk {
+namespace {
+
+std::vector<DiskSpec> AllSpecs() {
+  std::vector<DiskSpec> specs = PaperDisks();
+  specs.push_back(MakeTestDisk());
+  return specs;
+}
+
+class GeometryFastPathTest : public ::testing::TestWithParam<DiskSpec> {
+ protected:
+  Geometry geo_{GetParam()};
+};
+
+// LBNs worth probing: every zone's edges, the disk's last LBN, and a
+// deterministic random sample.
+std::vector<uint64_t> ProbeLbns(const Geometry& geo, uint64_t seed) {
+  std::vector<uint64_t> lbns;
+  for (const auto& z : geo.zones()) {
+    for (uint64_t d : std::initializer_list<uint64_t>{
+             0, 1, z.spt - 1u, z.spt, z.sector_count - 1}) {
+      if (d < z.sector_count) lbns.push_back(z.first_lbn + d);
+    }
+  }
+  lbns.push_back(geo.total_sectors() - 1);
+  Rng rng(seed);
+  for (int i = 0; i < 2000; ++i) lbns.push_back(rng.Uniform(geo.total_sectors()));
+  return lbns;
+}
+
+TEST_P(GeometryFastPathTest, LbnResolversMatchReference) {
+  for (uint64_t lbn : ProbeLbns(geo_, 11)) {
+    EXPECT_EQ(&geo_.ZoneOfLbn(lbn), &geo_.ZoneOfLbnRef(lbn)) << lbn;
+    EXPECT_EQ(geo_.TrackOfLbn(lbn), geo_.TrackOfLbnRef(lbn)) << lbn;
+    EXPECT_EQ(geo_.PhysSlotOfLbn(lbn), geo_.PhysSlotOfLbnRef(lbn)) << lbn;
+    // Bit-identical, not just close: both compute slot / spt.
+    EXPECT_EQ(geo_.AngleOfLbn(lbn), geo_.AngleOfLbnRef(lbn)) << lbn;
+  }
+}
+
+TEST_P(GeometryFastPathTest, TrackResolversMatchReference) {
+  Rng rng(13);
+  std::vector<uint64_t> tracks;
+  for (const auto& z : geo_.zones()) {
+    tracks.push_back(z.first_track);
+    tracks.push_back(z.first_track + z.track_count - 1);
+  }
+  tracks.push_back(geo_.total_tracks() - 1);
+  for (int i = 0; i < 2000; ++i) {
+    tracks.push_back(rng.Uniform(geo_.total_tracks()));
+  }
+  for (uint64_t t : tracks) {
+    EXPECT_EQ(&geo_.ZoneOfTrack(t), &geo_.ZoneOfTrackRef(t)) << t;
+    EXPECT_EQ(geo_.TrackFirstLbn(t), geo_.TrackFirstLbnRef(t)) << t;
+    EXPECT_EQ(geo_.Track(t), geo_.TrackRef(t)) << t;
+  }
+}
+
+TEST_P(GeometryFastPathTest, MemoHostileAlternation) {
+  // Ping-pong between the first and last zone so every lookup misses the
+  // memo in a different direction.
+  const uint64_t last = geo_.total_sectors() - 1;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t lo = static_cast<uint64_t>(i);
+    EXPECT_EQ(geo_.TrackOfLbn(lo), geo_.TrackOfLbnRef(lo));
+    EXPECT_EQ(geo_.TrackOfLbn(last - i), geo_.TrackOfLbnRef(last - i));
+  }
+}
+
+TEST_P(GeometryFastPathTest, CursorSequentialWalkMatchesReference) {
+  TrackCursor cur(geo_);
+  // Walk every track in order: crossings inside a zone use the pure
+  // arithmetic path; zone boundaries re-resolve. On the big paper disks,
+  // walk the first tracks plus every zone's boundary region.
+  std::vector<uint64_t> starts;
+  starts.push_back(0);
+  for (const auto& z : geo_.zones()) {
+    starts.push_back(z.first_track > 2 ? z.first_track - 2 : 0);
+  }
+  for (uint64_t start : starts) {
+    cur.MoveTo(start);
+    EXPECT_EQ(cur.geom(), geo_.TrackRef(start));
+    for (uint64_t t = start + 1; t < std::min(start + 64, geo_.total_tracks());
+         ++t) {
+      EXPECT_EQ(cur.Next(), geo_.TrackRef(t)) << "track " << t;
+    }
+  }
+}
+
+TEST_P(GeometryFastPathTest, CursorSeekLbnMatchesReference) {
+  TrackCursor cur(geo_);
+  for (uint64_t lbn : ProbeLbns(geo_, 17)) {
+    const TrackGeom& g = cur.SeekLbn(lbn);
+    EXPECT_EQ(g, geo_.TrackRef(geo_.TrackOfLbnRef(lbn))) << lbn;
+    EXPECT_LE(g.first_lbn, lbn);
+    EXPECT_LT(lbn, g.first_lbn + g.spt);
+  }
+  // Streaming pattern: sequential LBNs across many track boundaries.
+  cur.Invalidate();
+  const uint64_t span = std::min<uint64_t>(geo_.total_sectors(), 5000);
+  for (uint64_t lbn = 0; lbn < span; lbn += 7) {
+    EXPECT_EQ(cur.SeekLbn(lbn), geo_.TrackRef(geo_.TrackOfLbnRef(lbn)))
+        << lbn;
+  }
+}
+
+TEST_P(GeometryFastPathTest, CursorSeekTrackMatchesReference) {
+  TrackCursor cur(geo_);
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t t = rng.Uniform(geo_.total_tracks());
+    EXPECT_EQ(cur.SeekTrack(t), geo_.TrackRef(t)) << t;
+    // Re-seek of the same track must be a no-op hit.
+    EXPECT_EQ(cur.SeekTrack(t), geo_.TrackRef(t)) << t;
+  }
+}
+
+TEST_P(GeometryFastPathTest, LastLbnOfDisk) {
+  const uint64_t last = geo_.total_sectors() - 1;
+  const auto& z = geo_.zones().back();
+  EXPECT_EQ(&geo_.ZoneOfLbn(last), &z);
+  EXPECT_EQ(geo_.TrackOfLbn(last), geo_.total_tracks() - 1);
+  EXPECT_EQ(geo_.TrackOfLbn(last), geo_.TrackOfLbnRef(last));
+  EXPECT_EQ(geo_.AngleOfLbn(last), geo_.AngleOfLbnRef(last));
+  TrackCursor cur(geo_);
+  EXPECT_EQ(cur.SeekLbn(last), geo_.TrackRef(geo_.total_tracks() - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, GeometryFastPathTest,
+                         ::testing::ValuesIn(AllSpecs()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace mm::disk

@@ -114,7 +114,9 @@ TEST(VolumeSingleDiskTest, AdjacencyMatchesGeometry) {
       auto via_vol = vol.GetAdjacent(lbn, j);
       auto via_geo = geo.AdjacentLbn(lbn, j);
       ASSERT_EQ(via_vol.ok(), via_geo.ok());
-      if (via_vol.ok()) EXPECT_EQ(*via_vol, *via_geo);
+      if (via_vol.ok()) {
+        EXPECT_EQ(*via_vol, *via_geo);
+      }
     }
   }
 }

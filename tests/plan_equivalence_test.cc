@@ -1,0 +1,220 @@
+// Equivalence tests for the allocation-free planner: PlanInto() (scratch
+// reuse) and RunBatch() must produce results identical to the reference
+// allocate-per-query Plan() / RunRange() paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/multimap.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/curve_mapping.h"
+#include "mapping/naive.h"
+#include "query/executor.h"
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace mm::query {
+namespace {
+
+std::vector<std::unique_ptr<map::Mapping>> TestMappings(
+    const lvm::Volume& vol, const map::GridShape& shape) {
+  std::vector<std::unique_ptr<map::Mapping>> out;
+  out.push_back(std::make_unique<map::NaiveMapping>(shape, 0));
+  out.push_back(std::make_unique<map::CurveMapping>(
+      map::MakeOctantOrder("zorder", shape.ndims()), shape, 0));
+  auto mmap = core::MultiMapMapping::Create(vol, shape);
+  if (mmap.ok()) out.push_back(std::move(mmap).value());
+  return out;
+}
+
+TEST(PlanEquivalenceTest, PlanIntoMatchesPlan) {
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const map::GridShape shape{64, 64, 64};
+  Rng rng(23);
+  for (auto& m : TestMappings(vol, shape)) {
+    Executor ex(&vol, m.get());
+    QueryPlan fast;
+    for (int i = 0; i < 50; ++i) {
+      const map::Box box = RandomRange(shape, 0.01 + 2.0 * (i % 7), rng);
+      const QueryPlan ref = ex.Plan(box);
+      ex.PlanInto(box, &fast);
+      EXPECT_EQ(fast.requests, ref.requests) << m->name() << " box " << i;
+      EXPECT_EQ(fast.cells, ref.cells);
+      EXPECT_EQ(fast.mapping_order, ref.mapping_order);
+    }
+    // Beams exercise the semi-sequential (mapping-order) path.
+    for (uint32_t dim = 0; dim < shape.ndims(); ++dim) {
+      const map::Box box = RandomBeam(shape, dim, rng).ToBox(shape);
+      const QueryPlan ref = ex.Plan(box);
+      ex.PlanInto(box, &fast);
+      EXPECT_EQ(fast.requests, ref.requests) << m->name() << " dim " << dim;
+      EXPECT_EQ(fast.mapping_order, ref.mapping_order);
+    }
+  }
+}
+
+TEST(PlanEquivalenceTest, PlanIntoWithCoalescing) {
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const map::GridShape shape{64, 64, 64};
+  map::NaiveMapping m(shape, 0);
+  ExecOptions opt;
+  opt.coalesce_limit_sectors = 8;
+  Executor ex(&vol, &m, opt);
+  Rng rng(29);
+  QueryPlan fast;
+  for (int i = 0; i < 30; ++i) {
+    const map::Box box = RandomRange(shape, 1.0, rng);
+    const QueryPlan ref = ex.Plan(box);
+    ex.PlanInto(box, &fast);
+    EXPECT_EQ(fast.requests, ref.requests) << i;
+  }
+}
+
+TEST(PlanEquivalenceTest, RunBatchMatchesSequentialRunRange) {
+  const map::GridShape shape{32, 32, 32};
+  Rng rng(31);
+  std::vector<map::Box> boxes;
+  for (int i = 0; i < 10; ++i) boxes.push_back(RandomRange(shape, 0.5, rng));
+
+  lvm::Volume vol_a(disk::MakeAtlas10k3());
+  lvm::Volume vol_b(disk::MakeAtlas10k3());
+  map::NaiveMapping mapping(shape, 0);
+  Executor batch_ex(&vol_a, &mapping);
+  Executor seq_ex(&vol_b, &mapping);
+
+  auto batched = batch_ex.RunBatch(boxes);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+
+  QueryResult total;
+  for (const auto& box : boxes) {
+    auto qr = seq_ex.RunRange(box);
+    ASSERT_TRUE(qr.ok());
+    total += *qr;
+  }
+  EXPECT_EQ(batched->io_ms, total.io_ms);
+  EXPECT_EQ(batched->cells, total.cells);
+  EXPECT_EQ(batched->requests, total.requests);
+  EXPECT_EQ(batched->sectors, total.sectors);
+}
+
+TEST(PlanEquivalenceTest, TemplateCacheRepeatedShape) {
+  // A long streak of identically-shaped boxes (the paper's RandomRange
+  // workload) exercises the translation-template hit path; every plan must
+  // still equal the reference.
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const map::GridShape shape{64, 64, 64};
+  map::NaiveMapping m(shape, 0);
+  Executor ex(&vol, &m);
+  Rng rng(41);
+  QueryPlan fast;
+  for (int rep = 0; rep < 200; ++rep) {
+    map::Box box;
+    for (uint32_t i = 0; i < 3; ++i) {
+      box.lo[i] = static_cast<uint32_t>(rng.Uniform(60));
+      box.hi[i] = box.lo[i] + 4;
+    }
+    const QueryPlan ref = ex.Plan(box);
+    ex.PlanInto(box, &fast);
+    ASSERT_EQ(fast.requests, ref.requests) << rep;
+    ASSERT_EQ(fast.cells, ref.cells);
+  }
+}
+
+TEST(PlanEquivalenceTest, TemplateCacheClippedAndDegenerateBoxes) {
+  // Boxes that clip against the grid edge or clip to empty must bypass or
+  // re-key the template and still match the reference exactly.
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const map::GridShape shape{64, 64, 64};
+  map::NaiveMapping m(shape, 0);
+  Executor ex(&vol, &m);
+  QueryPlan fast;
+  std::vector<map::Box> cases;
+  {
+    map::Box b;  // in-grid template seed
+    for (uint32_t i = 0; i < 3; ++i) {
+      b.lo[i] = 10;
+      b.hi[i] = 14;
+    }
+    cases.push_back(b);
+    b.lo[0] = 62;  // clips from 4 wide to 2 wide on dim 0
+    b.hi[0] = 66;
+    cases.push_back(b);
+    b.lo[0] = 64;  // clips to empty on dim 0
+    b.hi[0] = 70;
+    cases.push_back(b);
+    b.lo[0] = 10;  // same shape as seed again (template must still work)
+    b.hi[0] = 14;
+    cases.push_back(b);
+    b.hi[1] = 10;  // degenerate (hi == lo)
+    cases.push_back(b);
+  }
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const QueryPlan ref = ex.Plan(cases[i]);
+    ex.PlanInto(cases[i], &fast);
+    EXPECT_EQ(fast.requests, ref.requests) << "case " << i;
+    EXPECT_EQ(fast.cells, ref.cells) << "case " << i;
+    EXPECT_EQ(fast.mapping_order, ref.mapping_order) << "case " << i;
+  }
+}
+
+TEST(PlanEquivalenceTest, PlanBatchMatchesPerBoxPlans) {
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const map::GridShape shape{64, 64, 64};
+  Rng rng(43);
+  for (auto& m : TestMappings(vol, shape)) {
+    Executor ex(&vol, m.get());
+    std::vector<map::Box> boxes;
+    // Mix of one repeated shape (streak path), varied shapes, and a
+    // clipped box (streak-breaking miss).
+    for (int i = 0; i < 40; ++i) {
+      map::Box b;
+      const uint32_t side = (i % 5 == 3) ? 2 : 1;
+      for (uint32_t d = 0; d < 3; ++d) {
+        b.lo[d] = static_cast<uint32_t>(rng.Uniform(62));
+        b.hi[d] = b.lo[d] + side;
+      }
+      if (i == 25) b.hi[2] = 100;  // clips to the grid edge
+      boxes.push_back(b);
+    }
+    BatchPlan batch;
+    ex.PlanBatch(boxes, &batch);
+    ASSERT_EQ(batch.offsets.size(), boxes.size() + 1) << m->name();
+    ASSERT_EQ(batch.cells.size(), boxes.size());
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      const QueryPlan ref = ex.Plan(boxes[i]);
+      const size_t lo = batch.offsets[i], hi = batch.offsets[i + 1];
+      ASSERT_EQ(hi - lo, ref.requests.size()) << m->name() << " box " << i;
+      for (size_t k = 0; k < ref.requests.size(); ++k) {
+        EXPECT_EQ(batch.requests[lo + k], ref.requests[k])
+            << m->name() << " box " << i << " req " << k;
+      }
+      EXPECT_EQ(batch.cells[i], ref.cells) << m->name() << " box " << i;
+      EXPECT_EQ(batch.mapping_order[i] != 0, ref.mapping_order);
+    }
+  }
+}
+
+TEST(PlanEquivalenceTest, SteadyStatePlanningDoesNotGrowBuffers) {
+  // After a warmup query, replanning same-shaped queries must reuse
+  // capacity: the requests vector's buffer address stays stable.
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const map::GridShape shape{64, 64, 64};
+  map::NaiveMapping m(shape, 0);
+  Executor ex(&vol, &m);
+  Rng rng(37);
+  QueryPlan plan;
+  const map::Box warm = RandomRange(shape, 2.0, rng);
+  ex.PlanInto(warm, &plan);
+  plan.requests.reserve(plan.requests.capacity() + 1);  // headroom
+  const auto* buf = plan.requests.data();
+  for (int i = 0; i < 20; ++i) {
+    map::Box box = warm;  // identical size => identical request count
+    ex.PlanInto(box, &plan);
+    EXPECT_EQ(plan.requests.data(), buf) << "replan " << i << " reallocated";
+  }
+}
+
+}  // namespace
+}  // namespace mm::query

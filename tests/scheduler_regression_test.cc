@@ -1,0 +1,228 @@
+// Regression tests pinning the reworked batch scheduler (index-swap window,
+// admission-cached geometry, presorted Elevator cursor, FIFO bypass) and the
+// TrackCursor-based Service() to the reference implementations: identical
+// completion order, identical per-request timing, identical makespan_ms, for
+// all four SchedulerKinds on fixed-seed workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/mechanics.h"
+#include "disk/spec.h"
+#include "util/rng.h"
+
+namespace mm::disk {
+namespace {
+
+constexpr SchedulerKind kAllKinds[] = {
+    SchedulerKind::kFifo, SchedulerKind::kSstf, SchedulerKind::kSptf,
+    SchedulerKind::kElevator};
+
+std::vector<IoRequest> RandomWorkload(const Geometry& geo, int n,
+                                      uint32_t max_sectors, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IoRequest> reqs;
+  reqs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const uint32_t sectors =
+        1 + static_cast<uint32_t>(rng.Uniform(max_sectors));
+    reqs.push_back({rng.Uniform(geo.total_sectors() - sectors), sectors});
+  }
+  return reqs;
+}
+
+// Some duplicate LBNs and same-track clusters, to exercise tie-breaking.
+std::vector<IoRequest> ClusteredWorkload(const Geometry& geo, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IoRequest> reqs;
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t base = rng.Uniform(geo.total_sectors() - 256);
+    reqs.push_back({base, 4});
+    reqs.push_back({base, 4});      // exact duplicate
+    reqs.push_back({base + 1, 2});  // same track neighbor
+  }
+  return reqs;
+}
+
+void ExpectIdentical(const BatchResult& fast, const BatchResult& ref,
+                     const std::vector<Completion>& fast_done,
+                     const std::vector<Completion>& ref_done) {
+  // Timing must be bit-identical, not just close: the fast paths compute
+  // the same arithmetic on the same values.
+  EXPECT_EQ(fast.start_ms, ref.start_ms);
+  EXPECT_EQ(fast.end_ms, ref.end_ms);
+  EXPECT_EQ(fast.TotalMs(), ref.TotalMs());
+  EXPECT_EQ(fast.requests, ref.requests);
+  EXPECT_EQ(fast.sectors, ref.sectors);
+  EXPECT_EQ(fast.phases.overhead_ms, ref.phases.overhead_ms);
+  EXPECT_EQ(fast.phases.seek_ms, ref.phases.seek_ms);
+  EXPECT_EQ(fast.phases.rot_ms, ref.phases.rot_ms);
+  EXPECT_EQ(fast.phases.xfer_ms, ref.phases.xfer_ms);
+  ASSERT_EQ(fast_done.size(), ref_done.size());
+  for (size_t i = 0; i < fast_done.size(); ++i) {
+    EXPECT_EQ(fast_done[i].request, ref_done[i].request) << "pick " << i;
+    EXPECT_EQ(fast_done[i].start_ms, ref_done[i].start_ms) << "pick " << i;
+    EXPECT_EQ(fast_done[i].end_ms, ref_done[i].end_ms) << "pick " << i;
+    EXPECT_EQ(fast_done[i].track_switches, ref_done[i].track_switches);
+  }
+}
+
+void ExpectStatsIdentical(const DiskStats& a, const DiskStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.sectors, b.sectors);
+  EXPECT_EQ(a.seeks, b.seeks);
+  EXPECT_EQ(a.settle_seeks, b.settle_seeks);
+  EXPECT_EQ(a.head_switches, b.head_switches);
+  EXPECT_EQ(a.track_switches, b.track_switches);
+  EXPECT_EQ(a.buffer_hits, b.buffer_hits);
+  EXPECT_EQ(a.buffered_sectors, b.buffered_sectors);
+}
+
+class SchedulerRegressionTest : public ::testing::TestWithParam<DiskSpec> {};
+
+TEST_P(SchedulerRegressionTest, AllKindsMatchReferenceWindow) {
+  const DiskSpec& spec = GetParam();
+  Geometry geo(spec);
+  for (SchedulerKind kind : kAllKinds) {
+    for (uint32_t depth : {1u, 4u, 8u, 32u}) {
+      for (bool queue_disables_readahead : {true, false}) {
+        Disk fast(spec), ref(spec);
+        const auto reqs = RandomWorkload(geo, 200, 64, 101 + depth);
+        std::vector<Completion> fast_done, ref_done;
+        const BatchOptions opt{kind, depth, queue_disables_readahead};
+        auto rf = fast.ServiceBatch(reqs, opt, &fast_done);
+        auto rr = ref.ServiceBatchRef(reqs, opt, &ref_done);
+        ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+        ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+        ExpectIdentical(*rf, *rr, fast_done, ref_done);
+        ExpectStatsIdentical(fast.stats(), ref.stats());
+        EXPECT_EQ(fast.now_ms(), ref.now_ms());
+        EXPECT_EQ(fast.current_track(), ref.current_track());
+      }
+    }
+  }
+}
+
+TEST_P(SchedulerRegressionTest, TieBreaksMatchReferenceWindow) {
+  const DiskSpec& spec = GetParam();
+  Geometry geo(spec);
+  for (SchedulerKind kind : kAllKinds) {
+    Disk fast(spec), ref(spec);
+    const auto reqs = ClusteredWorkload(geo, 7);
+    std::vector<Completion> fast_done, ref_done;
+    const BatchOptions opt{kind, 8, true};
+    auto rf = fast.ServiceBatch(reqs, opt, &fast_done);
+    auto rr = ref.ServiceBatchRef(reqs, opt, &ref_done);
+    ASSERT_TRUE(rf.ok() && rr.ok());
+    ExpectIdentical(*rf, *rr, fast_done, ref_done);
+  }
+}
+
+TEST_P(SchedulerRegressionTest, ConsecutiveBatchesCarryState) {
+  // Head position, clock, and read-ahead state must carry across batches
+  // identically in both implementations.
+  const DiskSpec& spec = GetParam();
+  Geometry geo(spec);
+  Disk fast(spec), ref(spec);
+  for (int batch = 0; batch < 5; ++batch) {
+    const auto reqs = RandomWorkload(geo, 50, 16, 211 + batch);
+    const BatchOptions opt{SchedulerKind::kSptf, 4, true};
+    auto rf = fast.ServiceBatch(reqs, opt);
+    auto rr = ref.ServiceBatchRef(reqs, opt);
+    ASSERT_TRUE(rf.ok() && rr.ok());
+    EXPECT_EQ(rf->end_ms, rr->end_ms) << "batch " << batch;
+  }
+  ExpectStatsIdentical(fast.stats(), ref.stats());
+}
+
+TEST_P(SchedulerRegressionTest, SingleServiceMatchesReference) {
+  // Service() itself (TrackCursor walk, cached head geometry) against
+  // ServiceRef(): random requests, including multi-track and repeated
+  // same-track patterns that exercise the read-ahead buffer.
+  const DiskSpec& spec = GetParam();
+  Disk fast(spec), ref(spec);
+  Rng rng(301);
+  const Geometry& geo = fast.geometry();
+  for (int i = 0; i < 500; ++i) {
+    IoRequest req;
+    if (i % 5 == 0) {
+      // Long transfer crossing several tracks (and sometimes a zone).
+      const uint64_t cap =
+          std::min<uint64_t>(4 * 686, geo.total_sectors() / 2);
+      req.sectors = 1 + static_cast<uint32_t>(rng.Uniform(cap));
+    } else {
+      req.sectors = 1 + static_cast<uint32_t>(rng.Uniform(8));
+    }
+    req.lbn = rng.Uniform(geo.total_sectors() - req.sectors);
+    auto cf = fast.Service(req);
+    auto cr = ref.ServiceRef(req);
+    ASSERT_TRUE(cf.ok() && cr.ok());
+    EXPECT_EQ(cf->start_ms, cr->start_ms) << i;
+    EXPECT_EQ(cf->end_ms, cr->end_ms) << i;
+    EXPECT_EQ(cf->phases.seek_ms, cr->phases.seek_ms) << i;
+    EXPECT_EQ(cf->phases.rot_ms, cr->phases.rot_ms) << i;
+    EXPECT_EQ(cf->phases.xfer_ms, cr->phases.xfer_ms) << i;
+    EXPECT_EQ(cf->track_switches, cr->track_switches) << i;
+  }
+  ExpectStatsIdentical(fast.stats(), ref.stats());
+}
+
+TEST_P(SchedulerRegressionTest, EstimatePositioningMatchesReference) {
+  const DiskSpec& spec = GetParam();
+  Disk disk(spec);
+  Rng rng(401);
+  const Geometry& geo = disk.geometry();
+  for (int i = 0; i < 200; ++i) {
+    // Move the head somewhere, then compare estimates for random targets.
+    ASSERT_TRUE(disk.Service({rng.Uniform(geo.total_sectors()), 1}).ok());
+    for (int j = 0; j < 10; ++j) {
+      const uint64_t lbn = rng.Uniform(geo.total_sectors());
+      EXPECT_EQ(disk.EstimatePositioning(lbn),
+                disk.EstimatePositioningRef(lbn))
+          << lbn;
+    }
+  }
+}
+
+TEST(RotationFastPathTest, PosModMatchesFmodBitExactly) {
+  // AngleAt()'s reciprocal-FMA remainder must equal std::fmod to the last
+  // bit for every simulated clock value, including values that stress the
+  // quotient fixup (near-multiples of the revolution).
+  for (const DiskSpec& spec : {MakeTestDisk(), MakeAtlas10k3()}) {
+    RotationModel rot(spec);
+    const double rev = rot.revolution_ms();
+    Rng rng(71);
+    for (int i = 0; i < 200000; ++i) {
+      double t;
+      switch (i % 4) {
+        case 0:  // uniform over a long simulated run
+          t = rng.NextDouble() * 1e9;
+          break;
+        case 1:  // near integer multiples of a revolution
+          t = static_cast<double>(rng.Uniform(1u << 30)) * rev +
+              (rng.NextDouble() - 0.5) * 1e-9;
+          break;
+        case 2:  // small times
+          t = rng.NextDouble() * rev;
+          break;
+        default:  // beyond the fast-path guard: must fall back to libm
+          t = 1e12 + rng.NextDouble() * 1e15;
+      }
+      if (t < 0) t = 0;
+      ASSERT_EQ(rot.PosMod(t), std::fmod(t, rev)) << "t=" << t;
+      ASSERT_EQ(rot.AngleAt(t), rot.AngleAtRef(t)) << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SchedulerRegressionTest,
+                         ::testing::ValuesIn(std::vector<DiskSpec>{
+                             MakeTestDisk(), MakeAtlas10k3(),
+                             MakeCheetah36Es()}),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace mm::disk
