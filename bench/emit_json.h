@@ -1,8 +1,12 @@
-// Machine-readable benchmark results: every bench can emit a flat
+// Machine-readable benchmark results: every bench can emit a
 // BENCH_<name>.json of metrics next to its table output, so perf trajectory
-// is tracked across PRs (see README.md "Benchmark results").
+// is tracked across PRs (see README.md "Benchmark results"). Flat metrics
+// and notes cover most benches; JsonValue provides nested objects/arrays
+// for structured results (per-configuration curves, percentile tables) so
+// they land as real JSON instead of hand-pasted strings.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -10,8 +14,113 @@
 
 namespace mm::bench {
 
-/// Collects named metrics and writes them as one flat JSON object:
-///   {"bench": "<name>", "metrics": {"k": v, ...}, "notes": {"k": "v", ...}}
+/// Escapes `"` and `\` for embedding in a JSON string literal.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Formats a double the way the flat metrics always have (%.6g);
+/// non-finite values become null, which JSON numbers cannot express.
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// A JSON value tree: number, string, object, or array.
+class JsonValue {
+ public:
+  static JsonValue Number(double v) {
+    JsonValue j(Kind::kNumber);
+    j.num_ = v;
+    return j;
+  }
+  static JsonValue Str(std::string v) {
+    JsonValue j(Kind::kString);
+    j.str_ = std::move(v);
+    return j;
+  }
+  static JsonValue Object() { return JsonValue(Kind::kObject); }
+  static JsonValue Array() { return JsonValue(Kind::kArray); }
+
+  /// Sets a field on an object; returns *this for chaining.
+  JsonValue& Set(std::string key, JsonValue v) {
+    fields_.emplace_back(std::move(key), std::move(v));
+    return *this;
+  }
+  JsonValue& Set(std::string key, double v) {
+    return Set(std::move(key), Number(v));
+  }
+  JsonValue& Set(std::string key, const std::string& v) {
+    return Set(std::move(key), Str(v));
+  }
+  JsonValue& Set(std::string key, const char* v) {
+    return Set(std::move(key), Str(v));
+  }
+
+  /// Appends an element to an array; returns *this for chaining.
+  JsonValue& Append(JsonValue v) {
+    items_.push_back(std::move(v));
+    return *this;
+  }
+  JsonValue& Append(double v) { return Append(Number(v)); }
+
+  /// Serializes with 2-space indentation at the given starting depth.
+  std::string ToJson(int depth = 0) const {
+    switch (kind_) {
+      case Kind::kNumber:
+        return JsonNumber(num_);
+      case Kind::kString:
+        return "\"" + JsonEscape(str_) + "\"";
+      case Kind::kObject: {
+        if (fields_.empty()) return "{}";
+        std::string out = "{";
+        for (size_t i = 0; i < fields_.size(); ++i) {
+          out += i ? ",\n" : "\n";
+          out += Indent(depth + 1) + "\"" + JsonEscape(fields_[i].first) +
+                 "\": " + fields_[i].second.ToJson(depth + 1);
+        }
+        out += "\n" + Indent(depth) + "}";
+        return out;
+      }
+      case Kind::kArray: {
+        if (items_.empty()) return "[]";
+        std::string out = "[";
+        for (size_t i = 0; i < items_.size(); ++i) {
+          out += i ? ",\n" : "\n";
+          out += Indent(depth + 1) + items_[i].ToJson(depth + 1);
+        }
+        out += "\n" + Indent(depth) + "]";
+        return out;
+      }
+    }
+    return "null";
+  }
+
+ private:
+  enum class Kind { kNumber, kString, kObject, kArray };
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+  static std::string Indent(int depth) {
+    return std::string(static_cast<size_t>(depth) * 2, ' ');
+  }
+
+  Kind kind_;
+  double num_ = 0;
+  std::string str_;
+  std::vector<std::pair<std::string, JsonValue>> fields_;
+  std::vector<JsonValue> items_;
+};
+
+/// Collects named metrics and writes them as one JSON object:
+///   {"bench": "<name>", "metrics": {"k": v, ...}, "notes": {"k": "v"},
+///    "<section>": <nested value>, ...}
 class JsonEmitter {
  public:
   explicit JsonEmitter(std::string bench_name)
@@ -25,23 +134,31 @@ class JsonEmitter {
     notes_.emplace_back(key, value);
   }
 
+  /// Attaches a nested value as a top-level section (after notes).
+  void Value(const std::string& key, JsonValue value) {
+    values_.emplace_back(key, std::move(value));
+  }
+
   std::string ToJson() const {
-    std::string out = "{\n  \"bench\": \"" + Escape(name_) + "\",\n";
+    std::string out = "{\n  \"bench\": \"" + JsonEscape(name_) + "\",\n";
     out += "  \"metrics\": {";
     for (size_t i = 0; i < metrics_.size(); ++i) {
       out += i ? ",\n    " : "\n    ";
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.6g", metrics_[i].second);
-      out += "\"" + Escape(metrics_[i].first) + "\": " + buf;
+      out += "\"" + JsonEscape(metrics_[i].first) +
+             "\": " + JsonNumber(metrics_[i].second);
     }
     out += metrics_.empty() ? "},\n" : "\n  },\n";
     out += "  \"notes\": {";
     for (size_t i = 0; i < notes_.size(); ++i) {
       out += i ? ",\n    " : "\n    ";
-      out += "\"" + Escape(notes_[i].first) + "\": \"" +
-             Escape(notes_[i].second) + "\"";
+      out += "\"" + JsonEscape(notes_[i].first) + "\": \"" +
+             JsonEscape(notes_[i].second) + "\"";
     }
-    out += notes_.empty() ? "}\n}\n" : "\n  }\n}\n";
+    out += notes_.empty() ? "}" : "\n  }";
+    for (const auto& [key, value] : values_) {
+      out += ",\n  \"" + JsonEscape(key) + "\": " + value.ToJson(1);
+    }
+    out += "\n}\n";
     return out;
   }
 
@@ -60,19 +177,10 @@ class JsonEmitter {
   }
 
  private:
-  static std::string Escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-
   std::string name_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::pair<std::string, JsonValue>> values_;
 };
 
 }  // namespace mm::bench

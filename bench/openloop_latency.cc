@@ -1,0 +1,196 @@
+// Latency under load: the open-loop curves the paper never showed.
+//
+// Sweep 1 -- mapping x arrival rate on the Atlas 10k III: random Dim1
+// beams (the dimension where placements differ most) arrive as a Poisson
+// stream at each rate; query::Session reports per-query latency
+// percentiles and the queueing-delay vs service-time breakdown. MultiMap's
+// settle-paced beams keep service times (and therefore saturation rates)
+// far ahead of Naive; Z-order sits between.
+//
+// Sweep 2 -- drive generation x arrival rate for MultiMap: the same
+// workload on the paper-era Atlas, a 15k-rpm enterprise drive, and a
+// modern 7.2k NL-SAS drive.
+//
+// Emits BENCH_openloop.json: per-point records (nested objects) including
+// p50/p95/p99 and a log-bucketed latency histogram (nested arrays).
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/emit_json.h"
+#include "core/multimap.h"
+#include "query/session.h"
+
+namespace mm::bench {
+namespace {
+
+std::vector<map::Box> BeamWorkload(const map::GridShape& shape, size_t n,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<map::Box> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    boxes.push_back(query::RandomBeam(shape, 1, rng).ToBox(shape));
+  }
+  return boxes;
+}
+
+struct Point {
+  std::string disk;
+  std::string mapping;
+  double rate_qps = 0;
+  query::LatencyStats stats;
+};
+
+Point RunPoint(lvm::Volume& vol, const map::Mapping& mapping,
+               std::span<const map::Box> boxes, double rate_qps) {
+  query::Executor ex(&vol, &mapping);
+  query::SessionOptions so;
+  so.warmup_head = true;
+  query::Session session(&vol, &ex, so);
+  auto stats =
+      session.Run(boxes, query::ArrivalProcess::OpenPoisson(rate_qps));
+  if (!stats.ok()) {
+    std::fprintf(stderr, "session failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  Point p;
+  p.disk = vol.disk(0).spec().name;
+  p.mapping = mapping.name();
+  p.rate_qps = rate_qps;
+  p.stats = *stats;
+  return p;
+}
+
+void PrintTable(const char* title, const std::vector<Point>& points) {
+  std::printf("--- %s ---\n", title);
+  TextTable table({"disk", "mapping", "rate", "p50", "p95", "p99", "mean",
+                   "queue", "service", "qps"});
+  for (const Point& p : points) {
+    table.AddRow({p.disk, p.mapping, TextTable::Num(p.rate_qps, 1),
+                  TextTable::Num(p.stats.P50Ms(), 2),
+                  TextTable::Num(p.stats.P95Ms(), 2),
+                  TextTable::Num(p.stats.P99Ms(), 2),
+                  TextTable::Num(p.stats.MeanMs(), 2),
+                  TextTable::Num(p.stats.queueing.Mean(), 2),
+                  TextTable::Num(p.stats.service.Mean(), 2),
+                  TextTable::Num(p.stats.ThroughputQps(), 2)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+JsonValue PointJson(const Point& p) {
+  JsonValue row = JsonValue::Object();
+  row.Set("disk", p.disk)
+      .Set("mapping", p.mapping)
+      .Set("rate_qps", p.rate_qps)
+      .Set("queries", static_cast<double>(p.stats.count()))
+      .Set("p50_ms", p.stats.P50Ms())
+      .Set("p95_ms", p.stats.P95Ms())
+      .Set("p99_ms", p.stats.P99Ms())
+      .Set("mean_ms", p.stats.MeanMs())
+      .Set("max_ms", p.stats.latency.Max())
+      .Set("mean_queue_ms", p.stats.queueing.Mean())
+      .Set("mean_service_ms", p.stats.service.Mean())
+      .Set("throughput_qps", p.stats.ThroughputQps());
+  // Log-bucketed latency distribution: [bucket_lo_ms, bucket_hi_ms, count]
+  // triples for the non-empty buckets.
+  const Histogram h = p.stats.ToHistogram(0.1, 100000.0, 48);
+  JsonValue hist = JsonValue::Array();
+  for (size_t i = 0; i < h.bucket_counts().size(); ++i) {
+    if (h.bucket_counts()[i] == 0) continue;
+    JsonValue bucket = JsonValue::Array();
+    bucket.Append(h.BucketLo(i))
+        .Append(h.BucketHi(i))
+        .Append(static_cast<double>(h.bucket_counts()[i]));
+    hist.Append(std::move(bucket));
+  }
+  row.Set("latency_hist_ms", std::move(hist));
+  return row;
+}
+
+}  // namespace
+}  // namespace mm::bench
+
+int main() {
+  using namespace mm;
+  using namespace mm::bench;
+  const bool quick = QuickMode();
+  // The paper's per-disk chunk shape: Dim1 beams put ~2.6 cells per track,
+  // so Naive pays a large rotational fraction per cell while MultiMap's
+  // semi-sequential path stays settle-paced -- the Figure 6(a) gap, now
+  // measured under load instead of on an idle disk.
+  const map::GridShape shape{259, 259, 259};
+  const size_t queries = quick ? 60 : 200;
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.5, 2.0}
+            : std::vector<double>{0.5, 1.0, 1.5, 2.0, 3.0};
+  const auto boxes = BeamWorkload(shape, queries, 20260729);
+
+  std::printf(
+      "=== Open-loop latency under load: Dim1 beams on %s, Poisson "
+      "arrivals ===\n"
+      "%zu queries per point; latencies in ms\n\n",
+      shape.ToString().c_str(), queries);
+
+  JsonEmitter em("openloop_latency");
+  JsonValue curves = JsonValue::Array();
+
+  // Sweep 1: mapping x rate on the paper's Atlas 10k III.
+  std::vector<Point> mapping_points;
+  {
+    lvm::Volume vol(disk::MakeAtlas10k3());
+    auto mappings = PaperMappings(vol, shape);
+    for (const auto& m : mappings) {
+      for (double rate : rates) {
+        mapping_points.push_back(RunPoint(vol, *m, boxes, rate));
+      }
+    }
+  }
+  PrintTable("mapping sweep (Atlas10kIII)", mapping_points);
+
+  // Sweep 2: drive generation x rate for MultiMap.
+  std::vector<Point> drive_points;
+  for (const auto& spec :
+       {disk::MakeAtlas10k3(), disk::MakeEnterprise15k(),
+        disk::MakeNearline7k2()}) {
+    lvm::Volume vol(spec);
+    auto mmap = core::MultiMapMapping::Create(vol, shape);
+    if (!mmap.ok()) {
+      std::fprintf(stderr, "MultiMap::Create failed on %s: %s\n",
+                   spec.name.c_str(), mmap.status().ToString().c_str());
+      std::exit(1);
+    }
+    for (double rate : rates) {
+      drive_points.push_back(RunPoint(vol, **mmap, boxes, rate));
+    }
+  }
+  PrintTable("drive-generation sweep (MultiMap)", drive_points);
+
+  for (const Point& p : mapping_points) curves.Append(PointJson(p));
+  for (const Point& p : drive_points) curves.Append(PointJson(p));
+
+  em.Metric("queries_per_point", static_cast<double>(queries));
+  em.Metric("rates", static_cast<double>(rates.size()));
+  // Flat summary: p99 at the highest swept rate per mapping (sweep 1).
+  for (const Point& p : mapping_points) {
+    if (p.rate_qps == rates.back()) {
+      em.Metric("p99_ms_at_max_rate_" + p.mapping, p.stats.P99Ms());
+    }
+  }
+  em.Note("workload", "random Dim1 beams, Poisson arrivals");
+  em.Note("grid", shape.ToString());
+  em.Value("curves", std::move(curves));
+  em.WriteFile("BENCH_openloop.json");
+  std::printf("wrote BENCH_openloop.json\n");
+  std::printf(
+      "Expected shape: queueing delay (and p99) grows with rate for every\n"
+      "mapping; Naive saturates first (its Dim1 beams pay a rotation per\n"
+      "cell), MultiMap last (settle-paced semi-sequential beams).\n");
+  return 0;
+}

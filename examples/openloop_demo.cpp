@@ -1,0 +1,59 @@
+// Open-loop execution demo: the async submission API on a two-disk
+// volume. Queries arrive as a Poisson stream, their requests queue at the
+// member disks, and both disks service their shares concurrently in
+// simulated time. Prints the latency breakdown at a light and a heavy
+// arrival rate -- the queueing delay the closed-loop figures never show.
+//
+// Build: part of the default cmake build; run from anywhere.
+#include <cstdio>
+#include <vector>
+
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/naive.h"
+#include "query/executor.h"
+#include "query/query.h"
+#include "query/session.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace mm;
+
+  // Two small test disks; 8x8x8 cells row-major across the volume. Rows
+  // of 8 cells align with the disk boundary, so no request straddles it.
+  lvm::Volume vol(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                              disk::MakeTestDisk()});
+  map::GridShape shape{8, 8, 8};
+  map::NaiveMapping naive(shape, 0);
+  query::Executor ex(&vol, &naive);
+
+  // Workload: random Dim0 beams (one 8-sector read each, half per disk).
+  std::vector<map::Box> boxes;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    boxes.push_back(query::RandomBeam(shape, 0, rng).ToBox(shape));
+  }
+
+  std::printf("open-loop Poisson arrivals, %zu beam queries, 2 disks\n\n",
+              boxes.size());
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "rate", "p50", "p95", "p99",
+              "queue", "service");
+  for (double qps : {20.0, 60.0, 110.0}) {
+    query::Session session(&vol, &ex, query::SessionOptions{});
+    auto stats = session.Run(boxes, query::ArrivalProcess::OpenPoisson(qps));
+    if (!stats.ok()) {
+      std::fprintf(stderr, "session failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%6.0f/s %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms\n", qps,
+                stats->P50Ms(), stats->P95Ms(), stats->P99Ms(),
+                stats->queueing.Mean(), stats->service.Mean());
+  }
+
+  std::printf(
+      "\nSame service time at every rate; the latency you feel is the\n"
+      "queue. Closed-loop equivalents of these queries would report only\n"
+      "the service column.\n");
+  return 0;
+}

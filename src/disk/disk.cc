@@ -1,8 +1,9 @@
 #include "disk/disk.h"
 
 #include <algorithm>
-#include <bit>
+#include <limits>
 #include <string>
+#include <utility>
 
 namespace mm::disk {
 
@@ -34,6 +35,14 @@ void Disk::Reset() {
   cache_track_ = 0;
   cache_begin_u_ = 0;
   stats_ = DiskStats{};
+  pending_.clear();
+  window_.clear();
+  elevator_index_.clear();
+  submit_seq_ = 0;
+  last_arrival_ms_ = 0;
+  queue_busy_ = false;
+  batch_suppress_ = false;
+  readahead_suppressed_ = false;
 }
 
 uint64_t Disk::UnrolledSlot(double at_ms, uint32_t spt) const {
@@ -348,6 +357,214 @@ Result<Completion> Disk::ServiceRef(const IoRequest& request,
   return c;
 }
 
+void Disk::ElevInsert(uint64_t lbn, uint64_t seq, uint32_t slot) {
+  if (elevator_spare_) {
+    elevator_spare_.value() = {lbn, seq, slot};
+    elevator_index_.insert(std::move(elevator_spare_));
+  } else {
+    elevator_index_.insert({lbn, seq, slot});
+  }
+}
+
+void Disk::ElevErase(uint64_t lbn, uint64_t seq, uint32_t slot) {
+  auto node = elevator_index_.extract({lbn, seq, slot});
+  if (!elevator_spare_) elevator_spare_ = std::move(node);
+}
+
+void Disk::ConfigureQueue(const BatchOptions& options) {
+  const bool want_index = options.kind == SchedulerKind::kElevator;
+  if (want_index && !elevator_indexed_) {
+    elevator_index_.clear();
+    for (uint32_t i = 0; i < window_.size(); ++i) {
+      elevator_index_.insert({window_[i].req.lbn, window_[i].seq, i});
+    }
+  } else if (!want_index && elevator_indexed_) {
+    elevator_index_.clear();
+  }
+  elevator_indexed_ = want_index;
+  queue_options_ = options;
+}
+
+uint64_t Disk::Submit(const IoRequest& request, double arrival_ms,
+                      bool warmup) {
+  last_arrival_ms_ = std::max(last_arrival_ms_, arrival_ms);
+  const uint64_t tag = submit_seq_++;
+  Queued q = Admit(request, tag);
+  q.arrival_ms = last_arrival_ms_;
+  q.warmup = warmup;
+  if (pending_.empty() && window_.size() < queue_options_.queue_depth &&
+      q.arrival_ms <= now_ms_) {
+    // Already admissible: skip the pending queue (equivalent to FillWindow
+    // picking it up at the next service; arrival order is preserved
+    // because pending_ is empty).
+    window_.push_back(std::move(q));
+    if (elevator_indexed_) {
+      ElevInsert(window_.back().req.lbn, window_.back().seq,
+                 static_cast<uint32_t>(window_.size() - 1));
+    }
+  } else {
+    pending_.push_back(std::move(q));
+  }
+  return tag;
+}
+
+double Disk::NextServiceTime() const {
+  if (!window_.empty()) return now_ms_;
+  if (pending_.empty()) return std::numeric_limits<double>::infinity();
+  return std::max(now_ms_, pending_.front().arrival_ms);
+}
+
+void Disk::FillWindow() {
+  while (window_.size() < queue_options_.queue_depth && !pending_.empty() &&
+         pending_.front().arrival_ms <= now_ms_) {
+    window_.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+    if (elevator_indexed_) {
+      ElevInsert(window_.back().req.lbn, window_.back().seq,
+                 static_cast<uint32_t>(window_.size() - 1));
+    }
+  }
+}
+
+size_t Disk::PickQueued() const {
+  size_t pick = 0;
+  switch (queue_options_.kind) {
+    case SchedulerKind::kFifo: {
+      uint64_t best_seq = UINT64_MAX;
+      for (size_t i = 0; i < window_.size(); ++i) {
+        if (window_[i].seq < best_seq) {
+          best_seq = window_[i].seq;
+          pick = i;
+        }
+      }
+      break;
+    }
+    case SchedulerKind::kSstf: {
+      uint32_t best = UINT32_MAX;
+      uint64_t best_seq = UINT64_MAX;
+      for (size_t i = 0; i < window_.size(); ++i) {
+        const uint32_t cyl = window_[i].geom.cylinder;
+        const uint32_t d = cyl > head_geom_.cylinder
+                               ? cyl - head_geom_.cylinder
+                               : head_geom_.cylinder - cyl;
+        if (d < best || (d == best && window_[i].seq < best_seq)) {
+          best = d;
+          best_seq = window_[i].seq;
+          pick = i;
+        }
+      }
+      break;
+    }
+    case SchedulerKind::kSptf: {
+      double best = 1e300;
+      uint64_t best_seq = UINT64_MAX;
+      for (size_t i = 0; i < window_.size(); ++i) {
+        const double cost = EstimateQueued(window_[i]);
+        if (cost < best || (cost == best && window_[i].seq < best_seq)) {
+          best = cost;
+          best_seq = window_[i].seq;
+          pick = i;
+        }
+      }
+      break;
+    }
+    case SchedulerKind::kElevator: {
+      // Ascending sweep from the head's current first LBN, wrapping. The
+      // ordered index (maintained whenever the policy is Elevator) answers
+      // "smallest (lbn, seq) >= (pos, 0), else the global smallest" in
+      // O(log w) -- exactly the reference window's pick and tie-breaking.
+      auto it = elevator_index_.lower_bound({head_geom_.first_lbn, 0, 0});
+      if (it == elevator_index_.end()) it = elevator_index_.begin();
+      pick = std::get<2>(*it);
+      break;
+    }
+  }
+  return pick;
+}
+
+Result<CompletionEvent> Disk::ServiceNextQueued() {
+  if (QueueIdle()) {
+    return Status::InvalidArgument("ServiceNextQueued on an empty queue");
+  }
+  if (queue_options_.queue_depth == 0) {
+    // Nothing can ever be admitted; drop rather than strand the queue
+    // (the documented error contract: on error the queue is dropped).
+    DropQueued();
+    return Status::InvalidArgument("queue_depth must be positive");
+  }
+  FillWindow();
+  if (window_.empty()) {
+    // Idle gap until the next arrival. The head stays on its track, so the
+    // read-ahead arc keeps growing while the platter spins underneath; an
+    // idle drive also re-arms command decode, ending the busy period.
+    now_ms_ = std::max(now_ms_, pending_.front().arrival_ms);
+    queue_busy_ = false;
+    FillWindow();
+  }
+
+  // TCQ look-ahead: drives suspend the buffer scan while other commands
+  // are outstanding. Closed-loop batches suspend it batch-wide
+  // (batch_suppress_, set by the ServiceBatch wrapper); the open-loop path
+  // decides from the backlog that has actually arrived. Must be set before
+  // the pick: SPTF estimates consult the buffer.
+  const bool backlog =
+      window_.size() > 1 ||
+      (!pending_.empty() && pending_.front().arrival_ms <= now_ms_);
+  readahead_suppressed_ = queue_options_.queue_disables_readahead &&
+                          (batch_suppress_ || backlog);
+
+  const size_t pick = PickQueued();
+  const Queued picked = std::move(window_[pick]);
+  if (elevator_indexed_) {
+    ElevErase(picked.req.lbn, picked.seq, static_cast<uint32_t>(pick));
+    if (pick != window_.size() - 1) {
+      // The swap below moves the tail entry into the freed slot.
+      const Queued& moved = window_.back();
+      ElevErase(moved.req.lbn, moved.seq,
+                static_cast<uint32_t>(window_.size() - 1));
+      ElevInsert(moved.req.lbn, moved.seq, static_cast<uint32_t>(pick));
+    }
+  }
+  window_[pick] = std::move(window_.back());
+  window_.pop_back();
+
+  // TCQ pipelining: the drive stages the next queued command during the
+  // current service, so a command that opens with a seek pays no
+  // turnaround (the seek starts the instant the previous transfer ends).
+  // A same-track rotational continuation cannot hide the turnaround --
+  // the gate must be re-armed in the angular gap itself -- so it still
+  // pays the command overhead. The first command of a busy period always
+  // pays.
+  const bool charge_overhead =
+      !queue_busy_ || picked.geom.track == current_track_;
+  queue_busy_ = true;
+
+  auto serviced = ServiceWithHint(picked.req, charge_overhead, &picked.geom);
+  readahead_suppressed_ = false;
+  if (!serviced.ok()) {
+    // The schedule is now half-known; drop the queue rather than carry on.
+    DropQueued();
+    return serviced.status();
+  }
+  if (QueueIdle()) queue_busy_ = false;
+
+  CompletionEvent ev;
+  ev.completion = *serviced;
+  ev.tag = picked.seq;
+  ev.arrival_ms = picked.arrival_ms;
+  ev.warmup = picked.warmup;
+  return ev;
+}
+
+void Disk::DropQueued() {
+  pending_.clear();
+  window_.clear();
+  elevator_index_.clear();
+  queue_busy_ = false;
+  batch_suppress_ = false;
+  readahead_suppressed_ = false;
+}
+
 Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
                                        const BatchOptions& options) {
   return ServiceBatch(requests, options, nullptr);
@@ -365,190 +582,41 @@ Result<BatchResult> Disk::ServiceBatch(std::span<const IoRequest> requests,
   if (options.queue_depth == 0) {
     return Status::InvalidArgument("queue_depth must be positive");
   }
+  if (!QueueIdle()) {
+    return Status::InvalidArgument(
+        "ServiceBatch while requests are queued (closed-loop and open-loop "
+        "execution cannot interleave)");
+  }
 
-  // TCQ semantics: look-ahead is suspended while more than one request is
-  // queued at the drive.
-  const bool suppress =
-      options.queue_disables_readahead && requests.size() > 1;
-  readahead_suppressed_ = suppress;
-
-  auto service_picked = [&](const IoRequest& req, uint64_t req_track,
-                            const TrackGeom* hint) -> Status {
-    // TCQ pipelining: the drive stages the next queued command during the
-    // current service, so a command that opens with a seek pays no
-    // turnaround (the seek starts the instant the previous transfer ends).
-    // A same-track rotational continuation cannot hide the turnaround --
-    // the gate must be re-armed in the angular gap itself -- so it still
-    // pays the command overhead. The first command of a batch always pays.
-    const bool charge_overhead =
-        result.requests == 0 || req_track == current_track_;
-    auto serviced = ServiceWithHint(req, charge_overhead, hint);
-    if (!serviced.ok()) return serviced.status();
-    const Completion& c = *serviced;
+  // Closed loop over the queued engine: the whole batch arrives now and
+  // the drive drains to idle. Look-ahead suppression applies batch-wide
+  // (the paper-era TCQ behavior the regression tests pin), and the first
+  // pick of a batch always pays the command overhead.
+  ConfigureQueue(options);
+  batch_suppress_ = requests.size() > 1;
+  queue_busy_ = false;
+  // Feed lazily, keeping the drive window topped up plus one request of
+  // lookahead: identical picks and timing to submitting everything
+  // upfront (admission is in submit order either way, and every arrival
+  // is "now"), but the pending queue stays at most one deep, so requests
+  // go (nearly) straight into the window. The lookahead matters: the
+  // queue must never run dry mid-batch, or the busy period would end and
+  // the next request would pay the command overhead a batch does not.
+  size_t next = 0;
+  while (next < requests.size() || !QueueIdle()) {
+    while (next < requests.size() &&
+           QueuedCount() <= queue_options_.queue_depth) {
+      Submit(requests[next++], now_ms_);
+    }
+    auto ev = ServiceNextQueued();
+    if (!ev.ok()) return ev.status();  // DropQueued already ran
+    const Completion& c = ev->completion;
     if (completions != nullptr) completions->push_back(c);
     result.phases += c.phases;
     ++result.requests;
     result.sectors += c.request.sectors;
-    return Status::OK();
-  };
-
-  if (options.kind == SchedulerKind::kFifo) {
-    // FIFO never reorders: the queue window is behaviorally a no-op, so the
-    // batch is serviced straight from the span with no window bookkeeping.
-    for (const IoRequest& req : requests) {
-      Status st =
-          service_picked(req, geometry_.TrackOfLbn(req.lbn), nullptr);
-      if (!st.ok()) {
-        readahead_suppressed_ = false;
-        return st;
-      }
-    }
-    readahead_suppressed_ = false;
-    result.end_ms = now_ms_;
-    return result;
   }
-
-  if (options.kind == SchedulerKind::kElevator) {
-    // Presorted cursor: the batch is rank-sorted by (lbn, arrival) once;
-    // the queue window is then a bitmap over ranks, admission sets a bit,
-    // service clears one, and each pick is a binary search for the head
-    // position plus a find-next-set scan -- near-constant per pick where
-    // the reference rescans and erase()s an O(window) vector. The pick is
-    // provably identical: the first set rank at or past the head is the
-    // window's smallest (lbn, arrival) >= pos, and the wrap case takes the
-    // globally smallest, exactly the reference's tie-breaking.
-    const size_t n = requests.size();
-    std::vector<uint32_t> order(n);  // rank -> request index
-    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
-    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-      return requests[a].lbn != requests[b].lbn
-                 ? requests[a].lbn < requests[b].lbn
-                 : a < b;
-    });
-    std::vector<uint64_t> lbns(n);      // rank -> lbn, for the pick search
-    std::vector<uint32_t> rank_of(n);   // request index -> rank
-    for (size_t r = 0; r < n; ++r) {
-      lbns[r] = requests[order[r]].lbn;
-      rank_of[order[r]] = static_cast<uint32_t>(r);
-    }
-    std::vector<uint64_t> bits((n + 63) / 64, 0);
-    auto next_set = [&](size_t from) -> size_t {
-      size_t w = from / 64;
-      if (w >= bits.size()) return n;
-      uint64_t word = bits[w] & (~0ull << (from % 64));
-      while (word == 0) {
-        if (++w == bits.size()) return n;
-        word = bits[w];
-      }
-      return w * 64 + static_cast<size_t>(std::countr_zero(word));
-    };
-    size_t next_admit = 0, live = 0;
-    auto admit = [&] {
-      while (live < options.queue_depth && next_admit < n) {
-        const uint32_t r = rank_of[next_admit++];
-        bits[r / 64] |= 1ull << (r % 64);
-        ++live;
-      }
-    };
-    // Rank of the first lbn >= pos: the head lands on the last pick's
-    // track, so a short walk from that rank almost always settles before
-    // the capped step budget; the binary search is the fallback.
-    auto rank_of_pos = [&](uint64_t pos, size_t hint) -> size_t {
-      size_t r = std::min(hint, n);
-      for (int s = 0; s < 32; ++s) {
-        if (r > 0 && lbns[r - 1] >= pos) {
-          --r;
-        } else if (r < n && lbns[r] < pos) {
-          ++r;
-        } else {
-          return r;
-        }
-      }
-      return static_cast<size_t>(
-          std::lower_bound(lbns.begin(), lbns.end(), pos) - lbns.begin());
-    };
-    size_t hint_rank = 0;
-    admit();
-    while (live > 0) {
-      // Ascending sweep from the head's current first LBN, wrapping.
-      const uint64_t pos = head_geom_.first_lbn;
-      const size_t r0 = rank_of_pos(pos, hint_rank);
-      size_t pick = next_set(r0);
-      if (pick == n) pick = next_set(0);
-      bits[pick / 64] &= ~(1ull << (pick % 64));
-      --live;
-      hint_rank = pick;
-      const IoRequest& req = requests[order[pick]];
-      const TrackGeom geom = geometry_.Track(geometry_.TrackOfLbn(req.lbn));
-      Status st = service_picked(req, geom.track, &geom);
-      if (!st.ok()) {
-        readahead_suppressed_ = false;
-        return st;
-      }
-      admit();
-    }
-    readahead_suppressed_ = false;
-    result.end_ms = now_ms_;
-    return result;
-  }
-
-  // SSTF/SPTF: an unordered window with each request's geometry resolved
-  // once at admission; removal is an index swap. Picks scan cached fields,
-  // tie-breaking on admission order to match the reference window's
-  // first-oldest semantics.
-  std::vector<Queued> window;
-  window.reserve(options.queue_depth);
-  size_t next = 0;
-  uint64_t seq = 0;
-
-  auto refill = [&] {
-    while (window.size() < options.queue_depth && next < requests.size()) {
-      window.push_back(Admit(requests[next++], seq++));
-    }
-  };
-
-  refill();
-  while (!window.empty()) {
-    size_t pick = 0;
-    if (options.kind == SchedulerKind::kSstf) {
-      uint32_t best = UINT32_MAX;
-      uint64_t best_seq = UINT64_MAX;
-      for (size_t i = 0; i < window.size(); ++i) {
-        const uint32_t cyl = window[i].geom.cylinder;
-        const uint32_t d = cyl > head_geom_.cylinder
-                               ? cyl - head_geom_.cylinder
-                               : head_geom_.cylinder - cyl;
-        if (d < best || (d == best && window[i].seq < best_seq)) {
-          best = d;
-          best_seq = window[i].seq;
-          pick = i;
-        }
-      }
-    } else {  // kSptf
-      double best = 1e300;
-      uint64_t best_seq = UINT64_MAX;
-      for (size_t i = 0; i < window.size(); ++i) {
-        const double cost = EstimateQueued(window[i]);
-        if (cost < best || (cost == best && window[i].seq < best_seq)) {
-          best = cost;
-          best_seq = window[i].seq;
-          pick = i;
-        }
-      }
-    }
-
-    const Queued picked = window[pick];
-    window[pick] = std::move(window.back());
-    window.pop_back();
-    Status st = service_picked(picked.req, picked.geom.track, &picked.geom);
-    if (!st.ok()) {
-      readahead_suppressed_ = false;
-      return st;
-    }
-    refill();
-  }
-  readahead_suppressed_ = false;
-
+  batch_suppress_ = false;
   result.end_ms = now_ms_;
   return result;
 }

@@ -13,16 +13,28 @@
 //
 // Hot-path structure: Service() walks multi-track transfers with a
 // TrackCursor (pure arithmetic per track crossing), the head's resolved
-// TrackGeom is carried between requests, and ServiceBatch() caches each
-// queued request's track/cylinder/angle once at admission so scheduler picks
+// TrackGeom is carried between requests, and each queued request's
+// track/cylinder/angle is cached once at admission so scheduler picks
 // never re-resolve geometry. The pre-optimization implementations are kept
 // callable as ServiceRef / ServiceBatchRef / EstimatePositioningRef; they
 // produce bit-identical results (LBNs, completion order, timing) and exist
 // for the equivalence tests and bench/micro_hotpath.cc.
+//
+// Execution surfaces: the queued interface (Submit / ServiceNextQueued /
+// CompletionEvent) is the primary one -- requests arrive over simulated
+// time, wait in a pending queue, enter the drive's bounded tagged queue in
+// arrival order, and are picked by policy whenever the drive is free.
+// ServiceBatch() is a thin closed-loop wrapper over it ("everything
+// arrives now, drain to idle"), pinned bit-identical to ServiceBatchRef by
+// tests/scheduler_regression_test.cc. query::Session drives the queued
+// interface through sim::EventLoop for open-loop workloads.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <set>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "disk/geometry.h"
@@ -95,9 +107,50 @@ class Disk {
   /// state. Used by the SPTF scheduler.
   double EstimatePositioning(uint64_t lbn) const;
 
-  /// Services a batch of requests under the given scheduling policy, with a
-  /// bounded queue window (see scheduler.h). Requests enter the drive queue
-  /// in span order. Returns aggregate timing.
+  // --- Queued (event-driven) interface ----------------------------------
+
+  /// Sets the queue policy/depth used by subsequent picks. May be called
+  /// with requests queued (later picks simply follow the new policy).
+  void ConfigureQueue(const BatchOptions& options);
+  const BatchOptions& queue_options() const { return queue_options_; }
+
+  /// Enqueues a request arriving at `arrival_ms`. Arrivals must be
+  /// delivered in non-decreasing time order (as an event loop does); a
+  /// stale arrival time is clamped up to the latest one seen. `warmup`
+  /// marks head-placement reads that latency accounting should ignore.
+  /// Returns the request's tag (dense from 0 after Reset()).
+  uint64_t Submit(const IoRequest& request, double arrival_ms,
+                  bool warmup = false);
+
+  /// True when no submitted requests remain (pending or windowed).
+  bool QueueIdle() const { return window_.empty() && pending_.empty(); }
+  /// Submitted-but-uncompleted requests.
+  size_t QueuedCount() const { return window_.size() + pending_.size(); }
+
+  /// Earliest simulated time the next queued service can begin: now when a
+  /// request is already waiting, the next arrival instant when the drive
+  /// would sit idle, +infinity when the queue is empty.
+  double NextServiceTime() const;
+
+  /// Picks (per the configured policy, within the bounded tagged queue)
+  /// and services the next queued request, advancing the clock over any
+  /// idle gap first. A request that begins a busy period pays the command
+  /// overhead; within a busy period the TCQ pipelining rule of
+  /// ServiceBatch applies (see the wrapper). Calling with an empty queue
+  /// is an error; on a service error the queue is dropped.
+  Result<CompletionEvent> ServiceNextQueued();
+
+  /// Discards all queued requests and ends the busy period.
+  void DropQueued();
+
+  // --- Closed-loop wrapper ----------------------------------------------
+
+  /// Services a batch of requests under the given scheduling policy, with
+  /// a bounded queue window (see scheduler.h). Requests enter the drive
+  /// queue in span order. Returns aggregate timing. This is a closed-loop
+  /// wrapper over the queued interface: the whole batch arrives at the
+  /// current clock and the queue drains to idle. It is an error to call
+  /// with requests already queued (mixing the two modes).
   Result<BatchResult> ServiceBatch(std::span<const IoRequest> requests,
                                    const BatchOptions& options = {});
 
@@ -133,10 +186,12 @@ class Disk {
   // scheduler picks are pure arithmetic over cached fields.
   struct Queued {
     IoRequest req;
-    uint64_t seq = 0;     // admission order; ties resolve to the oldest
+    uint64_t seq = 0;     // submission order; ties resolve to the oldest
     TrackGeom geom;       // track holding the request's first sector
     uint32_t sector = 0;  // logical sector of the first LBN within geom
     double angle = 0;     // platter angle of that sector's start
+    double arrival_ms = 0;
+    bool warmup = false;
   };
 
   // Positioning (seek + rotation) from a resolved head position to a
@@ -162,6 +217,13 @@ class Disk {
   // Resolves a request's first sector into a Queued entry.
   Queued Admit(const IoRequest& req, uint64_t seq) const;
 
+  // Moves arrived requests from pending_ into the drive window, in
+  // arrival order, up to queue_depth.
+  void FillWindow();
+  // Index into window_ of the next request per queue_options_.kind
+  // (reference-window semantics; ties resolve to the oldest seq).
+  size_t PickQueued() const;
+
   // Read-ahead bookkeeping: while the head sits on `cache_track_`, the
   // buffer holds the last min(u_now - cache_begin_u_, spt) sectors that
   // passed under the head, where u(t) = floor(t / sector_time) is the
@@ -179,6 +241,32 @@ class Disk {
   Geometry geometry_;
   SeekModel seek_;
   RotationModel rotation_;
+
+  // Queued-interface state. pending_ holds arrived requests in arrival
+  // order; window_ is the drive's bounded tagged queue (removal is an
+  // index swap; picks tie-break on seq, so order within the vector is
+  // irrelevant). Under Elevator, elevator_index_ mirrors the window as an
+  // ordered (lbn, seq, slot) set so deep-window sweep picks are O(log w)
+  // instead of an O(w) rescan -- the ordering reproduces the reference
+  // pick exactly (smallest (lbn, seq) at or past the head, wrapping to
+  // the global smallest).
+  using ElevKey = std::tuple<uint64_t, uint64_t, uint32_t>;
+  using ElevSet = std::set<ElevKey>;
+  // Allocation-free steady state: removals bank their node in
+  // elevator_spare_ and insertions reuse it.
+  void ElevInsert(uint64_t lbn, uint64_t seq, uint32_t slot);
+  void ElevErase(uint64_t lbn, uint64_t seq, uint32_t slot);
+
+  BatchOptions queue_options_{};
+  std::deque<Queued> pending_;
+  std::vector<Queued> window_;
+  ElevSet elevator_index_;
+  ElevSet::node_type elevator_spare_;
+  bool elevator_indexed_ = false;
+  uint64_t submit_seq_ = 0;
+  double last_arrival_ms_ = 0;
+  bool queue_busy_ = false;      // a busy period is in progress
+  bool batch_suppress_ = false;  // closed-loop batch-wide look-ahead stop
 
   double now_ms_ = 0;
   uint64_t current_track_ = 0;

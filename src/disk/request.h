@@ -43,4 +43,17 @@ struct Completion {
   double ServiceMs() const { return end_ms - start_ms; }
 };
 
+/// A completion from the queued (Submit) interface: the service record plus
+/// the queueing metadata open-loop latency accounting needs.
+struct CompletionEvent {
+  Completion completion;
+  uint64_t tag = 0;       ///< Ticket returned by Disk::Submit().
+  double arrival_ms = 0;  ///< When the request entered the drive queue.
+  bool warmup = false;    ///< Head-placement read; excluded from latency
+                          ///< accounting by query::Session.
+
+  /// Time spent waiting in the queue before service began.
+  double QueueMs() const { return completion.start_ms - arrival_ms; }
+};
+
 }  // namespace mm::disk

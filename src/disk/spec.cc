@@ -39,6 +39,45 @@ DiskSpec MakeCheetah36Es() {
   return s;
 }
 
+DiskSpec MakeEnterprise15k() {
+  DiskSpec s;
+  s.name = "Enterprise15k";
+  s.surfaces = 4;  // 2 platters
+  s.rpm = 15000.0;  // 4 ms revolution
+  s.settle_ms = 0.9;
+  s.settle_cylinders = 32;  // D = 4 * 32 = 128, comparable adjacency
+  s.head_switch_ms = 0.8;
+  s.seek_sqrt_coeff_ms = 0.030;
+  s.knee_cylinders = 8000;
+  s.full_stroke_ms = 7.0;
+  s.command_overhead_ms = 0.06;
+  // 8 zones x 3000 cylinders = 24000 cylinders; 96000 tracks; ~70.9M
+  // sectors ~ 36.3 GB (15k platters are smaller in diameter, so capacity
+  // stays near the paper drives despite higher linear density).
+  const uint32_t spt[] = {880, 850, 810, 770, 730, 690, 650, 610};
+  for (uint32_t t : spt) s.zones.push_back(ZoneSpec{3000, t});
+  return s;
+}
+
+DiskSpec MakeNearline7k2() {
+  DiskSpec s;
+  s.name = "Nearline7k2";
+  s.surfaces = 8;  // 4 platters
+  s.rpm = 7200.0;  // 8.33 ms revolution
+  s.settle_ms = 1.5;
+  s.settle_cylinders = 16;  // D = 8 * 16 = 128
+  s.head_switch_ms = 1.4;
+  s.seek_sqrt_coeff_ms = 0.050;
+  s.knee_cylinders = 18000;
+  s.full_stroke_ms = 16.0;
+  s.command_overhead_ms = 0.05;
+  // 8 zones x 3500 cylinders = 28000 cylinders; 224000 tracks; ~358M
+  // sectors ~ 183 GB: long dense tracks, slow spindle.
+  const uint32_t spt[] = {1800, 1740, 1680, 1620, 1560, 1500, 1440, 1380};
+  for (uint32_t t : spt) s.zones.push_back(ZoneSpec{3500, t});
+  return s;
+}
+
 DiskSpec MakeTestDisk() {
   DiskSpec s;
   s.name = "TestDisk";
@@ -57,6 +96,11 @@ DiskSpec MakeTestDisk() {
 
 std::vector<DiskSpec> PaperDisks() {
   return {MakeAtlas10k3(), MakeCheetah36Es()};
+}
+
+std::vector<DiskSpec> AllPresets() {
+  return {MakeAtlas10k3(), MakeCheetah36Es(), MakeEnterprise15k(),
+          MakeNearline7k2()};
 }
 
 }  // namespace mm::disk

@@ -94,10 +94,27 @@ DiskSpec MakeAtlas10k3();
 /// Preset approximating the Seagate Cheetah 36ES used in the paper.
 DiskSpec MakeCheetah36Es();
 
+/// Preset approximating a 15k-rpm enterprise drive of the generation that
+/// followed the paper's (Cheetah 15k.5 class): 4 ms revolution,
+/// sub-millisecond settle, faster arm. Latency-under-load curves shift
+/// left and the settle-paced semi-sequential path tightens.
+DiskSpec MakeEnterprise15k();
+
+/// Preset approximating a modern 7200-rpm nearline (NL-SAS) drive
+/// (Constellation ES class): much denser tracks and far more cylinders,
+/// but a slow spindle and a long arm -- streaming is faster than the
+/// paper-era drives while random access is slower, stressing zoning and
+/// adjacency sensitivity from the other side.
+DiskSpec MakeNearline7k2();
+
 /// A deliberately small drive for fast unit tests (tiny zones, short tracks).
 DiskSpec MakeTestDisk();
 
 /// Returns both paper disks, in the order the paper's figures present them.
 std::vector<DiskSpec> PaperDisks();
+
+/// The paper disks plus the newer-generation presets (drive-generation
+/// sweeps in bench/openloop_latency.cc).
+std::vector<DiskSpec> AllPresets();
 
 }  // namespace mm::disk

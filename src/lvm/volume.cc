@@ -58,6 +58,24 @@ void Volume::Reset() {
   for (auto& d : disks_) d->Reset();
 }
 
+void Volume::ConfigureQueues(const disk::BatchOptions& options) {
+  for (auto& d : disks_) d->ConfigureQueue(options);
+}
+
+Result<Volume::Ticket> Volume::Submit(const disk::IoRequest& request,
+                                      double arrival_ms, bool warmup) {
+  MM_ASSIGN_OR_RETURN(Location loc, Resolve(request.lbn));
+  if (loc.lbn + request.sectors >
+      disks_[loc.disk]->geometry().total_sectors()) {
+    return Status::InvalidArgument(
+        "request straddles a disk boundary at volume LBN " +
+        std::to_string(request.lbn));
+  }
+  const uint64_t tag = disks_[loc.disk]->Submit(
+      disk::IoRequest{loc.lbn, request.sectors}, arrival_ms, warmup);
+  return Ticket{loc.disk, tag};
+}
+
 Result<VolumeBatchResult> Volume::ServiceBatch(
     std::span<const disk::IoRequest> requests,
     const disk::BatchOptions& options) {

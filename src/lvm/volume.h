@@ -94,12 +94,32 @@ class Volume {
 
   // --- Execution --------------------------------------------------------
 
-  /// Resets all member disks (time 0, heads parked, stats cleared).
+  /// Resets all member disks (time 0, heads parked, stats and queues
+  /// cleared).
   void Reset();
 
-  /// Services a batch of volume-addressed requests. Requests are routed to
-  /// member disks preserving order, each disk schedules its share with
-  /// `options`, and disks run in parallel.
+  /// Ticket for a submitted request: the member disk it queued on and the
+  /// disk-local tag (dense from 0 after Reset()).
+  struct Ticket {
+    uint32_t disk = 0;
+    uint64_t tag = 0;
+  };
+
+  /// Sets the queue policy on every member disk (see Disk::ConfigureQueue).
+  void ConfigureQueues(const disk::BatchOptions& options);
+
+  /// Queues a volume-addressed request arriving at `arrival_ms` on its
+  /// member disk (see Disk::Submit). Member disks drain their queues
+  /// independently, so requests on different disks genuinely overlap in
+  /// simulated time; query::Session drives the drains on a shared
+  /// sim::EventLoop. The request must not straddle a disk boundary.
+  Result<Ticket> Submit(const disk::IoRequest& request, double arrival_ms,
+                        bool warmup = false);
+
+  /// Services a batch of volume-addressed requests (closed loop). Requests
+  /// are routed to member disks preserving order, each disk schedules its
+  /// share with `options`, and disks run in parallel: makespan_ms is the
+  /// max over per-disk busy times.
   ///
   /// Requests must not straddle a disk boundary.
   Result<VolumeBatchResult> ServiceBatch(

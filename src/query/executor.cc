@@ -307,12 +307,23 @@ Result<QueryResult> Executor::RunBatch(std::span<const map::Box> boxes) {
 }
 
 Result<double> Executor::RandomizeHead(Rng& rng) {
+  // Routed through the queued submit path, flagged warmup so latency
+  // accounting (DiskStats consumers, query::Session) can exclude it. The
+  // timing is identical to the old direct Service() call: the read
+  // arrives at the disk's own clock (no idle gap) and an idle drive
+  // always pays the command overhead.
   const uint64_t lbn = rng.Uniform(volume_->total_sectors());
   MM_ASSIGN_OR_RETURN(lvm::Volume::Location loc, volume_->Resolve(lbn));
-  const double before = volume_->disk(loc.disk).now_ms();
-  auto c = volume_->disk(loc.disk).Service(disk::IoRequest{loc.lbn, 1});
-  MM_RETURN_NOT_OK(c.status());
-  return volume_->disk(loc.disk).now_ms() - before;
+  disk::Disk& d = volume_->disk(loc.disk);
+  if (!d.QueueIdle()) {
+    // A closed-loop warmup cannot cut into an open-loop queue: the pick
+    // would service (and swallow) some other queued request.
+    return Status::InvalidArgument(
+        "RandomizeHead while requests are queued");
+  }
+  d.Submit(disk::IoRequest{loc.lbn, 1}, d.now_ms(), /*warmup=*/true);
+  MM_ASSIGN_OR_RETURN(disk::CompletionEvent ev, d.ServiceNextQueued());
+  return ev.completion.ServiceMs();
 }
 
 }  // namespace mm::query

@@ -1,0 +1,185 @@
+#include "query/session.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "sim/event_loop.h"
+#include "util/rng.h"
+
+namespace mm::query {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// tag2query entry for warmup reads, which belong to no query.
+constexpr uint64_t kNoQuery = UINT64_MAX;
+}  // namespace
+
+Histogram LatencyStats::ToHistogram(double lo_ms, double hi_ms,
+                                    size_t buckets) const {
+  Histogram h(lo_ms, hi_ms, buckets);
+  for (size_t i = 0; i < latency.count(); ++i) h.Add(latency.sample(i));
+  return h;
+}
+
+Session::Session(lvm::Volume* volume, Executor* executor,
+                 SessionOptions options)
+    : volume_(volume), executor_(executor), options_(std::move(options)) {}
+
+Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
+                                  const ArrivalProcess& arrivals) {
+  using Kind = ArrivalProcess::Kind;
+  if (arrivals.kind == Kind::kOpenPoisson && arrivals.rate_qps <= 0) {
+    return Status::InvalidArgument("rate_qps must be positive");
+  }
+  if (arrivals.kind == Kind::kOpenTrace &&
+      arrivals.trace_ms.size() != queries.size()) {
+    return Status::InvalidArgument(
+        "trace_ms must hold one arrival instant per query");
+  }
+  if (arrivals.kind == Kind::kClosed && arrivals.clients == 0) {
+    return Status::InvalidArgument("clients must be positive");
+  }
+  if (options_.queue.queue_depth == 0) {
+    return Status::InvalidArgument("queue_depth must be positive");
+  }
+
+  volume_->Reset();
+  volume_->ConfigureQueues(options_.queue);
+  completions_.clear();
+  completions_.reserve(queries.size());
+
+  struct QueryState {
+    double arrival = 0;
+    double start = kInf;
+    double finish = 0;
+    uint64_t outstanding = 0;
+  };
+  std::vector<QueryState> states(queries.size());
+  // Per-disk tag -> query index; Disk tags are dense from 0 after Reset().
+  std::vector<std::vector<uint64_t>> tag2query(volume_->disk_count());
+  std::vector<uint8_t> disk_active(volume_->disk_count(), 0);
+
+  sim::EventLoop loop;
+  LatencyStats stats;
+  Status error = Status::OK();
+  Rng rng(options_.seed);
+  QueryPlan plan;          // reused across per-arrival planning
+  size_t next_query = 0;   // closed loop: next workload index to hand out
+
+  std::function<void(uint32_t)> pump;
+  std::function<void(uint64_t, double)> submit_query;
+  std::function<void(uint64_t)> record_completion;
+
+  // Services the disk's next queued request (at the loop's current time,
+  // which is exactly when the disk became free or received work) and
+  // schedules the resulting completion. One completion event per disk is
+  // in flight at a time; the drain chains through its callbacks.
+  pump = [&](uint32_t d) {
+    if (!error.ok() || disk_active[d]) return;
+    disk::Disk& disk = volume_->disk(d);
+    if (disk.QueueIdle()) return;
+    auto ev = disk.ServiceNextQueued();
+    if (!ev.ok()) {
+      error = ev.status();
+      loop.Clear();
+      return;
+    }
+    disk_active[d] = 1;
+    const disk::CompletionEvent done = *ev;
+    loop.Schedule(done.completion.end_ms, [&, d, done] {
+      disk_active[d] = 0;
+      const uint64_t qi = tag2query[d][done.tag];
+      if (qi != kNoQuery) {
+        QueryState& st = states[qi];
+        st.start = std::min(st.start, done.completion.start_ms);
+        st.finish = std::max(st.finish, done.completion.end_ms);
+        if (--st.outstanding == 0) record_completion(qi);
+      }
+      pump(d);
+    });
+  };
+
+  record_completion = [&](uint64_t qi) {
+    const QueryState& st = states[qi];
+    const QueryCompletion qc{qi, st.arrival, st.start, st.finish};
+    completions_.push_back(qc);
+    stats.Record(qc);
+    if (arrivals.kind == Kind::kClosed && next_query < queries.size()) {
+      const uint64_t nq = next_query++;
+      const double at = st.finish + arrivals.think_ms;
+      loop.Schedule(at, [&, nq, at] { submit_query(nq, at); });
+    }
+  };
+
+  submit_query = [&](uint64_t qi, double t) {
+    if (!error.ok()) return;
+    executor_->PlanInto(queries[qi], &plan);
+    QueryState& st = states[qi];
+    st.arrival = t;
+    st.outstanding = plan.requests.size();
+    if (plan.requests.empty()) {
+      // Clipped-empty box: nothing to fetch, completes at arrival.
+      st.start = st.finish = t;
+      record_completion(qi);
+      return;
+    }
+    // Submit the whole plan before pumping: the drive sees the full query
+    // at its arrival instant, as a host submitting a batch does.
+    for (const disk::IoRequest& r : plan.requests) {
+      auto ticket = volume_->Submit(r, t);
+      if (!ticket.ok()) {
+        error = ticket.status();
+        loop.Clear();
+        return;
+      }
+      tag2query[ticket->disk].push_back(qi);
+    }
+    for (uint32_t d = 0; d < volume_->disk_count(); ++d) pump(d);
+  };
+
+  if (options_.warmup_head) {
+    for (uint32_t d = 0; d < volume_->disk_count(); ++d) {
+      disk::Disk& disk = volume_->disk(d);
+      const uint64_t lbn = rng.Uniform(disk.geometry().total_sectors());
+      disk.Submit(disk::IoRequest{lbn, 1}, 0.0, /*warmup=*/true);
+      tag2query[d].push_back(kNoQuery);
+      pump(d);
+    }
+  }
+
+  switch (arrivals.kind) {
+    case Kind::kOpenPoisson: {
+      const double mean_gap_ms = 1000.0 / arrivals.rate_qps;
+      double t = 0;
+      for (uint64_t qi = 0; qi < queries.size(); ++qi) {
+        t += -mean_gap_ms * std::log(1.0 - rng.NextDouble());
+        loop.Schedule(t, [&, qi, t] { submit_query(qi, t); });
+      }
+      break;
+    }
+    case Kind::kOpenTrace: {
+      for (uint64_t qi = 0; qi < queries.size(); ++qi) {
+        const double t = arrivals.trace_ms[qi];
+        loop.Schedule(t, [&, qi, t] { submit_query(qi, t); });
+      }
+      break;
+    }
+    case Kind::kClosed: {
+      const uint64_t n =
+          std::min<uint64_t>(arrivals.clients, queries.size());
+      next_query = n;
+      for (uint64_t qi = 0; qi < n; ++qi) {
+        loop.Schedule(0.0, [&, qi] { submit_query(qi, 0.0); });
+      }
+      break;
+    }
+  }
+
+  loop.RunAll();
+  MM_RETURN_NOT_OK(error);
+  return stats;
+}
+
+}  // namespace mm::query

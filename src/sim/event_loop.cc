@@ -1,0 +1,33 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mm::sim {
+
+uint64_t EventLoop::Schedule(double at_ms, Callback fn) {
+  const uint64_t seq = next_seq_++;
+  heap_.push_back(Event{std::max(at_ms, now_ms_), seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+  return seq;
+}
+
+bool EventLoop::RunOne() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ms_ = ev.at_ms;
+  ev.fn();  // may Schedule() further events
+  return true;
+}
+
+size_t EventLoop::RunAll(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && RunOne()) ++n;
+  return n;
+}
+
+void EventLoop::Clear() { heap_.clear(); }
+
+}  // namespace mm::sim

@@ -1,0 +1,64 @@
+// Deterministic virtual-clock event loop: the single execution core behind
+// open-loop (Submit-driven) simulation. Events are (time, callback) pairs
+// ordered by fire time with FIFO tie-breaking by schedule order, so a run
+// is a pure function of its inputs -- no threads, no wall clock.
+//
+// The loop knows nothing about disks or queries: disk::Disk exposes a
+// queued interface (Submit / ServiceNextQueued / CompletionEvent) and
+// query::Session wires query arrivals and disk completions through this
+// loop (see query/session.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mm::sim {
+
+/// A min-heap of timed callbacks over a virtual clock in ms.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time: the fire time of the event being (or last)
+  /// dispatched. Starts at 0.
+  double now_ms() const { return now_ms_; }
+
+  /// Number of events not yet dispatched.
+  size_t pending() const { return heap_.size(); }
+
+  /// Schedules `fn` at absolute virtual time `at_ms`. Times in the past
+  /// are clamped to now (an event can never fire before the one that
+  /// scheduled it). Events at equal times fire in schedule order. Returns
+  /// the event's sequence id (monotone; useful for tests and logging).
+  uint64_t Schedule(double at_ms, Callback fn);
+
+  /// Dispatches the earliest pending event; false when none remain.
+  bool RunOne();
+
+  /// Dispatches events until none remain, or `max_events` have run (a
+  /// guard against runaway feedback loops). Returns the count dispatched.
+  size_t RunAll(size_t max_events = SIZE_MAX);
+
+  /// Drops all pending events without dispatching; the clock is unchanged.
+  void Clear();
+
+ private:
+  struct Event {
+    double at_ms;
+    uint64_t seq;
+    Callback fn;
+  };
+  // std:: heaps are max-heaps: "later" ordering yields a min-heap on
+  // (at_ms, seq).
+  static bool Later(const Event& a, const Event& b) {
+    return a.at_ms != b.at_ms ? a.at_ms > b.at_ms : a.seq > b.seq;
+  }
+
+  std::vector<Event> heap_;
+  uint64_t next_seq_ = 0;
+  double now_ms_ = 0;
+};
+
+}  // namespace mm::sim

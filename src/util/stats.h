@@ -1,12 +1,14 @@
-// Streaming statistics accumulator used by the experiment harnesses to report
-// mean / stddev / min / max per-query I/O times, as the paper does
-// ("values are averages over 15 runs, and the standard deviation is less
-// than 1% of the reported times").
+// Streaming statistics accumulators used by the experiment harnesses:
+// RunningStats reports mean / stddev / min / max / exact percentiles over
+// retained samples (the paper reports "averages over 15 runs"); Histogram
+// is the fixed-memory log-bucketed variant the open-loop latency
+// accounting uses for distribution emission.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace mm {
@@ -22,6 +24,8 @@ class RunningStats {
 
   size_t count() const { return samples_.size(); }
   double sum() const { return sum_; }
+  /// i-th sample, in insertion order.
+  double sample(size_t i) const { return samples_[i]; }
 
   double Mean() const {
     return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
@@ -66,6 +70,95 @@ class RunningStats {
   std::vector<double> samples_;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
+};
+
+/// Fixed-memory log-bucketed histogram: values land in geometrically
+/// spaced buckets spanning [lo, hi), plus an underflow and an overflow
+/// bucket, so Percentile() costs O(buckets) with bounded relative error
+/// regardless of sample count -- unlike RunningStats, which keeps every
+/// sample. Suits latency distributions, whose interesting structure spans
+/// orders of magnitude.
+class Histogram {
+ public:
+  /// Requires 0 < lo < hi and buckets >= 1 (interior bucket count).
+  Histogram(double lo, double hi, size_t buckets = 64)
+      : lo_(lo),
+        hi_(hi),
+        buckets_per_log_(static_cast<double>(buckets) / std::log(hi / lo)),
+        counts_(buckets + 2, 0) {}
+
+  void Add(double x) {
+    ++counts_[IndexOf(x)];
+    ++count_;
+    sum_ += x;
+  }
+
+  uint64_t count() const { return count_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Bucket counts, underflow first and overflow last.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Lower edge of bucket i; the underflow bucket's edge is 0 and the
+  /// overflow bucket's is hi.
+  double BucketLo(size_t i) const {
+    if (i == 0) return 0.0;
+    if (i >= counts_.size() - 1) return hi_;
+    return lo_ * std::exp(static_cast<double>(i - 1) / buckets_per_log_);
+  }
+  /// Upper edge of bucket i (the overflow bucket reports hi: estimates
+  /// saturate there).
+  double BucketHi(size_t i) const {
+    return i + 1 >= counts_.size() ? hi_ : BucketLo(i + 1);
+  }
+
+  /// Percentile estimate in [0, 100]: rank walk over buckets with linear
+  /// interpolation inside the landing bucket. Monotone in p; saturates at
+  /// lo below the range and hi above it.
+  double Percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    const double target =
+        std::max(1.0, p / 100.0 * static_cast<double>(count_));
+    uint64_t acc = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      const uint64_t next = acc + counts_[i];
+      if (static_cast<double>(next) >= target) {
+        const double frac =
+            std::clamp((target - static_cast<double>(acc)) /
+                           static_cast<double>(counts_[i]),
+                       0.0, 1.0);
+        return BucketLo(i) + frac * (BucketHi(i) - BucketLo(i));
+      }
+      acc = next;
+    }
+    return hi_;
+  }
+
+  /// Adds another histogram's counts; shapes (lo, hi, buckets) must match.
+  void Merge(const Histogram& o) {
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+ private:
+  size_t IndexOf(double x) const {
+    if (!(x >= lo_)) return 0;  // underflow; also catches NaN
+    if (x >= hi_) return counts_.size() - 1;
+    const size_t b =
+        1 + static_cast<size_t>(std::log(x / lo_) * buckets_per_log_);
+    return std::min(b, counts_.size() - 2);
+  }
+
+  double lo_;
+  double hi_;
+  double buckets_per_log_;  // interior buckets per log-unit of value
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace mm

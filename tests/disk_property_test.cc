@@ -17,7 +17,9 @@ class DiskPropertyTest : public ::testing::TestWithParam<DiskSpec> {};
 
 INSTANTIATE_TEST_SUITE_P(AllSpecs, DiskPropertyTest,
                          ::testing::Values(MakeTestDisk(), MakeAtlas10k3(),
-                                           MakeCheetah36Es()),
+                                           MakeCheetah36Es(),
+                                           MakeEnterprise15k(),
+                                           MakeNearline7k2()),
                          [](const auto& info) { return info.param.name; });
 
 TEST_P(DiskPropertyTest, ZonesPartitionTheDisk) {

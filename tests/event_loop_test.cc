@@ -1,0 +1,87 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mm::sim {
+namespace {
+
+TEST(EventLoopTest, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> fired;
+  loop.Schedule(30.0, [&] { fired.push_back(3); });
+  loop.Schedule(10.0, [&] { fired.push_back(1); });
+  loop.Schedule(20.0, [&] { fired.push_back(2); });
+  EXPECT_EQ(loop.pending(), 3u);
+  EXPECT_EQ(loop.RunAll(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now_ms(), 30.0);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, EqualTimesFireInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    loop.Schedule(7.0, [&, i] { fired.push_back(i); });
+  }
+  loop.RunAll();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, CallbacksMayScheduleMore) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) loop.Schedule(loop.now_ms() + 1.0, chain);
+  };
+  loop.Schedule(0.0, chain);
+  EXPECT_EQ(loop.RunAll(), 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now_ms(), 4.0);
+}
+
+TEST(EventLoopTest, PastTimesClampToNow) {
+  EventLoop loop;
+  double fired_at = -1;
+  loop.Schedule(10.0, [&] {
+    loop.Schedule(5.0, [&] { fired_at = loop.now_ms(); });
+  });
+  loop.RunAll();
+  EXPECT_EQ(fired_at, 10.0);
+}
+
+TEST(EventLoopTest, RunOneReturnsFalseWhenEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.RunOne());
+  loop.Schedule(1.0, [] {});
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoopTest, ClearDropsPendingKeepsClock) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(1.0, [&] { ++fired; });
+  loop.RunOne();
+  loop.Schedule(2.0, [&] { ++fired; });
+  loop.Clear();
+  EXPECT_EQ(loop.RunAll(), 0u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now_ms(), 1.0);
+}
+
+TEST(EventLoopTest, MaxEventsGuardStopsRunaway) {
+  EventLoop loop;
+  std::function<void()> forever = [&] {
+    loop.Schedule(loop.now_ms() + 1.0, forever);
+  };
+  loop.Schedule(0.0, forever);
+  EXPECT_EQ(loop.RunAll(100), 100u);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace mm::sim

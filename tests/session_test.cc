@@ -1,0 +1,254 @@
+// query::Session -- the async submission API. Open-loop acceptance
+// (percentile sanity, queueing delay growing with arrival rate), trace
+// arrivals, closed-loop equivalence with Executor::RunBatch, think-time
+// behavior, and warmup exclusion from latency accounting.
+#include "query/session.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/naive.h"
+#include "query/executor.h"
+#include "util/rng.h"
+
+namespace mm::query {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  // 216 cells row-major on a 288-sector test disk.
+  lvm::Volume vol_{disk::MakeTestDisk()};
+  map::GridShape shape_{6, 6, 6};
+  map::NaiveMapping naive_{shape_, 0};
+
+  // Random 1-cell point queries: one 1-sector request each.
+  std::vector<map::Box> PointWorkload(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<map::Box> boxes;
+    boxes.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      map::Box b;
+      for (uint32_t dim = 0; dim < 3; ++dim) {
+        b.lo[dim] = static_cast<uint32_t>(rng.Uniform(shape_.dim(dim)));
+        b.hi[dim] = b.lo[dim] + 1;
+      }
+      boxes.push_back(b);
+    }
+    return boxes;
+  }
+};
+
+TEST_F(SessionTest, QueueingDelayGrowsWithArrivalRate) {
+  const auto boxes = PointWorkload(150, 5);
+  auto run = [&](double qps) {
+    Executor ex(&vol_, &naive_);
+    Session s(&vol_, &ex, SessionOptions{});
+    auto r = s.Run(boxes, ArrivalProcess::OpenPoisson(qps));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  };
+  const LatencyStats low = run(20.0);
+  const LatencyStats high = run(110.0);
+  ASSERT_EQ(low.count(), boxes.size());
+  ASSERT_EQ(high.count(), boxes.size());
+  // Percentile sanity on both load points.
+  EXPECT_GE(low.P99Ms(), low.P50Ms());
+  EXPECT_GE(high.P99Ms(), high.P50Ms());
+  EXPECT_GE(low.P95Ms(), low.P50Ms());
+  // Heavier arrivals queue longer; service time itself barely moves.
+  EXPECT_GT(high.queueing.Mean(), low.queueing.Mean());
+  EXPECT_GT(high.MeanMs(), low.MeanMs());
+  // Latency decomposes into queueing + service per query.
+  EXPECT_NEAR(high.MeanMs(), high.queueing.Mean() + high.service.Mean(),
+              1e-9);
+  // The streaming histogram saw every completion and agrees broadly with
+  // the exact percentiles.
+  EXPECT_EQ(high.latency_hist.count(), high.count());
+  EXPECT_NEAR(high.latency_hist.Percentile(50), high.P50Ms(),
+              high.P50Ms() * 0.25);
+}
+
+TEST_F(SessionTest, TraceArrivalsAreHonored) {
+  const auto boxes = PointWorkload(2, 9);
+  Executor ex(&vol_, &naive_);
+  Session s(&vol_, &ex, SessionOptions{});
+  // Far enough apart that the disk idles between them.
+  auto r = s.Run(boxes, ArrivalProcess::OpenTrace({0.0, 1000.0}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(s.completions().size(), 2u);
+  const QueryCompletion& a = s.completions()[0];
+  const QueryCompletion& b = s.completions()[1];
+  EXPECT_EQ(a.query, 0u);
+  EXPECT_EQ(b.query, 1u);
+  EXPECT_EQ(a.arrival_ms, 0.0);
+  EXPECT_EQ(b.arrival_ms, 1000.0);
+  EXPECT_EQ(a.QueueMs(), 0.0);
+  EXPECT_EQ(b.QueueMs(), 0.0);
+  EXPECT_EQ(b.start_ms, 1000.0);
+}
+
+TEST_F(SessionTest, TraceLengthMustMatchWorkload) {
+  const auto boxes = PointWorkload(3, 11);
+  Executor ex(&vol_, &naive_);
+  Session s(&vol_, &ex, SessionOptions{});
+  EXPECT_FALSE(s.Run(boxes, ArrivalProcess::OpenTrace({0.0})).ok());
+}
+
+TEST_F(SessionTest, ClosedLoopSingleClientMatchesRunBatch) {
+  // With one client, zero think time, and the same queue options, the
+  // session's per-query latencies are exactly RunBatch's per-query
+  // makespans. queue_disables_readahead=false on both sides so the
+  // wrapper's batch-wide look-ahead suppression and the open-loop dynamic
+  // rule coincide.
+  const auto boxes = PointWorkload(40, 13);
+  const disk::BatchOptions queue{disk::SchedulerKind::kElevator, 4, false};
+  ExecOptions eo;
+  eo.batch = queue;
+  Executor ex(&vol_, &naive_, eo);
+  vol_.Reset();
+  auto rb = ex.RunBatch(boxes);
+  ASSERT_TRUE(rb.ok());
+
+  SessionOptions so;
+  so.queue = queue;
+  Session s(&vol_, &ex, so);
+  auto r = s.Run(boxes, ArrivalProcess::Closed(1));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->count(), boxes.size());
+  EXPECT_DOUBLE_EQ(r->latency.sum(), rb->io_ms);
+  // One client: no queueing ahead of each query's first request.
+  EXPECT_EQ(r->queueing.Max(), 0.0);
+}
+
+TEST_F(SessionTest, ClosedLoopThinkTimeSpacesArrivals) {
+  const auto boxes = PointWorkload(10, 19);
+  Executor ex(&vol_, &naive_);
+  Session s(&vol_, &ex, SessionOptions{});
+  const double think = 25.0;
+  auto r = s.Run(boxes, ArrivalProcess::Closed(1, think));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(s.completions().size(), boxes.size());
+  // Single client: completion order is submission order, and each arrival
+  // trails the previous finish by exactly the think time.
+  for (size_t i = 1; i < s.completions().size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.completions()[i].arrival_ms,
+                     s.completions()[i - 1].finish_ms + think);
+  }
+}
+
+TEST_F(SessionTest, ClosedLoopMultipleClientsKeepDiskBusier) {
+  const auto boxes = PointWorkload(60, 29);
+  auto run = [&](uint32_t clients) {
+    Executor ex(&vol_, &naive_);
+    Session s(&vol_, &ex, SessionOptions{});
+    auto r = s.Run(boxes, ArrivalProcess::Closed(clients));
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  const LatencyStats one = run(1);
+  const LatencyStats four = run(4);
+  ASSERT_EQ(one.count(), boxes.size());
+  ASSERT_EQ(four.count(), boxes.size());
+  // More outstanding queries: higher throughput, nonzero queueing.
+  EXPECT_GT(four.ThroughputQps(), one.ThroughputQps());
+  EXPECT_GT(four.queueing.Mean(), one.queueing.Mean());
+}
+
+TEST_F(SessionTest, WarmupReadsAreExcludedFromAccounting) {
+  const auto boxes = PointWorkload(5, 31);
+  Executor ex(&vol_, &naive_);
+  SessionOptions so;
+  so.warmup_head = true;
+  Session s(&vol_, &ex, so);
+  auto r = s.Run(boxes, ArrivalProcess::Closed(1));
+  ASSERT_TRUE(r.ok());
+  // Warmup reads complete but produce no QueryCompletion records...
+  EXPECT_EQ(r->count(), boxes.size());
+  // ...while the mechanical stats still count them (one per disk).
+  uint64_t serviced = 0;
+  for (size_t d = 0; d < vol_.disk_count(); ++d) {
+    serviced += vol_.disk(d).stats().requests;
+  }
+  EXPECT_EQ(serviced, boxes.size() + vol_.disk_count());
+}
+
+TEST_F(SessionTest, EmptyBoxCompletesAtArrival) {
+  std::vector<map::Box> boxes(1);  // lo == hi == 0: clipped empty
+  Executor ex(&vol_, &naive_);
+  Session s(&vol_, &ex, SessionOptions{});
+  auto r = s.Run(boxes, ArrivalProcess::OpenTrace({42.0}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->count(), 1u);
+  EXPECT_EQ(s.completions()[0].arrival_ms, 42.0);
+  EXPECT_EQ(s.completions()[0].LatencyMs(), 0.0);
+}
+
+TEST_F(SessionTest, RandomizeHeadRefusesToCutIntoAnOpenQueue) {
+  Executor ex(&vol_, &naive_);
+  vol_.ConfigureQueues({disk::SchedulerKind::kSptf, 4, true});
+  ASSERT_TRUE(vol_.Submit({0, 1}, 0.0).ok());
+  Rng rng(47);
+  // A closed-loop warmup must not service (and swallow) a queued request.
+  EXPECT_FALSE(ex.RandomizeHead(rng).ok());
+  EXPECT_EQ(vol_.disk(0).QueuedCount(), 1u);
+}
+
+TEST_F(SessionTest, EmptyWorkloadIsFine) {
+  Executor ex(&vol_, &naive_);
+  Session s(&vol_, &ex, SessionOptions{});
+  auto r = s.Run({}, ArrivalProcess::OpenPoisson(10.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->count(), 0u);
+}
+
+TEST_F(SessionTest, RejectsBadArrivalProcesses) {
+  const auto boxes = PointWorkload(2, 37);
+  Executor ex(&vol_, &naive_);
+  Session s(&vol_, &ex, SessionOptions{});
+  EXPECT_FALSE(s.Run(boxes, ArrivalProcess::OpenPoisson(0.0)).ok());
+  EXPECT_FALSE(s.Run(boxes, ArrivalProcess::Closed(0)).ok());
+}
+
+TEST_F(SessionTest, MultiDiskVolumeOverlapsInOpenLoop) {
+  // Two disks, queries spread across both: under simultaneous arrivals the
+  // makespan is far below the serialized per-disk busy sum.
+  lvm::Volume vol2(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                               disk::MakeTestDisk()});
+  // 512 cells across 576 sectors; rows of 8 never straddle the boundary.
+  map::GridShape shape{8, 8, 8};
+  map::NaiveMapping naive(shape, 0);
+  Executor ex(&vol2, &naive);
+  Session s(&vol2, &ex, SessionOptions{});
+  // Beams along Dim0: one 8-sector request each, half on each disk.
+  std::vector<map::Box> boxes;
+  Rng rng(43);
+  for (int i = 0; i < 30; ++i) {
+    map::Box b;
+    b.lo[0] = 0;
+    b.hi[0] = 8;
+    for (uint32_t dim = 1; dim < 3; ++dim) {
+      b.lo[dim] = static_cast<uint32_t>(rng.Uniform(8));
+      b.hi[dim] = b.lo[dim] + 1;
+    }
+    boxes.push_back(b);
+  }
+  auto r = s.Run(boxes, ArrivalProcess::OpenTrace(
+                            std::vector<double>(boxes.size(), 0.0)));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->count(), boxes.size());
+  double busy = 0;
+  bool both_disks_worked = true;
+  for (size_t d = 0; d < 2; ++d) {
+    both_disks_worked =
+        both_disks_worked && vol2.disk(d).stats().requests > 0;
+    busy += vol2.disk(d).now_ms();
+  }
+  EXPECT_TRUE(both_disks_worked);
+  EXPECT_LT(r->makespan_ms, busy);
+}
+
+}  // namespace
+}  // namespace mm::query

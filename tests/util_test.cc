@@ -114,6 +114,70 @@ TEST(StatsTest, EmptyIsZero) {
   EXPECT_EQ(s.Stddev(), 0.0);
 }
 
+TEST(HistogramTest, CountsAndMeanAreExact) {
+  Histogram h(1.0, 1000.0, 32);
+  for (double v : {2.0, 4.0, 8.0, 16.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 7.5);
+}
+
+TEST(HistogramTest, PercentileApproximatesExactQuantiles) {
+  // Uniform 1..1000 into 64 log buckets: bucket width is a factor of
+  // 1000^(1/64) ~ 1.114, so estimates land within ~12% of the true value.
+  Histogram h(1.0, 1000.0, 64);
+  RunningStats exact;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = 1.0 + rng.NextDouble() * 999.0;
+    h.Add(v);
+    exact.Add(v);
+  }
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double want = exact.Percentile(p);
+    EXPECT_NEAR(h.Percentile(p), want, want * 0.15) << p;
+  }
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h(0.1, 100.0, 16);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.NextDouble() * 120.0);
+  double prev = 0;
+  for (double p = 0; p <= 100.0; p += 5.0) {
+    const double q = h.Percentile(p);
+    EXPECT_GE(q, prev) << p;
+    prev = q;
+  }
+}
+
+TEST(HistogramTest, UnderflowAndOverflowSaturate) {
+  Histogram h(1.0, 10.0, 4);
+  h.Add(0.001);  // underflow
+  h.Add(1e9);    // overflow
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.Percentile(0), 1.0);
+  EXPECT_EQ(h.Percentile(100), 10.0);
+  EXPECT_EQ(h.bucket_counts().front(), 1u);
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(1.0, 100.0, 8), b(1.0, 100.0, 8);
+  a.Add(5.0);
+  b.Add(50.0);
+  b.Add(70.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.Mean(), (5.0 + 50.0 + 70.0) / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h(1.0, 10.0, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
 TEST(TableTest, AlignsColumns) {
   TextTable t({"name", "v"});
   t.AddRow({"alpha", TextTable::Num(1.5, 1)});
