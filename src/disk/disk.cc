@@ -7,6 +7,18 @@
 
 namespace mm::disk {
 
+const char* SchedulingHintName(SchedulingHint hint) {
+  switch (hint) {
+    case SchedulingHint::kNone:
+      return "none";
+    case SchedulingHint::kPreserveOrder:
+      return "preserve-order";
+    case SchedulingHint::kReorderFreely:
+      return "reorder-freely";
+  }
+  return "unknown";
+}
+
 const char* SchedulerKindName(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kFifo:
@@ -37,6 +49,7 @@ void Disk::Reset() {
   stats_ = DiskStats{};
   pending_.clear();
   window_.clear();
+  window_preserve_ = 0;
   elevator_index_.clear();
   submit_seq_ = 0;
   last_arrival_ms_ = 0;
@@ -397,6 +410,7 @@ uint64_t Disk::Submit(const IoRequest& request, double arrival_ms,
     // Already admissible: skip the pending queue (equivalent to FillWindow
     // picking it up at the next service; arrival order is preserved
     // because pending_ is empty).
+    if (q.req.hint == SchedulingHint::kPreserveOrder) ++window_preserve_;
     window_.push_back(std::move(q));
     if (elevator_indexed_) {
       ElevInsert(window_.back().req.lbn, window_.back().seq,
@@ -417,6 +431,9 @@ double Disk::NextServiceTime() const {
 void Disk::FillWindow() {
   while (window_.size() < queue_options_.queue_depth && !pending_.empty() &&
          pending_.front().arrival_ms <= now_ms_) {
+    if (pending_.front().req.hint == SchedulingHint::kPreserveOrder) {
+      ++window_preserve_;
+    }
     window_.push_back(std::move(pending_.front()));
     pending_.pop_front();
     if (elevator_indexed_) {
@@ -426,7 +443,34 @@ void Disk::FillWindow() {
   }
 }
 
-size_t Disk::PickQueued() const {
+size_t Disk::PickQueued() {
+  // Aging promotion: admission is strictly arrival order, so the
+  // smallest-seq windowed entry is the oldest outstanding request on the
+  // whole disk (pending entries all arrived later). When its age exceeds
+  // the bound it is served next regardless of policy -- this alone bounds
+  // every request's queue age while the drive keeps up with the offered
+  // load, because each head-of-line request in turn gets promoted. It can
+  // never violate kPreserveOrder gating: the head of the line is by
+  // definition the earliest windowed member of its group.
+  if (queue_options_.max_age_ms > 0) {
+    size_t oldest = 0;
+    uint64_t oldest_seq = UINT64_MAX;
+    for (size_t i = 0; i < window_.size(); ++i) {
+      if (window_[i].seq < oldest_seq) {
+        oldest_seq = window_[i].seq;
+        oldest = i;
+      }
+    }
+    if (now_ms_ - window_[oldest].arrival_ms > queue_options_.max_age_ms) {
+      ++stats_.aged_picks;
+      return oldest;
+    }
+  }
+  // Under FIFO the smallest-seq entry is always the earliest windowed
+  // member of its group, so gating is a no-op; skip the O(w^2) mask.
+  if (window_preserve_ > 0 && queue_options_.kind != SchedulerKind::kFifo) {
+    return PickQueuedGated();
+  }
   size_t pick = 0;
   switch (queue_options_.kind) {
     case SchedulerKind::kFifo: {
@@ -482,6 +526,114 @@ size_t Disk::PickQueued() const {
   return pick;
 }
 
+size_t Disk::PickQueuedGated() {
+  // Eligibility mask: a kPreserveOrder entry is held back while an earlier
+  // (smaller-seq) member of its order group is windowed. The smallest-seq
+  // entry of the window is always the earliest of its own group, so at
+  // least one entry is eligible and the pick below always lands.
+  const size_t w = window_.size();
+  uint64_t held = 0;  // bitmask over window slots (depth > 64: tail scan)
+  for (size_t i = 0; i < w; ++i) {
+    const Queued& qi = window_[i];
+    if (qi.req.hint != SchedulingHint::kPreserveOrder) continue;
+    for (size_t j = 0; j < w; ++j) {
+      const Queued& qj = window_[j];
+      if (j != i && qj.req.hint == SchedulingHint::kPreserveOrder &&
+          qj.req.order_group == qi.req.order_group && qj.seq < qi.seq) {
+        if (i < 64) held |= uint64_t{1} << i;
+        ++stats_.order_holds;
+        break;
+      }
+    }
+  }
+  auto eligible = [&](size_t i) {
+    if (i < 64) return (held & (uint64_t{1} << i)) == 0;
+    // Windows deeper than 64 fall back to re-deriving eligibility.
+    const Queued& qi = window_[i];
+    if (qi.req.hint != SchedulingHint::kPreserveOrder) return true;
+    for (size_t j = 0; j < w; ++j) {
+      const Queued& qj = window_[j];
+      if (j != i && qj.req.hint == SchedulingHint::kPreserveOrder &&
+          qj.req.order_group == qi.req.order_group && qj.seq < qi.seq) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  size_t pick = SIZE_MAX;
+  switch (queue_options_.kind) {
+    case SchedulerKind::kFifo: {
+      uint64_t best_seq = UINT64_MAX;
+      for (size_t i = 0; i < w; ++i) {
+        if (eligible(i) && window_[i].seq < best_seq) {
+          best_seq = window_[i].seq;
+          pick = i;
+        }
+      }
+      break;
+    }
+    case SchedulerKind::kSstf: {
+      uint32_t best = UINT32_MAX;
+      uint64_t best_seq = UINT64_MAX;
+      for (size_t i = 0; i < w; ++i) {
+        if (!eligible(i)) continue;
+        const uint32_t cyl = window_[i].geom.cylinder;
+        const uint32_t d = cyl > head_geom_.cylinder
+                               ? cyl - head_geom_.cylinder
+                               : head_geom_.cylinder - cyl;
+        if (d < best || (d == best && window_[i].seq < best_seq)) {
+          best = d;
+          best_seq = window_[i].seq;
+          pick = i;
+        }
+      }
+      break;
+    }
+    case SchedulerKind::kSptf: {
+      double best = 1e300;
+      uint64_t best_seq = UINT64_MAX;
+      for (size_t i = 0; i < w; ++i) {
+        if (!eligible(i)) continue;
+        const double cost = EstimateQueued(window_[i]);
+        if (cost < best || (cost == best && window_[i].seq < best_seq)) {
+          best = cost;
+          best_seq = window_[i].seq;
+          pick = i;
+        }
+      }
+      break;
+    }
+    case SchedulerKind::kElevator: {
+      // Ascending sweep over the eligible entries, wrapping: smallest
+      // (lbn, seq) at or past the head, else the global smallest -- the
+      // reference pick restricted to the eligible set.
+      const uint64_t pos = head_geom_.first_lbn;
+      uint64_t ge_lbn = UINT64_MAX, ge_seq = UINT64_MAX;
+      uint64_t any_lbn = UINT64_MAX, any_seq = UINT64_MAX;
+      size_t pick_ge = SIZE_MAX, pick_any = SIZE_MAX;
+      for (size_t i = 0; i < w; ++i) {
+        if (!eligible(i)) continue;
+        const uint64_t l = window_[i].req.lbn;
+        const uint64_t s = window_[i].seq;
+        if (l >= pos && (l < ge_lbn || (l == ge_lbn && s < ge_seq))) {
+          ge_lbn = l;
+          ge_seq = s;
+          pick_ge = i;
+        }
+        if (l < any_lbn || (l == any_lbn && s < any_seq)) {
+          any_lbn = l;
+          any_seq = s;
+          pick_any = i;
+        }
+      }
+      pick = pick_ge != SIZE_MAX ? pick_ge : pick_any;
+      break;
+    }
+  }
+  return pick;
+}
+
 Result<CompletionEvent> Disk::ServiceNextQueued() {
   if (QueueIdle()) {
     return Status::InvalidArgument("ServiceNextQueued on an empty queue");
@@ -515,6 +667,7 @@ Result<CompletionEvent> Disk::ServiceNextQueued() {
 
   const size_t pick = PickQueued();
   const Queued picked = std::move(window_[pick]);
+  if (picked.req.hint == SchedulingHint::kPreserveOrder) --window_preserve_;
   if (elevator_indexed_) {
     ElevErase(picked.req.lbn, picked.seq, static_cast<uint32_t>(pick));
     if (pick != window_.size() - 1) {
@@ -553,12 +706,14 @@ Result<CompletionEvent> Disk::ServiceNextQueued() {
   ev.tag = picked.seq;
   ev.arrival_ms = picked.arrival_ms;
   ev.warmup = picked.warmup;
+  stats_.max_queue_ms = std::max(stats_.max_queue_ms, ev.QueueMs());
   return ev;
 }
 
 void Disk::DropQueued() {
   pending_.clear();
   window_.clear();
+  window_preserve_ = 0;
   elevator_index_.clear();
   queue_busy_ = false;
   batch_suppress_ = false;

@@ -24,6 +24,12 @@
 // CompletionEvent) is the primary one -- requests arrive over simulated
 // time, wait in a pending queue, enter the drive's bounded tagged queue in
 // arrival order, and are picked by policy whenever the drive is free.
+// Two per-pick refinements layer on top of the policy (both no-ops for
+// hint-free requests with aging off, which stay bit-identical to the
+// pre-hint scheduler): requests stamped SchedulingHint::kPreserveOrder are
+// served FIFO within their order_group while other groups interleave
+// freely, and BatchOptions::max_age_ms promotes the oldest windowed
+// request past its age bound ahead of the policy (starvation guard).
 // ServiceBatch() is a thin closed-loop wrapper over it ("everything
 // arrives now, drain to idle"), pinned bit-identical to ServiceBatchRef by
 // tests/scheduler_regression_test.cc. query::Session drives the queued
@@ -57,6 +63,11 @@ struct DiskStats {
   uint64_t track_switches = 0; ///< Track crossings during transfers.
   uint64_t buffer_hits = 0;    ///< Requests (partially) fed from read-ahead.
   uint64_t buffered_sectors = 0;  ///< Sectors delivered from the buffer.
+  // Queued-interface fairness accounting (ServiceNextQueued only).
+  double max_queue_ms = 0;   ///< Largest queue wait observed at service.
+  uint64_t aged_picks = 0;   ///< Picks promoted by BatchOptions::max_age_ms.
+  uint64_t order_holds = 0;  ///< Window entries skipped by a pick because an
+                             ///< earlier kPreserveOrder group member waited.
 };
 
 /// Result of servicing a batch of requests.
@@ -118,7 +129,9 @@ class Disk {
   /// delivered in non-decreasing time order (as an event loop does); a
   /// stale arrival time is clamped up to the latest one seen. `warmup`
   /// marks head-placement reads that latency accounting should ignore.
-  /// Returns the request's tag (dense from 0 after Reset()).
+  /// The request's SchedulingHint and order_group govern how the picker
+  /// may reorder it (see the class comment). Returns the request's tag
+  /// (dense from 0 after Reset()).
   uint64_t Submit(const IoRequest& request, double arrival_ms,
                   bool warmup = false);
 
@@ -220,9 +233,19 @@ class Disk {
   // Moves arrived requests from pending_ into the drive window, in
   // arrival order, up to queue_depth.
   void FillWindow();
-  // Index into window_ of the next request per queue_options_.kind
-  // (reference-window semantics; ties resolve to the oldest seq).
-  size_t PickQueued() const;
+  // Index into window_ of the next request per queue_options_
+  // (reference-window semantics; ties resolve to the oldest seq). Aging
+  // promotion and kPreserveOrder gating apply here (both count into
+  // stats_); with no hints in the window and aging off this reduces to
+  // the historical policy pick bit-exactly.
+  size_t PickQueued();
+  // Policy pick restricted to eligible entries: a kPreserveOrder request
+  // is only eligible when no earlier (smaller-seq) member of its order
+  // group is still windowed. Called when the window holds at least one
+  // kPreserveOrder entry and the policy is not FIFO (FIFO's pick is
+  // always eligible); counts the held-back entries it skips into
+  // stats_.order_holds.
+  size_t PickQueuedGated();
 
   // Read-ahead bookkeeping: while the head sits on `cache_track_`, the
   // buffer holds the last min(u_now - cache_begin_u_, spt) sectors that
@@ -260,6 +283,10 @@ class Disk {
   BatchOptions queue_options_{};
   std::deque<Queued> pending_;
   std::vector<Queued> window_;
+  // Number of kPreserveOrder entries currently windowed; the gated pick
+  // path (and its stats) only engage when this is nonzero, keeping the
+  // hint-free pick bit-identical to the pre-hint scheduler.
+  uint32_t window_preserve_ = 0;
   ElevSet elevator_index_;
   ElevSet::node_type elevator_spare_;
   bool elevator_indexed_ = false;

@@ -6,10 +6,35 @@
 
 namespace mm::disk {
 
+/// Per-request scheduling hint, stamped by the planner and honored by the
+/// drive's queued picker. The paper's storage manager relies on the drive
+/// to fetch semi-sequential batches along the adjacency path (Section 5.2);
+/// when requests from many queries interleave at the drive, that only works
+/// if the plan's emission order survives the queue policy.
+enum class SchedulingHint : uint8_t {
+  /// No preference: the queue's configured policy applies (raw requests).
+  kNone = 0,
+  /// Service this request's order group FIFO relative to itself: the drive
+  /// may interleave other groups freely but must not reorder requests
+  /// within the group (semi-sequential / adjacency-path plans).
+  kPreserveOrder,
+  /// Scattered plan with no internal order; the policy may reorder at will
+  /// (sorted-ascending plans from the linearizing mappings).
+  kReorderFreely,
+};
+
+const char* SchedulingHintName(SchedulingHint hint);
+
 /// A read request for `sectors` contiguous LBNs starting at `lbn`.
 struct IoRequest {
   uint64_t lbn = 0;
   uint32_t sectors = 1;
+  /// How the drive's queued picker may treat this request (see above).
+  SchedulingHint hint = SchedulingHint::kNone;
+  /// Order domain for kPreserveOrder: requests sharing an order_group are
+  /// serviced FIFO among themselves. query::Session stamps one group per
+  /// query so concurrent queries still interleave freely.
+  uint64_t order_group = 0;
 
   bool operator==(const IoRequest&) const = default;
 };

@@ -36,6 +36,13 @@ struct BatchOptions {
   /// buffer scan interferes with queued scheduling); single outstanding
   /// requests still benefit from the track buffer. Disable for ablation.
   bool queue_disables_readahead = true;
+  /// Starvation bound: when positive, a queued request whose age
+  /// (now - arrival) exceeds this many ms is promoted to the next pick,
+  /// oldest first, overriding the policy. SPTF and Elevator otherwise
+  /// defer unfavorably-placed requests indefinitely under sustained
+  /// traffic (see bench/fairness_overload). 0 disables aging, which is
+  /// the historical behavior the regression tests pin.
+  double max_age_ms = 0;
 };
 
 }  // namespace mm::disk

@@ -71,8 +71,11 @@ Result<Volume::Ticket> Volume::Submit(const disk::IoRequest& request,
         "request straddles a disk boundary at volume LBN " +
         std::to_string(request.lbn));
   }
-  const uint64_t tag = disks_[loc.disk]->Submit(
-      disk::IoRequest{loc.lbn, request.sectors}, arrival_ms, warmup);
+  // Re-address to the member disk, carrying the scheduling hint and order
+  // group so per-plan policy survives the volume hop.
+  disk::IoRequest local = request;
+  local.lbn = loc.lbn;
+  const uint64_t tag = disks_[loc.disk]->Submit(local, arrival_ms, warmup);
   return Ticket{loc.disk, tag};
 }
 

@@ -112,7 +112,11 @@ class Volume {
   /// member disk (see Disk::Submit). Member disks drain their queues
   /// independently, so requests on different disks genuinely overlap in
   /// simulated time; query::Session drives the drains on a shared
-  /// sim::EventLoop. The request must not straddle a disk boundary.
+  /// sim::EventLoop. The request's SchedulingHint and order_group are
+  /// carried through to the member disk's queue, so per-plan ordering
+  /// survives the volume hop (within-group FIFO is per member disk, which
+  /// is exactly the adjacency model's granularity: adjacency relations
+  /// never span disks). The request must not straddle a disk boundary.
   Result<Ticket> Submit(const disk::IoRequest& request, double arrival_ms,
                         bool warmup = false);
 

@@ -144,6 +144,14 @@ void Executor::PlanWith(const map::Box& box, PlanScratch* scratch,
     extents.resize(w);
   }
 
+  // Per-plan scheduling hint: emission order IS the schedule for
+  // semi-sequential (mapping-order) plans, so the drive must serve them
+  // FIFO within the query even when an open-loop session's default policy
+  // reorders; sorted scattered plans may be reordered freely. The hint
+  // rides on every request so it survives Volume::Submit routing.
+  const disk::SchedulingHint hint = plan->mapping_order
+                                        ? disk::SchedulingHint::kPreserveOrder
+                                        : disk::SchedulingHint::kReorderFreely;
   plan->requests.reserve(extents.size());
   for (const Extent& e : extents) {
     uint64_t sectors = e.sectors;
@@ -153,7 +161,7 @@ void Executor::PlanWith(const map::Box& box, PlanScratch* scratch,
     while (sectors > 0) {
       const uint32_t chunk = static_cast<uint32_t>(
           std::min<uint64_t>(sectors, 1ull << 30));
-      plan->requests.push_back(disk::IoRequest{lbn, chunk});
+      plan->requests.push_back(disk::IoRequest{lbn, chunk, hint});
       lbn += chunk;
       sectors -= chunk;
     }
@@ -177,7 +185,8 @@ void Executor::PlanInto(const map::Box& box, QueryPlan* plan) {
       plan->mapping_order = tmpl_mapping_order_;
       if (tmpl_single_) {  // point/beam queries: one request
         if (plan->requests.size() != 1) plan->requests.resize(1);
-        plan->requests[0] = {tmpl_first_.lbn + delta, tmpl_first_.sectors};
+        plan->requests[0] = {tmpl_first_.lbn + delta, tmpl_first_.sectors,
+                             tmpl_first_.hint};
         return;
       }
       const size_t n = tmpl_requests_.size();
@@ -185,7 +194,7 @@ void Executor::PlanInto(const map::Box& box, QueryPlan* plan) {
       disk::IoRequest* dst = plan->requests.data();
       const disk::IoRequest* src = tmpl_requests_.data();
       for (size_t i = 0; i < n; ++i) {
-        dst[i] = {src[i].lbn + delta, src[i].sectors};
+        dst[i] = {src[i].lbn + delta, src[i].sectors, src[i].hint};
       }
       return;
     }
@@ -221,13 +230,14 @@ void Executor::PlanBatch(std::span<const map::Box> boxes, BatchPlan* out) {
     disk::IoRequest* req = out->requests.data();
     const uint64_t base_lbn = tmpl_first_.lbn;
     const uint32_t sectors = tmpl_first_.sectors;
+    const disk::SchedulingHint thint = tmpl_first_.hint;
     const uint64_t tcells = tmpl_cells_;
     const uint8_t torder = tmpl_mapping_order_ ? 1 : 0;
     size_t k = 0;
     for (; k < n; ++k) {
       uint64_t delta;
       if (!TemplateHit(boxes[k], &delta)) break;
-      req[k] = {base_lbn + delta, sectors};
+      req[k] = {base_lbn + delta, sectors, thint};
       offsets[k + 1] = k + 1;
       cells[k] = tcells;
       morder[k] = torder;
@@ -242,11 +252,11 @@ void Executor::PlanBatch(std::span<const map::Box> boxes, BatchPlan* out) {
       uint64_t delta;
       if (TemplateHit(box, &delta)) {
         if (tmpl_single_) {
-          out->requests.push_back(
-              {tmpl_first_.lbn + delta, tmpl_first_.sectors});
+          out->requests.push_back({tmpl_first_.lbn + delta,
+                                   tmpl_first_.sectors, tmpl_first_.hint});
         } else {
           for (const disk::IoRequest& r : tmpl_requests_) {
-            out->requests.push_back({r.lbn + delta, r.sectors});
+            out->requests.push_back({r.lbn + delta, r.sectors, r.hint});
           }
         }
         offsets[k + 1] = out->requests.size();

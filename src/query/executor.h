@@ -57,6 +57,9 @@ struct QueryPlan {
   /// Cells the query asked for (excludes coalescing over-read).
   uint64_t cells = 0;
   /// True when the plan must be serviced in order (semi-sequential path).
+  /// Every request is also stamped with the matching disk::SchedulingHint
+  /// (kPreserveOrder / kReorderFreely), so open-loop submission paths that
+  /// cannot switch the drive policy per plan still honor the order.
   bool mapping_order = false;
 };
 

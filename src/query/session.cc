@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "sim/event_loop.h"
@@ -33,10 +34,21 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
   if (arrivals.kind == Kind::kOpenPoisson && arrivals.rate_qps <= 0) {
     return Status::InvalidArgument("rate_qps must be positive");
   }
-  if (arrivals.kind == Kind::kOpenTrace &&
-      arrivals.trace_ms.size() != queries.size()) {
-    return Status::InvalidArgument(
-        "trace_ms must hold one arrival instant per query");
+  if (arrivals.kind == Kind::kOpenTrace) {
+    if (arrivals.trace_ms.size() != queries.size()) {
+      return Status::InvalidArgument(
+          "trace_ms must hold one arrival instant per query");
+    }
+    for (size_t i = 0; i < arrivals.trace_ms.size(); ++i) {
+      // !(t >= 0) also catches NaN. A negative instant would silently
+      // schedule the query before time zero (and before the warmup reads).
+      if (!(arrivals.trace_ms[i] >= 0)) {
+        return Status::InvalidArgument(
+            "trace_ms[" + std::to_string(i) + "] = " +
+            std::to_string(arrivals.trace_ms[i]) +
+            " is not a non-negative arrival instant");
+      }
+    }
   }
   if (arrivals.kind == Kind::kClosed && arrivals.clients == 0) {
     return Status::InvalidArgument("clients must be positive");
@@ -126,8 +138,12 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
       return;
     }
     // Submit the whole plan before pumping: the drive sees the full query
-    // at its arrival instant, as a host submitting a batch does.
-    for (const disk::IoRequest& r : plan.requests) {
+    // at its arrival instant, as a host submitting a batch does. Each
+    // query gets its own order group (qi + 1; 0 is the unassigned
+    // default), so kPreserveOrder plans are FIFO within the query while
+    // distinct queries still interleave at the drive.
+    for (disk::IoRequest r : plan.requests) {
+      r.order_group = qi + 1;
       auto ticket = volume_->Submit(r, t);
       if (!ticket.ok()) {
         error = ticket.status();

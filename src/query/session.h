@@ -125,12 +125,15 @@ struct LatencyStats {
 
 /// Execution knobs for a session.
 struct SessionOptions {
-  /// On-disk queue policy for every member disk. One policy serves the
-  /// whole run: open-loop streams interleave queries at the drive, so
-  /// there is no per-plan policy switch as in closed-loop
-  /// Executor::Execute(). Plans that rely on mapping emission order
-  /// (semi-sequential beams) keep it under kFifo exactly and under
-  /// kElevator approximately (the adjacency path ascends in LBN).
+  /// On-disk queue policy for every member disk -- the session default.
+  /// Open-loop streams interleave queries at the drive, so there is no
+  /// per-plan policy switch as in closed-loop Executor::Execute();
+  /// instead, each plan's requests carry a disk::SchedulingHint stamped by
+  /// the planner, and the session stamps one order_group per query.
+  /// Semi-sequential (mapping-order) plans are therefore serviced in
+  /// emission order within each query even when this default reorders
+  /// freely across queries. Set queue.max_age_ms to bound queue age under
+  /// SPTF/Elevator (starvation guard; see bench/fairness_overload).
   disk::BatchOptions queue{disk::SchedulerKind::kElevator, 4, true};
   /// Issue one random 1-sector warmup read per member disk at time 0,
   /// flagged so it is excluded from latency accounting -- the open-loop

@@ -42,9 +42,17 @@ class Rng {
     return Next() % bound;
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi. The
+  /// span arithmetic runs in uint64 so the full-range case
+  /// [INT64_MIN, INT64_MAX] is well-defined (the old `hi - lo + 1` was
+  /// signed overflow, i.e. UB, whenever the span exceeded INT64_MAX).
   int64_t UniformInt(int64_t lo, int64_t hi) {
-    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+    const uint64_t span =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    // span + 1 would wrap to 0 for the full 2^64-value range, where every
+    // raw draw is already in range.
+    const uint64_t draw = span == UINT64_MAX ? Next() : Uniform(span + 1);
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + draw);
   }
 
   /// Uniform double in [0, 1).

@@ -54,7 +54,9 @@ class RunningStats {
                : *std::max_element(samples_.begin(), samples_.end());
   }
 
-  /// Percentile in [0, 100] by nearest-rank on a sorted copy.
+  /// Percentile in [0, 100] on a sorted copy, linearly interpolating
+  /// between the two nearest ranks (the continuous-quantile estimator;
+  /// e.g. the median of {1, 2, 3, 4} is 2.5, not a sample).
   double Percentile(double p) const {
     if (samples_.empty()) return 0.0;
     std::vector<double> sorted = samples_;
@@ -126,6 +128,9 @@ class Histogram {
       if (counts_[i] == 0) continue;
       const uint64_t next = acc + counts_[i];
       if (static_cast<double>(next) >= target) {
+        // The underflow bucket spans [0, lo): interpolating inside it
+        // would undercut the documented "saturates at lo" contract.
+        if (i == 0) return lo_;
         const double frac =
             std::clamp((target - static_cast<double>(acc)) /
                            static_cast<double>(counts_[i]),
@@ -137,11 +142,18 @@ class Histogram {
     return hi_;
   }
 
-  /// Adds another histogram's counts; shapes (lo, hi, buckets) must match.
-  void Merge(const Histogram& o) {
+  /// Adds another histogram's counts. The shapes (lo, hi, buckets) must
+  /// match; a mismatched histogram is rejected (returns false, merges
+  /// nothing) rather than read out of bounds or misfiled into
+  /// differently-edged buckets.
+  [[nodiscard]] bool Merge(const Histogram& o) {
+    if (lo_ != o.lo_ || hi_ != o.hi_ || counts_.size() != o.counts_.size()) {
+      return false;
+    }
     for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
     count_ += o.count_;
     sum_ += o.sum_;
+    return true;
   }
 
  private:

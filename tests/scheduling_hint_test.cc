@@ -1,0 +1,246 @@
+// Per-plan scheduling hints and the starvation guard. Pins the tentpole
+// semantics end to end: kPreserveOrder requests are serviced FIFO within
+// their order group while other groups interleave freely (disk level,
+// through lvm::Volume routing, and for executor-planned semi-sequential
+// beams under a non-FIFO session-default policy), and BatchOptions::
+// max_age_ms promotes a policy-starved request within its age bound under
+// adversarial SPTF traffic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/multimap.h"
+#include "disk/disk.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/naive.h"
+#include "query/executor.h"
+
+namespace mm {
+namespace {
+
+using disk::BatchOptions;
+using disk::CompletionEvent;
+using disk::Disk;
+using disk::IoRequest;
+using disk::SchedulerKind;
+using disk::SchedulingHint;
+
+// Drains the disk's queue, returning serviced LBNs in completion order.
+std::vector<uint64_t> Drain(Disk& d) {
+  std::vector<uint64_t> order;
+  while (!d.QueueIdle()) {
+    auto ev = d.ServiceNextQueued();
+    EXPECT_TRUE(ev.ok()) << ev.status().ToString();
+    if (!ev.ok()) break;
+    order.push_back(ev->completion.request.lbn);
+  }
+  return order;
+}
+
+TEST(SchedulingHintTest, PreserveOrderIsFifoWithinGroupAcrossGroupsFree) {
+  // Group 1 emits descending LBNs (200 then 40) -- the order Elevator
+  // would invert -- while group 2's request at 100 sits between them in
+  // LBN space. With hints, each group keeps its own emission order and
+  // the drive still interleaves group 2 into group 1's run.
+  Disk d(disk::MakeTestDisk());
+  d.ConfigureQueue({SchedulerKind::kElevator, 8, true});
+  d.Submit({200, 1, SchedulingHint::kPreserveOrder, 1}, 0.0);
+  d.Submit({100, 1, SchedulingHint::kPreserveOrder, 2}, 0.0);
+  d.Submit({40, 1, SchedulingHint::kPreserveOrder, 1}, 0.0);
+  const std::vector<uint64_t> order = Drain(d);
+  // Sweep from track 0: 100 (group 2, eligible) precedes group 1's 200 --
+  // not global FIFO -- but 40 stays held until 200 completes.
+  EXPECT_EQ(order, (std::vector<uint64_t>{100, 200, 40}));
+  EXPECT_GT(d.stats().order_holds, 0u);
+
+  // Same layout without hints: a plain ascending sweep, which breaks
+  // group 1's emission order (40 before 200).
+  d.Reset();
+  d.Submit({200, 1}, 0.0);
+  d.Submit({100, 1}, 0.0);
+  d.Submit({40, 1}, 0.0);
+  EXPECT_EQ(Drain(d), (std::vector<uint64_t>{40, 100, 200}));
+}
+
+TEST(SchedulingHintTest, ReorderFreelyBehavesLikeUnhinted) {
+  // kReorderFreely (what the planner stamps on sorted scattered plans)
+  // must leave the policy pick untouched.
+  Disk hinted(disk::MakeTestDisk()), plain(disk::MakeTestDisk());
+  hinted.ConfigureQueue({SchedulerKind::kElevator, 8, true});
+  plain.ConfigureQueue({SchedulerKind::kElevator, 8, true});
+  const uint64_t lbns[] = {250, 10, 120, 60, 180};
+  for (uint64_t l : lbns) {
+    hinted.Submit({l, 1, SchedulingHint::kReorderFreely, 9}, 0.0);
+    plain.Submit({l, 1}, 0.0);
+  }
+  EXPECT_EQ(Drain(hinted), Drain(plain));
+  EXPECT_EQ(hinted.now_ms(), plain.now_ms());
+  EXPECT_EQ(hinted.stats().order_holds, 0u);
+}
+
+TEST(SchedulingHintTest, VolumeSubmitCarriesHintAndGroupToMemberDisk) {
+  // Volume::Submit re-addresses requests to the member disk; the hint and
+  // order group must survive the hop. Disk 0 receives a descending
+  // preserve-order pair; if the hint were dropped, Elevator would serve
+  // 100 before 200.
+  lvm::Volume vol(
+      std::vector<disk::DiskSpec>{disk::MakeTestDisk(), disk::MakeTestDisk()});
+  vol.ConfigureQueues({SchedulerKind::kElevator, 8, true});
+  auto a = vol.Submit({200, 1, SchedulingHint::kPreserveOrder, 3}, 0.0);
+  auto b = vol.Submit({100, 1, SchedulingHint::kPreserveOrder, 3}, 0.0);
+  auto c = vol.Submit({288 + 50, 1, SchedulingHint::kPreserveOrder, 3}, 0.0);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(c->disk, 1u);
+  EXPECT_EQ(Drain(vol.disk(0)), (std::vector<uint64_t>{200, 100}));
+  // Disk 1's lone group member is unconstrained (within-group FIFO is per
+  // member disk, the adjacency model's granularity).
+  EXPECT_EQ(Drain(vol.disk(1)), (std::vector<uint64_t>{50}));
+}
+
+TEST(SchedulingHintTest, AgedRequestPromotedUnderAdversarialSptf) {
+  // One far request at t=0 against a saturating stream of near-head
+  // requests: SPTF prefers the near ones every pick, so without aging the
+  // far request waits out the entire stream. With max_age_ms it must be
+  // promoted within its age bound.
+  const disk::DiskSpec spec = disk::MakeAtlas10k3();
+  const uint64_t far_lbn = 50'000'000;
+  auto run = [&](double max_age_ms) {
+    Disk d(spec);
+    BatchOptions opt{SchedulerKind::kSptf, 4, true};
+    opt.max_age_ms = max_age_ms;
+    d.ConfigureQueue(opt);
+    d.Submit({far_lbn, 1}, 0.0);  // seq 0: oldest outstanding throughout
+    for (uint64_t i = 0; i < 300; ++i) d.Submit({i * 16, 1}, 0.0);
+    double far_queue_ms = -1;
+    while (!d.QueueIdle()) {
+      auto ev = d.ServiceNextQueued();
+      EXPECT_TRUE(ev.ok()) << ev.status().ToString();
+      if (!ev.ok()) break;
+      if (ev->completion.request.lbn == far_lbn) far_queue_ms = ev->QueueMs();
+    }
+    EXPECT_GE(far_queue_ms, 0.0) << "far request never serviced";
+    return std::pair<double, uint64_t>{far_queue_ms, d.stats().aged_picks};
+  };
+
+  const auto [starved_ms, no_aging_promotions] = run(0.0);
+  EXPECT_EQ(no_aging_promotions, 0u);
+  EXPECT_GT(starved_ms, 25.0);  // waited out ~300 near services
+
+  const double bound = 10.0;
+  const auto [aged_ms, promotions] = run(bound);
+  EXPECT_GT(promotions, 0u);
+  EXPECT_GT(aged_ms, bound);  // promotion fires only past the bound...
+  EXPECT_LT(aged_ms, bound + 3.0);  // ...plus at most one in-flight service
+  EXPECT_LT(aged_ms, starved_ms / 2);
+}
+
+TEST(SchedulingHintTest, ExecutorStampsHintsPerPlan) {
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const map::GridShape shape{64, 64, 64};
+
+  // Scattered / sorted plans: kReorderFreely, including template-cache
+  // replans (NaiveMapping is translation-invariant).
+  map::NaiveMapping naive(shape, 0);
+  query::Executor nex(&vol, &naive);
+  query::QueryPlan plan;
+  map::Box range;
+  for (uint32_t i = 0; i < 3; ++i) {
+    range.lo[i] = 4;
+    range.hi[i] = 12;
+  }
+  for (int rep = 0; rep < 3; ++rep) {  // rep > 0 hits the template cache
+    map::Box b = range;
+    b.lo[0] += static_cast<uint32_t>(rep);
+    b.hi[0] += static_cast<uint32_t>(rep);
+    nex.PlanInto(b, &plan);
+    ASSERT_FALSE(plan.mapping_order);
+    ASSERT_FALSE(plan.requests.empty());
+    for (const IoRequest& r : plan.requests) {
+      EXPECT_EQ(r.hint, SchedulingHint::kReorderFreely) << "rep " << rep;
+    }
+  }
+
+  // Semi-sequential MultiMap beam: kPreserveOrder on every request.
+  auto mmap = core::MultiMapMapping::Create(vol, shape);
+  ASSERT_TRUE(mmap.ok()) << mmap.status().ToString();
+  query::Executor mex(&vol, mmap->get());
+  map::Box beam;
+  beam.lo[0] = 5;
+  beam.hi[0] = 6;
+  beam.lo[1] = 0;
+  beam.hi[1] = 64;
+  beam.lo[2] = 9;
+  beam.hi[2] = 10;
+  ASSERT_TRUE((*mmap)->IssueInMappingOrder(beam));
+  mex.PlanInto(beam, &plan);
+  ASSERT_TRUE(plan.mapping_order);
+  ASSERT_GT(plan.requests.size(), 8u);
+  for (const IoRequest& r : plan.requests) {
+    EXPECT_EQ(r.hint, SchedulingHint::kPreserveOrder);
+  }
+}
+
+TEST(SchedulingHintTest, SemiSeqBeamKeepsEmissionOrderUnderElevator) {
+  // The satellite acceptance case: an executor-planned semi-sequential
+  // beam, submitted the way query::Session submits it (stamped hints, one
+  // order group, Volume::Submit), must complete in emission order under a
+  // session-default Elevator policy -- including with the head parked
+  // mid-beam, where an unhinted sweep provably starts elsewhere.
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const map::GridShape shape{64, 64, 64};
+  auto mmap = core::MultiMapMapping::Create(vol, shape);
+  ASSERT_TRUE(mmap.ok()) << mmap.status().ToString();
+  query::Executor ex(&vol, mmap->get());
+  map::Box beam;
+  beam.lo[0] = 5;
+  beam.hi[0] = 6;
+  beam.lo[1] = 0;
+  beam.hi[1] = 64;
+  beam.lo[2] = 9;
+  beam.hi[2] = 10;
+  query::QueryPlan plan;
+  ex.PlanInto(beam, &plan);
+  ASSERT_TRUE(plan.mapping_order);
+  const size_t n = plan.requests.size();
+  ASSERT_GT(n, 8u);
+  std::vector<uint64_t> emission;
+  for (const IoRequest& r : plan.requests) emission.push_back(r.lbn);
+
+  // Park the head on the track of the largest-LBN request among the first
+  // window's worth, so an unhinted ascending sweep cannot begin at
+  // emission[0].
+  size_t park = 0;
+  for (size_t i = 1; i < 8; ++i) {
+    if (plan.requests[i].lbn > plan.requests[park].lbn) park = i;
+  }
+  ASSERT_NE(park, 0u);
+
+  std::vector<uint64_t> order;
+  auto run = [&](bool hinted) {
+    vol.Reset();
+    Disk& d = vol.disk(0);
+    ASSERT_TRUE(d.Service({plan.requests[park].lbn, 1}).ok())
+        << "head parking";
+    vol.ConfigureQueues({SchedulerKind::kElevator, 8, true});
+    for (IoRequest r : plan.requests) {
+      if (!hinted) {
+        r.hint = SchedulingHint::kNone;
+      } else {
+        r.order_group = 1;  // as query::Session stamps one group per query
+      }
+      ASSERT_TRUE(vol.Submit(r, d.now_ms()).ok());
+    }
+    order = Drain(d);
+  };
+
+  run(true);
+  EXPECT_EQ(order, emission);
+
+  run(false);
+  EXPECT_NE(order, emission);
+  EXPECT_EQ(order.size(), emission.size());
+}
+
+}  // namespace
+}  // namespace mm

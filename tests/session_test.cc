@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "disk/spec.h"
@@ -210,6 +211,24 @@ TEST_F(SessionTest, RejectsBadArrivalProcesses) {
   Session s(&vol_, &ex, SessionOptions{});
   EXPECT_FALSE(s.Run(boxes, ArrivalProcess::OpenPoisson(0.0)).ok());
   EXPECT_FALSE(s.Run(boxes, ArrivalProcess::Closed(0)).ok());
+}
+
+TEST_F(SessionTest, RejectsNegativeAndNanTraceArrivals) {
+  // A negative instant would silently schedule the query before time zero
+  // (ahead of the t=0 warmup reads); NaN would never fire at all. Both are
+  // trace bugs the session must surface, not absorb.
+  const auto boxes = PointWorkload(2, 41);
+  Executor ex(&vol_, &naive_);
+  Session s(&vol_, &ex, SessionOptions{});
+  auto negative = s.Run(boxes, ArrivalProcess::OpenTrace({-1.0, 5.0}));
+  EXPECT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto bad = s.Run(boxes, ArrivalProcess::OpenTrace({0.0, nan}));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // Zero is a valid instant (arrival exactly at time zero).
+  EXPECT_TRUE(s.Run(boxes, ArrivalProcess::OpenTrace({0.0, 0.0})).ok());
 }
 
 TEST_F(SessionTest, MultiDiskVolumeOverlapsInOpenLoop) {

@@ -78,6 +78,29 @@ TEST(RngTest, UniformBounds) {
   }
 }
 
+TEST(RngTest, UniformIntFullRangeDoesNotOverflow) {
+  // [INT64_MIN, INT64_MAX]: the span does not fit in int64 (the old
+  // `hi - lo + 1` was signed-overflow UB, caught by UBSan). Every draw is
+  // trivially in range; check both halves actually occur.
+  Rng rng(11);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 256; ++i) {
+    const int64_t v = rng.UniformInt(INT64_MIN, INT64_MAX);
+    saw_negative = saw_negative || v < 0;
+    saw_positive = saw_positive || v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  // Spans wider than INT64_MAX but short of the full range.
+  for (int i = 0; i < 256; ++i) {
+    const int64_t v = rng.UniformInt(INT64_MIN + 2, INT64_MAX - 2);
+    EXPECT_GE(v, INT64_MIN + 2);
+    EXPECT_LE(v, INT64_MAX - 2);
+  }
+  // Degenerate single-value span.
+  EXPECT_EQ(rng.UniformInt(-7, -7), -7);
+}
+
 TEST(RngTest, UniformIsRoughlyFlat) {
   Rng rng(99);
   int buckets[10] = {};
@@ -105,6 +128,23 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
   EXPECT_NEAR(s.Percentile(0), 1.0, 1e-9);
   EXPECT_NEAR(s.Percentile(100), 100.0, 1e-9);
+}
+
+TEST(StatsTest, PercentileIsLinearInterpolationNotNearestRank) {
+  // Pins the documented estimator on small samples: rank = p/100 * (n-1),
+  // linearly interpolated between the neighboring order statistics.
+  // Nearest-rank would return a sample value at every p below.
+  RunningStats s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 25.0);    // rank 1.5
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 17.5);    // rank 0.75
+  EXPECT_DOUBLE_EQ(s.Percentile(75), 32.5);    // rank 2.25
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  // Insertion order must not matter.
+  RunningStats r;
+  for (double v : {40.0, 10.0, 30.0, 20.0}) r.Add(v);
+  EXPECT_DOUBLE_EQ(r.Percentile(50), 25.0);
 }
 
 TEST(StatsTest, EmptyIsZero) {
@@ -166,9 +206,47 @@ TEST(HistogramTest, MergeAddsCounts) {
   a.Add(5.0);
   b.Add(50.0);
   b.Add(70.0);
-  a.Merge(b);
+  ASSERT_TRUE(a.Merge(b));
   EXPECT_EQ(a.count(), 3u);
   EXPECT_NEAR(a.Mean(), (5.0 + 50.0 + 70.0) / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedShapes) {
+  // Regression: Merge used to iterate this histogram's bucket count over
+  // the other's (smaller) counts vector -- an out-of-bounds read that
+  // tripped ASan when the shapes differed. Mismatches must now be
+  // rejected wholesale, leaving the destination untouched.
+  Histogram a(1.0, 100.0, 32);
+  a.Add(5.0);
+  const Histogram fewer_buckets(1.0, 100.0, 4);
+  const Histogram different_lo(2.0, 100.0, 32);
+  const Histogram different_hi(1.0, 200.0, 32);
+  EXPECT_FALSE(a.Merge(fewer_buckets));
+  EXPECT_FALSE(a.Merge(different_lo));
+  EXPECT_FALSE(a.Merge(different_hi));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 5.0);
+  // Matching shape still merges.
+  Histogram same(1.0, 100.0, 32);
+  same.Add(10.0);
+  ASSERT_TRUE(a.Merge(same));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(HistogramTest, UnderflowBucketPercentileSaturatesAtLo) {
+  // All mass below the range: every percentile must report lo, not an
+  // interpolated value inside [0, lo) (the documented saturation).
+  Histogram h(10.0, 1000.0, 16);
+  h.Add(0.5);
+  h.Add(1.0);
+  h.Add(2.0);
+  for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 10.0) << p;
+  }
+  // Mixed: low percentiles saturate at lo, high ones land in-range.
+  h.Add(100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(10), 10.0);
+  EXPECT_GE(h.Percentile(100), 100.0 * 0.8);
 }
 
 TEST(HistogramTest, EmptyIsZero) {
