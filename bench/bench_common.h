@@ -2,6 +2,7 @@
 // repetition loops, and table output in the shape of the paper's figures.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -63,6 +64,13 @@ inline RunningStats BeamPerCellStats(lvm::Volume& vol,
     stats.Add(r->PerCellMs());
   }
   return stats;
+}
+
+/// Wall-clock seconds for bench timing loops.
+inline double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 /// True when the harness should run a reduced configuration (set

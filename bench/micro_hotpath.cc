@@ -11,7 +11,6 @@
 //                          vs the allocate-per-query reference Plan().
 //                          Target >= 10x.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -26,12 +25,6 @@
 
 namespace mm::bench {
 namespace {
-
-double NowSec() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 struct Workload {
   const char* name;

@@ -1,0 +1,208 @@
+// Plan-cache throughput for MultiMap: measures the lane-covariant
+// translation-template cache (TranslationClass) against the uncached
+// replanning path on repeated translated MultiMap queries — the paper's
+// steady-state beam/range workloads replan one shape at lattice-shifted
+// positions thousands of times. Emits BENCH_plancache.json.
+//
+// Headline metric:
+//   plan_cache_speedup -- harmonic-mean plan-only queries/sec, cached
+//                         PlanInto vs uncached (ExecOptions::plan_cache
+//                         off), across the workload mix. Target >= 5x.
+//
+// Every workload is cross-checked first: cached plans must be
+// bit-identical to the reference planner (Plan()) before their throughput
+// counts for anything.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/emit_json.h"
+#include "core/multimap.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "query/executor.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace mm::bench {
+namespace {
+
+struct Workload {
+  const char* name;
+  std::vector<map::Box> boxes;
+};
+
+// Boxes of one shape at random lattice-shifted positions: lo[i] is a fixed
+// residue plus a random whole number of TranslationClass periods
+// (query::RandomLatticeBox, shared with the plan-cache property tests).
+std::vector<map::Box> ShiftedBoxes(const map::GridShape& shape,
+                                   const map::TranslationClass& tc,
+                                   const uint32_t* res, const uint32_t* ext,
+                                   size_t count, Rng& rng) {
+  std::vector<map::Box> boxes;
+  boxes.reserve(count);
+  for (size_t b = 0; b < count; ++b) {
+    boxes.push_back(query::RandomLatticeBox(shape, tc, res, ext, rng));
+  }
+  return boxes;
+}
+
+int Run() {
+  const int scale = QuickMode() ? 1 : 8;
+  const disk::DiskSpec spec = disk::MakeAtlas10k3();
+  lvm::Volume vol(spec);
+
+  // Single-zone MultiMap with a fine covariance lattice: 2 lanes per track
+  // group and an even cube grid along Dim0, so dims 1-2 are covariant per
+  // basic cube (periods {680, 4, 6}) with 6 x 80 distinct lattice
+  // positions for the cache to shift templates across.
+  const map::GridShape shape{680, 24, 480};
+  core::MultiMapMapping::Options mopt;
+  mopt.cube_dims = {340, 4, 6};
+  auto mapping = core::MultiMapMapping::Create(vol, shape, mopt);
+  if (!mapping.ok()) {
+    std::fprintf(stderr, "MultiMap::Create failed: %s\n",
+                 mapping.status().ToString().c_str());
+    return 1;
+  }
+  const map::TranslationClass tc = (*mapping)->translation_class();
+  if (tc.empty()) {
+    std::fprintf(stderr, "FATAL: expected a non-empty TranslationClass\n");
+    return 1;
+  }
+
+  Rng rng(67);
+  std::vector<Workload> workloads;
+  {
+    // Dim-2 beams: the semi-sequential track-hopping path, one run per
+    // cube layer (the paper's beam workload).
+    const uint32_t ext[map::kMaxDims] = {1, 1, shape.dim(2)};
+    const uint32_t res[map::kMaxDims] = {7, 2, 0};
+    workloads.push_back(
+        {"beam_dim2", ShiftedBoxes(shape, tc, res, ext, 512, rng)});
+  }
+  {
+    // Dim-1 beams: short adjacency paths across 6 cubes.
+    const uint32_t ext[map::kMaxDims] = {1, shape.dim(1), 1};
+    const uint32_t res[map::kMaxDims] = {13, 0, 4};
+    workloads.push_back(
+        {"beam_dim1", ShiftedBoxes(shape, tc, res, ext, 512, rng)});
+  }
+  {
+    // Range boxes spanning several cubes on every dimension.
+    const uint32_t ext[map::kMaxDims] = {48, 8, 12};
+    const uint32_t res[map::kMaxDims] = {21, 1, 3};
+    workloads.push_back(
+        {"range_48x8x12", ShiftedBoxes(shape, tc, res, ext, 512, rng)});
+  }
+  {
+    // Point queries: the single-request template streak path.
+    const uint32_t ext[map::kMaxDims] = {1, 1, 1};
+    const uint32_t res[map::kMaxDims] = {3, 2, 5};
+    workloads.push_back(
+        {"point", ShiftedBoxes(shape, tc, res, ext, 512, rng)});
+  }
+
+  query::ExecOptions uncached_opt;
+  uncached_opt.plan_cache = false;
+  query::Executor cached(&vol, mapping->get());
+  query::Executor uncached(&vol, mapping->get(), uncached_opt);
+  if (!cached.plan_cache_enabled() || uncached.plan_cache_enabled()) {
+    std::fprintf(stderr, "FATAL: plan_cache_enabled wiring is wrong\n");
+    return 1;
+  }
+
+  JsonEmitter json("plan_cache_multimap");
+  json.Note("disk", spec.name);
+  json.Note("mapping", (*mapping)->name());
+  TextTable table({"workload", "uncached", "cached", "speedup", "hit_rate"});
+
+  const int passes = 30 * scale;
+  double harm_cached = 0, harm_uncached = 0;
+  uint64_t sink = 0;
+  for (const auto& w : workloads) {
+    // Equivalence gate: cached plans must be bit-identical to the
+    // reference planner on every box of the workload.
+    {
+      query::QueryPlan fast;
+      for (const auto& b : w.boxes) {
+        const query::QueryPlan ref = cached.Plan(b);
+        cached.PlanInto(b, &fast);
+        if (fast.requests != ref.requests || fast.cells != ref.cells ||
+            fast.mapping_order != ref.mapping_order) {
+          std::fprintf(stderr, "FATAL: %s cached/ref plan mismatch\n",
+                       w.name);
+          return 1;
+        }
+      }
+    }
+
+    const auto before = cached.plan_cache_stats();
+    query::QueryPlan plan;
+    double cached_sec = 1e300, uncached_sec = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {  // best-of-3: noise-robust peak
+      double t0 = NowSec();
+      for (int pass = 0; pass < passes; ++pass) {
+        for (const auto& b : w.boxes) {
+          uncached.PlanInto(b, &plan);
+          sink += plan.requests.size();
+        }
+      }
+      uncached_sec = std::min(uncached_sec, NowSec() - t0);
+      t0 = NowSec();
+      for (int pass = 0; pass < passes; ++pass) {
+        for (const auto& b : w.boxes) {
+          cached.PlanInto(b, &plan);
+          sink += plan.requests.size();
+        }
+      }
+      cached_sec = std::min(cached_sec, NowSec() - t0);
+    }
+    const auto after = cached.plan_cache_stats();
+    const double hit_rate =
+        static_cast<double>(after.hits - before.hits) /
+        static_cast<double>(after.probes - before.probes);
+
+    const double queries = static_cast<double>(w.boxes.size()) * passes;
+    const double uncached_rate = queries / uncached_sec;
+    const double cached_rate = queries / cached_sec;
+    harm_uncached += 1.0 / uncached_rate;
+    harm_cached += 1.0 / cached_rate;
+    table.AddRow({w.name, TextTable::Num(uncached_rate / 1e6, 3) + " Mq/s",
+                  TextTable::Num(cached_rate / 1e6, 3) + " Mq/s",
+                  TextTable::Num(cached_rate / uncached_rate, 2) + "x",
+                  TextTable::Num(100.0 * hit_rate, 1) + "%"});
+    json.Metric(std::string(w.name) + "_uncached_queries_per_sec",
+                uncached_rate);
+    json.Metric(std::string(w.name) + "_cached_queries_per_sec",
+                cached_rate);
+    json.Metric(std::string(w.name) + "_speedup",
+                cached_rate / uncached_rate);
+    json.Metric(std::string(w.name) + "_hit_rate", hit_rate);
+  }
+  if (sink == 42) std::fprintf(stderr, "?");  // defeat DCE
+
+  const double n = static_cast<double>(workloads.size());
+  const double agg_uncached = n / harm_uncached;
+  const double agg_cached = n / harm_cached;
+  const double speedup = agg_cached / agg_uncached;
+  table.AddRow({"harmonic mean", TextTable::Num(agg_uncached / 1e6, 3) + " Mq/s",
+                TextTable::Num(agg_cached / 1e6, 3) + " Mq/s",
+                TextTable::Num(speedup, 2) + "x", ""});
+  json.Metric("plan_uncached_queries_per_sec", agg_uncached);
+  json.Metric("plan_cached_queries_per_sec", agg_cached);
+  json.Metric("plan_cache_speedup", speedup);
+
+  table.Print();
+  const char* out = "BENCH_plancache.json";
+  if (!json.WriteFile(out)) return 1;
+  std::printf("\nwrote %s\n", out);
+  std::printf("plan_cache_speedup=%.2fx (target >=5x)\n", speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mm::bench
+
+int main() { return mm::bench::Run(); }

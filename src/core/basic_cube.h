@@ -45,6 +45,14 @@ struct BasicCube {
     for (uint32_t j = 1; j < i; ++j) s *= k[j];
     return s;
   }
+
+  /// Lane pitch: sectors one cube's Dim0 row occupies on a track. Cubes
+  /// are packed floor(T / LaneSectors) per track group (Section 4.4), and
+  /// a cube's lane index positions its rows at lane * LaneSectors within
+  /// the track — the residue geometry the translation lattice is built on.
+  uint64_t LaneSectors(uint32_t cell_sectors) const {
+    return static_cast<uint64_t>(k[0]) * cell_sectors;
+  }
 };
 
 /// Computes basic-cube dimensions for a dataset of `shape` on a zone with

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <numeric>
 #include <string>
 
 namespace mm::core {
@@ -79,7 +81,7 @@ Result<std::unique_ptr<MultiMapMapping>> MultiMapMapping::Create(
 
     // Allocate cube slots zone by zone. A zone is usable if one lane fits
     // (T >= K0 * cs) and it has room for at least one track group.
-    const uint32_t lane_sectors = c.k[0] * cs;
+    const uint64_t lane_sectors = c.LaneSectors(cs);
     uint64_t remaining = m->cube_count_;
     for (const auto& z : geo.zones()) {
       if (remaining == 0) break;
@@ -89,7 +91,7 @@ Result<std::unique_ptr<MultiMapMapping>> MultiMapMapping::Create(
       if (track0 >= zone_end) continue;
       const uint64_t avail = zone_end - track0;
       const uint64_t slots = avail / m->tracks_per_cube_;
-      const uint32_t lanes = z.spt / lane_sectors;
+      const uint32_t lanes = static_cast<uint32_t>(z.spt / lane_sectors);
       const uint64_t capacity = slots * lanes;
       if (capacity == 0) continue;
       const uint64_t take = std::min(capacity, remaining);
@@ -174,7 +176,7 @@ MultiMapMapping::Placement MultiMapMapping::Place(const uint32_t* q,
   p.zone = za;
   p.track = za->track0 + slot * tracks_per_cube_ + track_rel;
   const uint64_t lane_base =
-      lane * cube_.k[0] * cell_sectors_ +
+      lane * cube_.LaneSectors(cell_sectors_) +
       static_cast<uint64_t>(r[0]) * cell_sectors_;
   p.sector = static_cast<uint32_t>((lane_base + spt - backshift) % spt);
   return p;
@@ -336,6 +338,34 @@ bool MultiMapMapping::IssueInMappingOrder(const map::Box& box) const {
       static_cast<double>(sweep_track) / static_cast<double>(lanes_eff);
 
   return interleave_slots <= sweep_slots;
+}
+
+map::TranslationClass MultiMapMapping::translation_class() const {
+  map::TranslationClass tc;
+  // Covariance needs one set of zone constants (spt, skew, settle, lanes):
+  // an allocation spilling across zones changes them at the seam, and a
+  // shifted box could straddle it.
+  if (zones_.size() != 1) return tc;
+  const ZoneAlloc& za = zones_.front();
+  const uint32_t n = shape_.ndims();
+  for (uint32_t i = 0; i < n; ++i) {
+    // Smallest whole-cube multiple along dim i that advances the cube
+    // linear index by a multiple of the lane count, i.e. preserves the
+    // lane assignment of every intersected cube.
+    const uint64_t m =
+        za.lanes / std::gcd<uint64_t>(grid_stride_[i], za.lanes);
+    const uint64_t period = m * cube_.k[i];
+    if (period > std::numeric_limits<uint32_t>::max()) {
+      return map::TranslationClass{};  // inexpressible; forgo the cache
+    }
+    tc.period[i] = static_cast<uint32_t>(period);
+    // Lane preserved => the shift is a whole number of track groups:
+    // (m * grid_stride_i / lanes) slots of tracks_per_cube tracks each.
+    tc.delta[i] =
+        (m * grid_stride_[i] / za.lanes) * tracks_per_cube_ * za.spt;
+  }
+  tc.ndims = n;
+  return tc;
 }
 
 double MultiMapMapping::WastedFraction() const {

@@ -77,6 +77,20 @@ class MultiMapMapping : public map::Mapping {
 
   uint64_t footprint_sectors() const override { return footprint_sectors_; }
 
+  /// MultiMap's covariance lattice (single-zone allocations): plans are
+  /// translation-covariant within a basic-cube lane. Shifting a box along
+  /// dimension i by period[i] = m_i * K_i cells — m_i = lanes /
+  /// gcd(grid_stride_i, lanes) whole cubes — moves the cube linear index
+  /// by a multiple of the lane count, so the lane assignment, in-cube
+  /// residues, skew backshift, and track-wrap splits are all unchanged and
+  /// every run's LBN shifts by the constant delta[i] =
+  /// (m_i * grid_stride_i / lanes) * tracks_per_cube * spt. The
+  /// semi-sequential-vs-sweep decision (IssueInMappingOrder) depends only
+  /// on clipped extents and intra-lattice residues, so it is stable across
+  /// lattice shifts too. Allocations spilling across zones report the
+  /// empty class: spt/skew/settle change at the seam, breaking covariance.
+  map::TranslationClass translation_class() const override;
+
   // --- Introspection -----------------------------------------------------
 
   const BasicCube& cube() const { return cube_; }

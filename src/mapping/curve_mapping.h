@@ -54,6 +54,18 @@ class CurveMapping : public Mapping {
     return shape_.CellCount() * cell_sectors_;
   }
 
+  /// Explicitly the empty class, not just the inherited default: the
+  /// bit-interleaved curve orders (Z-order, Hilbert, Gray) are covariant
+  /// under no nontrivial shift — even a power-of-two translation reflects
+  /// or reorders the curve inside the box — and the compact (gap-free)
+  /// packing additionally shifts ranks by the count of preceding in-grid
+  /// cells, which is position-dependent. A curve query must never seed or
+  /// hit the executor's translation-template cache
+  /// (tests/curve_test.cc pins this).
+  TranslationClass translation_class() const override {
+    return TranslationClass{};
+  }
+
   const OctantOrder& order() const { return *order_; }
 
  private:

@@ -17,6 +17,45 @@
 
 namespace mm::map {
 
+/// The lattice of whole-box translations under which a mapping's plans are
+/// covariant, reported per dimension as a shift quantum (`period`, in
+/// cells) and the LBN displacement one quantum produces (`delta`).
+///
+/// Contract: for any two boxes whose clipped per-dimension extents are
+/// equal and whose lo coordinates have equal residues modulo every
+/// `period[i]`, AppendRunsForBox emits runs of identical lengths in
+/// identical order, with every LBN of the second box equal to the first's
+/// shifted by sum_i delta[i] * (lo2[i]/period[i] - lo1[i]/period[i]), and
+/// IssueInMappingOrder agrees on both. This generalizes the old boolean
+/// `TranslationInvariant()`:
+///   - full lattice (every period 1): row-major linearizations, where any
+///     shift translates the plan (delta[i] is the row-major LBN stride);
+///   - strided lattice: MultiMap, whose plans are covariant within a
+///     basic-cube lane — only shifts by whole cubes that also preserve the
+///     lane assignment (a multiple of the lane count worth of cubes)
+///     translate every run by a constant;
+///   - empty (ndims == 0): space-filling curves, whose bit-interleaved
+///     orders are not covariant under any nontrivial shift.
+/// Every period of a non-empty class is >= 1. Enables the executor's
+/// translation-template plan cache, which serves a repeated query shape at
+/// a lattice-shifted position as a pure LBN offset of the cached plan.
+struct TranslationClass {
+  uint32_t ndims = 0;
+  uint32_t period[kMaxDims] = {};
+  uint64_t delta[kMaxDims] = {};
+
+  /// No covariant shifts: the plan cache must stay disabled.
+  bool empty() const { return ndims == 0; }
+  /// Covariant under every shift (all periods are 1).
+  bool full() const {
+    if (ndims == 0) return false;
+    for (uint32_t i = 0; i < ndims; ++i) {
+      if (period[i] != 1) return false;
+    }
+    return true;
+  }
+};
+
 /// A maximal run of cells occupying contiguous LBNs.
 struct LbnRun {
   uint64_t lbn = 0;    ///< Volume LBN of the first sector of the run.
@@ -69,15 +108,14 @@ class Mapping {
     return false;
   }
 
-  /// True when the mapping is translation-invariant: for any two in-grid
-  /// boxes with identical per-dimension extents, the runs of one equal the
-  /// runs of the other with every LBN shifted by the difference of the
-  /// boxes' LbnOf(lo), and IssueInMappingOrder depends only on the box
-  /// extents. (This implies LbnOf is affine in the cell coordinates.)
-  /// Row-major linearizations qualify; space-filling curves and MultiMap's
-  /// cube packing do not. Enables the executor's translation-template plan
-  /// cache, which replans a repeated query shape as a pure LBN offset.
-  virtual bool TranslationInvariant() const { return false; }
+  /// The mapping's translation-covariance lattice (see TranslationClass).
+  /// The conservative default is the empty class — correct for any
+  /// mapping, it just forgoes the plan cache. Implementations must only
+  /// report a non-empty class when the covariance contract provably holds
+  /// for every box.
+  virtual TranslationClass translation_class() const {
+    return TranslationClass{};
+  }
 
  protected:
   GridShape shape_;

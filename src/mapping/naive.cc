@@ -2,6 +2,18 @@
 
 namespace mm::map {
 
+TranslationClass NaiveMapping::translation_class() const {
+  TranslationClass tc;
+  tc.ndims = shape_.ndims();
+  uint64_t stride = cell_sectors_;
+  for (uint32_t i = 0; i < tc.ndims; ++i) {
+    tc.period[i] = 1;
+    tc.delta[i] = stride;
+    stride *= shape_.dim(i);
+  }
+  return tc;
+}
+
 void NaiveMapping::AppendRunsForBox(const Box& box,
                                     std::vector<LbnRun>* runs) const {
   const uint32_t n = shape_.ndims();

@@ -32,9 +32,11 @@ class NaiveMapping : public Mapping {
     return shape_.CellCount() * cell_sectors_;
   }
 
-  /// Row-major linearization: runs translate with the box, and issue order
-  /// is always ascending-LBN.
-  bool TranslationInvariant() const override { return true; }
+  /// Row-major linearization: runs translate with the box under any shift
+  /// (full lattice, every period 1) and issue order is always
+  /// ascending-LBN. delta[i] is the row-major stride of dimension i in
+  /// LBNs: cell_sectors * prod_{j<i} S_j.
+  TranslationClass translation_class() const override;
 };
 
 }  // namespace mm::map

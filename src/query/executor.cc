@@ -7,33 +7,43 @@ namespace mm::query {
 Executor::Executor(lvm::Volume* volume, const map::Mapping* mapping,
                    ExecOptions options)
     : volume_(volume), mapping_(mapping), options_(options) {
-  ti_ = mapping_->TranslationInvariant();
   ndims_ = mapping_->shape().ndims();
   for (uint32_t i = 0; i < ndims_; ++i) dims_[i] = mapping_->shape().dim(i);
-  if (ti_) {
-    // TranslationInvariant implies LbnOf is affine in the cell coordinates
-    // (apply the run-translation property to 1-cell boxes); probe the
-    // per-dimension strides once so template hits never call the mapping.
-    const map::Cell zero{};
-    const uint64_t lbn0 = mapping_->LbnOf(zero);
+  const map::TranslationClass tc = mapping_->translation_class();
+  cache_enabled_ = options_.plan_cache && !tc.empty() && tc.ndims == ndims_;
+  if (cache_enabled_) {
     for (uint32_t i = 0; i < ndims_; ++i) {
-      if (mapping_->shape().dim(i) > 1) {
-        map::Cell unit{};
-        unit[i] = 1;
-        strides_[i] = mapping_->LbnOf(unit) - lbn0;
+      // A malformed zero period would divide by zero in the probe; treat
+      // the whole class as empty rather than trust it partially.
+      if (tc.period[i] == 0) {
+        cache_enabled_ = false;
+        break;
       }
+      period_[i] = tc.period[i];
+      delta_[i] = tc.delta[i];
     }
+    lattice_full_ = tc.full();
   }
 }
 
 namespace {
 
 // Branchless hit probe, unrolled over a compile-time dimension count for
-// the hot shapes: accumulates every miss condition (clipped-empty or
-// extent mismatch) into one flag while evaluating the affine LBN offset.
-template <uint32_t N>
+// the hot shapes: accumulates every miss condition (clipped-empty, extent
+// mismatch, or lattice-residue mismatch) into one flag while evaluating
+// the affine LBN offset of the lattice quotients.
+//
+// kFullLattice specializes the full lattice (every period 1, every
+// residue 0) at compile time: the quotient is the coordinate itself and
+// the residue check vanishes, keeping the row-major probe free of the
+// division — a runtime `period == 1 ? lo : lo / period` select compiles
+// to an unconditional udiv on the dependent path and costs the streak
+// loop ~40% of its throughput. Lane-quantized mappings (MultiMap) take
+// the dividing flavor, whose replan alternative costs far more.
+template <uint32_t N, bool kFullLattice>
 inline bool ProbeHit(const map::Box& box, const uint32_t* dims,
-                     const uint32_t* tmpl_ext, const uint64_t* strides,
+                     const uint32_t* period, const uint64_t* delta,
+                     const uint32_t* tmpl_ext, const uint32_t* tmpl_res,
                      uint64_t* dot_out) {
   uint32_t miss = 0;
   uint64_t dot = 0;
@@ -43,10 +53,37 @@ inline bool ProbeHit(const map::Box& box, const uint32_t* dims,
     miss |= static_cast<uint32_t>(hi <= lo);
     // (hi - lo) underflows when already miss; the XOR garbage is harmless.
     miss |= (hi - lo) ^ tmpl_ext[i];
-    dot += strides[i] * lo;
+    if constexpr (kFullLattice) {
+      dot += delta[i] * lo;
+    } else {
+      const uint32_t p = period[i];
+      const uint32_t quot = lo / p;
+      miss |= (lo - quot * p) ^ tmpl_res[i];
+      dot += delta[i] * quot;
+    }
   }
   *dot_out = dot;
   return miss == 0;
+}
+
+// Single dispatch table over the hot (dimension count, lattice flavor)
+// pairs: invokes probe.template operator()<N, kFullLattice>() with the
+// pair resolved at compile time (TemplateHit's one-shot probe and
+// PlanBatch's streak loop both instantiate through here, so adding a
+// dimension count extends both at once), or fallback() for shapes outside
+// the unrolled set.
+template <typename ProbeFn, typename FallbackFn>
+inline auto DispatchLattice(uint32_t ndims, bool lattice_full,
+                            ProbeFn&& probe, FallbackFn&& fallback) {
+  switch ((ndims << 1) | (lattice_full ? 1u : 0u)) {
+    case (2u << 1) | 1u: return probe.template operator()<2, true>();
+    case (2u << 1) | 0u: return probe.template operator()<2, false>();
+    case (3u << 1) | 1u: return probe.template operator()<3, true>();
+    case (3u << 1) | 0u: return probe.template operator()<3, false>();
+    case (4u << 1) | 1u: return probe.template operator()<4, true>();
+    case (4u << 1) | 0u: return probe.template operator()<4, false>();
+    default: return fallback();
+  }
 }
 
 }  // namespace
@@ -62,39 +99,38 @@ Executor::Probe Executor::ProbeTemplate(const map::Box& box) const {
       return p;
     }
     p.ext[i] = hi - box.lo[i];
-    p.hit = p.hit && p.ext[i] == tmpl_ext_[i];
-    p.dot += strides_[i] * box.lo[i];
+    const uint32_t quot = box.lo[i] / period_[i];
+    p.res[i] = box.lo[i] - quot * period_[i];
+    p.hit = p.hit && p.ext[i] == tmpl_ext_[i] && p.res[i] == tmpl_res_[i];
+    p.dot += delta_[i] * quot;
   }
   return p;
 }
 
 bool Executor::TemplateHit(const map::Box& box, uint64_t* delta) const {
   if (!tmpl_valid_) return false;
-  uint64_t dot = 0;
-  bool hit;
-  switch (ndims_) {
-    case 2:
-      hit = ProbeHit<2>(box, dims_, tmpl_ext_, strides_, &dot);
-      break;
-    case 3:
-      hit = ProbeHit<3>(box, dims_, tmpl_ext_, strides_, &dot);
-      break;
-    case 4:
-      hit = ProbeHit<4>(box, dims_, tmpl_ext_, strides_, &dot);
-      break;
-    default: {
-      const Probe p = ProbeTemplate(box);
-      *delta = p.dot - tmpl_dot_;
-      return p.hit;
-    }
-  }
-  *delta = dot - tmpl_dot_;
-  return hit;
+  return DispatchLattice(
+      ndims_, lattice_full_,
+      [&]<uint32_t N, bool kFull>() {
+        uint64_t dot;
+        const bool hit = ProbeHit<N, kFull>(box, dims_, period_, delta_,
+                                            tmpl_ext_, tmpl_res_, &dot);
+        *delta = dot - tmpl_dot_;
+        return hit;
+      },
+      [&] {
+        const Probe p = ProbeTemplate(box);
+        *delta = p.dot - tmpl_dot_;
+        return p.hit;
+      });
 }
 
 void Executor::CaptureTemplate(const Probe& probe, const QueryPlan& plan) {
   tmpl_valid_ = true;
-  for (uint32_t i = 0; i < ndims_; ++i) tmpl_ext_[i] = probe.ext[i];
+  for (uint32_t i = 0; i < ndims_; ++i) {
+    tmpl_ext_[i] = probe.ext[i];
+    tmpl_res_[i] = probe.res[i];
+  }
   tmpl_dot_ = probe.dot;
   tmpl_cells_ = plan.cells;
   tmpl_mapping_order_ = plan.mapping_order;
@@ -178,9 +214,11 @@ QueryPlan Executor::Plan(const map::Box& box) const {
 }
 
 void Executor::PlanInto(const map::Box& box, QueryPlan* plan) {
-  if (ti_) {
+  if (cache_enabled_) {
+    ++cache_stats_.probes;
     uint64_t delta;
     if (TemplateHit(box, &delta)) {
+      ++cache_stats_.hits;
       plan->cells = tmpl_cells_;
       plan->mapping_order = tmpl_mapping_order_;
       if (tmpl_single_) {  // point/beam queries: one request
@@ -222,7 +260,7 @@ void Executor::PlanBatch(std::span<const map::Box> boxes, BatchPlan* out) {
   uint8_t* morder = out->mapping_order.data();
   offsets[0] = 0;
   size_t start = 0;
-  if (ti_ && tmpl_valid_ && tmpl_single_) {
+  if (cache_enabled_ && tmpl_valid_ && tmpl_single_) {
     // Streak loop for the single-request template (point/beam workloads):
     // one probe and four indexed stores per query, nothing else. Falls
     // back to the general loop at the first non-matching box.
@@ -233,24 +271,55 @@ void Executor::PlanBatch(std::span<const map::Box> boxes, BatchPlan* out) {
     const disk::SchedulingHint thint = tmpl_first_.hint;
     const uint64_t tcells = tmpl_cells_;
     const uint8_t torder = tmpl_mapping_order_ ? 1 : 0;
-    size_t k = 0;
-    for (; k < n; ++k) {
-      uint64_t delta;
-      if (!TemplateHit(boxes[k], &delta)) break;
-      req[k] = {base_lbn + delta, sectors, thint};
-      offsets[k + 1] = k + 1;
-      cells[k] = tcells;
-      morder[k] = torder;
-    }
+    // The probe flavor is dispatched ONCE and the loop is instantiated
+    // per flavor: an in-loop dispatch (or a non-inlined TemplateHit call)
+    // costs this four-indexed-stores-per-query loop a third of its
+    // throughput.
+    const size_t k = DispatchLattice(
+        ndims_, lattice_full_,
+        [&]<uint32_t N, bool kFull>() -> size_t {
+          size_t j = 0;
+          for (; j < n; ++j) {
+            uint64_t dot;
+            if (!ProbeHit<N, kFull>(boxes[j], dims_, period_, delta_,
+                                    tmpl_ext_, tmpl_res_, &dot)) {
+              break;
+            }
+            req[j] = {base_lbn + (dot - tmpl_dot_), sectors, thint};
+            offsets[j + 1] = j + 1;
+            cells[j] = tcells;
+            morder[j] = torder;
+          }
+          return j;
+        },
+        [&]() -> size_t {
+          size_t j = 0;
+          for (; j < n; ++j) {
+            uint64_t delta;
+            if (!TemplateHit(boxes[j], &delta)) break;
+            req[j] = {base_lbn + delta, sectors, thint};
+            offsets[j + 1] = j + 1;
+            cells[j] = tcells;
+            morder[j] = torder;
+          }
+          return j;
+        });
+    // Counters are accumulated once per streak, not per probe: a
+    // read-modify-write inside the loop is a loop-carried memory
+    // dependency the streak loop otherwise doesn't have.
+    cache_stats_.probes += (k == n) ? n : k + 1;
+    cache_stats_.hits += k;
     if (k == n) return;
     out->requests.resize(k);
     start = k;
   }
   for (size_t k = start; k < n; ++k) {
     const map::Box& box = boxes[k];
-    if (ti_) {
+    if (cache_enabled_) {
+      ++cache_stats_.probes;
       uint64_t delta;
       if (TemplateHit(box, &delta)) {
+        ++cache_stats_.hits;
         if (tmpl_single_) {
           out->requests.push_back({tmpl_first_.lbn + delta,
                                    tmpl_first_.sectors, tmpl_first_.hint});

@@ -49,6 +49,11 @@ struct ExecOptions {
   /// space-filling-curve baselines substantially (quantified by
   /// bench/ablate_scheduler). 0 disables coalescing.
   uint32_t coalesce_limit_sectors = 0;
+  /// Translation-template plan cache (mappings with a non-empty
+  /// TranslationClass only). Off forces every PlanInto/PlanBatch through
+  /// the full replanning path — the uncached reference
+  /// bench/plan_cache_multimap measures against.
+  bool plan_cache = true;
 };
 
 /// A planned query: the request stream plus cell accounting.
@@ -127,9 +132,10 @@ class Executor {
 
   /// As Plan(), but reuses the executor's PlanScratch and the caller's
   /// QueryPlan buffers: allocation-free once capacities have grown. For
-  /// TranslationInvariant mappings, a repeated query shape is replanned
-  /// from a cached template as a pure LBN offset (the paper's random-range
-  /// and beam workloads replan one shape thousands of times).
+  /// mappings with a non-empty TranslationClass, a repeated query shape at
+  /// a lattice-shifted position is replanned from a cached template as a
+  /// pure LBN offset (the paper's random-range and beam workloads replan
+  /// one shape thousands of times).
   void PlanInto(const map::Box& box, QueryPlan* plan);
 
   /// Plans many boxes in one call into a flat request arena, amortizing
@@ -156,15 +162,35 @@ class Executor {
 
   const map::Mapping& mapping() const { return *mapping_; }
 
+  /// True when the mapping's TranslationClass is non-empty and
+  /// ExecOptions::plan_cache is on: PlanInto/PlanBatch may serve repeated
+  /// shapes from the translation-template cache.
+  bool plan_cache_enabled() const { return cache_enabled_; }
+
+  /// Template-cache effectiveness counters: probes counts probe
+  /// operations against the cache — a PlanBatch miss re-probes the same
+  /// box in up to three places (the streak break, the batch loop, and the
+  /// PlanInto fallback), so probes can exceed the number of boxes planned.
+  /// hits counts the successful probes, each of which served a whole plan
+  /// as an LBN shift of the template. A mapping with an empty
+  /// TranslationClass (space-filling curves) never probes.
+  struct PlanCacheStats {
+    uint64_t probes = 0;
+    uint64_t hits = 0;
+  };
+  PlanCacheStats plan_cache_stats() const { return cache_stats_; }
+
   /// Result of probing the translation-template cache: the box clipped to
-  /// the grid, its affine LBN offset, and whether the cached template's
-  /// extents match. (Public only for the probe helper; not part of the
-  /// stable API.)
+  /// the grid, its lattice reduction (per-dimension residues and the
+  /// affine LBN offset of the quotients), and whether the cached template
+  /// matches. (Public only for the probe helper; not part of the stable
+  /// API.)
   struct Probe {
     bool empty = false;  // clipped box has no cells
     bool hit = false;
-    uint64_t dot = 0;  // sum of stride_i * clipped.lo[i], mod 2^64
+    uint64_t dot = 0;  // sum of delta_i * (clipped.lo[i]/period_i), mod 2^64
     uint32_t ext[map::kMaxDims] = {};
+    uint32_t res[map::kMaxDims] = {};  // clipped.lo[i] % period_i
   };
 
  private:
@@ -174,9 +200,9 @@ class Executor {
   // Services an already-planned query.
   Result<QueryResult> Execute(const QueryPlan& plan);
 
-  // Clips the box and evaluates the affine LBN offset; hit means the
-  // cached template's clipped extents match and the plan is the template
-  // shifted by (dot - tmpl_dot_).
+  // Clips the box and reduces it to its lattice-canonical position; hit
+  // means the cached template's clipped extents and residues match and the
+  // plan is the template shifted by (dot - tmpl_dot_).
   Probe ProbeTemplate(const map::Box& box) const;
   // Branchless hit-only probe (the hot path); on hit sets *delta to the
   // LBN shift of the cached template.
@@ -189,14 +215,21 @@ class Executor {
   PlanScratch scratch_;
   QueryPlan plan_scratch_;  // reused by RunRange/RunBeam/RunBatch
 
-  // Translation-template plan cache (TranslationInvariant mappings only).
-  bool ti_ = false;
+  // Translation-template plan cache, keyed by (clipped extents, lattice
+  // residues) of the mapping's TranslationClass; the probe reduces a box
+  // to its lane-canonical position and a hit applies the affine LBN shift
+  // computed from the lattice deltas.
+  bool cache_enabled_ = false;
+  bool lattice_full_ = false;  // every period 1: probe skips the division
   uint32_t ndims_ = 0;
-  uint32_t dims_[map::kMaxDims] = {};     // cached shape extents
-  uint64_t strides_[map::kMaxDims] = {};  // affine LbnOf coefficients
+  uint32_t dims_[map::kMaxDims] = {};    // cached shape extents
+  uint32_t period_[map::kMaxDims] = {};  // TranslationClass lattice quanta
+  uint64_t delta_[map::kMaxDims] = {};   // LBN shift per quantum
+  PlanCacheStats cache_stats_;
   bool tmpl_valid_ = false;
   bool tmpl_single_ = false;           // exactly one request (point/beam)
   uint32_t tmpl_ext_[map::kMaxDims] = {};
+  uint32_t tmpl_res_[map::kMaxDims] = {};
   uint64_t tmpl_dot_ = 0;
   uint64_t tmpl_cells_ = 0;
   bool tmpl_mapping_order_ = false;

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 
 #include "mapping/cell.h"
+#include "mapping/mapping.h"
 #include "util/rng.h"
 
 namespace mm::query {
@@ -53,6 +55,35 @@ inline BeamQuery RandomBeam(const map::GridShape& shape, uint32_t dim,
     }
   }
   return q;
+}
+
+/// Draws a box with the given per-dimension extents whose lo is the given
+/// lattice residue plus a uniformly random number of whole
+/// TranslationClass periods, staying in-grid — the repeated-translated
+/// query workload the executor's plan-template cache serves from one
+/// template (used by the plan-cache property tests and bench).
+/// Preconditions (asserted): `tc` is non-empty (every period >= 1; an
+/// empty class has no lattice to draw from), 1 <= ext[i] <= shape.dim(i),
+/// and res[i] <= shape.dim(i) - ext[i], else the draw cannot stay
+/// in-grid.
+inline map::Box RandomLatticeBox(const map::GridShape& shape,
+                                 const map::TranslationClass& tc,
+                                 const uint32_t* res, const uint32_t* ext,
+                                 Rng& rng) {
+  assert(!tc.empty() && tc.ndims == shape.ndims());
+  map::Box b;
+  for (uint32_t i = 0; i < shape.ndims(); ++i) {
+    assert(tc.period[i] >= 1);
+    assert(ext[i] >= 1 && ext[i] <= shape.dim(i));
+    const uint32_t max_lo = shape.dim(i) - ext[i];
+    assert(res[i] <= max_lo);
+    const uint32_t quots = (max_lo - res[i]) / tc.period[i];
+    const uint32_t lo =
+        res[i] + tc.period[i] * static_cast<uint32_t>(rng.Uniform(quots + 1));
+    b.lo[i] = lo;
+    b.hi[i] = lo + ext[i];
+  }
+  return b;
 }
 
 /// Draws an equal-side-length N-D range with selectivity `pct` percent of

@@ -10,7 +10,10 @@
 #include <set>
 #include <vector>
 
+#include "disk/spec.h"
+#include "lvm/volume.h"
 #include "mapping/curve_mapping.h"
+#include "query/executor.h"
 
 namespace mm::map {
 namespace {
@@ -318,6 +321,47 @@ TEST(CurveRunsTest, EmptyAndDegenerateBoxes) {
   outside.hi = MakeCell({12, 12});
   m->AppendRunsForBox(outside, &runs);
   EXPECT_TRUE(runs.empty());
+}
+
+TEST(CurveMappingTest, TranslationClassIsExplicitlyEmpty) {
+  // Bit-interleaved curve orders are covariant under no nontrivial shift;
+  // the mapping must say so explicitly so the executor never builds a
+  // translation template for it.
+  const GridShape shape{32, 32, 32};
+  for (const char* kind : {"zorder", "hilbert", "gray"}) {
+    auto m = Make(kind, shape);
+    EXPECT_TRUE(m->translation_class().empty()) << kind;
+    EXPECT_FALSE(m->translation_class().full()) << kind;
+  }
+}
+
+TEST(CurveMappingTest, QueriesNeverPolluteTemplateCache) {
+  // Regression for the plan cache rework: a Hilbert/Z-order executor must
+  // keep the cache disabled — zero probes, zero hits — and translated
+  // repeats of one query shape must each be planned fresh (the shifted
+  // plans genuinely differ, so serving one from a template would corrupt
+  // results).
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const GridShape shape{32, 32, 32};
+  for (const char* kind : {"zorder", "hilbert"}) {
+    auto m = Make(kind, shape);
+    query::Executor ex(&vol, m.get());
+    EXPECT_FALSE(ex.plan_cache_enabled()) << kind;
+    query::QueryPlan fast;
+    for (uint32_t shift = 0; shift + 6 <= 32; shift += 2) {
+      Box box;
+      for (uint32_t i = 0; i < 3; ++i) {
+        box.lo[i] = shift;
+        box.hi[i] = shift + 6;
+      }
+      const query::QueryPlan ref = ex.Plan(box);
+      ex.PlanInto(box, &fast);
+      ASSERT_EQ(fast.requests, ref.requests) << kind << " shift " << shift;
+      ASSERT_EQ(fast.cells, ref.cells) << kind << " shift " << shift;
+    }
+    EXPECT_EQ(ex.plan_cache_stats().probes, 0u) << kind;
+    EXPECT_EQ(ex.plan_cache_stats().hits, 0u) << kind;
+  }
 }
 
 TEST(CurveMappingTest, CellSectorsScaleLbns) {

@@ -1,0 +1,298 @@
+// Lane-covariant translation-template plan cache: structural tests of the
+// TranslationClass contract and property tests pinning cached MultiMap
+// plans bit-identical to the reference planner (Plan()) under random
+// grids, boxes, and lattice shifts — request for request: LBNs, lengths,
+// scheduling hints, order groups, and the mapping-order flag.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/multimap.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/curve_mapping.h"
+#include "mapping/naive.h"
+#include "query/executor.h"
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace mm::query {
+namespace {
+
+using core::MultiMapMapping;
+
+/// A MultiMap configuration the lattice tests iterate over. All are
+/// single-zone on the Atlas 10K III, chosen so the covariance lattice has
+/// several distinct positions along at least one dimension.
+struct LatticeConfig {
+  const char* tag;
+  map::GridShape shape;
+  std::vector<uint32_t> cube_dims;  // empty = auto policy
+  uint32_t cell_sectors = 1;
+};
+
+std::vector<LatticeConfig> LatticeConfigs() {
+  return {
+      // lanes=2, G0=2: dims 1-2 covariant per cube (m=1).
+      {"lane2_3d", map::GridShape{680, 24, 240}, {340, 4, 6}, 1},
+      // lanes=2, G0=1: dim 1 needs two cubes per lattice step (m=2).
+      {"m2_4d", map::GridShape{340, 8, 8, 40}, {340, 2, 2, 5}, 1},
+      // 2-D, lanes=2.
+      {"lane2_2d", map::GridShape{680, 48}, {340, 8}, 1},
+      // Multi-sector cells: lane pitch K0*cs.
+      {"cs2_3d", map::GridShape{340, 16, 80}, {170, 4, 4}, 2},
+      // Auto-sized cube: lattice coarser than the grid (exact-repeat only).
+      {"auto_3d", map::GridShape{64, 64, 64}, {}, 1},
+  };
+}
+
+Result<std::unique_ptr<MultiMapMapping>> MakeMapping(
+    const lvm::Volume& vol, const LatticeConfig& cfg) {
+  MultiMapMapping::Options opt;
+  opt.cube_dims = cfg.cube_dims;
+  opt.cell_sectors = cfg.cell_sectors;
+  return MultiMapMapping::Create(vol, cfg.shape, opt);
+}
+
+void ExpectPlansEqual(const QueryPlan& got, const QueryPlan& ref,
+                      const char* tag, int trial) {
+  ASSERT_EQ(got.requests.size(), ref.requests.size())
+      << tag << " trial " << trial;
+  for (size_t i = 0; i < ref.requests.size(); ++i) {
+    // Full request equality: LBN, length, scheduling hint, order group.
+    EXPECT_EQ(got.requests[i], ref.requests[i])
+        << tag << " trial " << trial << " req " << i;
+  }
+  EXPECT_EQ(got.cells, ref.cells) << tag << " trial " << trial;
+  EXPECT_EQ(got.mapping_order, ref.mapping_order) << tag << " trial "
+                                                  << trial;
+}
+
+TEST(TranslationClassTest, NaiveReportsFullLatticeWithRowMajorStrides) {
+  const map::GridShape shape{16, 32, 8};
+  map::NaiveMapping m(shape, /*base_lbn=*/100, /*cell_sectors=*/4);
+  const map::TranslationClass tc = m.translation_class();
+  ASSERT_FALSE(tc.empty());
+  EXPECT_TRUE(tc.full());
+  ASSERT_EQ(tc.ndims, 3u);
+  uint64_t stride = 4;  // cell_sectors
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(tc.period[i], 1u);
+    EXPECT_EQ(tc.delta[i], stride) << "dim " << i;
+    stride *= shape.dim(i);
+  }
+}
+
+TEST(TranslationClassTest, SingleZoneMultiMapReportsCubeLattice) {
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  for (const auto& cfg : LatticeConfigs()) {
+    auto m = MakeMapping(vol, cfg);
+    ASSERT_TRUE(m.ok()) << cfg.tag << ": " << m.status().ToString();
+    const map::TranslationClass tc = (*m)->translation_class();
+    ASSERT_FALSE(tc.empty()) << cfg.tag;
+    EXPECT_FALSE(tc.full()) << cfg.tag;
+    ASSERT_EQ(tc.ndims, cfg.shape.ndims()) << cfg.tag;
+    for (uint32_t i = 0; i < tc.ndims; ++i) {
+      // Lattice steps are whole numbers of basic cubes.
+      EXPECT_GE(tc.period[i], 1u) << cfg.tag << " dim " << i;
+      EXPECT_EQ(tc.period[i] % (*m)->cube().k[i], 0u)
+          << cfg.tag << " dim " << i;
+      EXPECT_GT(tc.delta[i], 0u) << cfg.tag << " dim " << i;
+    }
+  }
+}
+
+TEST(TranslationClassTest, MultiZoneMultiMapReportsEmptyClass) {
+  // 259^3 spills past zone 0 of the Atlas 10K III; zone constants change
+  // at the seam, so no translation lattice may be claimed.
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  auto m = MultiMapMapping::Create(vol, map::GridShape{259, 259, 259});
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_TRUE((*m)->translation_class().empty());
+  Executor ex(&vol, m->get());
+  EXPECT_FALSE(ex.plan_cache_enabled());
+  EXPECT_EQ(ex.plan_cache_stats().probes, 0u);
+}
+
+TEST(TranslationClassTest, LatticeDeltaMatchesLbnOfOnShiftedCells) {
+  // The reported delta must equal the actual LbnOf displacement of a
+  // whole-period shift, for every dimension with room to shift.
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  Rng rng(7);
+  for (const auto& cfg : LatticeConfigs()) {
+    auto m = MakeMapping(vol, cfg);
+    ASSERT_TRUE(m.ok()) << cfg.tag;
+    const map::TranslationClass tc = (*m)->translation_class();
+    const uint32_t n = cfg.shape.ndims();
+    for (uint32_t i = 0; i < n; ++i) {
+      if (tc.period[i] >= cfg.shape.dim(i)) continue;  // no room to shift
+      for (int trial = 0; trial < 20; ++trial) {
+        map::Cell c{};
+        for (uint32_t j = 0; j < n; ++j) {
+          c[j] = static_cast<uint32_t>(rng.Uniform(cfg.shape.dim(j)));
+        }
+        c[i] = static_cast<uint32_t>(
+            rng.Uniform(cfg.shape.dim(i) - tc.period[i]));
+        map::Cell shifted = c;
+        shifted[i] += tc.period[i];
+        EXPECT_EQ((*m)->LbnOf(shifted), (*m)->LbnOf(c) + tc.delta[i])
+            << cfg.tag << " dim " << i << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(PlanCacheMultiMapTest, CachedPlansMatchReferenceUnderLatticeShifts) {
+  // The property test: for random extents, residues, and lattice shifts,
+  // the cached-template plan must equal the freshly planned one
+  // request-for-request, and the cache must actually be serving hits.
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  Rng rng(51);
+  for (const auto& cfg : LatticeConfigs()) {
+    auto m = MakeMapping(vol, cfg);
+    ASSERT_TRUE(m.ok()) << cfg.tag;
+    const map::TranslationClass tc = (*m)->translation_class();
+    ASSERT_FALSE(tc.empty()) << cfg.tag;
+    Executor ex(&vol, m->get());
+    ASSERT_TRUE(ex.plan_cache_enabled()) << cfg.tag;
+    const uint32_t n = cfg.shape.ndims();
+    QueryPlan fast;
+    for (int shape_trial = 0; shape_trial < 8; ++shape_trial) {
+      uint32_t ext[map::kMaxDims] = {};
+      uint32_t res[map::kMaxDims] = {};
+      for (uint32_t i = 0; i < n; ++i) {
+        ext[i] = 1 + static_cast<uint32_t>(
+                         rng.Uniform(std::max(1u, cfg.shape.dim(i) / 2)));
+        res[i] = static_cast<uint32_t>(rng.Uniform(
+            std::min(tc.period[i], cfg.shape.dim(i) - ext[i] + 1)));
+      }
+      for (int trial = 0; trial < 12; ++trial) {
+        const map::Box box =
+            RandomLatticeBox(cfg.shape, tc, res, ext, rng);
+        const QueryPlan ref = ex.Plan(box);
+        ex.PlanInto(box, &fast);
+        ExpectPlansEqual(fast, ref, cfg.tag, trial);
+      }
+    }
+    const auto stats = ex.plan_cache_stats();
+    EXPECT_GT(stats.probes, 0u) << cfg.tag;
+    // Within each shape trial, boxes 2..12 share the template's key; the
+    // bulk of them must have been cache hits.
+    EXPECT_GT(stats.hits, stats.probes / 2) << cfg.tag;
+  }
+}
+
+TEST(PlanCacheMultiMapTest, PlanBatchMatchesPerBoxReference) {
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  Rng rng(53);
+  for (const auto& cfg : LatticeConfigs()) {
+    auto m = MakeMapping(vol, cfg);
+    ASSERT_TRUE(m.ok()) << cfg.tag;
+    const map::TranslationClass tc = (*m)->translation_class();
+    Executor ex(&vol, m->get());
+    const uint32_t n = cfg.shape.ndims();
+    // Two interleaved shapes (to break template streaks) plus a clipped
+    // and an empty box: the batch must equal per-box reference planning.
+    std::vector<map::Box> boxes;
+    for (int group = 0; group < 2; ++group) {
+      uint32_t ext[map::kMaxDims] = {};
+      uint32_t res[map::kMaxDims] = {};
+      for (uint32_t i = 0; i < n; ++i) {
+        ext[i] = 1 + static_cast<uint32_t>(
+                         rng.Uniform(std::max(1u, cfg.shape.dim(i) / 4)));
+        res[i] = static_cast<uint32_t>(rng.Uniform(
+            std::min(tc.period[i], cfg.shape.dim(i) - ext[i] + 1)));
+      }
+      for (int trial = 0; trial < 10; ++trial) {
+        boxes.push_back(RandomLatticeBox(cfg.shape, tc, res, ext, rng));
+      }
+    }
+    map::Box clipped = boxes.front();
+    clipped.hi[n - 1] = cfg.shape.dim(n - 1) + 17;  // clips at the edge
+    boxes.push_back(clipped);
+    map::Box empty = boxes.front();
+    empty.lo[0] = empty.hi[0];  // degenerate
+    boxes.push_back(empty);
+
+    BatchPlan batch;
+    ex.PlanBatch(boxes, &batch);
+    ASSERT_EQ(batch.offsets.size(), boxes.size() + 1) << cfg.tag;
+    for (size_t b = 0; b < boxes.size(); ++b) {
+      const QueryPlan ref = ex.Plan(boxes[b]);
+      const size_t lo = batch.offsets[b], hi = batch.offsets[b + 1];
+      ASSERT_EQ(hi - lo, ref.requests.size()) << cfg.tag << " box " << b;
+      for (size_t k = 0; k < ref.requests.size(); ++k) {
+        EXPECT_EQ(batch.requests[lo + k], ref.requests[k])
+            << cfg.tag << " box " << b << " req " << k;
+      }
+      EXPECT_EQ(batch.cells[b], ref.cells) << cfg.tag << " box " << b;
+      EXPECT_EQ(batch.mapping_order[b] != 0, ref.mapping_order)
+          << cfg.tag << " box " << b;
+    }
+  }
+}
+
+TEST(PlanCacheMultiMapTest, SemiSequentialHintSurvivesCachedPath) {
+  // Beam plans take MultiMap's semi-sequential path: mapping_order is set
+  // and every request is stamped kPreserveOrder. A cached replan at a
+  // lattice-shifted position must preserve both.
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const LatticeConfig cfg = LatticeConfigs()[0];  // lane2_3d
+  auto m = MakeMapping(vol, cfg);
+  ASSERT_TRUE(m.ok());
+  const map::TranslationClass tc = (*m)->translation_class();
+  Executor ex(&vol, m->get());
+  Rng rng(59);
+  // A beam along dim 2 (the track-hopping dimension): fixed dim-0/dim-1
+  // point, full dim-2 extent, shifted by lattice periods.
+  uint32_t ext[map::kMaxDims] = {1, 1, cfg.shape.dim(2)};
+  uint32_t res[map::kMaxDims] = {3, 1, 0};
+  QueryPlan fast;
+  int order_plans = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const map::Box box = RandomLatticeBox(cfg.shape, tc, res, ext, rng);
+    const QueryPlan ref = ex.Plan(box);
+    ex.PlanInto(box, &fast);
+    ExpectPlansEqual(fast, ref, cfg.tag, trial);
+    if (ref.mapping_order) {
+      ++order_plans;
+      for (const auto& r : fast.requests) {
+        EXPECT_EQ(r.hint, disk::SchedulingHint::kPreserveOrder);
+      }
+    }
+  }
+  // The workload must actually exercise the semi-sequential path and the
+  // cache (trial 1+ repeats the template's key).
+  EXPECT_GT(order_plans, 0);
+  EXPECT_GT(ex.plan_cache_stats().hits, 0u);
+}
+
+TEST(PlanCacheMultiMapTest, DisabledCachePlansIdenticallyAndNeverProbes) {
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  const LatticeConfig cfg = LatticeConfigs()[0];
+  auto m = MakeMapping(vol, cfg);
+  ASSERT_TRUE(m.ok());
+  const map::TranslationClass tc = (*m)->translation_class();
+  ExecOptions opt;
+  opt.plan_cache = false;
+  Executor uncached(&vol, m->get(), opt);
+  Executor cached(&vol, m->get());
+  EXPECT_FALSE(uncached.plan_cache_enabled());
+  EXPECT_TRUE(cached.plan_cache_enabled());
+  Rng rng(61);
+  uint32_t ext[map::kMaxDims] = {24, 3, 10};
+  uint32_t res[map::kMaxDims] = {5, 1, 2};
+  QueryPlan a, b;
+  for (int trial = 0; trial < 10; ++trial) {
+    const map::Box box = RandomLatticeBox(cfg.shape, tc, res, ext, rng);
+    uncached.PlanInto(box, &a);
+    cached.PlanInto(box, &b);
+    ExpectPlansEqual(b, a, cfg.tag, trial);
+  }
+  EXPECT_EQ(uncached.plan_cache_stats().probes, 0u);
+  EXPECT_GT(cached.plan_cache_stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace mm::query

@@ -102,23 +102,27 @@ TEST(PlanEquivalenceTest, RunBatchMatchesSequentialRunRange) {
 TEST(PlanEquivalenceTest, TemplateCacheRepeatedShape) {
   // A long streak of identically-shaped boxes (the paper's RandomRange
   // workload) exercises the translation-template hit path; every plan must
-  // still equal the reference.
+  // still equal the reference. Covers all mappings: full-lattice Naive
+  // (every draw re-hits), lane-lattice MultiMap (hits only when the draw
+  // lands on the template's lattice residue), and Z-order (cache disabled,
+  // always replanned).
   lvm::Volume vol(disk::MakeAtlas10k3());
   const map::GridShape shape{64, 64, 64};
-  map::NaiveMapping m(shape, 0);
-  Executor ex(&vol, &m);
   Rng rng(41);
-  QueryPlan fast;
-  for (int rep = 0; rep < 200; ++rep) {
-    map::Box box;
-    for (uint32_t i = 0; i < 3; ++i) {
-      box.lo[i] = static_cast<uint32_t>(rng.Uniform(60));
-      box.hi[i] = box.lo[i] + 4;
+  for (auto& m : TestMappings(vol, shape)) {
+    Executor ex(&vol, m.get());
+    QueryPlan fast;
+    for (int rep = 0; rep < 200; ++rep) {
+      map::Box box;
+      for (uint32_t i = 0; i < 3; ++i) {
+        box.lo[i] = static_cast<uint32_t>(rng.Uniform(60));
+        box.hi[i] = box.lo[i] + 4;
+      }
+      const QueryPlan ref = ex.Plan(box);
+      ex.PlanInto(box, &fast);
+      ASSERT_EQ(fast.requests, ref.requests) << m->name() << " rep " << rep;
+      ASSERT_EQ(fast.cells, ref.cells) << m->name() << " rep " << rep;
     }
-    const QueryPlan ref = ex.Plan(box);
-    ex.PlanInto(box, &fast);
-    ASSERT_EQ(fast.requests, ref.requests) << rep;
-    ASSERT_EQ(fast.cells, ref.cells);
   }
 }
 
