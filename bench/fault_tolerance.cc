@@ -1,0 +1,307 @@
+// Fault-tolerance acceptance: open-loop tail latency across fault regimes
+// on a 2-way replicated 4-disk volume.
+//
+// One workload (random Dim1 beams on a naive-mapped cube, Poisson
+// arrivals), five storage states:
+//
+//   none       -- healthy volume (baseline).
+//   latent     -- one member peppered with latent sector errors; reads
+//                 retry onto the surviving copy.
+//   transient  -- one member aborts 2% of commands on its internal
+//                 deadline after a 30 ms stall.
+//   slow       -- one member limps at 2.5x service time.
+//   kill       -- one member dies mid-run; degraded reads re-route to the
+//                 mirror while a background rebuild drains the dead
+//                 disk's chunks through the same queues.
+//
+// The run *fails* (exit 1) if any query fails in the kill regime, if any
+// completion goes missing, or if the kill-regime p99 exceeds the bounded
+// degradation factor over the healthy baseline. Emits BENCH_faults.json
+// with per-regime latency splits (clean vs degraded), per-disk fault
+// counters, rebuild progress, and foreground-vs-rebuild interference.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/emit_json.h"
+#include "disk/fault.h"
+#include "lvm/volume.h"
+#include "mapping/naive.h"
+#include "query/session.h"
+#include "util/rng.h"
+
+namespace mm::bench {
+namespace {
+
+// Kill-regime p99 must stay within this factor of the healthy baseline.
+constexpr double kP99Bound = 8.0;
+
+// A small 10k-rpm drive: 108000 sectors across two zones. Big enough for
+// a 59^3 cube over 4 members at R=2, small enough to run in seconds.
+disk::DiskSpec MakeFaultBenchDisk() {
+  disk::DiskSpec spec;
+  spec.name = "FaultBench";
+  spec.surfaces = 2;
+  spec.rpm = 10000.0;
+  spec.settle_ms = 1.1;
+  spec.settle_cylinders = 12;
+  spec.head_switch_ms = 0.9;
+  spec.seek_sqrt_coeff_ms = 0.06;
+  spec.knee_cylinders = 300;
+  spec.full_stroke_ms = 8.0;
+  spec.command_overhead_ms = 0.05;
+  spec.zones = {{150, 200}, {150, 160}};
+  return spec;
+}
+
+struct Regime {
+  std::string name;
+  // Applied to a fresh volume before the run.
+  void (*apply)(lvm::Volume&);
+  bool rebuild = false;
+};
+
+void ApplyNone(lvm::Volume&) {}
+
+void ApplyLatent(lvm::Volume& vol) {
+  // ~80 latent 8-sector ranges scattered over disk 0's primary region.
+  disk::FaultModel fm;
+  Rng rng(911);
+  const uint64_t span = vol.primary_sectors();
+  for (int i = 0; i < 80; ++i) {
+    fm.media_faults.push_back({rng.Uniform(span - 8), 8});
+  }
+  vol.disk(0).SetFaultModel(fm);
+}
+
+void ApplyTransient(lvm::Volume& vol) {
+  disk::FaultModel fm;
+  fm.timeout_probability = 0.02;
+  fm.timeout_stall_ms = 30.0;
+  vol.disk(0).SetFaultModel(fm);
+}
+
+void ApplySlow(lvm::Volume& vol) {
+  disk::FaultModel fm;
+  fm.slow_factor = 2.5;
+  vol.disk(2).SetFaultModel(fm);
+}
+
+void ApplyKill(lvm::Volume& vol) {
+  disk::FaultModel fm;
+  fm.fail_at_ms = 12000.0;
+  vol.disk(1).SetFaultModel(fm);
+}
+
+struct RegimeResult {
+  std::string name;
+  size_t queries = 0;
+  query::LatencyStats stats;
+  std::vector<query::QueryCompletion> completions;
+  lvm::RebuildStats rebuild;
+  // Per-disk fault counters after the run.
+  std::vector<disk::DiskStats> disk_stats;
+};
+
+}  // namespace
+}  // namespace mm::bench
+
+int main() {
+  using namespace mm;
+  using namespace mm::bench;
+  const bool quick = QuickMode();
+
+  const map::GridShape shape{59, 59, 59};  // 205379 cells
+  const size_t queries = quick ? 60 : 240;
+  const double rate_qps = quick ? 4.0 : 6.0;
+
+  // Dim1 beams: 59 single-sector reads at stride 59 per query.
+  Rng wl_rng(20260807);
+  std::vector<map::Box> boxes;
+  boxes.reserve(queries);
+  for (size_t i = 0; i < queries; ++i) {
+    boxes.push_back(query::RandomBeam(shape, 1, wl_rng).ToBox(shape));
+  }
+
+  const std::vector<Regime> regimes = {
+      {"none", ApplyNone},
+      {"latent", ApplyLatent},
+      {"transient", ApplyTransient},
+      {"slow", ApplySlow},
+      {"kill", ApplyKill, /*rebuild=*/true},
+  };
+
+  std::printf(
+      "=== Fault tolerance: Dim1 beams on 4x%s, R=2, Poisson %.1f qps ===\n"
+      "%zu queries per regime; latencies in ms\n\n",
+      MakeFaultBenchDisk().name.c_str(), rate_qps, queries);
+
+  std::vector<RegimeResult> results;
+  for (const Regime& regime : regimes) {
+    lvm::Volume vol(
+        std::vector<disk::DiskSpec>(4, MakeFaultBenchDisk()),
+        lvm::ReplicationOptions{2, 512});
+    regime.apply(vol);
+    map::NaiveMapping naive(shape, 0);
+    query::Executor ex(&vol, &naive);
+    query::SessionOptions so;
+    so.warmup_head = true;
+    so.retry.max_attempts = 3;
+    so.retry.timeout_ms = 2000.0;
+    so.retry.backoff_ms = 0.5;
+    so.rebuild.enabled = regime.rebuild;
+    so.rebuild.detect_delay_ms = 100.0;
+    query::Session session(&vol, &ex, so);
+    auto stats =
+        session.Run(boxes, query::ArrivalProcess::OpenPoisson(rate_qps));
+    if (!stats.ok()) {
+      std::fprintf(stderr, "regime %s failed: %s\n", regime.name.c_str(),
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    RegimeResult r;
+    r.name = regime.name;
+    r.queries = queries;
+    r.stats = *stats;
+    r.completions = session.completions();
+    r.rebuild = session.rebuild_stats();
+    for (size_t d = 0; d < vol.disk_count(); ++d) {
+      r.disk_stats.push_back(vol.disk(d).stats());
+    }
+    results.push_back(std::move(r));
+  }
+
+  TextTable table({"regime", "done", "fail", "retry", "redir", "p50", "p95",
+                   "p99", "clean_p99", "degr_p99", "degr_n"});
+  for (const RegimeResult& r : results) {
+    table.AddRow(
+        {r.name, TextTable::Num(static_cast<double>(r.stats.count()), 0),
+         TextTable::Num(static_cast<double>(r.stats.failed), 0),
+         TextTable::Num(static_cast<double>(r.stats.retries), 0),
+         TextTable::Num(static_cast<double>(r.stats.redirects), 0),
+         TextTable::Num(r.stats.P50Ms(), 2), TextTable::Num(r.stats.P95Ms(), 2),
+         TextTable::Num(r.stats.P99Ms(), 2),
+         TextTable::Num(r.stats.clean.Percentile(99), 2),
+         TextTable::Num(r.stats.degraded.Percentile(99), 2),
+         TextTable::Num(static_cast<double>(r.stats.degraded.count()), 0)});
+  }
+  table.Print();
+  std::printf("\n");
+
+  const RegimeResult& none = results[0];
+  const RegimeResult& kill = results.back();
+
+  // Foreground latency during the rebuild window vs the pre-failure phase
+  // of the same run: the interference the rebuild's low-priority drain
+  // imposes on live queries.
+  RunningStats before_kill, during_rebuild;
+  const double kill_ms = 12000.0;
+  const double rebuild_end =
+      kill.rebuild.Finished() ? kill.rebuild.finished_ms : 1e18;
+  for (const auto& c : kill.completions) {
+    if (c.failed) continue;
+    if (c.finish_ms < kill_ms) {
+      before_kill.Add(c.LatencyMs());
+    } else if (c.arrival_ms >= kill_ms && c.finish_ms <= rebuild_end) {
+      during_rebuild.Add(c.LatencyMs());
+    }
+  }
+
+  const double p99_ratio =
+      none.stats.P99Ms() > 0 ? kill.stats.P99Ms() / none.stats.P99Ms() : 0.0;
+  std::printf("kill regime: %zu/%zu completed, %llu failed\n",
+              kill.stats.count(), queries,
+              static_cast<unsigned long long>(kill.stats.failed));
+  std::printf("p99 kill/none = %.2f (bound %.1f)\n", p99_ratio, kP99Bound);
+  std::printf(
+      "rebuild: %llu/%llu chunks, detected %.0f ms, finished %.0f ms\n",
+      static_cast<unsigned long long>(kill.rebuild.chunks_done),
+      static_cast<unsigned long long>(kill.rebuild.chunks_total),
+      kill.rebuild.detected_ms, kill.rebuild.finished_ms);
+  std::printf(
+      "foreground mean: %.2f ms before kill, %.2f ms during rebuild\n\n",
+      before_kill.Mean(), during_rebuild.Mean());
+
+  JsonEmitter em("fault_tolerance");
+  JsonValue regs = JsonValue::Array();
+  for (const RegimeResult& r : results) {
+    JsonValue row = JsonValue::Object();
+    row.Set("regime", r.name)
+        .Set("queries", static_cast<double>(r.queries))
+        .Set("completed", static_cast<double>(r.stats.count()))
+        .Set("failed", static_cast<double>(r.stats.failed))
+        .Set("retries", static_cast<double>(r.stats.retries))
+        .Set("redirects", static_cast<double>(r.stats.redirects))
+        .Set("p50_ms", r.stats.P50Ms())
+        .Set("p95_ms", r.stats.P95Ms())
+        .Set("p99_ms", r.stats.P99Ms())
+        .Set("mean_ms", r.stats.MeanMs())
+        .Set("max_ms", r.stats.latency.Max())
+        .Set("clean_count", static_cast<double>(r.stats.clean.count()))
+        .Set("clean_p99_ms", r.stats.clean.Percentile(99))
+        .Set("degraded_count", static_cast<double>(r.stats.degraded.count()))
+        .Set("degraded_p99_ms", r.stats.degraded.Percentile(99))
+        .Set("throughput_qps", r.stats.ThroughputQps());
+    JsonValue disks = JsonValue::Array();
+    for (const disk::DiskStats& ds : r.disk_stats) {
+      JsonValue d = JsonValue::Object();
+      d.Set("requests", static_cast<double>(ds.requests))
+          .Set("media_errors", static_cast<double>(ds.media_errors))
+          .Set("io_timeouts", static_cast<double>(ds.io_timeouts))
+          .Set("failed_fast", static_cast<double>(ds.failed_fast))
+          .Set("slow_penalty_ms", ds.slow_penalty_ms);
+      disks.Append(std::move(d));
+    }
+    row.Set("disks", std::move(disks));
+    if (r.rebuild.Detected()) {
+      JsonValue rb = JsonValue::Object();
+      rb.Set("detected_ms", r.rebuild.detected_ms)
+          .Set("started_ms", r.rebuild.started_ms)
+          .Set("finished_ms", r.rebuild.finished_ms)
+          .Set("chunks_total", static_cast<double>(r.rebuild.chunks_total))
+          .Set("chunks_done", static_cast<double>(r.rebuild.chunks_done))
+          .Set("sectors_read", static_cast<double>(r.rebuild.sectors_read))
+          .Set("read_errors", static_cast<double>(r.rebuild.read_errors));
+      row.Set("rebuild", std::move(rb));
+    }
+    regs.Append(std::move(row));
+  }
+  em.Metric("queries_per_regime", static_cast<double>(queries));
+  em.Metric("p99_ratio_kill_vs_none", p99_ratio);
+  em.Metric("p99_bound", kP99Bound);
+  em.Metric("kill_failed_queries", static_cast<double>(kill.stats.failed));
+  em.Metric("fg_mean_ms_before_kill", before_kill.Mean());
+  em.Metric("fg_mean_ms_during_rebuild", during_rebuild.Mean());
+  em.Note("workload", "random Dim1 beams, Poisson arrivals, R=2 over 4 disks");
+  em.Note("grid", shape.ToString());
+  em.Value("regimes", std::move(regs));
+  em.WriteFile("BENCH_faults.json");
+  std::printf("wrote BENCH_faults.json\n");
+
+  // Acceptance gates.
+  bool ok = true;
+  if (kill.stats.failed != 0) {
+    std::fprintf(stderr, "FAIL: %llu queries failed in the kill regime\n",
+                 static_cast<unsigned long long>(kill.stats.failed));
+    ok = false;
+  }
+  for (const RegimeResult& r : results) {
+    if (r.completions.size() != r.queries) {
+      std::fprintf(stderr, "FAIL: regime %s lost completions (%zu/%zu)\n",
+                   r.name.c_str(), r.completions.size(), r.queries);
+      ok = false;
+    }
+  }
+  if (!kill.rebuild.Finished()) {
+    std::fprintf(stderr, "FAIL: rebuild did not finish\n");
+    ok = false;
+  }
+  if (p99_ratio > kP99Bound) {
+    std::fprintf(stderr, "FAIL: kill-regime p99 %.2fx over baseline\n",
+                 p99_ratio);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

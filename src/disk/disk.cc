@@ -19,6 +19,20 @@ const char* SchedulingHintName(SchedulingHint hint) {
   return "unknown";
 }
 
+const char* IoStatusName(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kMediaError:
+      return "media-error";
+    case IoStatus::kTimedOut:
+      return "timed-out";
+    case IoStatus::kDiskFailed:
+      return "disk-failed";
+  }
+  return "unknown";
+}
+
 const char* SchedulerKindName(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kFifo:
@@ -56,7 +70,17 @@ void Disk::Reset() {
   queue_busy_ = false;
   batch_suppress_ = false;
   readahead_suppressed_ = false;
+  // The fault model survives Reset (it describes the hardware, not the
+  // run), but its RNG re-arms so identical schedules replay identically.
+  if (fault_.has_value()) fault_rng_ = Rng(fault_->seed);
 }
+
+void Disk::SetFaultModel(const FaultModel& model) {
+  fault_ = model;
+  fault_rng_ = Rng(model.seed);
+}
+
+void Disk::ClearFaultModel() { fault_.reset(); }
 
 uint64_t Disk::UnrolledSlot(double at_ms, uint32_t spt) const {
   const double sector_ms = rotation_.revolution_ms() / spt;
@@ -681,6 +705,47 @@ Result<CompletionEvent> Disk::ServiceNextQueued() {
   window_[pick] = std::move(window_.back());
   window_.pop_back();
 
+  if (fault_.has_value() && fault_->enabled) {
+    // Whole-disk failure: a command reaching the drive electronics at or
+    // after the failure instant fails fast -- no mechanism engages, the
+    // head and clock stay put, and the busy period ends (a replacement
+    // drive would re-arm command decode).
+    if (now_ms_ >= fault_->fail_at_ms) {
+      readahead_suppressed_ = false;
+      queue_busy_ = false;
+      ++stats_.failed_fast;
+      CompletionEvent ev;
+      ev.completion.request = picked.req;
+      ev.completion.start_ms = now_ms_;
+      ev.completion.end_ms = now_ms_;
+      ev.completion.status = IoStatus::kDiskFailed;
+      ev.tag = picked.seq;
+      ev.arrival_ms = picked.arrival_ms;
+      ev.warmup = picked.warmup;
+      return ev;
+    }
+    // Transient timeout: the command hangs for the stall window and aborts
+    // unserviced. The platter keeps spinning (angle is a pure function of
+    // the clock) but the head does not move; the abort ends the busy
+    // period, so the next command pays the overhead again.
+    if (fault_->timeout_probability > 0 &&
+        fault_rng_.NextDouble() < fault_->timeout_probability) {
+      readahead_suppressed_ = false;
+      queue_busy_ = false;
+      ++stats_.io_timeouts;
+      CompletionEvent ev;
+      ev.completion.request = picked.req;
+      ev.completion.start_ms = now_ms_;
+      now_ms_ += fault_->timeout_stall_ms;
+      ev.completion.end_ms = now_ms_;
+      ev.completion.status = IoStatus::kTimedOut;
+      ev.tag = picked.seq;
+      ev.arrival_ms = picked.arrival_ms;
+      ev.warmup = picked.warmup;
+      return ev;
+    }
+  }
+
   // TCQ pipelining: the drive stages the next queued command during the
   // current service, so a command that opens with a seek pays no
   // turnaround (the seek starts the instant the previous transfer ends).
@@ -706,6 +771,22 @@ Result<CompletionEvent> Disk::ServiceNextQueued() {
   ev.tag = picked.seq;
   ev.arrival_ms = picked.arrival_ms;
   ev.warmup = picked.warmup;
+  if (fault_.has_value() && fault_->enabled) {
+    Completion& c = ev.completion;
+    if (fault_->slow_factor > 1.0) {
+      // Degraded drive: the service took slow_factor times as long
+      // (recoverable retries inside the drive stretch every phase).
+      const double extra = c.ServiceMs() * (fault_->slow_factor - 1.0);
+      now_ms_ += extra;
+      c.end_ms += extra;
+      stats_.slow_penalty_ms += extra;
+    }
+    if (fault_->HitsMediaFault(c.request.lbn, c.request.sectors)) {
+      // Latent sector error: full mechanical service, failed verify.
+      c.status = IoStatus::kMediaError;
+      ++stats_.media_errors;
+    }
+  }
   stats_.max_queue_ms = std::max(stats_.max_queue_ms, ev.QueueMs());
   return ev;
 }

@@ -38,17 +38,20 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <set>
 #include <span>
 #include <tuple>
 #include <vector>
 
+#include "disk/fault.h"
 #include "disk/geometry.h"
 #include "disk/mechanics.h"
 #include "disk/request.h"
 #include "disk/scheduler.h"
 #include "disk/spec.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace mm::disk {
 
@@ -68,6 +71,12 @@ struct DiskStats {
   uint64_t aged_picks = 0;   ///< Picks promoted by BatchOptions::max_age_ms.
   uint64_t order_holds = 0;  ///< Window entries skipped by a pick because an
                              ///< earlier kPreserveOrder group member waited.
+  // Fault-injection accounting (all zero unless a FaultModel is attached
+  // and enabled; see disk/fault.h).
+  uint64_t media_errors = 0;  ///< Completions with IoStatus::kMediaError.
+  uint64_t io_timeouts = 0;   ///< Completions with IoStatus::kTimedOut.
+  uint64_t failed_fast = 0;   ///< Completions with IoStatus::kDiskFailed.
+  double slow_penalty_ms = 0; ///< Service time added by slow_factor.
 };
 
 /// Result of servicing a batch of requests.
@@ -188,6 +197,26 @@ class Disk {
                                       const BatchOptions& options,
                                       std::vector<Completion>* completions);
 
+  // --- Fault injection ----------------------------------------------------
+
+  /// Attaches a fault model (see disk/fault.h), replacing any prior one,
+  /// and arms the model's private RNG from model.seed. Faults apply to the
+  /// queued interface only (ServiceNextQueued); Reset() keeps the model
+  /// but re-arms the RNG so identical schedules replay identically.
+  void SetFaultModel(const FaultModel& model);
+  /// Detaches the fault model; the disk is healthy again.
+  void ClearFaultModel();
+  /// The attached model, or nullptr.
+  const FaultModel* fault_model() const {
+    return fault_.has_value() ? &*fault_ : nullptr;
+  }
+  /// True when the whole-disk failure instant has passed at `at_ms`:
+  /// commands serviced from then on fail fast with IoStatus::kDiskFailed.
+  bool FailedAt(double at_ms) const {
+    return fault_.has_value() && fault_->enabled &&
+           at_ms >= fault_->fail_at_ms;
+  }
+
   const DiskStats& stats() const { return stats_; }
 
   /// Streaming bandwidth of the outermost zone in MB/s (sector payload over
@@ -303,6 +332,11 @@ class Disk {
   bool readahead_suppressed_ = false;  // set during queued batch service
   uint64_t cache_track_ = 0;
   uint64_t cache_begin_u_ = 0;
+  // Fault injection: model plus its private RNG stream (timeout draws),
+  // kept separate from every workload RNG so attaching a model never
+  // perturbs arrival processes. Absent or disabled => zero draws.
+  std::optional<FaultModel> fault_;
+  Rng fault_rng_{1};
   DiskStats stats_;
 };
 

@@ -1,0 +1,76 @@
+// Deterministic fault injection for the disk simulator.
+//
+// A FaultModel attaches to one Disk (Disk::SetFaultModel) and perturbs the
+// queued service path only -- ServiceNextQueued() consults it per pick, so
+// open-loop runs through lvm::Volume and query::Session see realistic
+// storage failures while staying a pure function of (model, seed,
+// schedule):
+//
+//   - Latent sector errors: reads overlapping a configured LBN range are
+//     serviced with normal mechanics but complete with
+//     IoStatus::kMediaError (the data did not verify).
+//   - Transient timeouts: with probability timeout_probability per pick
+//     (drawn from a dedicated xoshiro stream seeded by `seed`), the
+//     command stalls for timeout_stall_ms and completes unserviced with
+//     IoStatus::kTimedOut.
+//   - Slow-disk degradation: every successful service is stretched by
+//     slow_factor (recoverable internal retries; the drive limps).
+//   - Whole-disk failure: commands reaching the drive at or after
+//     fail_at_ms fail fast with IoStatus::kDiskFailed. Commands whose
+//     service began earlier complete normally.
+//
+// An absent or disabled model is a strict no-op: no RNG draws, no status
+// changes, bit-identical timing to a fault-free disk (pinned by
+// tests/fault_injection_test.cc). Disk::Reset() keeps the attached model
+// but re-arms its RNG from `seed`, so repeated runs over the same
+// schedule replay identically (tests/fault_determinism_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mm::disk {
+
+/// A latent media fault: reads overlapping [lbn, lbn + sectors) complete
+/// with IoStatus::kMediaError. LBNs are disk-local.
+struct MediaFault {
+  uint64_t lbn = 0;
+  uint64_t sectors = 1;
+};
+
+/// Seeded, deterministic fault description for one disk (see file comment).
+struct FaultModel {
+  /// Master switch: false makes the attached model a strict no-op.
+  bool enabled = true;
+  /// Seed of the model's private RNG stream (timeout draws). Independent
+  /// of every workload RNG so attaching a model never perturbs arrivals.
+  uint64_t seed = 1;
+
+  /// Latent sector errors (unsorted; checked by linear overlap scan --
+  /// fault lists are short).
+  std::vector<MediaFault> media_faults;
+
+  /// Per-pick probability that the command aborts on the drive's internal
+  /// deadline. 0 disables (and draws nothing from the RNG stream).
+  double timeout_probability = 0;
+  /// How long a timed-out command occupies the drive before aborting, ms.
+  double timeout_stall_ms = 25.0;
+
+  /// Service-time multiplier for successful commands; 1.0 = healthy.
+  double slow_factor = 1.0;
+
+  /// Simulated instant the whole disk dies; infinity = never.
+  double fail_at_ms = std::numeric_limits<double>::infinity();
+
+  /// True when a read of [lbn, lbn + sectors) overlaps a configured
+  /// media-fault range.
+  bool HitsMediaFault(uint64_t lbn, uint64_t sectors) const {
+    for (const MediaFault& f : media_faults) {
+      if (lbn < f.lbn + f.sectors && f.lbn < lbn + sectors) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace mm::disk

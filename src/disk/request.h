@@ -25,6 +25,25 @@ enum class SchedulingHint : uint8_t {
 
 const char* SchedulingHintName(SchedulingHint hint);
 
+/// Outcome of a serviced request. Every completion carries one; without a
+/// fault model attached to the disk (disk/fault.h) it is always kOk, and
+/// the layers above treat non-kOk completions as retryable errors
+/// (lvm::Volume re-routes to a surviving replica, query::Session applies
+/// its RetryPolicy).
+enum class IoStatus : uint8_t {
+  kOk = 0,
+  /// Latent sector error: the mechanism read the range, the data did not
+  /// verify. Timing is that of a normal service.
+  kMediaError,
+  /// Transient: the command exceeded the drive's internal deadline and was
+  /// aborted after a stall, unserviced.
+  kTimedOut,
+  /// Whole-disk failure: the drive is gone; the command failed fast.
+  kDiskFailed,
+};
+
+const char* IoStatusName(IoStatus status);
+
 /// A read request for `sectors` contiguous LBNs starting at `lbn`.
 struct IoRequest {
   uint64_t lbn = 0;
@@ -64,8 +83,10 @@ struct Completion {
   double end_ms = 0;    ///< Simulated time at which the last sector landed.
   ServicePhases phases;
   uint32_t track_switches = 0;  ///< Track boundaries crossed while reading.
+  IoStatus status = IoStatus::kOk;  ///< Outcome; non-kOk only under faults.
 
   double ServiceMs() const { return end_ms - start_ms; }
+  bool ok() const { return status == IoStatus::kOk; }
 };
 
 /// A completion from the queued (Submit) interface: the service record plus

@@ -1,0 +1,98 @@
+// Online rebuild of a failed member disk of a replicated Volume.
+//
+// When a member dies, every chunk of its primary region survives as a
+// replica on the other members (see volume.h). RebuildPlanner does the
+// pure layout work: it enumerates the lost chunks as volume-addressed
+// reads over the failed disk's primary region. The driver (query::Session)
+// submits each chunk with Volume::SubmitAvoiding -- the dead member is
+// skipped automatically, so the read lands on a surviving copy -- and
+// paces the drain with RebuildOptions. The write to the spare is modeled
+// as free: the simulator is read-only, and the contended resource the
+// bench measures is the surviving members' time, which the replica reads
+// consume through the ordinary scheduler/aging machinery
+// (SchedulingHint::kReorderFreely, so foreground plans keep their
+// ordering guarantees while rebuild traffic fills the gaps).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "disk/request.h"
+#include "lvm/volume.h"
+
+namespace mm::lvm {
+
+/// Pacing knobs for the background rebuild (driven by query::Session).
+struct RebuildOptions {
+  /// Master switch; off keeps the session's event schedule untouched.
+  bool enabled = false;
+  /// Delay between the first observed failure symptom and the first
+  /// rebuild read, ms (failure-detection latency).
+  double detect_delay_ms = 0;
+  /// Chunk reads kept in flight at once (>= 1; low keeps rebuild gentle).
+  uint32_t outstanding = 1;
+  /// Extra idle gap after each chunk completes before the next is issued,
+  /// ms (trickle pacing; 0 = rebuild as fast as its outstanding allows).
+  double gap_ms = 0;
+};
+
+/// Progress accounting for one rebuild, reset per session run.
+struct RebuildStats {
+  uint64_t chunks_total = 0;
+  uint64_t chunks_done = 0;
+  uint64_t read_errors = 0;   ///< Chunk reads that failed on every copy.
+  uint64_t sectors_read = 0;
+  double detected_ms = -1;    ///< First failure symptom observed.
+  double started_ms = -1;     ///< First chunk issued.
+  double finished_ms = -1;    ///< Last chunk drained.
+
+  bool Detected() const { return detected_ms >= 0; }
+  bool Started() const { return started_ms >= 0; }
+  bool Finished() const { return finished_ms >= 0; }
+};
+
+/// Enumerates the lost chunks of a failed member as volume-addressed
+/// reads, in ascending LBN order (the surviving copy of a primary region
+/// is contiguous on its mirror, so the drain is a near-sequential sweep).
+class RebuildPlanner {
+ public:
+  RebuildPlanner() = default;
+
+  /// Plans the drain of `failed_disk`'s primary region. The volume must
+  /// be replicated and outlive the planner.
+  RebuildPlanner(const Volume* volume, uint32_t failed_disk)
+      : failed_(failed_disk),
+        chunk_(volume->chunk_sectors()),
+        begin_(volume->ToVolumeLbn(failed_disk, 0)),
+        next_(begin_),
+        end_(begin_ + volume->primary_sectors()) {}
+
+  uint32_t failed_disk() const { return failed_; }
+
+  uint64_t chunks_total() const {
+    return (end_ - begin_ + chunk_ - 1) / chunk_;
+  }
+
+  bool Done() const { return next_ >= end_; }
+
+  /// The next chunk read. Requests are stamped kReorderFreely: rebuild
+  /// traffic has no internal ordering requirement and should yield to
+  /// foreground hints. Requires !Done().
+  disk::IoRequest Next() {
+    disk::IoRequest r;
+    r.lbn = next_;
+    r.sectors = static_cast<uint32_t>(std::min(chunk_, end_ - next_));
+    r.hint = disk::SchedulingHint::kReorderFreely;
+    next_ += r.sectors;
+    return r;
+  }
+
+ private:
+  uint32_t failed_ = 0;
+  uint64_t chunk_ = 1;
+  uint64_t begin_ = 0;
+  uint64_t next_ = 0;
+  uint64_t end_ = 0;
+};
+
+}  // namespace mm::lvm

@@ -5,17 +5,44 @@
 
 namespace mm::lvm {
 
-Volume::Volume(const std::vector<disk::DiskSpec>& specs) {
-  uint64_t lbn = 0;
+Volume::Volume(const std::vector<disk::DiskSpec>& specs,
+               const ReplicationOptions& replication) {
   max_adjacency_ = UINT32_MAX;
   for (const auto& spec : specs) {
     disks_.push_back(std::make_unique<disk::Disk>(spec));
-    first_lbn_.push_back(lbn);
-    lbn += disks_.back()->geometry().total_sectors();
     max_adjacency_ = std::min(max_adjacency_, spec.AdjacentBlocks());
+  }
+  replicas_ = std::max<uint32_t>(replication.replicas, 1);
+  if (replicas_ > disks_.size()) {
+    // Copies must land on distinct members; more copies than members is a
+    // configuration error we clamp rather than propagate from a ctor.
+    replicas_ = static_cast<uint32_t>(disks_.size());
+  }
+  chunk_sectors_ = std::max<uint64_t>(replication.chunk_sectors, 1);
+  if (replicas_ > 1) {
+    // Uniform primary-region size P: the largest chunk-aligned region such
+    // that R of them fit on the smallest member.
+    uint64_t min_sectors = UINT64_MAX;
+    for (const auto& d : disks_) {
+      min_sectors = std::min(min_sectors, d->geometry().total_sectors());
+    }
+    primary_sectors_ =
+        min_sectors / (replicas_ * chunk_sectors_) * chunk_sectors_;
+  }
+  uint64_t lbn = 0;
+  for (const auto& d : disks_) {
+    first_lbn_.push_back(lbn);
+    lbn += replicated() ? primary_sectors_ : d->geometry().total_sectors();
   }
   first_lbn_.push_back(lbn);
   total_sectors_ = lbn;
+}
+
+int Volume::FirstFailedMember(double at_ms) const {
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    if (disks_[d]->FailedAt(at_ms)) return static_cast<int>(d);
+  }
+  return -1;
 }
 
 Result<Volume::Location> Volume::Resolve(uint64_t volume_lbn) const {
@@ -30,8 +57,27 @@ Result<Volume::Location> Volume::Resolve(uint64_t volume_lbn) const {
   return Location{d, volume_lbn - first_lbn_[d]};
 }
 
+Result<Volume::Location> Volume::ResolveReplica(uint64_t volume_lbn,
+                                                uint32_t copy) const {
+  MM_ASSIGN_OR_RETURN(Location loc, Resolve(volume_lbn));
+  if (copy == 0) return loc;
+  if (copy >= replicas_) {
+    return Status::InvalidArgument(
+        "copy " + std::to_string(copy) + " out of range for " +
+        std::to_string(replicas_) + " replicas");
+  }
+  const uint32_t d =
+      (loc.disk + copy) % static_cast<uint32_t>(disks_.size());
+  return Location{d, copy * primary_sectors_ + loc.lbn};
+}
+
 uint64_t Volume::ToVolumeLbn(uint32_t disk_index, uint64_t disk_lbn) const {
   return first_lbn_[disk_index] + disk_lbn;
+}
+
+uint64_t Volume::UsableSpan(uint32_t disk_index) const {
+  return replicated() ? primary_sectors_
+                      : disks_[disk_index]->geometry().total_sectors();
 }
 
 Result<uint64_t> Volume::GetAdjacent(uint64_t volume_lbn,
@@ -39,6 +85,13 @@ Result<uint64_t> Volume::GetAdjacent(uint64_t volume_lbn,
   MM_ASSIGN_OR_RETURN(Location loc, Resolve(volume_lbn));
   MM_ASSIGN_OR_RETURN(
       uint64_t adj, disks_[loc.disk]->geometry().AdjacentLbn(loc.lbn, step));
+  if (replicated() && adj >= primary_sectors_) {
+    // The physically adjacent block exists but holds another disk's
+    // replica; the logical space ends at the primary region.
+    return Status::OutOfRange(
+        "adjacent block of volume LBN " + std::to_string(volume_lbn) +
+        " falls in the replica region");
+  }
   return ToVolumeLbn(loc.disk, adj);
 }
 
@@ -51,6 +104,15 @@ Result<TrackBoundaries> Volume::GetTrackBoundaries(
   tb.length = geo.TrackLength(track);
   tb.first_lbn = ToVolumeLbn(loc.disk, geo.TrackFirstLbn(track));
   tb.last_lbn = tb.first_lbn + tb.length - 1;
+  if (replicated()) {
+    // The boundary track may spill into the replica region; the logical
+    // track is clipped at the primary-region edge.
+    const uint64_t region_last = ToVolumeLbn(loc.disk, primary_sectors_ - 1);
+    if (tb.last_lbn > region_last) {
+      tb.last_lbn = region_last;
+      tb.length = static_cast<uint32_t>(tb.last_lbn - tb.first_lbn + 1);
+    }
+  }
   return tb;
 }
 
@@ -64,19 +126,54 @@ void Volume::ConfigureQueues(const disk::BatchOptions& options) {
 
 Result<Volume::Ticket> Volume::Submit(const disk::IoRequest& request,
                                       double arrival_ms, bool warmup) {
+  return SubmitAvoiding(request, arrival_ms, /*avoid_disk_mask=*/0, warmup);
+}
+
+Result<Volume::Ticket> Volume::SubmitAvoiding(const disk::IoRequest& request,
+                                              double arrival_ms,
+                                              uint64_t avoid_disk_mask,
+                                              bool warmup) {
   MM_ASSIGN_OR_RETURN(Location loc, Resolve(request.lbn));
-  if (loc.lbn + request.sectors >
-      disks_[loc.disk]->geometry().total_sectors()) {
+  if (loc.lbn + request.sectors > UsableSpan(loc.disk)) {
     return Status::InvalidArgument(
         "request straddles a disk boundary at volume LBN " +
         std::to_string(request.lbn));
   }
+  // Pick the copy to read: the first live one outside the avoid mask,
+  // falling back to any live one (a busy replica beats none). Copy k of
+  // primary disk d lives on disk (d + k) % D, so the scan visits each
+  // copy's member exactly once. An unreplicated volume always routes to
+  // its only copy, dead or not -- the disk fails the request fast at
+  // service time and the layers above handle the completion error.
+  Location target = loc;
+  uint32_t copy = 0;
+  if (replicated()) {
+    uint32_t preferred = UINT32_MAX;
+    uint32_t fallback = UINT32_MAX;
+    for (uint32_t k = 0; k < replicas_; ++k) {
+      const uint32_t d =
+          (loc.disk + k) % static_cast<uint32_t>(disks_.size());
+      if (disks_[d]->FailedAt(arrival_ms)) continue;
+      if ((avoid_disk_mask >> d) & 1) {
+        if (fallback == UINT32_MAX) fallback = k;
+        continue;
+      }
+      preferred = k;
+      break;
+    }
+    copy = preferred != UINT32_MAX ? preferred : fallback;
+    if (copy == UINT32_MAX) {
+      return Status::Unavailable("no live replica for volume LBN " +
+                                 std::to_string(request.lbn));
+    }
+    MM_ASSIGN_OR_RETURN(target, ResolveReplica(request.lbn, copy));
+  }
   // Re-address to the member disk, carrying the scheduling hint and order
   // group so per-plan policy survives the volume hop.
   disk::IoRequest local = request;
-  local.lbn = loc.lbn;
-  const uint64_t tag = disks_[loc.disk]->Submit(local, arrival_ms, warmup);
-  return Ticket{loc.disk, tag};
+  local.lbn = target.lbn;
+  const uint64_t tag = disks_[target.disk]->Submit(local, arrival_ms, warmup);
+  return Ticket{target.disk, tag, copy};
 }
 
 Result<VolumeBatchResult> Volume::ServiceBatch(
@@ -89,8 +186,7 @@ Result<VolumeBatchResult> Volume::ServiceBatch(
   for (auto& s : shares_) s.clear();
   for (const auto& r : requests) {
     MM_ASSIGN_OR_RETURN(Location loc, Resolve(r.lbn));
-    if (loc.lbn + r.sectors >
-        disks_[loc.disk]->geometry().total_sectors()) {
+    if (loc.lbn + r.sectors > UsableSpan(loc.disk)) {
       return Status::InvalidArgument(
           "request straddles a disk boundary at volume LBN " +
           std::to_string(r.lbn));

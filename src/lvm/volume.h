@@ -11,6 +11,22 @@
 // -- the paper distributes whole basic cubes / chunks to different disks and
 // reports per-disk performance -- so the LVM keeps addressing simple and
 // never lets a track or adjacency relation span two disks.
+//
+// Replication mode (ReplicationOptions with replicas R > 1): each member
+// disk is split into R equal regions of P sectors (P = the largest
+// chunk-aligned region such that R of them fit on the smallest member).
+// Region 0 of disk d holds d's primary data; region k (k >= 1) of disk d
+// mirrors the whole primary region of disk (d - k + D) % D -- so copy k of
+// primary disk d lives on disk (d + k) % D at local offset k * P. The
+// logical address space shrinks to D * P and remains the concatenation of
+// the primary regions: every LBN, track, and adjacency relation of the
+// non-replicated layout survives unchanged within a primary region, and a
+// degraded read redirects an intra-disk run contiguously (semi-sequential
+// plans stay semi-sequential on the mirror). Reads route to the primary;
+// SubmitAvoiding re-routes to the next live copy on failover (degraded
+// mode). chunk_sectors is the rebuild granularity (lvm/rebuild.h), not a
+// striping unit. With R = 1 the layout and every code path are identical
+// to the non-replicated volume.
 #pragma once
 
 #include <cstdint>
@@ -50,11 +66,25 @@ struct VolumeBatchResult {
   disk::ServicePhases phases;
 };
 
+/// Replication configuration for a Volume (see the class comment): R
+/// copies of every block on R distinct member disks.
+struct ReplicationOptions {
+  /// Copies of each block, including the primary. 1 = no replication
+  /// (bit-identical to the plain volume); clamped to the member count.
+  uint32_t replicas = 1;
+  /// Rebuild granularity in sectors: the primary-region size is rounded
+  /// down to a multiple of this, and RebuildPlanner drains a failed
+  /// member in chunk-sized reads. Must be positive.
+  uint64_t chunk_sectors = 1024;
+};
+
 /// A logical volume over one or more simulated disks.
 class Volume {
  public:
-  /// Creates a volume whose member disks use the given specs.
-  explicit Volume(const std::vector<disk::DiskSpec>& specs);
+  /// Creates a volume whose member disks use the given specs, optionally
+  /// replicated (see the class comment).
+  explicit Volume(const std::vector<disk::DiskSpec>& specs,
+                  const ReplicationOptions& replication = {});
 
   /// Convenience: single-disk volume.
   explicit Volume(const disk::DiskSpec& spec)
@@ -64,8 +94,23 @@ class Volume {
   disk::Disk& disk(size_t i) { return *disks_[i]; }
   const disk::Disk& disk(size_t i) const { return *disks_[i]; }
 
-  /// Total volume capacity in blocks.
+  /// Total volume capacity in blocks (the logical space: D * P when
+  /// replicated).
   uint64_t total_sectors() const { return total_sectors_; }
+
+  // --- Replication ------------------------------------------------------
+
+  /// True when the volume keeps more than one copy of each block.
+  bool replicated() const { return replicas_ > 1; }
+  /// Copies of each block, including the primary (1 when unreplicated).
+  uint32_t replicas() const { return replicas_; }
+  /// Rebuild granularity in sectors (meaningful when replicated).
+  uint64_t chunk_sectors() const { return chunk_sectors_; }
+  /// Per-disk primary-region size P in sectors (0 when unreplicated).
+  uint64_t primary_sectors() const { return primary_sectors_; }
+  /// Index of the first member disk whose FaultModel reports whole-disk
+  /// failure at `at_ms` (see disk::Disk::FailedAt), or -1 when all live.
+  int FirstFailedMember(double at_ms) const;
 
   /// Volume LBN -> member disk and disk-local LBN.
   struct Location {
@@ -73,6 +118,11 @@ class Volume {
     uint64_t lbn = 0;
   };
   Result<Location> Resolve(uint64_t volume_lbn) const;
+
+  /// Location of copy `copy` of a volume LBN: copy 0 is the primary
+  /// (= Resolve); copy k lives on disk (primary + k) % D at local offset
+  /// k * P. copy must be < replicas().
+  Result<Location> ResolveReplica(uint64_t volume_lbn, uint32_t copy) const;
 
   /// Member disk + local LBN -> volume LBN.
   uint64_t ToVolumeLbn(uint32_t disk_index, uint64_t disk_lbn) const;
@@ -103,6 +153,9 @@ class Volume {
   struct Ticket {
     uint32_t disk = 0;
     uint64_t tag = 0;
+    /// Replica the request was routed to (0 = primary; > 0 means the
+    /// submit-time failover already put the read in degraded mode).
+    uint32_t copy = 0;
   };
 
   /// Sets the queue policy on every member disk (see Disk::ConfigureQueue).
@@ -120,6 +173,19 @@ class Volume {
   Result<Ticket> Submit(const disk::IoRequest& request, double arrival_ms,
                         bool warmup = false);
 
+  /// As Submit, but routes around trouble: the request goes to the first
+  /// live copy (skipping members failed at `arrival_ms`) whose member disk
+  /// is not in `avoid_disk_mask` (bit d = member disk d). When every live
+  /// copy is masked the mask is relaxed (a busy replica beats none); when
+  /// no live copy remains at all, returns StatusCode::kUnavailable. On an
+  /// unreplicated volume the mask is ignored -- there is only one place
+  /// the block can live -- and a dead disk still accepts the request (it
+  /// fails fast at service time), so Submit(r, t) == SubmitAvoiding(r, t,
+  /// 0) always.
+  Result<Ticket> SubmitAvoiding(const disk::IoRequest& request,
+                                double arrival_ms, uint64_t avoid_disk_mask,
+                                bool warmup = false);
+
   /// Services a batch of volume-addressed requests (closed loop). Requests
   /// are routed to member disks preserving order, each disk schedules its
   /// share with `options`, and disks run in parallel: makespan_ms is the
@@ -131,10 +197,17 @@ class Volume {
       const disk::BatchOptions& options = {});
 
  private:
+  // Disk-local span a request starting at a primary-region offset may
+  // cover without straddling: P when replicated, the disk size otherwise.
+  uint64_t UsableSpan(uint32_t disk_index) const;
+
   std::vector<std::unique_ptr<disk::Disk>> disks_;
   std::vector<uint64_t> first_lbn_;  // per disk, plus total at the end
   uint64_t total_sectors_ = 0;
   uint32_t max_adjacency_ = 0;
+  uint32_t replicas_ = 1;
+  uint64_t chunk_sectors_ = 0;
+  uint64_t primary_sectors_ = 0;  // P; 0 when unreplicated
   // Per-disk request shares, reused across ServiceBatch calls so routing
   // is allocation-free on the steady state (capacities persist).
   std::vector<std::vector<disk::IoRequest>> shares_;

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "lvm/rebuild.h"
 #include "sim/event_loop.h"
 #include "util/rng.h"
 
@@ -13,8 +14,12 @@ namespace mm::query {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-// tag2query entry for warmup reads, which belong to no query.
+// ReqState::query sentinel for warmup reads, which belong to no query.
 constexpr uint64_t kNoQuery = UINT64_MAX;
+// ReqState::query sentinel for background rebuild chunk reads.
+constexpr uint64_t kRebuildQuery = UINT64_MAX - 1;
+// ReqState::cur_tag sentinel: no attempt in flight (abandoned/failed).
+constexpr uint64_t kNoTag = UINT64_MAX;
 }  // namespace
 
 Histogram LatencyStats::ToHistogram(double lo_ms, double hi_ms,
@@ -56,22 +61,53 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
   if (options_.queue.queue_depth == 0) {
     return Status::InvalidArgument("queue_depth must be positive");
   }
+  if (options_.retry.max_attempts == 0) {
+    return Status::InvalidArgument("retry.max_attempts must be positive");
+  }
 
   volume_->Reset();
   volume_->ConfigureQueues(options_.queue);
   completions_.clear();
   completions_.reserve(queries.size());
+  rebuild_stats_ = lvm::RebuildStats{};
+
+  const RetryPolicy& retry = options_.retry;
 
   struct QueryState {
     double arrival = 0;
     double start = kInf;
     double finish = 0;
     uint64_t outstanding = 0;
+    uint32_t retries = 0;
+    uint32_t redirects = 0;
+    bool failed = false;
+    bool submitted = false;
+    bool recorded = false;
+  };
+  // One record per issued volume request (query reads, warmup reads,
+  // rebuild chunks). Retries reuse the record: cur_disk/cur_tag identify
+  // the live attempt, so a completion of an abandoned attempt is
+  // recognizably stale and dropped.
+  struct ReqState {
+    uint64_t query = 0;   // workload index, kNoQuery or kRebuildQuery
+    disk::IoRequest req;  // volume-addressed, order_group stamped
+    uint32_t attempts = 1;
+    uint32_t cur_disk = 0;
+    uint64_t cur_tag = kNoTag;
+    uint64_t avoid_mask = 0;  // member disks that already failed us
+    uint64_t timer_gen = 0;   // bumps per issue; stale host timers no-op
+    bool done = false;
   };
   std::vector<QueryState> states(queries.size());
-  // Per-disk tag -> query index; Disk tags are dense from 0 after Reset().
-  std::vector<std::vector<uint64_t>> tag2query(volume_->disk_count());
+  std::vector<ReqState> reqs;
+  // Per-disk tag -> reqs index; Disk tags are dense from 0 after Reset().
+  std::vector<std::vector<size_t>> tag2req(volume_->disk_count());
   std::vector<uint8_t> disk_active(volume_->disk_count(), 0);
+
+  // Background rebuild driver state (see lvm/rebuild.h).
+  lvm::RebuildPlanner rebuild_planner;
+  uint32_t rebuild_inflight = 0;
+  bool rebuild_armed = false;  // failure observed, start scheduled
 
   sim::EventLoop loop;
   LatencyStats stats;
@@ -83,6 +119,16 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
   std::function<void(uint32_t)> pump;
   std::function<void(uint64_t, double)> submit_query;
   std::function<void(uint64_t)> record_completion;
+  std::function<void(size_t, double, bool)> issue_request;
+  std::function<void(size_t, double, double)> finish_request;
+  std::function<void(size_t, double)> fail_request;
+  std::function<void(size_t, double)> schedule_reissue;
+  std::function<void(size_t, uint32_t, disk::IoStatus, double)>
+      handle_io_error;
+  std::function<void(size_t, uint64_t)> on_host_timeout;
+  std::function<void(double)> observe_failure;
+  std::function<void(double)> rebuild_fill;
+  std::function<void(double)> rebuild_after_chunk;
 
   // Services the disk's next queued request (at the loop's current time,
   // which is exactly when the disk became free or received work) and
@@ -102,20 +148,38 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     const disk::CompletionEvent done = *ev;
     loop.Schedule(done.completion.end_ms, [&, d, done] {
       disk_active[d] = 0;
-      const uint64_t qi = tag2query[d][done.tag];
-      if (qi != kNoQuery) {
-        QueryState& st = states[qi];
-        st.start = std::min(st.start, done.completion.start_ms);
-        st.finish = std::max(st.finish, done.completion.end_ms);
-        if (--st.outstanding == 0) record_completion(qi);
+      const size_t ri = tag2req[d][done.tag];
+      // Only the request's live attempt settles it: a host timeout
+      // abandons the in-flight attempt, and the late completion of an
+      // abandoned attempt is dropped here (the disk time it burned is
+      // real and stays simulated).
+      const ReqState& rs = reqs[ri];
+      if (!rs.done && rs.cur_disk == d && rs.cur_tag == done.tag) {
+        if (done.completion.status == disk::IoStatus::kOk) {
+          finish_request(ri, done.completion.start_ms,
+                         done.completion.end_ms);
+        } else {
+          handle_io_error(ri, d, done.completion.status,
+                          done.completion.end_ms);
+        }
       }
       pump(d);
     });
   };
 
   record_completion = [&](uint64_t qi) {
-    const QueryState& st = states[qi];
-    const QueryCompletion qc{qi, st.arrival, st.start, st.finish};
+    QueryState& st = states[qi];
+    st.recorded = true;
+    QueryCompletion qc;
+    qc.query = qi;
+    qc.arrival_ms = st.arrival;
+    // A query that failed before any request entered service has no
+    // start; report it at its finish so the record stays well-formed.
+    qc.start_ms = st.start == kInf ? st.finish : st.start;
+    qc.finish_ms = st.finish;
+    qc.retries = st.retries;
+    qc.redirects = st.redirects;
+    qc.failed = st.failed;
     completions_.push_back(qc);
     stats.Record(qc);
     if (arrivals.kind == Kind::kClosed && next_query < queries.size()) {
@@ -125,11 +189,188 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     }
   };
 
+  finish_request = [&](size_t ri, double start, double end) {
+    ReqState& rs = reqs[ri];
+    rs.done = true;
+    const uint64_t q = rs.query;
+    const uint32_t sectors = rs.req.sectors;
+    if (q == kNoQuery) return;
+    if (q == kRebuildQuery) {
+      --rebuild_inflight;
+      ++rebuild_stats_.chunks_done;
+      rebuild_stats_.sectors_read += sectors;
+      rebuild_after_chunk(end);  // may grow reqs; rs is dead past here
+      return;
+    }
+    QueryState& st = states[q];
+    st.start = std::min(st.start, start);
+    st.finish = std::max(st.finish, end);
+    if (--st.outstanding == 0) record_completion(q);
+  };
+
+  fail_request = [&](size_t ri, double t) {
+    ReqState& rs = reqs[ri];
+    rs.done = true;
+    const uint64_t q = rs.query;
+    if (q == kNoQuery) return;
+    if (q == kRebuildQuery) {
+      --rebuild_inflight;
+      ++rebuild_stats_.read_errors;
+      rebuild_after_chunk(t);  // may grow reqs; rs is dead past here
+      return;
+    }
+    QueryState& st = states[q];
+    st.failed = true;
+    st.finish = std::max(st.finish, t);
+    if (--st.outstanding == 0) record_completion(q);
+  };
+
+  // (Re-)issues a request's next attempt at time t. pump_after=false lets
+  // submit_query deliver a whole plan before any disk starts draining (the
+  // drive must see the full batch at its arrival instant).
+  issue_request = [&](size_t ri, double t, bool pump_after) {
+    if (!error.ok()) return;
+    auto ticket =
+        volume_->SubmitAvoiding(reqs[ri].req, t, reqs[ri].avoid_mask);
+    if (!ticket.ok()) {
+      if (ticket.status().code() == StatusCode::kUnavailable) {
+        // No live replica: the request cannot be served at all.
+        fail_request(ri, t);
+        return;
+      }
+      error = ticket.status();
+      loop.Clear();
+      return;
+    }
+    ReqState& rs = reqs[ri];
+    rs.cur_disk = ticket->disk;
+    rs.cur_tag = ticket->tag;
+    ++rs.timer_gen;
+    tag2req[ticket->disk].push_back(ri);
+    if (ticket->copy > 0) {
+      // Served by a replica: degraded mode. At first issue this is the
+      // submit-time failover around a dead primary -- a failure symptom.
+      if (rs.query < queries.size()) ++states[rs.query].redirects;
+      observe_failure(t);
+    }
+    if (retry.timeout_ms > 0) {
+      const uint64_t gen = rs.timer_gen;
+      loop.Schedule(t + retry.timeout_ms,
+                    [&, ri, gen] { on_host_timeout(ri, gen); });
+    }
+    if (pump_after) pump(ticket->disk);
+  };
+
+  schedule_reissue = [&](size_t ri, double t) {
+    if (retry.backoff_ms > 0) {
+      const double at = t + retry.backoff_ms;
+      loop.Schedule(at, [&, ri, at] { issue_request(ri, at, true); });
+    } else {
+      issue_request(ri, t, true);
+    }
+  };
+
+  handle_io_error = [&](size_t ri, uint32_t d, disk::IoStatus status,
+                        double t) {
+    if (status == disk::IoStatus::kDiskFailed) observe_failure(t);
+    ReqState& rs = reqs[ri];
+    // Prefer a different copy next time: a media fault is deterministic
+    // and a dead disk stays dead; even a transient timeout is better
+    // retried elsewhere first (the mask relaxes when nothing else lives).
+    rs.avoid_mask |= uint64_t{1} << d;
+    if (rs.attempts >= retry.max_attempts) {
+      fail_request(ri, t);
+      return;
+    }
+    ++rs.attempts;
+    rs.cur_tag = kNoTag;
+    if (rs.query < queries.size()) ++states[rs.query].retries;
+    schedule_reissue(ri, t);
+  };
+
+  on_host_timeout = [&](size_t ri, uint64_t gen) {
+    if (!error.ok()) return;
+    ReqState& rs = reqs[ri];
+    if (rs.done || rs.timer_gen != gen) return;  // attempt already settled
+    const double t = loop.now_ms();
+    // Abandon the in-flight attempt: its eventual completion is stale.
+    rs.avoid_mask |= uint64_t{1} << rs.cur_disk;
+    rs.cur_tag = kNoTag;
+    ++rs.timer_gen;
+    if (rs.attempts >= retry.max_attempts) {
+      fail_request(ri, t);
+      return;
+    }
+    ++rs.attempts;
+    if (rs.query < queries.size()) ++states[rs.query].retries;
+    schedule_reissue(ri, t);
+  };
+
+  // Symptom-driven failure detection: the first kDiskFailed completion or
+  // failover-routed submit arms the rebuild once.
+  observe_failure = [&](double t) {
+    if (!options_.rebuild.enabled || rebuild_armed ||
+        !volume_->replicated()) {
+      return;
+    }
+    const int failed_disk = volume_->FirstFailedMember(t);
+    if (failed_disk < 0) return;
+    rebuild_armed = true;
+    rebuild_stats_.detected_ms = t;
+    const double at = t + options_.rebuild.detect_delay_ms;
+    loop.Schedule(at, [&, failed_disk, at] {
+      rebuild_planner =
+          lvm::RebuildPlanner(volume_, static_cast<uint32_t>(failed_disk));
+      rebuild_stats_.chunks_total = rebuild_planner.chunks_total();
+      rebuild_stats_.started_ms = at;
+      rebuild_fill(at);
+    });
+  };
+
+  rebuild_fill = [&](double t) {
+    if (!error.ok() || !rebuild_stats_.Started() ||
+        rebuild_stats_.Finished()) {
+      return;
+    }
+    const uint32_t target = std::max<uint32_t>(options_.rebuild.outstanding,
+                                               1);
+    while (rebuild_inflight < target && !rebuild_planner.Done()) {
+      ReqState rs;
+      rs.query = kRebuildQuery;
+      rs.req = rebuild_planner.Next();
+      const size_t ri = reqs.size();
+      reqs.push_back(rs);
+      ++rebuild_inflight;
+      // SubmitAvoiding skips dead members, so the chunk read lands on a
+      // surviving copy of the failed disk's region.
+      issue_request(ri, t, /*pump_after=*/true);
+      if (!error.ok()) return;
+    }
+    if (rebuild_planner.Done() && rebuild_inflight == 0 &&
+        !rebuild_stats_.Finished()) {
+      rebuild_stats_.finished_ms = t;
+    }
+  };
+
+  rebuild_after_chunk = [&](double t) {
+    if (rebuild_planner.Done() && rebuild_inflight == 0) {
+      if (!rebuild_stats_.Finished()) rebuild_stats_.finished_ms = t;
+      return;
+    }
+    if (options_.rebuild.gap_ms > 0) {
+      const double at = t + options_.rebuild.gap_ms;
+      loop.Schedule(at, [&, at] { rebuild_fill(at); });
+    } else {
+      rebuild_fill(t);
+    }
+  };
+
   submit_query = [&](uint64_t qi, double t) {
     if (!error.ok()) return;
     executor_->PlanInto(queries[qi], &plan);
     QueryState& st = states[qi];
     st.arrival = t;
+    st.submitted = true;
     st.outstanding = plan.requests.size();
     if (plan.requests.empty()) {
       // Clipped-empty box: nothing to fetch, completes at arrival.
@@ -144,13 +385,13 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     // distinct queries still interleave at the drive.
     for (disk::IoRequest r : plan.requests) {
       r.order_group = qi + 1;
-      auto ticket = volume_->Submit(r, t);
-      if (!ticket.ok()) {
-        error = ticket.status();
-        loop.Clear();
-        return;
-      }
-      tag2query[ticket->disk].push_back(qi);
+      ReqState rs;
+      rs.query = qi;
+      rs.req = r;
+      const size_t ri = reqs.size();
+      reqs.push_back(rs);
+      issue_request(ri, t, /*pump_after=*/false);
+      if (!error.ok()) return;
     }
     for (uint32_t d = 0; d < volume_->disk_count(); ++d) pump(d);
   };
@@ -159,8 +400,16 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     for (uint32_t d = 0; d < volume_->disk_count(); ++d) {
       disk::Disk& disk = volume_->disk(d);
       const uint64_t lbn = rng.Uniform(disk.geometry().total_sectors());
-      disk.Submit(disk::IoRequest{lbn, 1}, 0.0, /*warmup=*/true);
-      tag2query[d].push_back(kNoQuery);
+      // Warmup reads bypass the volume (disk-local LBN, possibly in a
+      // replica region -- head placement is the whole point) and never
+      // retry.
+      ReqState rs;
+      rs.query = kNoQuery;
+      rs.req = disk::IoRequest{lbn, 1};
+      rs.cur_disk = d;
+      rs.cur_tag = disk.Submit(rs.req, 0.0, /*warmup=*/true);
+      tag2req[d].push_back(reqs.size());
+      reqs.push_back(rs);
       pump(d);
     }
   }
@@ -195,6 +444,22 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
 
   loop.RunAll();
   MM_RETURN_NOT_OK(error);
+  // Defensive completion accounting: every attempt path above ends in a
+  // finish or a fail, but a query must never vanish silently -- anything
+  // submitted yet unfinished (e.g. a stalled loop) is reported failed.
+  for (uint64_t qi = 0; qi < states.size(); ++qi) {
+    QueryState& st = states[qi];
+    if (!st.submitted || st.recorded) continue;
+    st.failed = true;
+    st.finish = std::max(st.finish, loop.now_ms());
+    st.outstanding = 0;
+    record_completion(qi);
+  }
+  if (loop.stalled()) {
+    return Status::Internal(
+        "event loop stalled: over " + std::to_string(loop.stall_limit()) +
+        " consecutive events at t=" + std::to_string(loop.now_ms()) + " ms");
+  }
   return stats;
 }
 

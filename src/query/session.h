@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "disk/scheduler.h"
+#include "lvm/rebuild.h"
 #include "lvm/volume.h"
 #include "mapping/cell.h"
 #include "query/executor.h"
@@ -71,12 +72,37 @@ struct ArrivalProcess {
   }
 };
 
+/// Retry/timeout policy applied per request of every query (and to
+/// rebuild chunk reads). The defaults are a strict no-op: one attempt, no
+/// host deadline, so the zero-fault event schedule is untouched.
+struct RetryPolicy {
+  /// Total service attempts per request (first issue + retries).
+  uint32_t max_attempts = 1;
+  /// Host-side deadline per attempt, ms; 0 disables. An attempt exceeding
+  /// it is abandoned and re-issued (preferring another replica); the
+  /// abandoned command still completes on the drive and its time is
+  /// genuinely wasted -- the late completion is simply ignored.
+  double timeout_ms = 0;
+  /// Delay before re-issuing after a failed or abandoned attempt, ms.
+  double backoff_ms = 0;
+};
+
 /// Completion record of one query.
 struct QueryCompletion {
   uint64_t query = 0;    ///< Index into the submitted workload.
   double arrival_ms = 0;
   double start_ms = 0;   ///< First of its requests enters service.
   double finish_ms = 0;  ///< Last of its requests completes.
+  uint32_t retries = 0;    ///< Re-issued attempts across its requests.
+  uint32_t redirects = 0;  ///< Attempts served by a non-primary replica.
+  /// True when some request exhausted every attempt (or no live replica
+  /// remained): the query did not complete its reads. Failed queries are
+  /// excluded from the latency accumulators and counted in
+  /// LatencyStats::failed.
+  bool failed = false;
+
+  /// Completed, but only via retries or replica redirects.
+  bool Degraded() const { return retries > 0 || redirects > 0; }
 
   double QueueMs() const { return start_ms - arrival_ms; }
   double ServiceMs() const { return finish_ms - start_ms; }
@@ -98,13 +124,27 @@ struct LatencyStats {
   /// Streaming latency distribution, 10 us .. 1000 s in 96 log buckets
   /// (~1.21x per bucket: percentile estimates within ~10%).
   Histogram latency_hist{0.01, 1e6, 96};
+  // Fault accounting (all zero on a fault-free run). `latency` splits
+  // into `clean` + `degraded`; failed queries are counted, not timed.
+  RunningStats clean;      ///< Latency of fault-free completions.
+  RunningStats degraded;   ///< Latency of retried/redirected completions.
+  uint64_t failed = 0;     ///< Queries that exhausted every attempt.
+  uint64_t retries = 0;    ///< Re-issued attempts, summed over queries.
+  uint64_t redirects = 0;  ///< Replica-served attempts, summed.
 
   void Record(const QueryCompletion& c) {
+    makespan_ms = std::max(makespan_ms, c.finish_ms);
+    retries += c.retries;
+    redirects += c.redirects;
+    if (c.failed) {
+      ++failed;
+      return;
+    }
     latency.Add(c.LatencyMs());
     queueing.Add(c.QueueMs());
     service.Add(c.ServiceMs());
     latency_hist.Add(c.LatencyMs());
-    makespan_ms = std::max(makespan_ms, c.finish_ms);
+    (c.Degraded() ? degraded : clean).Add(c.LatencyMs());
   }
 
   size_t count() const { return latency.count(); }
@@ -141,6 +181,13 @@ struct SessionOptions {
   bool warmup_head = false;
   /// Seed for Poisson gaps and warmup head placement.
   uint64_t seed = 1;
+  /// Per-request retry/timeout policy (defaults are a strict no-op).
+  RetryPolicy retry;
+  /// Background rebuild of a failed member from surviving replicas
+  /// (replicated volumes only; see lvm/rebuild.h). Detection is
+  /// symptom-driven: the first kDiskFailed completion or failover-routed
+  /// submit arms the rebuild detect_delay_ms later.
+  lvm::RebuildOptions rebuild;
 };
 
 /// Runs query workloads against a volume under an arrival process.
@@ -162,11 +209,16 @@ class Session {
     return completions_;
   }
 
+  /// Rebuild progress of the last Run() (all zero/-1 when no member
+  /// failed or rebuild was disabled).
+  const lvm::RebuildStats& rebuild_stats() const { return rebuild_stats_; }
+
  private:
   lvm::Volume* volume_;
   Executor* executor_;
   SessionOptions options_;
   std::vector<QueryCompletion> completions_;
+  lvm::RebuildStats rebuild_stats_;
 };
 
 }  // namespace mm::query

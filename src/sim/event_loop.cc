@@ -13,11 +13,24 @@ uint64_t EventLoop::Schedule(double at_ms, Callback fn) {
 }
 
 bool EventLoop::RunOne() {
-  if (heap_.empty()) return false;
+  if (stalled_ || heap_.empty()) return false;
+  // Watchdog check before dispatch: heap_.front() is the next event.
+  if (stall_limit_ > 0) {
+    if (any_dispatched_ && heap_.front().at_ms == last_at_ms_) {
+      if (++same_instant_streak_ > stall_limit_) {
+        stalled_ = true;
+        return false;
+      }
+    } else {
+      same_instant_streak_ = 1;
+    }
+  }
   std::pop_heap(heap_.begin(), heap_.end(), Later);
   Event ev = std::move(heap_.back());
   heap_.pop_back();
   now_ms_ = ev.at_ms;
+  last_at_ms_ = ev.at_ms;
+  any_dispatched_ = true;
   ev.fn();  // may Schedule() further events
   return true;
 }
@@ -28,6 +41,11 @@ size_t EventLoop::RunAll(size_t max_events) {
   return n;
 }
 
-void EventLoop::Clear() { heap_.clear(); }
+void EventLoop::Clear() {
+  heap_.clear();
+  stalled_ = false;
+  same_instant_streak_ = 0;
+  any_dispatched_ = false;
+}
 
 }  // namespace mm::sim

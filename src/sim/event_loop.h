@@ -34,15 +34,31 @@ class EventLoop {
   /// the event's sequence id (monotone; useful for tests and logging).
   uint64_t Schedule(double at_ms, Callback fn);
 
-  /// Dispatches the earliest pending event; false when none remain.
+  /// Dispatches the earliest pending event; false when none remain or the
+  /// no-progress watchdog has tripped (see set_stall_limit).
   bool RunOne();
 
-  /// Dispatches events until none remain, or `max_events` have run (a
-  /// guard against runaway feedback loops). Returns the count dispatched.
+  /// Dispatches events until none remain, `max_events` have run (a guard
+  /// against runaway feedback loops), or the watchdog trips. Returns the
+  /// count dispatched.
   size_t RunAll(size_t max_events = SIZE_MAX);
 
-  /// Drops all pending events without dispatching; the clock is unchanged.
+  /// Drops all pending events without dispatching; the clock is unchanged
+  /// and the watchdog is re-armed.
   void Clear();
+
+  // --- No-progress watchdog ---------------------------------------------
+  // Equal-time events are normal (ties dispatch FIFO), but a feedback
+  // loop that keeps scheduling at the current instant would spin forever
+  // on a virtual clock. When more than `limit` consecutive events
+  // dispatch at one instant, the loop declares itself stalled: RunOne()
+  // and RunAll() refuse further dispatch and stalled() reports it, so a
+  // driver (query::Session) can fail the run instead of hanging. The
+  // default bound is far above any legitimate tie burst; 0 disables.
+
+  void set_stall_limit(uint64_t limit) { stall_limit_ = limit; }
+  uint64_t stall_limit() const { return stall_limit_; }
+  bool stalled() const { return stalled_; }
 
  private:
   struct Event {
@@ -59,6 +75,12 @@ class EventLoop {
   std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
   double now_ms_ = 0;
+  // Watchdog state: length of the current run of equal-time dispatches.
+  uint64_t stall_limit_ = 1'000'000;
+  uint64_t same_instant_streak_ = 0;
+  double last_at_ms_ = 0;
+  bool any_dispatched_ = false;
+  bool stalled_ = false;
 };
 
 }  // namespace mm::sim

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kCapacityExceeded:
       return "CapacityExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

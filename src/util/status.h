@@ -18,6 +18,10 @@ enum class StatusCode : uint8_t {
   kNotSupported = 3,
   kInternal = 4,
   kCapacityExceeded = 5,
+  /// A required resource is (possibly transiently) unreachable -- e.g. no
+  /// live replica remains for a volume LBN. Callers may treat this as
+  /// retryable where kInvalidArgument is terminal.
+  kUnavailable = 6,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -49,6 +53,9 @@ class Status {
   }
   static Status CapacityExceeded(std::string msg) {
     return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -83,5 +83,69 @@ TEST(EventLoopTest, MaxEventsGuardStopsRunaway) {
   EXPECT_EQ(loop.pending(), 1u);
 }
 
+TEST(EventLoopTest, WatchdogTripsOnNoProgressFeedback) {
+  EventLoop loop;
+  loop.set_stall_limit(100);
+  // A feedback loop that reschedules at the current instant never
+  // advances virtual time; the watchdog must stop it.
+  std::function<void()> spin = [&] { loop.Schedule(loop.now_ms(), spin); };
+  loop.Schedule(5.0, spin);
+  loop.RunAll();
+  EXPECT_TRUE(loop.stalled());
+  EXPECT_EQ(loop.now_ms(), 5.0);
+  // A stalled loop refuses further dispatch.
+  EXPECT_FALSE(loop.RunOne());
+  EXPECT_GT(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, WatchdogAllowsLargeTieBurstsBelowLimit) {
+  EventLoop loop;
+  loop.set_stall_limit(1000);
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    loop.Schedule(3.0, [&] { ++fired; });
+  }
+  loop.RunAll();
+  EXPECT_FALSE(loop.stalled());
+  EXPECT_EQ(fired, 1000);
+}
+
+TEST(EventLoopTest, WatchdogResetsWhenTimeAdvances) {
+  EventLoop loop;
+  loop.set_stall_limit(3);
+  int fired = 0;
+  // Bursts of 3 equal-time events, each at a later instant: never stalls.
+  for (int burst = 0; burst < 5; ++burst) {
+    for (int i = 0; i < 3; ++i) {
+      loop.Schedule(static_cast<double>(burst), [&] { ++fired; });
+    }
+  }
+  loop.RunAll();
+  EXPECT_FALSE(loop.stalled());
+  EXPECT_EQ(fired, 15);
+}
+
+TEST(EventLoopTest, ClearReArmsWatchdog) {
+  EventLoop loop;
+  loop.set_stall_limit(10);
+  std::function<void()> spin = [&] { loop.Schedule(loop.now_ms(), spin); };
+  loop.Schedule(0.0, spin);
+  loop.RunAll();
+  ASSERT_TRUE(loop.stalled());
+  loop.Clear();
+  EXPECT_FALSE(loop.stalled());
+  int fired = 0;
+  loop.Schedule(1.0, [&] { ++fired; });
+  EXPECT_EQ(loop.RunAll(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, WatchdogDefaultIsGenerousAndConfigurable) {
+  EventLoop loop;
+  EXPECT_GE(loop.stall_limit(), 100000u);
+  loop.set_stall_limit(0);  // 0 disables
+  EXPECT_EQ(loop.stall_limit(), 0u);
+}
+
 }  // namespace
 }  // namespace mm::sim

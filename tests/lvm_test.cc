@@ -36,6 +36,20 @@ TEST_F(VolumeTest, ResolveMapsAcrossDisks) {
   EXPECT_FALSE(vol_.Resolve(576).ok());
 }
 
+TEST_F(VolumeTest, ResolveOutOfRangeReportsLbnAndCapacity) {
+  // The error is structured: code, offending LBN, and capacity -- pinned
+  // so callers (and log scrapers) can rely on the shape.
+  auto r = vol_.Resolve(576);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.status().ToString(),
+            "OutOfRange: volume LBN 576 beyond capacity 576");
+  auto far = vol_.Resolve(100000);
+  ASSERT_FALSE(far.ok());
+  EXPECT_EQ(far.status().ToString(),
+            "OutOfRange: volume LBN 100000 beyond capacity 576");
+}
+
 TEST_F(VolumeTest, RoundTripVolumeLbn) {
   for (uint64_t v : {0ull, 100ull, 287ull, 288ull, 575ull}) {
     auto loc = vol_.Resolve(v);

@@ -1,0 +1,188 @@
+// Replication mode on lvm::Volume: layout, failover routing, and the
+// rebuild planner (see volume.h class comment and lvm/rebuild.h).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/fault.h"
+#include "disk/spec.h"
+#include "lvm/rebuild.h"
+#include "lvm/volume.h"
+
+namespace mm::lvm {
+namespace {
+
+// Two 288-sector test disks, 2 copies, 16-sector chunks:
+// P = floor(288 / (2*16)) * 16 = 144, logical capacity 288.
+class ReplicatedVolumeTest : public ::testing::Test {
+ protected:
+  ReplicatedVolumeTest()
+      : vol_(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                         disk::MakeTestDisk()},
+             ReplicationOptions{2, 16}) {}
+
+  static disk::FaultModel DeadAt(double at_ms) {
+    disk::FaultModel fm;
+    fm.fail_at_ms = at_ms;
+    return fm;
+  }
+
+  Volume vol_;
+};
+
+TEST_F(ReplicatedVolumeTest, LogicalCapacityIsPrimaryRegions) {
+  EXPECT_TRUE(vol_.replicated());
+  EXPECT_EQ(vol_.replicas(), 2u);
+  EXPECT_EQ(vol_.chunk_sectors(), 16u);
+  EXPECT_EQ(vol_.primary_sectors(), 144u);
+  EXPECT_EQ(vol_.total_sectors(), 288u);
+}
+
+TEST_F(ReplicatedVolumeTest, SingleReplicaMatchesPlainVolume) {
+  Volume plain(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                           disk::MakeTestDisk()});
+  Volume r1(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                        disk::MakeTestDisk()},
+            ReplicationOptions{1, 16});
+  EXPECT_FALSE(r1.replicated());
+  EXPECT_EQ(r1.total_sectors(), plain.total_sectors());
+  for (uint64_t v : {0ull, 287ull, 288ull, 575ull}) {
+    auto a = plain.Resolve(v);
+    auto b = r1.Resolve(v);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->disk, b->disk);
+    EXPECT_EQ(a->lbn, b->lbn);
+  }
+}
+
+TEST_F(ReplicatedVolumeTest, ResolveReplicaPlacesCopiesOnDistinctDisks) {
+  // Volume LBN 150 = primary (disk 1, local 6); copy 1 mirrors it on
+  // disk 0 at offset P + 6.
+  auto p = vol_.ResolveReplica(150, 0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->disk, 1u);
+  EXPECT_EQ(p->lbn, 6u);
+  auto r = vol_.ResolveReplica(150, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->disk, 0u);
+  EXPECT_EQ(r->lbn, 144u + 6u);
+  // Copy 1 of disk 0's data lives on disk 1.
+  auto r0 = vol_.ResolveReplica(10, 1);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0->disk, 1u);
+  EXPECT_EQ(r0->lbn, 144u + 10u);
+  // Out-of-range copy index is rejected.
+  EXPECT_FALSE(vol_.ResolveReplica(10, 2).ok());
+}
+
+TEST_F(ReplicatedVolumeTest, ReplicaRegionsFitOnEachMember) {
+  // R * P must fit on every member: copy addresses stay in range.
+  for (uint64_t v = 0; v < vol_.total_sectors(); v += 7) {
+    for (uint32_t k = 0; k < vol_.replicas(); ++k) {
+      auto loc = vol_.ResolveReplica(v, k);
+      ASSERT_TRUE(loc.ok());
+      EXPECT_LT(loc->lbn, vol_.disk(loc->disk).geometry().total_sectors());
+    }
+  }
+}
+
+TEST_F(ReplicatedVolumeTest, SubmitRoutesToPrimaryWhenHealthy) {
+  auto t = vol_.Submit({150, 1}, 0.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->disk, 1u);
+  EXPECT_EQ(t->copy, 0u);
+}
+
+TEST_F(ReplicatedVolumeTest, SubmitFailsOverToReplicaWhenPrimaryDead) {
+  vol_.disk(1).SetFaultModel(DeadAt(0.0));
+  auto t = vol_.Submit({150, 1}, 1.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->disk, 0u);
+  EXPECT_EQ(t->copy, 1u);
+}
+
+TEST_F(ReplicatedVolumeTest, SubmitAvoidingPrefersAnotherCopy) {
+  // Healthy volume, but the caller had trouble with disk 1: route the
+  // read to the surviving copy on disk 0.
+  auto t = vol_.SubmitAvoiding({150, 1}, 0.0, /*avoid_disk_mask=*/1u << 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->disk, 0u);
+  EXPECT_EQ(t->copy, 1u);
+  // When every live copy is masked the mask relaxes: a busy replica
+  // beats none.
+  auto u = vol_.SubmitAvoiding({150, 1}, 0.0, 0b11);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->disk, 1u);
+  EXPECT_EQ(u->copy, 0u);
+}
+
+TEST_F(ReplicatedVolumeTest, NoLiveReplicaIsUnavailable) {
+  vol_.disk(0).SetFaultModel(DeadAt(0.0));
+  vol_.disk(1).SetFaultModel(DeadAt(0.0));
+  auto t = vol_.Submit({150, 1}, 1.0);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ReplicatedVolumeTest, FirstFailedMemberTracksFailureInstant) {
+  EXPECT_EQ(vol_.FirstFailedMember(0.0), -1);
+  vol_.disk(1).SetFaultModel(DeadAt(100.0));
+  EXPECT_EQ(vol_.FirstFailedMember(99.0), -1);
+  EXPECT_EQ(vol_.FirstFailedMember(100.0), 1);
+}
+
+TEST_F(ReplicatedVolumeTest, RequestsMayNotStraddlePrimaryRegion) {
+  // LBN 143 is the last block of disk 0's primary region.
+  EXPECT_TRUE(vol_.Submit({143, 1}, 0.0).ok());
+  EXPECT_FALSE(vol_.Submit({143, 2}, 0.0).ok());
+}
+
+TEST_F(ReplicatedVolumeTest, AdjacencyStopsAtPrimaryRegionEdge) {
+  // Adjacency within the primary region still works...
+  auto adj = vol_.GetAdjacent(0, 1);
+  ASSERT_TRUE(adj.ok());
+  EXPECT_EQ(*adj, 20u);
+  // ...but never reaches into the replica region. Track 7 of disk 0
+  // ([140, 159]) spills past P=144; its adjacent blocks are clipped out.
+  auto bad = vol_.GetAdjacent(120, 2);  // track 6 -> track 8 (replica land)
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(ReplicatedVolumeTest, TrackBoundariesClipAtPrimaryRegionEdge) {
+  // Track holding LBN 143 is [140, 159] on the disk but the logical
+  // region ends at 143.
+  auto tb = vol_.GetTrackBoundaries(141);
+  ASSERT_TRUE(tb.ok());
+  EXPECT_EQ(tb->first_lbn, 140u);
+  EXPECT_EQ(tb->last_lbn, 143u);
+  EXPECT_EQ(tb->length, 4u);
+  // Interior tracks are unclipped.
+  auto tb0 = vol_.GetTrackBoundaries(5);
+  ASSERT_TRUE(tb0.ok());
+  EXPECT_EQ(tb0->length, 20u);
+}
+
+TEST(RebuildPlannerTest, DrainsFailedPrimaryRegionInChunks) {
+  Volume vol(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                         disk::MakeTestDisk()},
+             ReplicationOptions{2, 16});
+  RebuildPlanner planner(&vol, /*failed_disk=*/1);
+  EXPECT_EQ(planner.failed_disk(), 1u);
+  EXPECT_EQ(planner.chunks_total(), 144u / 16u);
+  uint64_t expected_lbn = vol.ToVolumeLbn(1, 0);
+  uint64_t chunks = 0;
+  while (!planner.Done()) {
+    const disk::IoRequest r = planner.Next();
+    EXPECT_EQ(r.lbn, expected_lbn);
+    EXPECT_EQ(r.sectors, 16u);
+    EXPECT_EQ(r.hint, disk::SchedulingHint::kReorderFreely);
+    expected_lbn += r.sectors;
+    ++chunks;
+  }
+  EXPECT_EQ(chunks, planner.chunks_total());
+  EXPECT_EQ(expected_lbn, vol.ToVolumeLbn(1, 0) + vol.primary_sectors());
+}
+
+}  // namespace
+}  // namespace mm::lvm

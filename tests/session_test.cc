@@ -9,6 +9,7 @@
 #include <limits>
 #include <vector>
 
+#include "disk/fault.h"
 #include "disk/spec.h"
 #include "lvm/volume.h"
 #include "mapping/naive.h"
@@ -267,6 +268,107 @@ TEST_F(SessionTest, MultiDiskVolumeOverlapsInOpenLoop) {
   }
   EXPECT_TRUE(both_disks_worked);
   EXPECT_LT(r->makespan_ms, busy);
+}
+
+TEST_F(SessionTest, FailedQueriesAreReportedNotHung) {
+  // An unreplicated volume whose only disk is dead from t=0: every query
+  // must come back as a *failed completion* -- never a hang, never a
+  // dropped record (satellite: completion accounting).
+  disk::FaultModel dead;
+  dead.fail_at_ms = 0.0;
+  vol_.disk(0).SetFaultModel(dead);
+  const auto boxes = PointWorkload(8, 3);
+  Executor ex(&vol_, &naive_);
+  Session s(&vol_, &ex, SessionOptions{});
+  auto r = s.Run(boxes, ArrivalProcess::OpenPoisson(50.0));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(s.completions().size(), boxes.size());
+  for (const auto& c : s.completions()) {
+    EXPECT_TRUE(c.failed);
+  }
+  EXPECT_EQ(r->failed, boxes.size());
+  // Failed queries are counted, not timed.
+  EXPECT_EQ(r->count(), 0u);
+  EXPECT_EQ(r->clean.count(), 0u);
+  EXPECT_EQ(r->degraded.count(), 0u);
+  vol_.disk(0).ClearFaultModel();
+}
+
+TEST_F(SessionTest, MediaErrorRedirectsToReplicaAndSplitsStats) {
+  // Replicated pair; the primary of volume LBN 0 (disk 0) has a latent
+  // sector error there. With 2 attempts the read retries onto the
+  // surviving copy and the query completes degraded, not failed.
+  lvm::Volume vol(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                              disk::MakeTestDisk()},
+                  lvm::ReplicationOptions{2, 16});
+  disk::FaultModel fm;
+  fm.media_faults = {{0, 1}};
+  vol.disk(0).SetFaultModel(fm);
+  map::NaiveMapping naive(shape_, 0);
+  Executor ex(&vol, &naive);
+  SessionOptions so;
+  so.retry.max_attempts = 2;
+  Session s(&vol, &ex, so);
+  map::Box b;  // cell (0,0,0) -> volume LBN 0
+  for (uint32_t dim = 0; dim < 3; ++dim) {
+    b.lo[dim] = 0;
+    b.hi[dim] = 1;
+  }
+  auto r = s.Run(std::vector<map::Box>{b}, ArrivalProcess::OpenTrace({0.0}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(s.completions().size(), 1u);
+  const QueryCompletion& c = s.completions()[0];
+  EXPECT_FALSE(c.failed);
+  EXPECT_GE(c.retries, 1u);
+  EXPECT_GE(c.redirects, 1u);
+  EXPECT_TRUE(c.Degraded());
+  EXPECT_EQ(r->failed, 0u);
+  EXPECT_EQ(r->degraded.count(), 1u);
+  EXPECT_EQ(r->clean.count(), 0u);
+  EXPECT_EQ(vol.disk(0).stats().media_errors, 1u);
+}
+
+TEST_F(SessionTest, DisabledFaultConfigIsBitIdenticalToPlain) {
+  // Zero-fault discipline (satellite): a disabled FaultModel plus a
+  // non-default retry policy on a clean volume must leave every completion
+  // bit-identical to the plain configuration.
+  const auto boxes = PointWorkload(80, 53);
+  auto run = [&](bool configured) {
+    if (configured) {
+      disk::FaultModel off;
+      off.enabled = false;
+      off.timeout_probability = 1.0;
+      off.slow_factor = 5.0;
+      off.media_faults = {{0, 288}};
+      vol_.disk(0).SetFaultModel(off);
+    } else {
+      vol_.disk(0).ClearFaultModel();
+    }
+    SessionOptions so;
+    if (configured) {
+      so.retry.max_attempts = 3;
+      so.retry.timeout_ms = 1000.0;  // far above any clean latency here
+      so.retry.backoff_ms = 1.0;
+    }
+    Executor ex(&vol_, &naive_);
+    Session s(&vol_, &ex, so);
+    auto r = s.Run(boxes, ArrivalProcess::OpenPoisson(60.0));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return s.completions();
+  };
+  const auto plain = run(false);
+  const auto configured = run(true);
+  ASSERT_EQ(plain.size(), configured.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].query, configured[i].query);
+    EXPECT_EQ(plain[i].arrival_ms, configured[i].arrival_ms);
+    EXPECT_EQ(plain[i].start_ms, configured[i].start_ms);
+    EXPECT_EQ(plain[i].finish_ms, configured[i].finish_ms);
+    EXPECT_EQ(configured[i].retries, 0u);
+    EXPECT_EQ(configured[i].redirects, 0u);
+    EXPECT_FALSE(configured[i].failed);
+  }
+  vol_.disk(0).ClearFaultModel();
 }
 
 }  // namespace
