@@ -1,0 +1,198 @@
+// Out-of-core bulk load of an OLAP-derived point stream into a file-backed
+// store (store/bulk_loader.h): load throughput, external-sort pass counts,
+// index build time, cold-read latency after reopening from disk, and the
+// fraction of planned I/O the occupancy consult prunes. Emits
+// BENCH_bulkload.json.
+//
+// The memory budget is the knob under test: it is set low enough that the
+// stream always exceeds it, so every run exercises the spill + k-way merge
+// path (never the in-RAM shortcut).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/emit_json.h"
+#include "dataset/olap.h"
+#include "store/bulk_loader.h"
+#include "store/store_volume.h"
+
+using namespace mm;
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::QuickMode();
+  const uint64_t points = quick ? 20000 : 200000;
+  const uint64_t budget = quick ? (256u << 10) : (1u << 20);
+
+  // A day-truncated OLAP chunk: full quantity/nation/product extents, so
+  // Q5-shaped queries are meaningful, at a footprint a CI runner loads in
+  // seconds.
+  const map::GridShape shape{quick ? 64u : 148u, 75, 25, 25};
+  lvm::Volume vol(disk::MakeAtlas10k3());
+  auto mapping = core::MultiMapMapping::Create(vol, shape);
+  if (!mapping.ok()) {
+    std::fprintf(stderr, "MultiMap::Create failed: %s\n",
+                 mapping.status().ToString().c_str());
+    return 1;
+  }
+
+  char tmpl[] = "/tmp/mm_bench_bulkload_XXXXXX";
+  if (mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = tmpl;
+
+  std::printf(
+      "=== Bulk load: %llu OLAP points -> %s grid, %llu KiB budget ===\n\n",
+      static_cast<unsigned long long>(points), shape.ToString().c_str(),
+      static_cast<unsigned long long>(budget >> 10));
+
+  auto store = store::StoreVolume::Create(vol, dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "StoreVolume::Create failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  store::BulkLoadOptions opt;
+  opt.memory_budget_bytes = budget;
+  opt.record_bytes = 16;
+  auto loader = store::BulkLoader::Start(store->get(), mapping->get(), opt);
+  if (!loader.ok()) {
+    std::fprintf(stderr, "BulkLoader::Start failed: %s\n",
+                 loader.status().ToString().c_str());
+    return 1;
+  }
+
+  const double load_t0 = NowMs();
+  Rng rng(20070419);
+  Status add_status = Status::OK();
+  uint8_t rec[16];
+  dataset::StreamOrders(points, rng, [&](const dataset::OrderRow& row) {
+    if (!add_status.ok()) return;
+    map::Cell cell = dataset::OlapCellOf(row);
+    for (uint32_t d = 0; d < 4; ++d) cell[d] %= shape.dim(d);
+    std::memcpy(rec, &row.price, 8);
+    std::memcpy(rec + 8, &row.order_day, 4);
+    std::memcpy(rec + 12, &row.quantity, 4);
+    add_status = (*loader)->Add(cell, rec);
+  });
+  if (!add_status.ok()) {
+    std::fprintf(stderr, "Add failed: %s\n", add_status.ToString().c_str());
+    return 1;
+  }
+  auto stats = (*loader)->Finish();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "Finish failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  const double load_ms = NowMs() - load_t0;
+  const double pts_per_s = 1000.0 * static_cast<double>(points) / load_ms;
+
+  std::printf("loaded %llu pts in %.0f ms (%.0f pts/s)\n",
+              static_cast<unsigned long long>(points), load_ms, pts_per_s);
+  std::printf(
+      "runs spilled %llu, merge passes %llu, sort passes %llu\n"
+      "cells filled %llu, sectors written %llu, max cell records %llu\n"
+      "sort %.0f ms, merge %.0f ms, index %.1f ms\n\n",
+      static_cast<unsigned long long>(stats->runs_spilled),
+      static_cast<unsigned long long>(stats->merge_passes),
+      static_cast<unsigned long long>(stats->sort_passes),
+      static_cast<unsigned long long>(stats->cells_filled),
+      static_cast<unsigned long long>(stats->sectors_written),
+      static_cast<unsigned long long>(stats->max_cell_records),
+      stats->sort_ms, stats->merge_ms, stats->index_ms);
+  if (stats->runs_spilled < 2) {
+    std::fprintf(stderr, "FAIL: expected the external-sort path (>=2 runs)\n");
+    return 1;
+  }
+
+  // Cold reads: drop every in-process handle, reopen from disk, and serve
+  // executor-planned Q5-style range queries through the pruned plan.
+  (*store).reset();
+  auto reopened = store::StoreVolume::Open(vol, dir);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  auto index = store::BulkLoader::OpenIndex(dir);
+  if (!index.ok()) {
+    std::fprintf(stderr, "OpenIndex failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  const auto occupancy = index->BuildOccupancy(**mapping);
+
+  query::Executor ex(&vol, mapping->get());
+  const int queries = quick ? 10 : 50;
+  Rng qrng(7);
+  RunningStats cold_ms;
+  uint64_t planned_sectors = 0, kept_sectors = 0;
+  std::vector<uint8_t> payload;
+  std::vector<disk::IoRequest> pruned;
+  for (int q = 0; q < queries; ++q) {
+    const map::Box box = dataset::OlapQ5(shape, qrng);
+    const query::QueryPlan plan = ex.Plan(box);
+    pruned.clear();
+    occupancy.Prune(plan.requests, &pruned);
+    for (const auto& r : plan.requests) planned_sectors += r.sectors;
+    for (const auto& r : pruned) kept_sectors += r.sectors;
+    payload.clear();
+    const double t0 = NowMs();
+    Status st = (*reopened)->ReadRequests(pruned, &payload);
+    cold_ms.Add(NowMs() - t0);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cold read failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const double pruned_fraction =
+      planned_sectors == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(kept_sectors) /
+                      static_cast<double>(planned_sectors);
+  std::printf(
+      "cold Q5 reads: mean %.3f ms over %d queries; occupancy pruned "
+      "%.1f%% of planned sectors\n",
+      cold_ms.Mean(), queries, 100.0 * pruned_fraction);
+
+  bench::JsonEmitter em("bulk_load");
+  em.Metric("points", static_cast<double>(points));
+  em.Metric("memory_budget_bytes", static_cast<double>(budget));
+  em.Metric("load_pts_per_s", pts_per_s);
+  em.Metric("load_ms", load_ms);
+  em.Metric("runs_spilled", static_cast<double>(stats->runs_spilled));
+  em.Metric("merge_passes", static_cast<double>(stats->merge_passes));
+  em.Metric("sort_passes", static_cast<double>(stats->sort_passes));
+  em.Metric("cells_filled", static_cast<double>(stats->cells_filled));
+  em.Metric("sectors_written", static_cast<double>(stats->sectors_written));
+  em.Metric("sort_ms", stats->sort_ms);
+  em.Metric("merge_ms", stats->merge_ms);
+  em.Metric("index_build_ms", stats->index_ms);
+  em.Metric("cold_read_mean_ms", cold_ms.Mean());
+  em.Metric("cold_read_queries", queries);
+  em.Metric("pruned_fraction", pruned_fraction);
+  em.Note("grid", shape.ToString());
+  em.Note("disk", "Atlas10k3, file-backed member store in a tmpdir");
+  em.Note("workload", "streamed OLAP orders; cold reads are pruned Q5 plans");
+  em.WriteFile("BENCH_bulkload.json");
+  std::printf("wrote BENCH_bulkload.json\n");
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return 0;
+}

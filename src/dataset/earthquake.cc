@@ -70,23 +70,17 @@ Result<std::unique_ptr<QuakeStore>> QuakeStore::Create(
   store->leaf_lbn_.assign(tree.nodes().size(), UINT64_MAX);
   store->total_leaves_ = tree.leaf_count();
 
-  // Collect leaf node indices.
-  std::vector<uint32_t> leaves;
-  leaves.reserve(tree.leaf_count());
-  for (uint32_t i = 0; i < tree.nodes().size(); ++i) {
-    if (tree.nodes()[i].is_leaf()) leaves.push_back(i);
-  }
-
   if (layout != Layout::kMultiMap) {
-    // Linear layouts: order leaves by key, LBN = rank.
+    // Linear layouts: order leaves by key, LBN = rank. Leaves stream from
+    // the tree (VisitLeaves); only the (key, leaf) pairs materialize.
     std::vector<std::pair<uint64_t, uint32_t>> keyed;
-    keyed.reserve(leaves.size());
+    keyed.reserve(tree.leaf_count());
     std::unique_ptr<map::OctantOrder> order;
     if (layout == Layout::kZOrder) order = map::MakeOctantOrder("zorder", 3);
     if (layout == Layout::kHilbert) {
       order = map::MakeOctantOrder("hilbert", 3);
     }
-    for (uint32_t leaf : leaves) {
+    tree.VisitLeaves([&](uint32_t leaf) {
       const Octree::Node& n = tree.nodes()[leaf];
       uint64_t key;
       if (layout == Layout::kNaive) {
@@ -97,7 +91,7 @@ Result<std::unique_ptr<QuakeStore>> QuakeStore::Create(
         key = CurveIndexOf(*order, tree.max_depth(), n.x, n.y, n.z);
       }
       keyed.emplace_back(key, leaf);
-    }
+    });
     std::sort(keyed.begin(), keyed.end());
     if (keyed.size() > volume.total_sectors()) {
       return Status::CapacityExceeded("volume too small for quake leaves");
@@ -142,23 +136,19 @@ Result<std::unique_ptr<QuakeStore>> QuakeStore::Create(
   uint64_t fallback_base =
       volume.ToVolumeLbn(0, geo.TrackFirstLbn(next_track));
   std::vector<std::pair<uint64_t, uint32_t>> keyed;
-  for (uint32_t leaf : leaves) {
+  tree.VisitLeaves([&](uint32_t leaf) {
     const Octree::Node& n = tree.nodes()[leaf];
-    bool in_region = false;
     for (const auto& reg : store->regions_) {
       if (n.x >= reg.bounds.x0 && n.x < reg.bounds.x0 + reg.bounds.wx &&
           n.y >= reg.bounds.y0 && n.y < reg.bounds.y0 + reg.bounds.wy &&
           n.z >= reg.bounds.z0 && n.z < reg.bounds.z0 + reg.bounds.wz) {
-        in_region = true;
-        break;
+        return;
       }
     }
-    if (!in_region) {
-      const uint64_t key = (static_cast<uint64_t>(n.z) << 42) |
-                           (static_cast<uint64_t>(n.y) << 21) | n.x;
-      keyed.emplace_back(key, leaf);
-    }
-  }
+    const uint64_t key = (static_cast<uint64_t>(n.z) << 42) |
+                         (static_cast<uint64_t>(n.y) << 21) | n.x;
+    keyed.emplace_back(key, leaf);
+  });
   std::sort(keyed.begin(), keyed.end());
   store->fallback_leaves_ = keyed.size();
   if (fallback_base + keyed.size() > volume.total_sectors()) {

@@ -104,6 +104,12 @@ void Octree::VisitLeavesInBox(
   }
 }
 
+void Octree::VisitLeaves(const std::function<void(uint32_t)>& fn) const {
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_leaf()) fn(i);
+  }
+}
+
 int32_t Octree::UniformLevel(const Node& node,
                              std::vector<int32_t>* memo) const {
   const size_t index = static_cast<size_t>(&node - nodes_.data());

@@ -53,6 +53,11 @@ class Octree {
   void VisitLeavesInBox(const map::Box& box,
                         const std::function<void(uint32_t)>& fn) const;
 
+  /// Calls fn(node_index) for every leaf, in node-array order -- the
+  /// streaming iteration path (never materializes a leaf list), used by
+  /// layout planning and out-of-core ingestion.
+  void VisitLeaves(const std::function<void(uint32_t)>& fn) const;
+
   /// A maximal subtree (grown region) whose leaves all sit at one level:
   /// an axis-aligned box of uniform-size leaves.
   struct UniformRegion {

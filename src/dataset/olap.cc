@@ -71,9 +71,8 @@ map::Box OlapQ5(const map::GridShape& shape, Rng& rng) {
   return box;
 }
 
-std::vector<OrderRow> GenerateOrders(uint64_t count, Rng& rng) {
-  std::vector<OrderRow> rows;
-  rows.reserve(count);
+void StreamOrders(uint64_t count, Rng& rng,
+                  const std::function<void(const OrderRow&)>& emit) {
   for (uint64_t i = 0; i < count; ++i) {
     OrderRow r;
     r.order_day = static_cast<uint32_t>(rng.Uniform(2361));
@@ -83,8 +82,14 @@ std::vector<OrderRow> GenerateOrders(uint64_t count, Rng& rng) {
     r.nation = static_cast<uint32_t>(rng.Uniform(25));
     r.product = static_cast<uint32_t>(rng.Uniform(50));
     r.price = 900.0 + rng.NextDouble() * 104000.0;
-    rows.push_back(r);
+    emit(r);
   }
+}
+
+std::vector<OrderRow> GenerateOrders(uint64_t count, Rng& rng) {
+  std::vector<OrderRow> rows;
+  rows.reserve(count);
+  StreamOrders(count, rng, [&](const OrderRow& r) { rows.push_back(r); });
   return rows;
 }
 
@@ -92,9 +97,7 @@ std::vector<uint32_t> RollUp(const std::vector<OrderRow>& rows,
                              const map::GridShape& full_shape) {
   std::vector<uint32_t> counts(full_shape.CellCount(), 0);
   for (const auto& r : rows) {
-    const map::Cell c = map::MakeCell(
-        {r.order_day / 2, r.quantity, r.nation, r.product});
-    ++counts[full_shape.LinearIndex(c)];
+    ++counts[full_shape.LinearIndex(OlapCellOf(r))];
   }
   return counts;
 }

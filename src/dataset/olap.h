@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mapping/cell.h"
@@ -67,8 +68,21 @@ struct OrderRow {
   double price = 0;
 };
 
-/// Generates `count` pseudo-TPC-H rows.
+/// Streams `count` pseudo-TPC-H rows to `emit` one at a time -- the
+/// out-of-core ingestion path (store::BulkLoader), which must never
+/// materialize the dataset. Row sequence is identical to GenerateOrders
+/// for the same rng state.
+void StreamOrders(uint64_t count, Rng& rng,
+                  const std::function<void(const OrderRow&)>& emit);
+
+/// Generates `count` pseudo-TPC-H rows, materialized (wraps StreamOrders).
 std::vector<OrderRow> GenerateOrders(uint64_t count, Rng& rng);
+
+/// The rolled-up full-cube cell a row lands in (OrderDate -> 2-day
+/// buckets).
+inline map::Cell OlapCellOf(const OrderRow& r) {
+  return map::MakeCell({r.order_day / 2, r.quantity, r.nation, r.product});
+}
 
 /// Rolls rows up into cell counts for the full cube (OrderDate -> 2-day
 /// buckets), returning a dense row-major (LinearIndex) histogram.

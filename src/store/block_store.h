@@ -1,0 +1,100 @@
+// The sector-addressed data contract of the persistent store.
+//
+// The simulator's lvm::Volume models *time*: it schedules IoRequests over
+// simulated mechanics but holds no bytes. A BlockStore holds the bytes for
+// one member disk's LBN space, addressed exactly like the simulated disk
+// (sector-granular, disk-local LBNs), so the layers above can pair every
+// simulated request with a real data transfer without changing how they
+// address storage. Two implementations:
+//   - MemBlockStore: a zero-initialized RAM image, the reference backend
+//     the file-backed path is pinned bit-identical against;
+//   - ExtentFile (extent_file.h): a checksummed on-disk extent store.
+// store::StoreVolume binds one BlockStore per member disk behind an
+// lvm::Volume and adds replica fan-out, degraded reads and rebuild.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mm::store {
+
+/// Bytes per store sector. Matches disk::DiskSpec::sector_bytes' default
+/// (the paper's 512-byte cells); configurable per store.
+constexpr uint32_t kDefaultSectorBytes = 512;
+
+/// Sector-addressed byte storage for one member disk.
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  virtual uint64_t total_sectors() const = 0;
+  virtual uint32_t sector_bytes() const = 0;
+
+  /// Reads `count` sectors starting at disk-local `lbn` into `buf`
+  /// (count * sector_bytes() bytes). Sectors never written read as zeros.
+  virtual Status ReadSectors(uint64_t lbn, uint32_t count, void* buf) const = 0;
+
+  /// Writes `count` sectors starting at disk-local `lbn` from `buf`.
+  virtual Status WriteSectors(uint64_t lbn, uint32_t count,
+                              const void* buf) = 0;
+
+  /// Makes previous writes durable (and persists any metadata). No-op for
+  /// RAM backends.
+  virtual Status Sync() = 0;
+
+ protected:
+  /// Shared range check: [lbn, lbn + count) within the store, count > 0.
+  Status CheckRange(uint64_t lbn, uint32_t count) const {
+    if (count == 0) {
+      return Status::InvalidArgument("zero-sector store access");
+    }
+    if (lbn + count > total_sectors() || lbn + count < lbn) {
+      return Status::OutOfRange(
+          "store access [" + std::to_string(lbn) + ", " +
+          std::to_string(lbn + count) + ") beyond capacity " +
+          std::to_string(total_sectors()));
+    }
+    return Status::OK();
+  }
+};
+
+/// RAM-backed BlockStore: the in-memory reference the persistent path is
+/// compared against, and the backend for tests that need no filesystem.
+class MemBlockStore final : public BlockStore {
+ public:
+  MemBlockStore(uint64_t total_sectors,
+                uint32_t sector_bytes = kDefaultSectorBytes)
+      : sector_bytes_(sector_bytes),
+        total_sectors_(total_sectors),
+        data_(total_sectors * sector_bytes, 0) {}
+
+  uint64_t total_sectors() const override { return total_sectors_; }
+  uint32_t sector_bytes() const override { return sector_bytes_; }
+
+  Status ReadSectors(uint64_t lbn, uint32_t count, void* buf) const override {
+    MM_RETURN_NOT_OK(CheckRange(lbn, count));
+    std::memcpy(buf, data_.data() + lbn * sector_bytes_,
+                static_cast<size_t>(count) * sector_bytes_);
+    return Status::OK();
+  }
+
+  Status WriteSectors(uint64_t lbn, uint32_t count, const void* buf) override {
+    MM_RETURN_NOT_OK(CheckRange(lbn, count));
+    std::memcpy(data_.data() + lbn * sector_bytes_, buf,
+                static_cast<size_t>(count) * sector_bytes_);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  uint32_t sector_bytes_;
+  uint64_t total_sectors_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace mm::store

@@ -1,0 +1,421 @@
+#include "store/bulk_loader.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "store/ondisk.h"
+
+namespace mm::store {
+
+namespace {
+
+// "MMRUN1\0\0" as a little-endian u64.
+constexpr uint64_t kRunMagic = 0x000000314E55524DULL;
+constexpr size_t kRunHeaderBytes = 24;
+constexpr size_t kEntryHeadBytes = 24;  // key, seq, cell
+
+constexpr const char* kIndexName = "cell-index.mmx";
+constexpr const char* kIndexTmpName = "cell-index.tmp";
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Sequential reader over one sorted run file.
+class RunReader {
+ public:
+  ~RunReader() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Open(const std::string& path, uint32_t record_bytes) {
+    path_ = path;
+    f_ = std::fopen(path.c_str(), "rb");
+    if (f_ == nullptr) {
+      return ErrnoStatus("fopen " + path, errno);
+    }
+    uint8_t header[kRunHeaderBytes];
+    if (std::fread(header, 1, sizeof(header), f_) != sizeof(header)) {
+      return Status::IoError("run file truncated (header): " + path);
+    }
+    if (GetU64(header) != kRunMagic) {
+      return Status::IoError("not a run file (bad magic): " + path);
+    }
+    if (GetU32(header + 16) != record_bytes) {
+      return Status::IoError("run file record size mismatch: " + path);
+    }
+    remaining_ = GetU64(header + 8);
+    payload_.resize(record_bytes);
+    return Status::OK();
+  }
+
+  bool exhausted() const { return remaining_ == 0; }
+  uint64_t key() const { return key_; }
+  uint64_t seq() const { return seq_; }
+  uint64_t cell() const { return cell_; }
+  const uint8_t* payload() const { return payload_.data(); }
+
+  Status Next() {
+    uint8_t head[kEntryHeadBytes];
+    if (std::fread(head, 1, sizeof(head), f_) != sizeof(head) ||
+        std::fread(payload_.data(), 1, payload_.size(), f_) !=
+            payload_.size()) {
+      return Status::IoError("run file truncated (entry): " + path_);
+    }
+    key_ = GetU64(head);
+    seq_ = GetU64(head + 8);
+    cell_ = GetU64(head + 16);
+    --remaining_;
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  uint64_t remaining_ = 0;
+  uint64_t key_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t cell_ = 0;
+  std::vector<uint8_t> payload_;
+};
+
+// Sequential writer for a run file; Close() backpatches the entry count.
+class RunWriter {
+ public:
+  ~RunWriter() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Open(const std::string& path, uint32_t record_bytes) {
+    path_ = path;
+    f_ = std::fopen(path.c_str(), "wb");
+    if (f_ == nullptr) {
+      return ErrnoStatus("fopen " + path, errno);
+    }
+    uint8_t header[kRunHeaderBytes];
+    std::memset(header, 0, sizeof(header));
+    PutU64(header, kRunMagic);
+    PutU32(header + 16, record_bytes);
+    if (std::fwrite(header, 1, sizeof(header), f_) != sizeof(header)) {
+      return Status::IoError("short write to " + path);
+    }
+    return Status::OK();
+  }
+
+  Status Append(uint64_t key, uint64_t seq, uint64_t cell,
+                const uint8_t* payload, size_t record_bytes) {
+    uint8_t head[kEntryHeadBytes];
+    PutU64(head, key);
+    PutU64(head + 8, seq);
+    PutU64(head + 16, cell);
+    if (std::fwrite(head, 1, sizeof(head), f_) != sizeof(head) ||
+        std::fwrite(payload, 1, record_bytes, f_) != record_bytes) {
+      return Status::IoError("short write to " + path_);
+    }
+    ++count_;
+    return Status::OK();
+  }
+
+  Status Close() {
+    uint8_t count_le[8];
+    PutU64(count_le, count_);
+    const bool ok = std::fseek(f_, 8, SEEK_SET) == 0 &&
+                    std::fwrite(count_le, 1, 8, f_) == 8 &&
+                    std::fflush(f_) == 0;
+    std::fclose(f_);
+    f_ = nullptr;
+    if (!ok) {
+      return Status::IoError("finalizing run file failed: " + path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BulkLoader>> BulkLoader::Start(
+    StoreVolume* store, const map::Mapping* mapping,
+    const BulkLoadOptions& options) {
+  auto loader = std::unique_ptr<BulkLoader>(new BulkLoader());
+  loader->store_ = store;
+  loader->mapping_ = mapping;
+  loader->options_ = options;
+  loader->dir_ =
+      options.spill_dir.empty() ? store->dir() : options.spill_dir;
+  loader->record_bytes_ = options.record_bytes;
+  loader->cell_bytes_ = mapping->cell_sectors() * store->sector_bytes();
+  if (options.record_bytes == 0 ||
+      options.record_bytes > loader->cell_bytes_) {
+    return Status::InvalidArgument(
+        "record_bytes " + std::to_string(options.record_bytes) +
+        " must be in [1, " + std::to_string(loader->cell_bytes_) +
+        "] (one cell slot)");
+  }
+  if (options.merge_fanin < 2) {
+    return Status::InvalidArgument("merge_fanin must be at least 2");
+  }
+  const uint64_t end =
+      mapping->base_lbn() + mapping->footprint_sectors();
+  if (end > store->volume().total_sectors()) {
+    return Status::CapacityExceeded(
+        "mapping footprint ends at LBN " + std::to_string(end) +
+        " beyond the volume's " +
+        std::to_string(store->volume().total_sectors()));
+  }
+  loader->cell_buf_.assign(loader->cell_bytes_, 0);
+  return loader;
+}
+
+BulkLoader::~BulkLoader() = default;
+
+std::string BulkLoader::RunPath(uint64_t n) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "run-%04llu.tmp",
+                static_cast<unsigned long long>(n));
+  return dir_ + "/" + buf;
+}
+
+Status BulkLoader::Add(const map::Cell& cell,
+                       std::span<const uint8_t> record) {
+  if (finished_) {
+    return Status::InvalidArgument("bulk load already finished");
+  }
+  if (record.size() != record_bytes_) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) + " bytes; expected " +
+        std::to_string(record_bytes_));
+  }
+  if (!mapping_->shape().Contains(cell)) {
+    return Status::InvalidArgument("point outside the grid " +
+                                   mapping_->shape().ToString());
+  }
+  entries_.push_back(Entry{mapping_->LbnOf(cell), next_seq_++,
+                           mapping_->shape().LinearIndex(cell)});
+  arena_.insert(arena_.end(), record.begin(), record.end());
+  ++stats_.points;
+  if (entries_.size() * EntryBytes() >= options_.memory_budget_bytes) {
+    return SpillRun();
+  }
+  return Status::OK();
+}
+
+Status BulkLoader::SpillRun() {
+  if (entries_.empty()) return Status::OK();
+  const double t0 = NowMs();
+  std::vector<uint32_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return std::tie(entries_[a].key, entries_[a].seq) <
+           std::tie(entries_[b].key, entries_[b].seq);
+  });
+  const std::string path = RunPath(next_run_++);
+  RunWriter writer;
+  MM_RETURN_NOT_OK(writer.Open(path, record_bytes_));
+  for (uint32_t i : order) {
+    MM_RETURN_NOT_OK(writer.Append(
+        entries_[i].key, entries_[i].seq, entries_[i].cell,
+        arena_.data() + static_cast<size_t>(i) * record_bytes_,
+        record_bytes_));
+  }
+  MM_RETURN_NOT_OK(writer.Close());
+  runs_.push_back(path);
+  ++stats_.runs_spilled;
+  entries_.clear();
+  arena_.clear();
+  stats_.sort_ms += NowMs() - t0;
+  return Status::OK();
+}
+
+Status BulkLoader::MergeRuns(const std::vector<std::string>& inputs,
+                             const std::string& out_path) {
+  std::vector<RunReader> readers(inputs.size());
+  using Head = std::tuple<uint64_t, uint64_t, size_t>;  // key, seq, reader
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    MM_RETURN_NOT_OK(readers[i].Open(inputs[i], record_bytes_));
+    if (!readers[i].exhausted()) {
+      MM_RETURN_NOT_OK(readers[i].Next());
+      heap.emplace(readers[i].key(), readers[i].seq(), i);
+    }
+  }
+  RunWriter writer;
+  MM_RETURN_NOT_OK(writer.Open(out_path, record_bytes_));
+  while (!heap.empty()) {
+    const size_t i = std::get<2>(heap.top());
+    heap.pop();
+    MM_RETURN_NOT_OK(writer.Append(readers[i].key(), readers[i].seq(),
+                                   readers[i].cell(), readers[i].payload(),
+                                   record_bytes_));
+    if (!readers[i].exhausted()) {
+      MM_RETURN_NOT_OK(readers[i].Next());
+      heap.emplace(readers[i].key(), readers[i].seq(), i);
+    }
+  }
+  return writer.Close();
+}
+
+Status BulkLoader::EmitRecord(uint64_t key, uint64_t cell,
+                              const uint8_t* payload,
+                              CellIndex::Builder* builder) {
+  if (cell_open_ && key != cur_key_) {
+    MM_RETURN_NOT_OK(FlushCell(builder));
+  }
+  if (!cell_open_) {
+    cell_open_ = true;
+    cur_key_ = key;
+    cur_cell_ = cell;
+    cur_count_ = 0;
+    std::fill(cell_buf_.begin(), cell_buf_.end(), uint8_t{0});
+  }
+  if ((static_cast<uint64_t>(cur_count_) + 1) * record_bytes_ >
+      cell_bytes_) {
+    return Status::CapacityExceeded(
+        "cell " + std::to_string(cur_cell_) + " overflows its slot (" +
+        std::to_string(cur_count_ + 1) + " records of " +
+        std::to_string(record_bytes_) + " bytes > " +
+        std::to_string(cell_bytes_) + ")");
+  }
+  std::memcpy(cell_buf_.data() +
+                  static_cast<size_t>(cur_count_) * record_bytes_,
+              payload, record_bytes_);
+  ++cur_count_;
+  return Status::OK();
+}
+
+Status BulkLoader::FlushCell(CellIndex::Builder* builder) {
+  if (!cell_open_) return Status::OK();
+  MM_RETURN_NOT_OK(
+      store_->Write(cur_key_, mapping_->cell_sectors(), cell_buf_.data()));
+  builder->Add(cur_cell_, cur_count_);
+  ++stats_.cells_filled;
+  stats_.sectors_written += mapping_->cell_sectors();
+  stats_.max_cell_records =
+      std::max<uint64_t>(stats_.max_cell_records, cur_count_);
+  cell_open_ = false;
+  return Status::OK();
+}
+
+Status BulkLoader::MergeInto(const std::vector<std::string>& inputs,
+                             CellIndex::Builder* builder) {
+  if (inputs.empty()) {
+    // Pure in-memory load: one sort, one emission sweep.
+    std::vector<uint32_t> order(entries_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+      return std::tie(entries_[a].key, entries_[a].seq) <
+             std::tie(entries_[b].key, entries_[b].seq);
+    });
+    for (uint32_t i : order) {
+      MM_RETURN_NOT_OK(EmitRecord(
+          entries_[i].key, entries_[i].cell,
+          arena_.data() + static_cast<size_t>(i) * record_bytes_, builder));
+    }
+    return FlushCell(builder);
+  }
+  std::vector<RunReader> readers(inputs.size());
+  using Head = std::tuple<uint64_t, uint64_t, size_t>;
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    MM_RETURN_NOT_OK(readers[i].Open(inputs[i], record_bytes_));
+    if (!readers[i].exhausted()) {
+      MM_RETURN_NOT_OK(readers[i].Next());
+      heap.emplace(readers[i].key(), readers[i].seq(), i);
+    }
+  }
+  while (!heap.empty()) {
+    const size_t i = std::get<2>(heap.top());
+    heap.pop();
+    MM_RETURN_NOT_OK(EmitRecord(readers[i].key(), readers[i].cell(),
+                                readers[i].payload(), builder));
+    if (!readers[i].exhausted()) {
+      MM_RETURN_NOT_OK(readers[i].Next());
+      heap.emplace(readers[i].key(), readers[i].seq(), i);
+    }
+  }
+  return FlushCell(builder);
+}
+
+void BulkLoader::RemoveRunFiles() {
+  for (const std::string& path : runs_) {
+    std::remove(path.c_str());
+  }
+  runs_.clear();
+}
+
+Result<BulkLoadStats> BulkLoader::Finish() {
+  if (finished_) {
+    return Status::InvalidArgument("bulk load already finished");
+  }
+  // The buffer spills first only on the external path: a load that never
+  // exceeded its budget sorts and emits in memory, with no run files.
+  if (!runs_.empty()) {
+    MM_RETURN_NOT_OK(SpillRun());
+  }
+  const double merge_t0 = NowMs();
+  while (runs_.size() > options_.merge_fanin) {
+    std::vector<std::string> group(
+        runs_.begin(), runs_.begin() + options_.merge_fanin);
+    const std::string out = RunPath(next_run_++);
+    MM_RETURN_NOT_OK(MergeRuns(group, out));
+    for (const std::string& path : group) {
+      std::remove(path.c_str());
+    }
+    runs_.erase(runs_.begin(),
+                runs_.begin() + static_cast<ptrdiff_t>(group.size()));
+    runs_.push_back(out);
+    ++stats_.merge_passes;
+  }
+  CellIndex::Builder builder(mapping_->shape(), record_bytes_);
+  MM_RETURN_NOT_OK(MergeInto(runs_, &builder));
+  stats_.merge_ms = NowMs() - merge_t0;
+  stats_.sort_passes =
+      runs_.empty() ? 1 : 2 + stats_.merge_passes;
+
+  const double index_t0 = NowMs();
+  MM_ASSIGN_OR_RETURN(index_, std::move(builder).Build());
+  MM_RETURN_NOT_OK(store_->SyncAll());
+  const std::string tmp = dir_ + "/" + kIndexTmpName;
+  const std::string final_path = dir_ + "/" + kIndexName;
+  MM_RETURN_NOT_OK(index_.WriteTo(tmp));
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return ErrnoStatus("rename " + tmp + " -> " + final_path, errno);
+  }
+  RemoveRunFiles();
+  entries_.clear();
+  arena_.clear();
+  stats_.index_ms = NowMs() - index_t0;
+  finished_ = true;
+  return stats_;
+}
+
+Result<CellIndex> BulkLoader::OpenIndex(const std::string& dir) {
+  // Sweep litter an interrupted load left behind: partial runs and an
+  // uncommitted index are ignored (and removed) on reopen.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool is_run = name.rfind("run-", 0) == 0 &&
+                        name.size() > 4 &&
+                        name.substr(name.size() - 4) == ".tmp";
+    if (is_run || name == kIndexTmpName) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  return CellIndex::ReadFrom(dir + "/" + kIndexName);
+}
+
+}  // namespace mm::store

@@ -1,0 +1,152 @@
+// Out-of-core bulk loading: append -> external sort -> compact index.
+//
+// The pipeline of "Fast and Adaptive Bulk Loading of Multidimensional
+// Points" applied to MultiMap layouts (PAPERS.md): points arrive in any
+// order (streamed from a generator -- never materialized), are buffered up
+// to a configured memory budget, and each full buffer is sorted by target
+// LBN (the mapping's lane order) and spilled as a sorted run file. Finish()
+// k-way merges the runs under the same budget -- extra passes collapse the
+// run count to the merge fan-in first -- packs each cell's records into its
+// fixed cell_sectors-sized slot at mapping.LbnOf(cell), writes the slots in
+// ascending LBN order through the StoreVolume (one sequential sweep per
+// member, replicas fanned out), builds the CellIndex, and commits.
+//
+// Determinism: records carry their arrival sequence number and every sort
+// and merge orders by (target LBN, sequence), so the loaded bytes are
+// identical whatever the memory budget, spill count, or backend -- the
+// property the reload tests pin.
+//
+// Crash safety: run files are "<dir>/run-NNNN.tmp" and the index is
+// written to "<dir>/cell-index.tmp", then renamed to "cell-index.mmx"
+// after the member stores sync -- the rename is the commit point. A load
+// interrupted at any earlier instant leaves only *.tmp litter, which
+// OpenIndex() removes and ignores: reopening sees the last committed
+// state or (if none) fails cleanly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mapping/cell.h"
+#include "mapping/mapping.h"
+#include "store/cell_index.h"
+#include "store/store_volume.h"
+#include "util/result.h"
+
+namespace mm::store {
+
+struct BulkLoadOptions {
+  /// Buffered-point memory budget in bytes; a full buffer is sorted and
+  /// spilled as one run. Also bounds merge-side buffering. Tiny budgets
+  /// are honored (floor: one point), so tests can force multi-run merges
+  /// with a handful of points.
+  uint64_t memory_budget_bytes = 64ull << 20;
+  /// Fixed bytes per point record; must fit a cell
+  /// (cell_sectors * sector_bytes).
+  uint32_t record_bytes = 16;
+  /// Maximum runs merged per pass; more runs first collapse in
+  /// intermediate passes.
+  uint32_t merge_fanin = 16;
+  /// Run-file directory; empty uses the StoreVolume's dir.
+  std::string spill_dir;
+};
+
+struct BulkLoadStats {
+  uint64_t points = 0;
+  uint64_t runs_spilled = 0;   ///< Sorted run files written.
+  uint64_t merge_passes = 0;   ///< Intermediate collapse passes.
+  /// Times every point was sorted or merged: 1 for a pure in-memory load,
+  /// 2 + merge_passes when runs spilled (run formation + final merge).
+  uint64_t sort_passes = 0;
+  uint64_t cells_filled = 0;
+  uint64_t sectors_written = 0;
+  uint64_t max_cell_records = 0;
+  double sort_ms = 0;   ///< In-buffer sorting + run spilling.
+  double merge_ms = 0;  ///< Merging + packing + store writes.
+  double index_ms = 0;  ///< Index build + serialize + commit.
+};
+
+class BulkLoader {
+ public:
+  /// Starts a load of `mapping`'s grid into `store` (both borrowed; the
+  /// mapping must place cells within the store's volume).
+  static Result<std::unique_ptr<BulkLoader>> Start(
+      StoreVolume* store, const map::Mapping* mapping,
+      const BulkLoadOptions& options = {});
+
+  ~BulkLoader();
+  BulkLoader(const BulkLoader&) = delete;
+  BulkLoader& operator=(const BulkLoader&) = delete;
+
+  /// Appends one point: `record` (exactly record_bytes) destined for
+  /// `cell`. Spills a sorted run when the buffer exceeds the budget.
+  Status Add(const map::Cell& cell, std::span<const uint8_t> record);
+
+  /// Merges, writes, indexes, commits. The loader is finished afterwards
+  /// (further Add/Finish calls fail).
+  Result<BulkLoadStats> Finish();
+
+  /// The built index; valid after a successful Finish().
+  const CellIndex& index() const { return index_; }
+
+  /// Loads the committed index of a bulk-loaded store directory,
+  /// removing (and ignoring) any *.tmp litter an interrupted load left
+  /// behind. kIoError when no committed load exists.
+  static Result<CellIndex> OpenIndex(const std::string& dir);
+
+ private:
+  BulkLoader() = default;
+
+  // One buffered point; the payload lives in arena_.
+  struct Entry {
+    uint64_t key;   // target volume LBN: the sort key (lane order)
+    uint64_t seq;   // arrival order: the tie-break
+    uint64_t cell;  // linear cell index (for the index build)
+  };
+
+  uint64_t EntryBytes() const { return sizeof(Entry) + record_bytes_; }
+  std::string RunPath(uint64_t n) const;
+  Status SpillRun();
+  // Merges `inputs` (paths) into `out_path` as a new run file.
+  Status MergeRuns(const std::vector<std::string>& inputs,
+                   const std::string& out_path);
+  // Final merge: streams entries of `inputs` (or the in-memory buffer when
+  // empty) in (key, seq) order into the cell writer.
+  Status MergeInto(const std::vector<std::string>& inputs,
+                   CellIndex::Builder* builder);
+  // Cell packing: accumulates consecutive same-cell records, flushes each
+  // completed cell slot to the store.
+  Status EmitRecord(uint64_t key, uint64_t cell, const uint8_t* payload,
+                    CellIndex::Builder* builder);
+  Status FlushCell(CellIndex::Builder* builder);
+  void RemoveRunFiles();
+
+  StoreVolume* store_ = nullptr;
+  const map::Mapping* mapping_ = nullptr;
+  BulkLoadOptions options_;
+  std::string dir_;
+  uint32_t record_bytes_ = 0;
+  uint32_t cell_bytes_ = 0;  // cell_sectors * sector_bytes
+  bool finished_ = false;
+
+  std::vector<Entry> entries_;
+  std::vector<uint8_t> arena_;  // entries_[i]'s payload at i * record_bytes
+  uint64_t next_seq_ = 0;
+  std::vector<std::string> runs_;
+  uint64_t next_run_ = 0;
+
+  // Current cell being packed during the final merge.
+  bool cell_open_ = false;
+  uint64_t cur_key_ = 0;
+  uint64_t cur_cell_ = 0;
+  uint32_t cur_count_ = 0;
+  std::vector<uint8_t> cell_buf_;
+
+  CellIndex index_;
+  BulkLoadStats stats_;
+};
+
+}  // namespace mm::store

@@ -1,0 +1,255 @@
+#include "store/cell_index.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "store/ondisk.h"
+#include "util/crc32.h"
+
+namespace mm::store {
+
+namespace {
+
+// "MMCELLX1" as a little-endian u64.
+constexpr uint64_t kMagic = 0x31584C4C45434D4DULL;
+constexpr uint32_t kVersion = 1;
+
+// Header: fixed 96 bytes, CRC over the first 84 at offset 84.
+constexpr size_t kHeaderBytes = 96;
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffNdims = 12;
+constexpr size_t kOffDims = 16;  // kMaxDims u32 slots
+constexpr size_t kOffRecordBytes = 48;
+constexpr size_t kOffNonempty = 56;
+constexpr size_t kOffTotalRecords = 64;
+constexpr size_t kOffPayloadBytes = 72;
+constexpr size_t kOffPayloadCrc = 80;
+constexpr size_t kOffHeaderCrc = 84;
+
+}  // namespace
+
+Result<CellIndex> CellIndex::Builder::Build() && {
+  std::sort(entries_.begin(), entries_.end());
+  CellIndex index;
+  index.shape_ = std::move(shape_);
+  index.record_bytes_ = record_bytes_;
+  index.cell_count_ = index.shape_.CellCount();
+  index.words_.assign((index.cell_count_ + 63) / 64, 0);
+  index.counts_.reserve(entries_.size());
+  uint64_t prev = UINT64_MAX;
+  for (const auto& [cell, count] : entries_) {
+    if (cell >= index.cell_count_) {
+      return Status::InvalidArgument("cell index entry " +
+                                     std::to_string(cell) +
+                                     " outside grid " +
+                                     index.shape_.ToString());
+    }
+    if (cell == prev) {
+      return Status::InvalidArgument("duplicate cell index entry " +
+                                     std::to_string(cell));
+    }
+    prev = cell;
+    index.words_[cell >> 6] |= uint64_t{1} << (cell & 63);
+    index.counts_.push_back(count);
+    index.total_records_ += count;
+  }
+  index.nonempty_cells_ = index.counts_.size();
+  index.BuildDerived();
+  return index;
+}
+
+void CellIndex::BuildDerived() {
+  rank_.assign(words_.size() + 1, 0);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    rank_[w + 1] =
+        rank_[w] + static_cast<uint64_t>(__builtin_popcountll(words_[w]));
+  }
+  offsets_.assign(counts_.size() + 1, 0);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    offsets_[i + 1] = offsets_[i] + counts_[i];
+  }
+}
+
+uint64_t CellIndex::OffsetOf(uint64_t cell_linear) const {
+  return offsets_[Rank(cell_linear)];
+}
+
+Status CellIndex::WriteTo(const std::string& path) const {
+  const size_t words_bytes = words_.size() * 8;
+  const size_t counts_bytes = counts_.size() * 4;
+  std::vector<uint8_t> payload(words_bytes + counts_bytes);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    PutU64(payload.data() + i * 8, words_[i]);
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    PutU32(payload.data() + words_bytes + i * 4, counts_[i]);
+  }
+
+  uint8_t header[kHeaderBytes];
+  std::memset(header, 0, sizeof(header));
+  PutU64(header + kOffMagic, kMagic);
+  PutU32(header + kOffVersion, kVersion);
+  PutU32(header + kOffNdims, shape_.ndims());
+  for (uint32_t i = 0; i < shape_.ndims(); ++i) {
+    PutU32(header + kOffDims + i * 4, shape_.dim(i));
+  }
+  PutU32(header + kOffRecordBytes, record_bytes_);
+  PutU64(header + kOffNonempty, nonempty_cells_);
+  PutU64(header + kOffTotalRecords, total_records_);
+  PutU64(header + kOffPayloadBytes, payload.size());
+  PutU32(header + kOffPayloadCrc, Crc32(payload.data(), payload.size()));
+  PutU32(header + kOffHeaderCrc, Crc32(header, kOffHeaderCrc));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return ErrnoStatus("fopen " + path, errno);
+  }
+  const bool ok =
+      std::fwrite(header, 1, sizeof(header), f) == sizeof(header) &&
+      (payload.empty() ||
+       std::fwrite(payload.data(), 1, payload.size(), f) == payload.size()) &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<CellIndex> CellIndex::ReadFrom(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return ErrnoStatus("fopen " + path, errno);
+  }
+  uint8_t header[kHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    std::fclose(f);
+    return Status::IoError("cell index truncated (header): " + path);
+  }
+  if (GetU64(header + kOffMagic) != kMagic) {
+    std::fclose(f);
+    return Status::IoError("not a cell index (bad magic): " + path);
+  }
+  if (GetU32(header + kOffVersion) != kVersion) {
+    std::fclose(f);
+    return Status::IoError("unsupported cell index version: " + path);
+  }
+  if (GetU32(header + kOffHeaderCrc) != Crc32(header, kOffHeaderCrc)) {
+    std::fclose(f);
+    return Status::IoError("cell index header checksum mismatch: " + path);
+  }
+
+  CellIndex index;
+  const uint32_t ndims = GetU32(header + kOffNdims);
+  if (ndims == 0 || ndims > map::kMaxDims) {
+    std::fclose(f);
+    return Status::IoError("cell index header is inconsistent: " + path);
+  }
+  std::vector<uint32_t> dims(ndims);
+  for (uint32_t i = 0; i < ndims; ++i) {
+    dims[i] = GetU32(header + kOffDims + i * 4);
+  }
+  index.shape_ = map::GridShape(std::move(dims));
+  index.record_bytes_ = GetU32(header + kOffRecordBytes);
+  index.cell_count_ = index.shape_.CellCount();
+  index.nonempty_cells_ = GetU64(header + kOffNonempty);
+  index.total_records_ = GetU64(header + kOffTotalRecords);
+
+  const uint64_t payload_bytes = GetU64(header + kOffPayloadBytes);
+  const uint64_t expect_bytes =
+      (index.cell_count_ + 63) / 64 * 8 + index.nonempty_cells_ * 4;
+  if (payload_bytes != expect_bytes) {
+    std::fclose(f);
+    return Status::IoError("cell index header is inconsistent: " + path);
+  }
+  std::vector<uint8_t> payload(payload_bytes);
+  if (!payload.empty() &&
+      std::fread(payload.data(), 1, payload.size(), f) != payload.size()) {
+    std::fclose(f);
+    return Status::IoError("cell index truncated (payload): " + path);
+  }
+  std::fclose(f);
+  if (GetU32(header + kOffPayloadCrc) !=
+      Crc32(payload.data(), payload.size())) {
+    return Status::IoError("cell index payload checksum mismatch: " + path);
+  }
+
+  const size_t words = static_cast<size_t>((index.cell_count_ + 63) / 64);
+  index.words_.resize(words);
+  for (size_t i = 0; i < words; ++i) {
+    index.words_[i] = GetU64(payload.data() + i * 8);
+  }
+  index.counts_.resize(static_cast<size_t>(index.nonempty_cells_));
+  for (size_t i = 0; i < index.counts_.size(); ++i) {
+    index.counts_[i] = GetU32(payload.data() + words * 8 + i * 4);
+  }
+  index.BuildDerived();
+  // Cross-check the redundant header fields against the payload.
+  if (index.rank_.back() != index.nonempty_cells_ ||
+      index.offsets_.back() != index.total_records_) {
+    return Status::IoError("cell index bitvector disagrees with header: " +
+                           path);
+  }
+  return index;
+}
+
+uint64_t CellIndex::Occupancy::occupied_sectors() const {
+  uint64_t n = 0;
+  for (uint64_t w : bits) {
+    n += static_cast<uint64_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+void CellIndex::Occupancy::Prune(std::span<const disk::IoRequest> requests,
+                                 std::vector<disk::IoRequest>* out) const {
+  for (const disk::IoRequest& r : requests) {
+    uint64_t run_start = 0;
+    uint32_t run_len = 0;
+    for (uint32_t i = 0; i < r.sectors; ++i) {
+      if (Occupied(r.lbn + i)) {
+        if (run_len == 0) run_start = r.lbn + i;
+        ++run_len;
+      } else if (run_len > 0) {
+        out->push_back(disk::IoRequest{run_start, run_len, r.hint,
+                                       r.order_group});
+        run_len = 0;
+      }
+    }
+    if (run_len > 0) {
+      out->push_back(disk::IoRequest{run_start, run_len, r.hint,
+                                     r.order_group});
+    }
+  }
+}
+
+CellIndex::Occupancy CellIndex::BuildOccupancy(
+    const map::Mapping& mapping) const {
+  Occupancy occ;
+  occ.base = mapping.base_lbn();
+  occ.span = mapping.footprint_sectors();
+  occ.bits.assign(static_cast<size_t>((occ.span + 63) / 64), 0);
+  const uint32_t cs = mapping.cell_sectors();
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const uint64_t cell =
+          static_cast<uint64_t>(w) * 64 +
+          static_cast<uint64_t>(__builtin_ctzll(word));
+      word &= word - 1;
+      const uint64_t lbn = mapping.LbnOf(shape_.CellAt(cell));
+      for (uint32_t s = 0; s < cs; ++s) {
+        const uint64_t i = lbn + s - occ.base;
+        if (i < occ.span) {
+          occ.bits[i >> 6] |= uint64_t{1} << (i & 63);
+        }
+      }
+    }
+  }
+  return occ;
+}
+
+}  // namespace mm::store

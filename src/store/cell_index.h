@@ -1,0 +1,132 @@
+// Compact per-cell index of a bulk-loaded store, in the style of
+// external-memory multimap indexes (seqwish's dmultimap: sorted records +
+// a bitvector with rank/select): a bitvector over the linearized cell grid
+// marking non-empty cells, plus one record count per non-empty cell.
+// Record offsets (prefix sums in cell-linear order) and a per-word rank
+// directory are derived on construction, never stored.
+//
+// Two jobs:
+//   - answer CountOf/OffsetOf(cell) in O(1), so readers can slice a cell's
+//     packed records out of its fixed cell_sectors-sized slot;
+//   - project the non-empty cells through a map::Mapping into a
+//     sector-occupancy bitvector (Occupancy) that prunes planned request
+//     streams to the sectors actually holding records -- the planner's
+//     "skip vacant regions" consult, in LBN space so it composes with any
+//     mapping and with coalesced plans.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "disk/request.h"
+#include "mapping/cell.h"
+#include "mapping/mapping.h"
+#include "util/result.h"
+
+namespace mm::store {
+
+class CellIndex {
+ public:
+  /// Accumulates (cell, count) pairs in any order; Build() sorts and
+  /// produces the index. Each cell may be added at most once.
+  class Builder {
+   public:
+    Builder(map::GridShape shape, uint32_t record_bytes)
+        : shape_(std::move(shape)), record_bytes_(record_bytes) {}
+
+    void Add(uint64_t cell_linear, uint32_t count) {
+      if (count > 0) entries_.emplace_back(cell_linear, count);
+    }
+
+    Result<CellIndex> Build() &&;
+
+   private:
+    map::GridShape shape_;
+    uint32_t record_bytes_;
+    std::vector<std::pair<uint64_t, uint32_t>> entries_;
+  };
+
+  CellIndex() = default;
+
+  const map::GridShape& shape() const { return shape_; }
+  uint32_t record_bytes() const { return record_bytes_; }
+  uint64_t cell_count() const { return cell_count_; }
+  uint64_t nonempty_cells() const { return nonempty_cells_; }
+  uint64_t total_records() const { return total_records_; }
+
+  bool Empty(uint64_t cell_linear) const {
+    return ((words_[cell_linear >> 6] >> (cell_linear & 63)) & 1u) == 0;
+  }
+  /// Records stored in the cell (0 for empty cells).
+  uint32_t CountOf(uint64_t cell_linear) const {
+    return Empty(cell_linear) ? 0 : counts_[Rank(cell_linear)];
+  }
+  /// Offset of the cell's first record in the dense record space ordered
+  /// by linear cell index (for empty cells: the offset the next non-empty
+  /// cell's records start at).
+  uint64_t OffsetOf(uint64_t cell_linear) const;
+
+  /// Serializes to `path` (atomic on POSIX rename semantics is the
+  /// caller's job; this writes the file in place) with CRC-checked header
+  /// and payload. ReadFrom rejects corruption with kIoError.
+  Status WriteTo(const std::string& path) const;
+  static Result<CellIndex> ReadFrom(const std::string& path);
+
+  /// Structural equality (shape, counts, bitvector) -- reload fidelity.
+  bool operator==(const CellIndex& other) const {
+    return shape_ == other.shape_ && record_bytes_ == other.record_bytes_ &&
+           words_ == other.words_ && counts_ == other.counts_;
+  }
+
+  // --- Planner consult --------------------------------------------------
+
+  /// Which sectors of a mapping's footprint hold records: one bit per
+  /// sector of [base, base + span). LBNs outside the window count as
+  /// vacant.
+  struct Occupancy {
+    uint64_t base = 0;
+    uint64_t span = 0;
+    std::vector<uint64_t> bits;
+
+    bool Occupied(uint64_t lbn) const {
+      if (lbn < base || lbn - base >= span) return false;
+      const uint64_t i = lbn - base;
+      return (bits[i >> 6] >> (i & 63)) & 1u;
+    }
+    uint64_t occupied_sectors() const;
+
+    /// Splits each request into its maximal occupied subruns, dropping
+    /// vacant sectors; emission order, hints and order groups survive, so
+    /// a pruned plan schedules exactly like the original minus dead I/O.
+    void Prune(std::span<const disk::IoRequest> requests,
+               std::vector<disk::IoRequest>* out) const;
+  };
+
+  /// Projects the non-empty cells through `mapping` (which must cover this
+  /// index's shape) into sector occupancy over the mapping's footprint.
+  Occupancy BuildOccupancy(const map::Mapping& mapping) const;
+
+ private:
+  uint64_t Rank(uint64_t cell_linear) const {
+    const uint64_t w = cell_linear >> 6;
+    const uint64_t mask = (uint64_t{1} << (cell_linear & 63)) - 1;
+    return rank_[w] + static_cast<uint64_t>(
+                          __builtin_popcountll(words_[w] & mask));
+  }
+  void BuildDerived();  // rank_ and offsets_ from words_/counts_
+
+  map::GridShape shape_;
+  uint32_t record_bytes_ = 0;
+  uint64_t cell_count_ = 0;
+  uint64_t nonempty_cells_ = 0;
+  uint64_t total_records_ = 0;
+  std::vector<uint64_t> words_;    // bit c = 1 iff cell c is non-empty
+  std::vector<uint32_t> counts_;   // per non-empty cell, rank order
+  std::vector<uint64_t> rank_;     // set bits before each word (derived)
+  std::vector<uint64_t> offsets_;  // record prefix sums (derived)
+};
+
+}  // namespace mm::store

@@ -1,0 +1,232 @@
+#include "store/extent_file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "store/ondisk.h"
+#include "util/crc32.h"
+
+namespace mm::store {
+
+namespace {
+
+// "MMEXTFL1" as a little-endian u64.
+constexpr uint64_t kMagic = 0x314C465458454D4DULL;
+constexpr uint32_t kVersion = 1;
+
+// Superblock field offsets within page 0.
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffSectorBytes = 12;
+constexpr size_t kOffExtentSectors = 16;
+constexpr size_t kOffTotalSectors = 24;
+constexpr size_t kOffAllocated = 32;
+constexpr size_t kOffEpoch = 40;
+constexpr size_t kOffEatCrc = 48;
+constexpr size_t kOffSbCrc = 52;
+
+// Full pread/pwrite: POSIX may return short counts; loop to completion.
+Status FullPread(int fd, void* buf, size_t len, uint64_t offset,
+                 const std::string& path) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread " + path, errno);
+    }
+    if (n == 0) {
+      return Status::IoError("short read on " + path +
+                             " (file truncated?)");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FullPwrite(int fd, const void* buf, size_t len, uint64_t offset,
+                  const std::string& path) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite " + path, errno);
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+// CRC of a metadata page with the 4 bytes at `crc_off` treated as zero, so
+// the checksum can live inside the region it covers.
+uint32_t PageCrcExcluding(const uint8_t* page, size_t crc_off) {
+  uint32_t c = Crc32(page, crc_off);
+  const uint8_t zeros[4] = {0, 0, 0, 0};
+  c = Crc32(zeros, 4, c);
+  return Crc32(page + crc_off + 4, kMetaPageBytes - crc_off - 4, c);
+}
+
+size_t EatBytesPadded(uint64_t extent_count) {
+  const size_t raw = static_cast<size_t>((extent_count + 7) / 8);
+  return (raw + kMetaPageBytes - 1) / kMetaPageBytes * kMetaPageBytes;
+}
+
+}  // namespace
+
+uint64_t ExtentFile::DataOffset() const {
+  return kMetaPageBytes + eat_.size();
+}
+
+Result<std::unique_ptr<ExtentFile>> ExtentFile::Create(
+    const std::string& path, const ExtentFileOptions& options) {
+  if (options.total_sectors == 0 || options.sector_bytes == 0 ||
+      options.extent_sectors == 0) {
+    return Status::InvalidArgument(
+        "ExtentFile::Create: total_sectors, sector_bytes and "
+        "extent_sectors must be positive");
+  }
+  auto file = std::unique_ptr<ExtentFile>(new ExtentFile());
+  file->path_ = path;
+  file->sector_bytes_ = options.sector_bytes;
+  file->extent_sectors_ = options.extent_sectors;
+  file->total_sectors_ = options.total_sectors;
+  file->extent_count_ =
+      (options.total_sectors + options.extent_sectors - 1) /
+      options.extent_sectors;
+  file->eat_.assign(EatBytesPadded(file->extent_count_), 0);
+
+  file->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                     0644);
+  if (file->fd_ < 0) {
+    return ErrnoStatus("open " + path, errno);
+  }
+  // Size the whole store up front: the file stays sparse (holes read as
+  // zeros) but preads past the written frontier never come up short.
+  const uint64_t file_bytes =
+      file->DataOffset() + file->total_sectors_ * file->sector_bytes_;
+  if (::ftruncate(file->fd_, static_cast<off_t>(file_bytes)) != 0) {
+    return ErrnoStatus("ftruncate " + path, errno);
+  }
+  MM_RETURN_NOT_OK(file->WriteMeta());
+  if (::fsync(file->fd_) != 0) {
+    return ErrnoStatus("fsync " + path, errno);
+  }
+  return file;
+}
+
+Result<std::unique_ptr<ExtentFile>> ExtentFile::Open(const std::string& path) {
+  auto file = std::unique_ptr<ExtentFile>(new ExtentFile());
+  file->path_ = path;
+  file->fd_ = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (file->fd_ < 0) {
+    return ErrnoStatus("open " + path, errno);
+  }
+
+  uint8_t sb[kMetaPageBytes];
+  MM_RETURN_NOT_OK(FullPread(file->fd_, sb, sizeof(sb), 0, path));
+  if (GetU64(sb + kOffMagic) != kMagic) {
+    return Status::IoError("not an extent store (bad magic): " + path);
+  }
+  if (GetU32(sb + kOffVersion) != kVersion) {
+    return Status::IoError("unsupported extent store version " +
+                           std::to_string(GetU32(sb + kOffVersion)) + ": " +
+                           path);
+  }
+  if (GetU32(sb + kOffSbCrc) != PageCrcExcluding(sb, kOffSbCrc)) {
+    return Status::IoError("superblock checksum mismatch: " + path);
+  }
+  file->sector_bytes_ = GetU32(sb + kOffSectorBytes);
+  file->extent_sectors_ = GetU32(sb + kOffExtentSectors);
+  file->total_sectors_ = GetU64(sb + kOffTotalSectors);
+  file->allocated_extents_ = GetU64(sb + kOffAllocated);
+  file->epoch_ = GetU64(sb + kOffEpoch);
+  if (file->sector_bytes_ == 0 || file->extent_sectors_ == 0 ||
+      file->total_sectors_ == 0) {
+    return Status::IoError("superblock has zero geometry: " + path);
+  }
+  file->extent_count_ = (file->total_sectors_ + file->extent_sectors_ - 1) /
+                        file->extent_sectors_;
+  file->eat_.assign(EatBytesPadded(file->extent_count_), 0);
+  MM_RETURN_NOT_OK(FullPread(file->fd_, file->eat_.data(), file->eat_.size(),
+                             kMetaPageBytes, path));
+  if (GetU32(sb + kOffEatCrc) != Crc32(file->eat_.data(), file->eat_.size())) {
+    return Status::IoError("extent allocation table checksum mismatch: " +
+                           path);
+  }
+
+  struct stat st;
+  if (::fstat(file->fd_, &st) != 0) {
+    return ErrnoStatus("fstat " + path, errno);
+  }
+  const uint64_t expected =
+      file->DataOffset() + file->total_sectors_ * file->sector_bytes_;
+  if (static_cast<uint64_t>(st.st_size) < expected) {
+    return Status::IoError("extent store truncated (" +
+                           std::to_string(st.st_size) + " < " +
+                           std::to_string(expected) + " bytes): " + path);
+  }
+  return file;
+}
+
+ExtentFile::~ExtentFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ExtentFile::ReadSectors(uint64_t lbn, uint32_t count,
+                               void* buf) const {
+  MM_RETURN_NOT_OK(CheckRange(lbn, count));
+  return FullPread(fd_, buf, static_cast<size_t>(count) * sector_bytes_,
+                   DataOffset() + lbn * sector_bytes_, path_);
+}
+
+Status ExtentFile::WriteSectors(uint64_t lbn, uint32_t count,
+                                const void* buf) {
+  MM_RETURN_NOT_OK(CheckRange(lbn, count));
+  MM_RETURN_NOT_OK(FullPwrite(fd_, buf,
+                              static_cast<size_t>(count) * sector_bytes_,
+                              DataOffset() + lbn * sector_bytes_, path_));
+  for (uint64_t e = lbn / extent_sectors_;
+       e <= (lbn + count - 1) / extent_sectors_; ++e) {
+    if (!ExtentAllocated(e)) {
+      eat_[e >> 3] |= static_cast<uint8_t>(1u << (e & 7));
+      ++allocated_extents_;
+    }
+  }
+  return Status::OK();
+}
+
+Status ExtentFile::WriteMeta() {
+  MM_RETURN_NOT_OK(
+      FullPwrite(fd_, eat_.data(), eat_.size(), kMetaPageBytes, path_));
+  uint8_t sb[kMetaPageBytes];
+  std::memset(sb, 0, sizeof(sb));
+  PutU64(sb + kOffMagic, kMagic);
+  PutU32(sb + kOffVersion, kVersion);
+  PutU32(sb + kOffSectorBytes, sector_bytes_);
+  PutU32(sb + kOffExtentSectors, extent_sectors_);
+  PutU64(sb + kOffTotalSectors, total_sectors_);
+  PutU64(sb + kOffAllocated, allocated_extents_);
+  PutU64(sb + kOffEpoch, epoch_);
+  PutU32(sb + kOffEatCrc, Crc32(eat_.data(), eat_.size()));
+  PutU32(sb + kOffSbCrc, PageCrcExcluding(sb, kOffSbCrc));
+  return FullPwrite(fd_, sb, sizeof(sb), 0, path_);
+}
+
+Status ExtentFile::Sync() {
+  MM_RETURN_NOT_OK(WriteMeta());
+  if (::fsync(fd_) != 0) {
+    return ErrnoStatus("fsync " + path_, errno);
+  }
+  return Status::OK();
+}
+
+}  // namespace mm::store

@@ -1,0 +1,102 @@
+// File-backed extent block store: the persistent BlockStore.
+//
+// On-disk layout (all multi-byte fields little-endian, see ondisk.h):
+//
+//   page 0                superblock (one 4096-byte metadata page)
+//   pages 1 .. E          extent allocation table (EAT): 1 bit per extent,
+//                         padded to whole pages
+//   data region           sector i at data_offset + i * sector_bytes,
+//                         data_offset = (1 + E) * 4096 (page-aligned)
+//
+// Superblock fields: magic, version, sector_bytes, extent_sectors,
+// total_sectors, allocated_extents, epoch (a caller-owned commit counter),
+// the EAT's CRC-32, and the superblock page's own CRC-32 (computed over the
+// whole page with the CRC field zeroed, so any superblock corruption is
+// detected). Open() rejects bad magic, unsupported versions, checksum
+// mismatches, and truncated files with StatusCode::kIoError.
+//
+// The file is created at full size with ftruncate and written with
+// pwrite/pread, so it is sparse: real disk usage grows with the sectors
+// actually written, and unwritten sectors read as zeros (the same contract
+// as MemBlockStore). The EAT tracks which fixed-size extents have ever been
+// written -- allocation state for utilization reporting, scrubbing, and
+// rebuild -- and is persisted (with fresh checksums) by Sync().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/block_store.h"
+#include "util/result.h"
+
+namespace mm::store {
+
+/// Geometry of a new ExtentFile.
+struct ExtentFileOptions {
+  /// Capacity in sectors; must be positive.
+  uint64_t total_sectors = 0;
+  /// Bytes per sector.
+  uint32_t sector_bytes = kDefaultSectorBytes;
+  /// Sectors per allocation-table extent; must be positive.
+  uint32_t extent_sectors = 64;
+};
+
+class ExtentFile final : public BlockStore {
+ public:
+  /// Creates (truncating any existing file) an extent store at `path`.
+  static Result<std::unique_ptr<ExtentFile>> Create(
+      const std::string& path, const ExtentFileOptions& options);
+
+  /// Opens an existing store, validating magic, version, and both
+  /// checksums; any mismatch is kIoError and the file is left untouched.
+  static Result<std::unique_ptr<ExtentFile>> Open(const std::string& path);
+
+  ~ExtentFile() override;
+  ExtentFile(const ExtentFile&) = delete;
+  ExtentFile& operator=(const ExtentFile&) = delete;
+
+  // --- BlockStore -------------------------------------------------------
+  uint64_t total_sectors() const override { return total_sectors_; }
+  uint32_t sector_bytes() const override { return sector_bytes_; }
+  Status ReadSectors(uint64_t lbn, uint32_t count, void* buf) const override;
+  Status WriteSectors(uint64_t lbn, uint32_t count, const void* buf) override;
+  /// Persists data (fsync) and rewrites the EAT + superblock with fresh
+  /// checksums.
+  Status Sync() override;
+
+  // --- Extent allocation ------------------------------------------------
+  uint32_t extent_sectors() const { return extent_sectors_; }
+  uint64_t extent_count() const { return extent_count_; }
+  /// Extents ever written (in-memory state; durable after Sync()).
+  uint64_t allocated_extents() const { return allocated_extents_; }
+  bool ExtentAllocated(uint64_t extent) const {
+    return (eat_[extent >> 3] >> (extent & 7)) & 1u;
+  }
+
+  /// Caller-owned commit counter persisted in the superblock by Sync();
+  /// 0 on a fresh store.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  ExtentFile() = default;
+
+  uint64_t DataOffset() const;
+  Status WriteMeta();  // superblock + EAT pages with fresh CRCs
+
+  std::string path_;
+  int fd_ = -1;
+  uint32_t sector_bytes_ = 0;
+  uint32_t extent_sectors_ = 0;
+  uint64_t total_sectors_ = 0;
+  uint64_t extent_count_ = 0;
+  uint64_t allocated_extents_ = 0;
+  uint64_t epoch_ = 0;
+  std::vector<uint8_t> eat_;  // bitmap, padded to whole metadata pages
+};
+
+}  // namespace mm::store

@@ -1,0 +1,41 @@
+// Byte-level helpers for the store's on-disk structures. Every persistent
+// structure (ExtentFile superblock and allocation table, CellIndex) is
+// serialized field by field in little-endian order through these helpers --
+// never by dumping host structs -- so the format is stable across
+// compilers, padding rules, and (byte-order aside) architectures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mm::store {
+
+/// Metadata page size: superblock and allocation-table regions are padded
+/// to this, keeping the data region page-aligned for O_DIRECT-style
+/// backends and mmap.
+constexpr size_t kMetaPageBytes = 4096;
+
+inline void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+}  // namespace mm::store

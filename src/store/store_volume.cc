@@ -1,0 +1,168 @@
+#include "store/store_volume.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "disk/geometry.h"
+
+namespace mm::store {
+
+std::string MemberFileName(uint32_t disk_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "member-%02u.mmx", disk_index);
+  return buf;
+}
+
+Result<std::unique_ptr<StoreVolume>> StoreVolume::Create(
+    const lvm::Volume& volume, const std::string& dir,
+    const StoreVolumeOptions& options) {
+  auto store = std::unique_ptr<StoreVolume>(new StoreVolume(volume));
+  store->dir_ = dir;
+  store->sector_bytes_ = options.sector_bytes;
+  for (uint32_t d = 0; d < volume.disk_count(); ++d) {
+    const uint64_t disk_sectors = volume.disk(d).geometry().total_sectors();
+    if (options.backend == StoreVolumeOptions::Backend::kMemory) {
+      store->members_.push_back(
+          std::make_unique<MemBlockStore>(disk_sectors, options.sector_bytes));
+      continue;
+    }
+    ExtentFileOptions efo;
+    efo.total_sectors = disk_sectors;
+    efo.sector_bytes = options.sector_bytes;
+    efo.extent_sectors = options.extent_sectors;
+    MM_ASSIGN_OR_RETURN(auto file,
+                        ExtentFile::Create(dir + "/" + MemberFileName(d), efo));
+    store->members_.push_back(std::move(file));
+  }
+  return store;
+}
+
+Result<std::unique_ptr<StoreVolume>> StoreVolume::Open(
+    const lvm::Volume& volume, const std::string& dir) {
+  auto store = std::unique_ptr<StoreVolume>(new StoreVolume(volume));
+  store->dir_ = dir;
+  for (uint32_t d = 0; d < volume.disk_count(); ++d) {
+    MM_ASSIGN_OR_RETURN(auto file,
+                        ExtentFile::Open(dir + "/" + MemberFileName(d)));
+    const uint64_t disk_sectors = volume.disk(d).geometry().total_sectors();
+    if (file->total_sectors() != disk_sectors) {
+      return Status::InvalidArgument(
+          "member " + std::to_string(d) + " holds " +
+          std::to_string(file->total_sectors()) + " sectors but the disk has " +
+          std::to_string(disk_sectors));
+    }
+    if (d == 0) {
+      store->sector_bytes_ = file->sector_bytes();
+    } else if (file->sector_bytes() != store->sector_bytes_) {
+      return Status::InvalidArgument(
+          "member sector sizes disagree across the store");
+    }
+    store->members_.push_back(std::move(file));
+  }
+  return store;
+}
+
+Result<lvm::Volume::Location> StoreVolume::ResolveRange(
+    uint64_t volume_lbn, uint32_t sectors) const {
+  if (sectors == 0) {
+    return Status::InvalidArgument("zero-sector store access");
+  }
+  MM_ASSIGN_OR_RETURN(auto first, volume_->Resolve(volume_lbn));
+  MM_ASSIGN_OR_RETURN(auto last,
+                      volume_->Resolve(volume_lbn + sectors - 1));
+  if (first.disk != last.disk) {
+    return Status::InvalidArgument(
+        "store access [" + std::to_string(volume_lbn) + ", " +
+        std::to_string(volume_lbn + sectors) +
+        ") straddles a member-disk boundary");
+  }
+  return first;
+}
+
+Status StoreVolume::Read(uint64_t volume_lbn, uint32_t sectors,
+                         void* buf) const {
+  return ReadCopy(volume_lbn, sectors, 0, buf);
+}
+
+Status StoreVolume::ReadCopy(uint64_t volume_lbn, uint32_t sectors,
+                             uint32_t copy, void* buf) const {
+  MM_RETURN_NOT_OK(ResolveRange(volume_lbn, sectors).status());
+  MM_ASSIGN_OR_RETURN(auto loc, volume_->ResolveReplica(volume_lbn, copy));
+  return members_[loc.disk]->ReadSectors(loc.lbn, sectors, buf);
+}
+
+Status StoreVolume::ReadAvoiding(uint64_t volume_lbn, uint32_t sectors,
+                                 uint64_t avoid_disk_mask, void* buf) const {
+  if (!volume_->replicated()) {
+    return Read(volume_lbn, sectors, buf);
+  }
+  MM_RETURN_NOT_OK(ResolveRange(volume_lbn, sectors).status());
+  for (uint32_t copy = 0; copy < volume_->replicas(); ++copy) {
+    MM_ASSIGN_OR_RETURN(auto loc, volume_->ResolveReplica(volume_lbn, copy));
+    if ((avoid_disk_mask >> loc.disk) & 1u) continue;
+    return members_[loc.disk]->ReadSectors(loc.lbn, sectors, buf);
+  }
+  return Status::Unavailable("every replica of volume LBN " +
+                             std::to_string(volume_lbn) +
+                             " is on an avoided disk");
+}
+
+Status StoreVolume::Write(uint64_t volume_lbn, uint32_t sectors,
+                          const void* buf) {
+  MM_RETURN_NOT_OK(ResolveRange(volume_lbn, sectors).status());
+  for (uint32_t copy = 0; copy < volume_->replicas(); ++copy) {
+    MM_ASSIGN_OR_RETURN(auto loc, volume_->ResolveReplica(volume_lbn, copy));
+    MM_RETURN_NOT_OK(members_[loc.disk]->WriteSectors(loc.lbn, sectors, buf));
+  }
+  return Status::OK();
+}
+
+Status StoreVolume::RebuildMember(uint32_t disk_index) {
+  if (!volume_->replicated()) {
+    return Status::NotSupported(
+        "RebuildMember requires a replicated volume");
+  }
+  if (disk_index >= volume_->disk_count()) {
+    return Status::InvalidArgument("no member disk " +
+                                   std::to_string(disk_index));
+  }
+  const uint32_t disks = static_cast<uint32_t>(volume_->disk_count());
+  const uint64_t region = volume_->primary_sectors();
+  const uint64_t chunk = volume_->chunk_sectors();
+  std::vector<uint8_t> buf(static_cast<size_t>(chunk) * sector_bytes_);
+  // Region k of the dead disk mirrors the primary region of disk
+  // (disk_index - k + D) % D; re-read each chunk from any copy living on
+  // another disk and write it back into the member store directly.
+  for (uint32_t k = 0; k < volume_->replicas(); ++k) {
+    const uint32_t primary = (disk_index + disks - k) % disks;
+    for (uint64_t off = 0; off < region; off += chunk) {
+      const uint32_t n =
+          static_cast<uint32_t>(std::min<uint64_t>(chunk, region - off));
+      const uint64_t vlbn = static_cast<uint64_t>(primary) * region + off;
+      const uint64_t self_mask = uint64_t{1} << disk_index;
+      MM_RETURN_NOT_OK(ReadAvoiding(vlbn, n, self_mask, buf.data()));
+      MM_RETURN_NOT_OK(members_[disk_index]->WriteSectors(
+          static_cast<uint64_t>(k) * region + off, n, buf.data()));
+    }
+  }
+  return members_[disk_index]->Sync();
+}
+
+Status StoreVolume::SyncAll() {
+  for (auto& m : members_) {
+    MM_RETURN_NOT_OK(m->Sync());
+  }
+  return Status::OK();
+}
+
+Status StoreVolume::ReadRequests(std::span<const disk::IoRequest> requests,
+                                 std::vector<uint8_t>* out) const {
+  for (const disk::IoRequest& r : requests) {
+    const size_t at = out->size();
+    out->resize(at + static_cast<size_t>(r.sectors) * sector_bytes_);
+    MM_RETURN_NOT_OK(Read(r.lbn, r.sectors, out->data() + at));
+  }
+  return Status::OK();
+}
+
+}  // namespace mm::store

@@ -1,0 +1,115 @@
+// StoreVolume: real bytes behind the simulated volume's address space.
+//
+// Binds one BlockStore per member disk of an lvm::Volume, reusing the
+// volume's own address arithmetic (Resolve / ResolveReplica) so the data
+// placement is, by construction, the placement the simulator times:
+// query::Session and the Executor keep planning and submitting against the
+// lvm::Volume unchanged, and every planned IoRequest doubles as a real
+// read through this adapter.
+//
+// Replication semantics mirror the volume's (volume.h class comment):
+// Write() fans out to all R copies, Read() serves the primary, and
+// ReadAvoiding() fails over to the first copy whose member disk is not in
+// the avoid mask -- the data-plane twin of Volume::SubmitAvoiding.
+// RebuildMember() re-derives every byte a member disk is responsible for
+// (its primary region and each mirror region it hosts) from surviving
+// copies, pairing with lvm::RebuildPlanner's simulated drain.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "disk/request.h"
+#include "lvm/volume.h"
+#include "store/block_store.h"
+#include "store/extent_file.h"
+#include "util/result.h"
+
+namespace mm::store {
+
+struct StoreVolumeOptions {
+  enum class Backend {
+    kFile,    ///< One ExtentFile per member disk under dir.
+    kMemory,  ///< MemBlockStore members (tests, RAM-reference runs).
+  };
+  Backend backend = Backend::kFile;
+  uint32_t sector_bytes = kDefaultSectorBytes;
+  /// ExtentFile allocation-table granularity (file backend).
+  uint32_t extent_sectors = 64;
+};
+
+class StoreVolume {
+ public:
+  /// Creates member stores for every disk of `volume` (file backend:
+  /// `dir`/member-NN.mmx, sized to the member's geometry). The volume is
+  /// borrowed and must outlive the store.
+  static Result<std::unique_ptr<StoreVolume>> Create(
+      const lvm::Volume& volume, const std::string& dir,
+      const StoreVolumeOptions& options = {});
+
+  /// Opens existing member files (file backend), validating that each
+  /// member's geometry matches the volume's.
+  static Result<std::unique_ptr<StoreVolume>> Open(const lvm::Volume& volume,
+                                                   const std::string& dir);
+
+  const lvm::Volume& volume() const { return *volume_; }
+  const std::string& dir() const { return dir_; }
+  uint32_t sector_bytes() const { return sector_bytes_; }
+  size_t member_count() const { return members_.size(); }
+  BlockStore& member(size_t i) { return *members_[i]; }
+  const BlockStore& member(size_t i) const { return *members_[i]; }
+
+  /// Reads `sectors` sectors at volume LBN `volume_lbn` from the primary
+  /// copy. Like Volume::Submit, the range must not straddle a member-disk
+  /// boundary.
+  Status Read(uint64_t volume_lbn, uint32_t sectors, void* buf) const;
+
+  /// Reads from copy `copy` (see Volume::ResolveReplica).
+  Status ReadCopy(uint64_t volume_lbn, uint32_t sectors, uint32_t copy,
+                  void* buf) const;
+
+  /// Reads from the first copy whose member disk is not in
+  /// `avoid_disk_mask` (bit d = member disk d); kUnavailable when every
+  /// copy is masked. Unreplicated volumes ignore the mask (there is only
+  /// one place the block can live) -- same contract as SubmitAvoiding.
+  Status ReadAvoiding(uint64_t volume_lbn, uint32_t sectors,
+                      uint64_t avoid_disk_mask, void* buf) const;
+
+  /// Writes to every replica of the range.
+  Status Write(uint64_t volume_lbn, uint32_t sectors, const void* buf);
+
+  /// Rewrites every region member `disk_index` hosts (primary + mirrors)
+  /// from surviving copies on other disks, in chunk_sectors() steps --
+  /// the data half of a rebuild; replicated volumes only.
+  Status RebuildMember(uint32_t disk_index);
+
+  /// Syncs every member store.
+  Status SyncAll();
+
+  /// Reads the payload of each planned request, in span order, appending
+  /// to `out` (requests.size() * sectors * sector_bytes total). This is
+  /// how an executor plan becomes real data.
+  Status ReadRequests(std::span<const disk::IoRequest> requests,
+                      std::vector<uint8_t>* out) const;
+
+ private:
+  explicit StoreVolume(const lvm::Volume& volume) : volume_(&volume) {}
+
+  /// Resolves a volume-addressed range to (member, local lbn), rejecting
+  /// boundary straddles.
+  Result<lvm::Volume::Location> ResolveRange(uint64_t volume_lbn,
+                                             uint32_t sectors) const;
+
+  const lvm::Volume* volume_;
+  std::string dir_;
+  uint32_t sector_bytes_ = 0;
+  std::vector<std::unique_ptr<BlockStore>> members_;
+};
+
+/// Member file name within a store directory: "member-NN.mmx".
+std::string MemberFileName(uint32_t disk_index);
+
+}  // namespace mm::store

@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+// Used by the persistent store (store/) to checksum on-disk metadata:
+// superblocks, extent allocation tables, and the bulk-load cell index.
+// Portable software implementation; metadata pages are small and cold, so
+// hardware CRC instructions would not be observable.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mm {
+
+namespace detail {
+
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC-32 of `len` bytes at `data`. Pass a previous result as `seed` to
+/// checksum discontiguous regions as one stream; 0 starts a fresh stream.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto& table = detail::Crc32Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace mm

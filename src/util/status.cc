@@ -1,5 +1,7 @@
 #include "util/status.h"
 
+#include <cstring>
+
 namespace mm {
 
 const char* StatusCodeName(StatusCode code) {
@@ -18,8 +20,15 @@ const char* StatusCodeName(StatusCode code) {
       return "CapacityExceeded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
+}
+
+Status ErrnoStatus(const std::string& context, int err) {
+  return Status::IoError(context + ": " + std::strerror(err) + " (errno " +
+                         std::to_string(err) + ")");
 }
 
 std::string Status::ToString() const {

@@ -22,6 +22,12 @@ enum class StatusCode : uint8_t {
   /// live replica remains for a volume LBN. Callers may treat this as
   /// retryable where kInvalidArgument is terminal.
   kUnavailable = 6,
+  /// A real I/O operation failed (open/read/write/fsync on the persistent
+  /// store, a checksum mismatch on an on-disk structure). Distinct from the
+  /// simulator's fault-injection outcomes, which surface as disk::IoStatus;
+  /// kIoError means the host filesystem said no. Use ErrnoStatus() to
+  /// attach errno context.
+  kIoError = 7,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -57,6 +63,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +82,11 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// kIoError carrying errno context: "<context>: <strerror(err)> (errno N)".
+/// Capture errno into `err` immediately after the failing call -- later
+/// library calls may clobber it.
+Status ErrnoStatus(const std::string& context, int err);
 
 /// Propagates a non-OK Status to the caller.
 #define MM_RETURN_NOT_OK(expr)                  \

@@ -1,0 +1,251 @@
+// External-sort bulk loading: spill/merge determinism (loaded bytes are
+// bit-identical whatever the memory budget), crash safety around the
+// rename commit point, index contents, and input validation.
+#include "store/bulk_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/naive.h"
+#include "util/rng.h"
+
+namespace mm::store {
+namespace {
+
+struct Point {
+  map::Cell cell;
+  std::vector<uint8_t> record;
+};
+
+// A reproducible skewed point stream over a {4, 4} grid.
+std::vector<Point> MakePoints(uint64_t count, uint32_t record_bytes) {
+  Rng rng(42);
+  std::vector<Point> points;
+  points.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Point p;
+    // Skew toward low cells so some cells stay empty.
+    const uint32_t x = static_cast<uint32_t>(rng.Uniform(4) * rng.Uniform(2));
+    const uint32_t y = static_cast<uint32_t>(rng.Uniform(4));
+    p.cell = map::MakeCell({x, y});
+    p.record.resize(record_bytes);
+    for (uint32_t b = 0; b < record_bytes; ++b) {
+      p.record[b] = static_cast<uint8_t>(i * 31 + b);
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+class BulkLoaderTest : public ::testing::Test {
+ protected:
+  BulkLoaderTest()
+      : vol_(std::vector<disk::DiskSpec>{disk::MakeTestDisk()}),
+        mapping_(map::GridShape{4, 4}, /*base_lbn=*/0, /*cell_sectors=*/2) {}
+
+  void SetUp() override {
+    char tmpl[] = "/tmp/mm_bulkload_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::unique_ptr<StoreVolume> NewMemStore() {
+    StoreVolumeOptions o;
+    o.backend = StoreVolumeOptions::Backend::kMemory;
+    auto store = StoreVolume::Create(vol_, dir_, o);
+    EXPECT_TRUE(store.ok()) << store.status();
+    return std::move(*store);
+  }
+
+  // Loads `points` under the given budget and returns the loader's stats;
+  // the loaded footprint bytes come back in *image.
+  BulkLoadStats Load(StoreVolume* store, const std::vector<Point>& points,
+                     uint64_t budget, std::vector<uint8_t>* image,
+                     CellIndex* index, uint32_t merge_fanin = 16) {
+    BulkLoadOptions opt;
+    opt.memory_budget_bytes = budget;
+    opt.record_bytes = 16;
+    opt.merge_fanin = merge_fanin;
+    auto loader = BulkLoader::Start(store, &mapping_, opt);
+    EXPECT_TRUE(loader.ok()) << loader.status();
+    for (const Point& p : points) {
+      EXPECT_TRUE((*loader)->Add(p.cell, p.record).ok());
+    }
+    auto stats = (*loader)->Finish();
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    image->resize(mapping_.footprint_sectors() * 512);
+    EXPECT_TRUE(store
+                    ->Read(0, static_cast<uint32_t>(
+                                  mapping_.footprint_sectors()),
+                           image->data())
+                    .ok());
+    *index = (*loader)->index();
+    return *stats;
+  }
+
+  lvm::Volume vol_;
+  map::NaiveMapping mapping_;
+  std::string dir_;
+};
+
+TEST_F(BulkLoaderTest, SpilledLoadIsBitIdenticalToInMemoryLoad) {
+  const auto points = MakePoints(200, 16);
+  auto mem_store = NewMemStore();
+  std::vector<uint8_t> ram_image;
+  CellIndex ram_index;
+  const auto ram_stats =
+      Load(mem_store.get(), points, /*budget=*/64 << 20, &ram_image,
+           &ram_index);
+  EXPECT_EQ(ram_stats.runs_spilled, 0u);
+  EXPECT_EQ(ram_stats.sort_passes, 1u);
+  EXPECT_EQ(ram_stats.points, 200u);
+
+  // Entry + record is 40 bytes: a 600-byte budget spills every 15 points,
+  // so 200 points produce 14 runs -- within the fan-in, one final merge.
+  auto spill_store = NewMemStore();
+  std::vector<uint8_t> spill_image;
+  CellIndex spill_index;
+  const auto spill_stats =
+      Load(spill_store.get(), points, /*budget=*/600, &spill_image,
+           &spill_index);
+  EXPECT_GE(spill_stats.runs_spilled, 2u);
+  EXPECT_EQ(spill_stats.sort_passes, 2u);
+  EXPECT_EQ(spill_image, ram_image);
+  EXPECT_TRUE(spill_index == ram_index);
+}
+
+TEST_F(BulkLoaderTest, IntermediateMergePassesPreserveBytes) {
+  const auto points = MakePoints(200, 16);
+  auto ref_store = NewMemStore();
+  std::vector<uint8_t> ref_image;
+  CellIndex ref_index;
+  Load(ref_store.get(), points, 64 << 20, &ref_image, &ref_index);
+
+  auto narrow_store = NewMemStore();
+  std::vector<uint8_t> narrow_image;
+  CellIndex narrow_index;
+  const auto stats = Load(narrow_store.get(), points, /*budget=*/200,
+                          &narrow_image, &narrow_index, /*merge_fanin=*/2);
+  EXPECT_GE(stats.merge_passes, 1u);
+  EXPECT_EQ(stats.sort_passes, 2u + stats.merge_passes);
+  EXPECT_EQ(narrow_image, ref_image);
+  EXPECT_TRUE(narrow_index == ref_index);
+}
+
+TEST_F(BulkLoaderTest, IndexCountsMatchTheLoad) {
+  const auto points = MakePoints(100, 16);
+  auto store = NewMemStore();
+  std::vector<uint8_t> image;
+  CellIndex index;
+  const auto stats = Load(store.get(), points, 64 << 20, &image, &index);
+  std::vector<uint32_t> expect(16, 0);
+  for (const Point& p : points) {
+    ++expect[mapping_.shape().LinearIndex(p.cell)];
+  }
+  uint64_t nonempty = 0, offset = 0;
+  for (uint64_t c = 0; c < 16; ++c) {
+    EXPECT_EQ(index.CountOf(c), expect[c]) << "cell " << c;
+    EXPECT_EQ(index.Empty(c), expect[c] == 0);
+    EXPECT_EQ(index.OffsetOf(c), offset);
+    offset += expect[c];
+    if (expect[c] > 0) ++nonempty;
+  }
+  EXPECT_EQ(index.nonempty_cells(), nonempty);
+  EXPECT_EQ(index.total_records(), 100u);
+  EXPECT_EQ(stats.cells_filled, nonempty);
+  EXPECT_EQ(stats.sectors_written, nonempty * 2);
+}
+
+TEST_F(BulkLoaderTest, InterruptedLoadLeavesNoCommittedIndex) {
+  const auto points = MakePoints(50, 16);
+  auto store = NewMemStore();
+  {
+    BulkLoadOptions opt;
+    opt.memory_budget_bytes = 200;
+    auto loader = BulkLoader::Start(store.get(), &mapping_, opt);
+    ASSERT_TRUE(loader.ok());
+    for (const Point& p : points) {
+      ASSERT_TRUE((*loader)->Add(p.cell, p.record).ok());
+    }
+    // Abandon before Finish(): runs stay behind as *.tmp litter.
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir_ + "/run-0000.tmp"));
+  auto index = BulkLoader::OpenIndex(dir_);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kIoError);
+  // The sweep removed the partial runs.
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/run-0000.tmp"));
+}
+
+TEST_F(BulkLoaderTest, CommittedIndexSurvivesTmpLitter) {
+  const auto points = MakePoints(50, 16);
+  auto store = NewMemStore();
+  std::vector<uint8_t> image;
+  CellIndex built;
+  Load(store.get(), points, 64 << 20, &image, &built);
+  // Simulate a later interrupted reload: stray tmp files next to the
+  // committed index.
+  { std::ofstream(dir_ + "/run-9999.tmp") << "partial"; }
+  { std::ofstream(dir_ + "/cell-index.tmp") << "partial"; }
+  auto reopened = BulkLoader::OpenIndex(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE(*reopened == built);
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/run-9999.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/cell-index.tmp"));
+}
+
+TEST_F(BulkLoaderTest, RejectsCellOverflowAndBadInput) {
+  auto store = NewMemStore();
+  // 512-byte records, 2-sector (1024-byte) cells: 2 records fit, 3 don't.
+  BulkLoadOptions opt;
+  opt.record_bytes = 512;
+  auto loader = BulkLoader::Start(store.get(), &mapping_, opt);
+  ASSERT_TRUE(loader.ok()) << loader.status();
+  const std::vector<uint8_t> rec(512, 0xAB);
+  const map::Cell cell = map::MakeCell({1, 1});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*loader)->Add(cell, rec).ok());
+  }
+  auto stats = (*loader)->Finish();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCapacityExceeded);
+
+  auto fresh = BulkLoader::Start(store.get(), &mapping_, opt);
+  ASSERT_TRUE(fresh.ok());
+  // Wrong record size and out-of-grid cells are rejected at Add().
+  EXPECT_EQ((*fresh)->Add(cell, std::vector<uint8_t>(16)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*fresh)->Add(map::MakeCell({9, 0}), rec).code(),
+            StatusCode::kInvalidArgument);
+
+  // Records must fit a cell slot.
+  BulkLoadOptions too_big;
+  too_big.record_bytes = 2048;
+  EXPECT_EQ(BulkLoader::Start(store.get(), &mapping_, too_big)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BulkLoaderTest, RejectsMappingBeyondTheVolume) {
+  auto store = NewMemStore();
+  // 100 x 100 cells x 2 sectors needs 20000 sectors; the volume has 288.
+  map::NaiveMapping huge(map::GridShape{100, 100}, 0, 2);
+  EXPECT_EQ(BulkLoader::Start(store.get(), &huge, {}).status().code(),
+            StatusCode::kCapacityExceeded);
+}
+
+}  // namespace
+}  // namespace mm::store

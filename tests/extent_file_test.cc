@@ -1,0 +1,178 @@
+// On-disk format of the ExtentFile block store: superblock round-trip,
+// checksum-detected corruption rejection, sparse-zero semantics, and the
+// extent allocation table (see extent_file.h layout comment).
+#include "store/extent_file.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace mm::store {
+namespace {
+
+class ExtentFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/mm_extent_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/store.mmx";
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  static ExtentFileOptions SmallOptions() {
+    ExtentFileOptions o;
+    o.total_sectors = 288;
+    o.sector_bytes = 512;
+    o.extent_sectors = 32;
+    return o;
+  }
+
+  // Flips one byte of the file at `offset`.
+  void CorruptByte(uint64_t offset) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    ASSERT_NE(std::fputc(c ^ 0x5A, f), EOF);
+    std::fclose(f);
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+std::vector<uint8_t> Pattern(size_t bytes, uint8_t seed) {
+  std::vector<uint8_t> v(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    v[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return v;
+}
+
+TEST_F(ExtentFileTest, SuperblockRoundTrip) {
+  const auto opt = SmallOptions();
+  const auto data = Pattern(3 * 512, 11);
+  {
+    auto file = ExtentFile::Create(path_, opt);
+    ASSERT_TRUE(file.ok()) << file.status();
+    EXPECT_EQ((*file)->total_sectors(), 288u);
+    EXPECT_EQ((*file)->sector_bytes(), 512u);
+    EXPECT_EQ((*file)->extent_sectors(), 32u);
+    EXPECT_EQ((*file)->extent_count(), 9u);
+    EXPECT_EQ((*file)->epoch(), 0u);
+    ASSERT_TRUE((*file)->WriteSectors(100, 3, data.data()).ok());
+    (*file)->set_epoch(7);
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  auto file = ExtentFile::Open(path_);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ((*file)->total_sectors(), 288u);
+  EXPECT_EQ((*file)->sector_bytes(), 512u);
+  EXPECT_EQ((*file)->extent_sectors(), 32u);
+  EXPECT_EQ((*file)->epoch(), 7u);
+  std::vector<uint8_t> got(data.size());
+  ASSERT_TRUE((*file)->ReadSectors(100, 3, got.data()).ok());
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(ExtentFileTest, UnwrittenSectorsReadAsZeros) {
+  auto file = ExtentFile::Create(path_, SmallOptions());
+  ASSERT_TRUE(file.ok()) << file.status();
+  std::vector<uint8_t> got(2 * 512, 0xFF);
+  ASSERT_TRUE((*file)->ReadSectors(200, 2, got.data()).ok());
+  EXPECT_EQ(got, std::vector<uint8_t>(2 * 512, 0));
+}
+
+TEST_F(ExtentFileTest, EatTracksWrittenExtents) {
+  auto file = ExtentFile::Create(path_, SmallOptions());
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ((*file)->allocated_extents(), 0u);
+  const auto data = Pattern(512, 3);
+  // Sector 40 lives in extent 1 (32-sector extents).
+  ASSERT_TRUE((*file)->WriteSectors(40, 1, data.data()).ok());
+  EXPECT_TRUE((*file)->ExtentAllocated(1));
+  EXPECT_FALSE((*file)->ExtentAllocated(0));
+  EXPECT_EQ((*file)->allocated_extents(), 1u);
+  // A write spanning extents 2..3 marks both.
+  const auto wide = Pattern(40 * 512, 5);
+  ASSERT_TRUE((*file)->WriteSectors(64, 40, wide.data()).ok());
+  EXPECT_TRUE((*file)->ExtentAllocated(2));
+  EXPECT_TRUE((*file)->ExtentAllocated(3));
+  EXPECT_EQ((*file)->allocated_extents(), 3u);
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto reopened = ExtentFile::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->allocated_extents(), 3u);
+  EXPECT_TRUE((*reopened)->ExtentAllocated(1));
+  EXPECT_FALSE((*reopened)->ExtentAllocated(8));
+}
+
+TEST_F(ExtentFileTest, RejectsOutOfRangeAccess) {
+  auto file = ExtentFile::Create(path_, SmallOptions());
+  ASSERT_TRUE(file.ok()) << file.status();
+  std::vector<uint8_t> buf(2 * 512);
+  EXPECT_EQ((*file)->ReadSectors(287, 2, buf.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ((*file)->WriteSectors(288, 1, buf.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ((*file)->ReadSectors(0, 0, buf.data()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExtentFileTest, CorruptSuperblockIsRejected) {
+  { auto f = ExtentFile::Create(path_, SmallOptions()); ASSERT_TRUE(f.ok()); }
+  CorruptByte(24);  // total_sectors field inside the checksummed page
+  auto reopened = ExtentFile::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ExtentFileTest, CorruptEatIsRejected) {
+  {
+    auto f = ExtentFile::Create(path_, SmallOptions());
+    ASSERT_TRUE(f.ok());
+    const auto data = Pattern(512, 9);
+    ASSERT_TRUE((*f)->WriteSectors(0, 1, data.data()).ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  CorruptByte(4096);  // first EAT page
+  auto reopened = ExtentFile::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ExtentFileTest, BadMagicIsRejected) {
+  { auto f = ExtentFile::Create(path_, SmallOptions()); ASSERT_TRUE(f.ok()); }
+  CorruptByte(0);
+  auto reopened = ExtentFile::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ExtentFileTest, TruncatedFileIsRejected) {
+  { auto f = ExtentFile::Create(path_, SmallOptions()); ASSERT_TRUE(f.ok()); }
+  ASSERT_EQ(truncate(path_.c_str(), 4096), 0);
+  auto reopened = ExtentFile::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ExtentFileTest, MissingFileIsIoError) {
+  auto missing = ExtentFile::Open(dir_ + "/nope.mmx");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mm::store

@@ -1,0 +1,200 @@
+// Acceptance of the persistent store (ISSUE 7): a dataset exceeding the
+// memory budget bulk-loads through the external-sort path (>= 2 spill
+// runs merged), reopens from disk, and serves an executor-planned
+// query::Session range workload whose bytes are bit-identical to the
+// in-RAM (MemBlockStore) reference path. Also pins the planner's
+// vacant-region consult: occupancy pruning drops only dead sectors.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/multimap.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "query/executor.h"
+#include "query/session.h"
+#include "store/bulk_loader.h"
+#include "store/store_volume.h"
+#include "util/rng.h"
+
+namespace mm::store {
+namespace {
+
+class StoreSessionTest : public ::testing::Test {
+ protected:
+  StoreSessionTest() : vol_(std::vector<disk::DiskSpec>{disk::MakeTestDisk()}) {
+    auto mapping = core::MultiMapMapping::Create(vol_, map::GridShape{5, 3, 3});
+    EXPECT_TRUE(mapping.ok()) << mapping.status();
+    mapping_ = std::move(*mapping);
+  }
+
+  void SetUp() override {
+    char tmpl[] = "/tmp/mm_storesess_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  // Streams the workload's points: the x = 4 plane stays vacant so the
+  // occupancy consult has something to prune.
+  static void StreamPoints(
+      uint64_t count,
+      const std::function<void(const map::Cell&, const std::vector<uint8_t>&)>&
+          emit) {
+    Rng rng(7);
+    std::vector<uint8_t> rec(16);
+    for (uint64_t i = 0; i < count; ++i) {
+      const map::Cell cell =
+          map::MakeCell({static_cast<uint32_t>(rng.Uniform(4)),
+                         static_cast<uint32_t>(rng.Uniform(3)),
+                         static_cast<uint32_t>(rng.Uniform(3))});
+      for (uint32_t b = 0; b < 16; ++b) {
+        rec[b] = static_cast<uint8_t>(i * 17 + b * 3);
+      }
+      emit(cell, rec);
+    }
+  }
+
+  Result<BulkLoadStats> LoadInto(StoreVolume* store, uint64_t budget,
+                                 CellIndex* index) {
+    BulkLoadOptions opt;
+    opt.memory_budget_bytes = budget;
+    opt.record_bytes = 16;
+    MM_ASSIGN_OR_RETURN(auto loader,
+                        BulkLoader::Start(store, mapping_.get(), opt));
+    Status add_status = Status::OK();
+    StreamPoints(300, [&](const map::Cell& cell,
+                          const std::vector<uint8_t>& rec) {
+      if (add_status.ok()) add_status = loader->Add(cell, rec);
+    });
+    MM_RETURN_NOT_OK(add_status);
+    MM_ASSIGN_OR_RETURN(auto stats, loader->Finish());
+    *index = loader->index();
+    return stats;
+  }
+
+  std::vector<map::Box> Workload() const {
+    std::vector<map::Box> boxes;
+    boxes.push_back(map::Box::Full(mapping_->shape()));
+    map::Box beamish;  // a Dim0 beam as a degenerate range
+    beamish.lo = map::MakeCell({0, 1, 1});
+    beamish.hi = map::MakeCell({5, 2, 2});
+    boxes.push_back(beamish);
+    map::Box corner;
+    corner.lo = map::MakeCell({2, 0, 1});
+    corner.hi = map::MakeCell({5, 2, 3});
+    boxes.push_back(corner);
+    return boxes;
+  }
+
+  lvm::Volume vol_;
+  std::unique_ptr<core::MultiMapMapping> mapping_;
+  std::string dir_;
+};
+
+TEST_F(StoreSessionTest, ExternalSortLoadServesBitIdenticalQueries) {
+  // Reference: in-RAM backend, budget large enough to never spill.
+  StoreVolumeOptions mem_opt;
+  mem_opt.backend = StoreVolumeOptions::Backend::kMemory;
+  const std::string ram_dir = dir_ + "/ram", disk_dir = dir_ + "/disk";
+  ASSERT_TRUE(std::filesystem::create_directories(ram_dir));
+  ASSERT_TRUE(std::filesystem::create_directories(disk_dir));
+  auto mem_store = StoreVolume::Create(vol_, ram_dir, mem_opt);
+  ASSERT_TRUE(mem_store.ok()) << mem_store.status();
+  CellIndex mem_index;
+  auto mem_stats = LoadInto(mem_store->get(), 64 << 20, &mem_index);
+  ASSERT_TRUE(mem_stats.ok()) << mem_stats.status();
+  EXPECT_EQ(mem_stats->runs_spilled, 0u);
+
+  // Persistent path: a 1200-byte budget forces a spill every 30 points,
+  // 300 points -> 10 runs through the external-sort merge.
+  {
+    auto file_store = StoreVolume::Create(vol_, disk_dir);
+    ASSERT_TRUE(file_store.ok()) << file_store.status();
+    CellIndex file_index;
+    auto file_stats = LoadInto(file_store->get(), 1200, &file_index);
+    ASSERT_TRUE(file_stats.ok()) << file_stats.status();
+    EXPECT_GE(file_stats->runs_spilled, 2u);
+    EXPECT_EQ(file_stats->points, 300u);
+    EXPECT_TRUE(file_index == mem_index);
+  }  // close every member file before reopening
+
+  auto reopened = StoreVolume::Open(vol_, disk_dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  auto reopened_index = BulkLoader::OpenIndex(disk_dir);
+  ASSERT_TRUE(reopened_index.ok()) << reopened_index.status();
+  EXPECT_TRUE(*reopened_index == mem_index);
+
+  // The executor plans against the unchanged lvm::Volume; each planned
+  // request reads real bytes from both backends identically.
+  query::Executor exec(&vol_, mapping_.get());
+  for (const map::Box& box : Workload()) {
+    const query::QueryPlan plan = exec.Plan(box);
+    ASSERT_FALSE(plan.requests.empty());
+    std::vector<uint8_t> from_ram, from_disk;
+    ASSERT_TRUE((*mem_store)->ReadRequests(plan.requests, &from_ram).ok());
+    ASSERT_TRUE((*reopened)->ReadRequests(plan.requests, &from_disk).ok());
+    EXPECT_EQ(from_ram, from_disk);
+    EXPECT_FALSE(from_ram.empty());
+  }
+
+  // The same volume + executor serve a Session range workload unchanged.
+  query::Session session(&vol_, &exec);
+  const auto boxes = Workload();
+  auto stats = session.Run(boxes, query::ArrivalProcess::Closed(1));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(session.completions().size(), boxes.size());
+  EXPECT_EQ(stats->failed, 0u);
+  EXPECT_GT(stats->makespan_ms, 0.0);
+}
+
+TEST_F(StoreSessionTest, OccupancyPruningDropsOnlyVacantSectors) {
+  StoreVolumeOptions mem_opt;
+  mem_opt.backend = StoreVolumeOptions::Backend::kMemory;
+  auto store = StoreVolume::Create(vol_, dir_, mem_opt);
+  ASSERT_TRUE(store.ok()) << store.status();
+  CellIndex index;
+  auto stats = LoadInto(store->get(), 64 << 20, &index);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_LT(index.nonempty_cells(), index.cell_count());  // x=4 is vacant
+
+  const auto occ = index.BuildOccupancy(*mapping_);
+  EXPECT_EQ(occ.occupied_sectors(),
+            index.nonempty_cells() * mapping_->cell_sectors());
+
+  query::Executor exec(&vol_, mapping_.get());
+  const query::QueryPlan plan = exec.Plan(map::Box::Full(mapping_->shape()));
+  std::vector<disk::IoRequest> pruned;
+  occ.Prune(plan.requests, &pruned);
+
+  uint64_t full_sectors = 0, pruned_sectors = 0;
+  for (const auto& r : plan.requests) full_sectors += r.sectors;
+  for (const auto& r : pruned) {
+    pruned_sectors += r.sectors;
+    for (uint32_t s = 0; s < r.sectors; ++s) {
+      EXPECT_TRUE(occ.Occupied(r.lbn + s));
+    }
+  }
+  // The full-grid plan covers every cell; pruning keeps exactly the
+  // occupied ones.
+  EXPECT_LT(pruned_sectors, full_sectors);
+  EXPECT_EQ(pruned_sectors, occ.occupied_sectors());
+
+  // The kept sectors still carry the loaded records.
+  std::vector<uint8_t> kept_bytes;
+  ASSERT_TRUE((*store)->ReadRequests(pruned, &kept_bytes).ok());
+  uint64_t nonzero = 0;
+  for (uint8_t b : kept_bytes) nonzero += b != 0;
+  EXPECT_GT(nonzero, 0u);
+}
+
+}  // namespace
+}  // namespace mm::store

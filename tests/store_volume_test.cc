@@ -1,0 +1,163 @@
+// StoreVolume: the data-plane twin of lvm::Volume. Replica fan-out on
+// writes, primary and failover reads, straddle rejection, member rebuild
+// from surviving copies, and file-backend persistence round-trips.
+#include "store/store_volume.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "disk/spec.h"
+#include "lvm/volume.h"
+
+namespace mm::store {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t bytes, uint8_t seed) {
+  std::vector<uint8_t> v(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    v[i] = static_cast<uint8_t>(seed + i * 13);
+  }
+  return v;
+}
+
+StoreVolumeOptions MemoryBackend() {
+  StoreVolumeOptions o;
+  o.backend = StoreVolumeOptions::Backend::kMemory;
+  return o;
+}
+
+TEST(StoreVolumeTest, UnreplicatedRoundTripAndStraddleRejection) {
+  // Two 288-sector disks concatenated: volume LBN 288 starts disk 1.
+  lvm::Volume vol(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                              disk::MakeTestDisk()});
+  auto store = StoreVolume::Create(vol, "", MemoryBackend());
+  ASSERT_TRUE(store.ok()) << store.status();
+  const auto data = Pattern(4 * 512, 21);
+  ASSERT_TRUE((*store)->Write(286, 2, data.data()).ok());
+  ASSERT_TRUE((*store)->Write(288, 2, data.data() + 2 * 512).ok());
+  std::vector<uint8_t> got(2 * 512);
+  ASSERT_TRUE((*store)->Read(288, 2, got.data()).ok());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), data.begin() + 2 * 512));
+  // [287, 289) crosses the member boundary: rejected like Volume::Submit.
+  EXPECT_EQ((*store)->Read(287, 2, got.data()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*store)->Write(287, 2, data.data()).code(),
+            StatusCode::kInvalidArgument);
+  // The mask is ignored without replication -- there is only one copy.
+  ASSERT_TRUE((*store)->ReadAvoiding(288, 2, ~0ull, got.data()).ok());
+}
+
+class ReplicatedStoreTest : public ::testing::Test {
+ protected:
+  // 2 disks, 2 copies, 16-sector chunks: P = 144, logical capacity 288
+  // (see replicated_volume_test.cc).
+  ReplicatedStoreTest()
+      : vol_(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                         disk::MakeTestDisk()},
+             lvm::ReplicationOptions{2, 16}) {
+    auto store = StoreVolume::Create(vol_, "", MemoryBackend());
+    EXPECT_TRUE(store.ok()) << store.status();
+    store_ = std::move(*store);
+  }
+
+  lvm::Volume vol_;
+  std::unique_ptr<StoreVolume> store_;
+};
+
+TEST_F(ReplicatedStoreTest, WriteFansOutToEveryReplica) {
+  const auto data = Pattern(2 * 512, 3);
+  // Volume LBN 150: primary on disk 1 local 6, mirror on disk 0 local 150.
+  ASSERT_TRUE(store_->Write(150, 2, data.data()).ok());
+  std::vector<uint8_t> got(2 * 512);
+  ASSERT_TRUE(store_->member(1).ReadSectors(6, 2, got.data()).ok());
+  EXPECT_EQ(got, data);
+  ASSERT_TRUE(store_->member(0).ReadSectors(150, 2, got.data()).ok());
+  EXPECT_EQ(got, data);
+  // Both copy-addressed reads agree.
+  std::vector<uint8_t> copy(2 * 512);
+  ASSERT_TRUE(store_->ReadCopy(150, 2, 0, copy.data()).ok());
+  EXPECT_EQ(copy, data);
+  ASSERT_TRUE(store_->ReadCopy(150, 2, 1, copy.data()).ok());
+  EXPECT_EQ(copy, data);
+}
+
+TEST_F(ReplicatedStoreTest, ReadAvoidingFailsOverAndExhausts) {
+  const auto data = Pattern(512, 7);
+  ASSERT_TRUE(store_->Write(10, 1, data.data()).ok());
+  std::vector<uint8_t> got(512);
+  // Avoiding disk 0 (the primary for LBN 10) serves the mirror on disk 1.
+  ASSERT_TRUE(store_->ReadAvoiding(10, 1, 1u << 0, got.data()).ok());
+  EXPECT_EQ(got, data);
+  // Avoiding both disks leaves no live copy.
+  EXPECT_EQ(store_->ReadAvoiding(10, 1, 0b11, got.data()).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(ReplicatedStoreTest, RebuildMemberRestoresEveryRegion) {
+  // Fill the whole logical space with a position-dependent pattern.
+  std::vector<uint8_t> all(288 * 512);
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<uint8_t>((i * 31) >> 3);
+  }
+  for (uint64_t lbn = 0; lbn < 288; lbn += 8) {
+    ASSERT_TRUE(store_->Write(lbn, 8, all.data() + lbn * 512).ok());
+  }
+  // Wipe member 1 (as a replacement blank disk would be).
+  std::vector<uint8_t> zeros(288 * 512, 0);
+  ASSERT_TRUE(store_->member(1).WriteSectors(0, 288, zeros.data()).ok());
+  ASSERT_TRUE(store_->RebuildMember(1).ok());
+  // Every logical sector reads back correctly from both copies.
+  std::vector<uint8_t> got(512);
+  for (uint64_t lbn = 0; lbn < 288; ++lbn) {
+    for (uint32_t copy = 0; copy < 2; ++copy) {
+      ASSERT_TRUE(store_->ReadCopy(lbn, 1, copy, got.data()).ok());
+      ASSERT_TRUE(std::equal(got.begin(), got.end(), all.begin() + lbn * 512))
+          << "lbn " << lbn << " copy " << copy;
+    }
+  }
+}
+
+TEST_F(ReplicatedStoreTest, RebuildRequiresValidMember) {
+  EXPECT_EQ(store_->RebuildMember(5).code(), StatusCode::kInvalidArgument);
+  lvm::Volume plain(std::vector<disk::DiskSpec>{disk::MakeTestDisk()});
+  auto store = StoreVolume::Create(plain, "", MemoryBackend());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->RebuildMember(0).code(), StatusCode::kNotSupported);
+}
+
+TEST(StoreVolumeFileTest, PersistsAcrossOpen) {
+  char tmpl[] = "/tmp/mm_storevol_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  lvm::Volume vol(std::vector<disk::DiskSpec>{disk::MakeTestDisk(),
+                                              disk::MakeTestDisk()},
+                  lvm::ReplicationOptions{2, 16});
+  const auto data = Pattern(3 * 512, 9);
+  {
+    auto store = StoreVolume::Create(vol, dir);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE((*store)->Write(20, 3, data.data()).ok());
+    ASSERT_TRUE((*store)->SyncAll().ok());
+  }
+  auto reopened = StoreVolume::Open(vol, dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->member_count(), 2u);
+  std::vector<uint8_t> got(3 * 512);
+  for (uint32_t copy = 0; copy < 2; ++copy) {
+    ASSERT_TRUE((*reopened)->ReadCopy(20, 3, copy, got.data()).ok());
+    EXPECT_EQ(got, data);
+  }
+  // A volume with mismatched geometry is rejected on open.
+  lvm::Volume bigger(std::vector<disk::DiskSpec>{
+      disk::MakeTestDisk(), disk::MakeTestDisk(), disk::MakeTestDisk()});
+  EXPECT_FALSE(StoreVolume::Open(bigger, dir).ok());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace mm::store
