@@ -17,10 +17,39 @@
 #include "mapping/naive.h"
 #include "query/executor.h"
 #include "query/query.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace mm::bench {
+
+/// Skewed point workload over a 3-D grid: most queries hammer a hot band
+/// in the first `band` Dim2 planes (a low-LBN region under the row-major
+/// Naive mapping) while `cold_per_10` of every 10 probe a same-sized cold
+/// band at the far edge -- a long seek away, and exactly the requests a
+/// positioning-first policy starves (bench/fairness_overload) or a
+/// working-set cache never retains (bench/cache_tier). Defaults reproduce
+/// the original 90/10 fairness workload bit-for-bit.
+inline std::vector<map::Box> SkewedPoints(const map::GridShape& shape,
+                                          size_t n, uint64_t seed,
+                                          uint32_t band = 4,
+                                          uint32_t cold_per_10 = 1) {
+  Rng rng(seed);
+  std::vector<map::Box> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    map::Box b;
+    b.lo[0] = static_cast<uint32_t>(rng.Uniform(shape.dim(0)));
+    b.lo[1] = static_cast<uint32_t>(rng.Uniform(shape.dim(1)));
+    const bool cold = i % 10 >= 10 - cold_per_10;
+    b.lo[2] = cold ? shape.dim(2) - band +
+                         static_cast<uint32_t>(rng.Uniform(band))
+                   : static_cast<uint32_t>(rng.Uniform(band));
+    for (uint32_t d = 0; d < 3; ++d) b.hi[d] = b.lo[d] + 1;
+    boxes.push_back(b);
+  }
+  return boxes;
+}
 
 /// The comparison set of Section 5: Naive, Z-order, Hilbert, MultiMap.
 /// Pass include_gray=true to add the Gray-code curve from related work.

@@ -36,30 +36,6 @@
 namespace mm::bench {
 namespace {
 
-// 90% hot points in the first few Dim2 planes (a low-LBN band under the
-// row-major Naive mapping), 10% cold probes in the last planes (a far seek
-// away). SPTF keeps winning picks inside the hot band, so the cold probes
-// are exactly the requests a positioning-first policy starves.
-std::vector<map::Box> SkewedPoints(const map::GridShape& shape, size_t n,
-                                   uint64_t seed) {
-  Rng rng(seed);
-  std::vector<map::Box> boxes;
-  boxes.reserve(n);
-  const uint32_t band = 4;
-  for (size_t i = 0; i < n; ++i) {
-    map::Box b;
-    b.lo[0] = static_cast<uint32_t>(rng.Uniform(shape.dim(0)));
-    b.lo[1] = static_cast<uint32_t>(rng.Uniform(shape.dim(1)));
-    const bool cold = i % 10 == 9;
-    b.lo[2] = cold ? shape.dim(2) - band +
-                         static_cast<uint32_t>(rng.Uniform(band))
-                   : static_cast<uint32_t>(rng.Uniform(band));
-    for (uint32_t d = 0; d < 3; ++d) b.hi[d] = b.lo[d] + 1;
-    boxes.push_back(b);
-  }
-  return boxes;
-}
-
 struct FairnessPoint {
   std::string policy;
   double max_age_ms = 0;

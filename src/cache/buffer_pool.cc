@@ -1,0 +1,130 @@
+#include "cache/buffer_pool.h"
+
+#include <cassert>
+
+namespace mm::cache {
+
+BufferPool::BufferPool(const map::Mapping& mapping, BufferPoolOptions options)
+    : mapping_(&mapping),
+      options_(options),
+      base_lbn_(mapping.base_lbn()),
+      span_(mapping.footprint_sectors()),
+      cell_sectors_(mapping.cell_sectors()),
+      frame_count_((span_ + mapping.cell_sectors() - 1) /
+                   mapping.cell_sectors()),
+      policy_(MakePolicy(options.policy, options.capacity_cells)),
+      bits_((span_ + 63) / 64, 0) {
+  assert(options_.capacity_cells > 0);
+  assert(cell_sectors_ > 0);
+}
+
+void BufferPool::SetResidencyBits(uint64_t frame, bool on) {
+  const uint64_t first = frame * cell_sectors_;
+  for (uint32_t s = 0; s < cell_sectors_; ++s) {
+    const uint64_t i = first + s;
+    if (i >= span_) break;
+    if (on) {
+      bits_[i >> 6] |= uint64_t{1} << (i & 63);
+    } else {
+      bits_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    }
+  }
+}
+
+void BufferPool::MaybeDrop(std::unordered_map<uint64_t, Frame>::iterator it) {
+  if (!it->second.resident && it->second.fills_inflight == 0 &&
+      it->second.pins == 0) {
+    frames_.erase(it);
+  }
+}
+
+bool BufferPool::Touch(uint64_t frame) {
+  auto it = frames_.find(frame);
+  if (it != frames_.end() && it->second.resident) {
+    ++stats_.hits;
+    policy_->OnHit(frame);
+    return true;
+  }
+  ++stats_.misses;
+  policy_->OnMiss(frame);
+  return false;
+}
+
+void BufferPool::Pin(uint64_t frame) { ++frames_[frame].pins; }
+
+void BufferPool::Unpin(uint64_t frame) {
+  auto it = frames_.find(frame);
+  if (it == frames_.end() || it->second.pins == 0) return;
+  --it->second.pins;
+  MaybeDrop(it);
+}
+
+void BufferPool::BeginFill(uint64_t frame) {
+  Frame& f = frames_[frame];
+  ++f.fills_inflight;
+  ++f.pins;
+}
+
+void BufferPool::CompleteFill(uint64_t frame) {
+  auto it = frames_.find(frame);
+  if (it == frames_.end() || it->second.fills_inflight == 0) return;
+  --it->second.fills_inflight;
+  if (it->second.pins > 0) --it->second.pins;  // release the BeginFill pin
+  if (it->second.resident) {
+    // A concurrent fill of an already-resident frame: nothing to install.
+    MaybeDrop(it);
+    return;
+  }
+  // Make room. A pinned victim candidate is skipped by the policy; when
+  // every resident frame is pinned the pool runs over capacity rather
+  // than evict data an in-flight query depends on.
+  while (resident_ >= options_.capacity_cells) {
+    uint64_t victim;
+    bool skipped = false;
+    const bool ok = policy_->EvictOne(
+        [&](uint64_t cand) {
+          const auto cit = frames_.find(cand);
+          const bool evictable = cit == frames_.end() || cit->second.pins == 0;
+          if (!evictable) skipped = true;
+          return evictable;
+        },
+        &victim);
+    if (skipped) ++stats_.pinned_skips;
+    if (!ok) break;
+    auto vit = frames_.find(victim);
+    if (vit != frames_.end()) {
+      vit->second.resident = false;
+      SetResidencyBits(victim, false);
+      --resident_;
+      ++stats_.evictions;
+      MaybeDrop(vit);
+    }
+  }
+  // `it` survived the eviction loop: erase never invalidates other
+  // iterators, and the victim is always a resident frame != `frame`.
+  it->second.resident = true;
+  SetResidencyBits(frame, true);
+  ++resident_;
+  ++stats_.fills;
+  policy_->OnAdmit(frame);
+}
+
+void BufferPool::AbandonFill(uint64_t frame) {
+  auto it = frames_.find(frame);
+  if (it == frames_.end() || it->second.fills_inflight == 0) return;
+  --it->second.fills_inflight;
+  if (it->second.pins > 0) --it->second.pins;
+  ++stats_.abandoned;
+  policy_->OnAbandon(frame);
+  MaybeDrop(it);
+}
+
+void BufferPool::Clear() {
+  frames_.clear();
+  bits_.assign(bits_.size(), 0);
+  resident_ = 0;
+  stats_ = BufferPoolStats{};
+  policy_ = MakePolicy(options_.policy, options_.capacity_cells);
+}
+
+}  // namespace mm::cache

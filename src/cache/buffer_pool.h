@@ -1,0 +1,170 @@
+// The buffer-pool tier between query::Session and lvm::Volume.
+//
+// Frames are whole cells of one Mapping's footprint: key = linear frame
+// index (lbn - base_lbn) / cell_sectors, each frame covering cell_sectors
+// contiguous sectors. Residency truth is a sector bitvector over the
+// footprint (the ResidencyFilter the executor's filter stage consults);
+// recency/frequency bookkeeping and victim choice live in a pluggable
+// CachePolicy (LRU or ARC, cache/policy.h).
+//
+// Fill lifecycle: a planned miss calls BeginFill (the frame is reserved
+// and pinned, but NOT resident -- concurrent queries for the same cell
+// still read the volume; there is no read dedup in this model), the miss
+// completion calls CompleteFill (installs residency, unpins, evicting an
+// unpinned victim first when at capacity), a failed read calls
+// AbandonFill. Pin/Unpin additionally protect resident frames an
+// in-flight query has classified resident: eviction skips pinned frames,
+// so the data a plan counted on stays present until the query completes.
+//
+// The pool is deterministic (no clocks, no randomization): a seeded
+// workload replays to identical hits, misses, and evictions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.h"
+#include "cache/sector_filter.h"
+#include "mapping/mapping.h"
+
+namespace mm::cache {
+
+struct BufferPoolOptions {
+  /// Resident frames (cells) the pool may hold. Must be positive.
+  uint64_t capacity_cells = 1024;
+  PolicyKind policy = PolicyKind::kLru;
+};
+
+/// Hit/miss/eviction accounting. `hits`/`misses` count Touch() consults
+/// (one per planned cell); fills/evictions count frame transitions.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t fills = 0;        ///< CompleteFill installs (incl. re-installs).
+  uint64_t evictions = 0;    ///< Frames displaced to make room.
+  uint64_t abandoned = 0;    ///< Fills dropped by AbandonFill.
+  uint64_t pinned_skips = 0; ///< Evictions that had to skip a pinned frame.
+
+  double HitRate() const {
+    const uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+class BufferPool {
+ public:
+  /// A pool over `mapping`'s footprint: frames are the mapping's cells.
+  /// The mapping is borrowed and must outlive the pool.
+  BufferPool(const map::Mapping& mapping, BufferPoolOptions options);
+
+  uint64_t capacity_cells() const { return options_.capacity_cells; }
+  PolicyKind policy() const { return options_.policy; }
+  const char* policy_name() const { return policy_->name(); }
+
+  /// The sector-residency view the executor's filter stage consults
+  /// (Class::kResident for sectors of resident frames, kSubmit
+  /// otherwise). Borrowed; valid for the pool's lifetime.
+  const SectorFilter& filter() const { return filter_; }
+
+  /// Frame index of a footprint LBN (valid for base <= lbn < base + span).
+  uint64_t FrameOf(uint64_t lbn) const {
+    return (lbn - base_lbn_) / cell_sectors_;
+  }
+  uint64_t frame_count() const { return frame_count_; }
+
+  /// Frames overlapping [lbn, lbn + sectors), clipped to the footprint.
+  /// Returns false (and *count = 0) when the span misses it entirely.
+  bool FrameRange(uint64_t lbn, uint64_t sectors, uint64_t* first,
+                  uint32_t* count) const {
+    const uint64_t lo = std::max(lbn, base_lbn_);
+    const uint64_t hi = std::min(lbn + sectors, base_lbn_ + span_);
+    if (lo >= hi) {
+      *count = 0;
+      return false;
+    }
+    *first = FrameOf(lo);
+    *count = static_cast<uint32_t>(FrameOf(hi - 1) - *first + 1);
+    return true;
+  }
+
+  bool Resident(uint64_t frame) const {
+    auto it = frames_.find(frame);
+    return it != frames_.end() && it->second.resident;
+  }
+
+  /// One residency consult per planned cell: records the hit or miss and
+  /// refreshes recency on hits. Returns residency.
+  bool Touch(uint64_t frame);
+
+  /// Pins a frame (resident or mid-fill): eviction skips it until the
+  /// matching Unpin. Pins nest.
+  void Pin(uint64_t frame);
+  void Unpin(uint64_t frame);
+  bool Pinned(uint64_t frame) const {
+    auto it = frames_.find(frame);
+    return it != frames_.end() && it->second.pins > 0;
+  }
+
+  /// Reserves + pins a frame for an in-flight fill. No-op (beyond the
+  /// pin) when the frame is already resident or already filling.
+  void BeginFill(uint64_t frame);
+  /// Installs the fill: the frame becomes resident (evicting an unpinned
+  /// victim first when at capacity) and the BeginFill pin is released.
+  void CompleteFill(uint64_t frame);
+  /// Drops an in-flight fill without installing (failed read).
+  void AbandonFill(uint64_t frame);
+
+  const BufferPoolStats& stats() const { return stats_; }
+  /// Resident frames (excludes reserved-but-unfilled frames).
+  uint64_t resident_cells() const { return resident_; }
+
+  /// Drops all residency, pins, fills, and stats (bench reuse between
+  /// sweep points).
+  void Clear();
+
+ private:
+  struct Frame {
+    bool resident = false;
+    uint32_t fills_inflight = 0;  ///< concurrent reads may fill one frame
+    uint32_t pins = 0;
+  };
+
+  class ResidencyFilter final : public SectorFilter {
+   public:
+    explicit ResidencyFilter(const BufferPool* pool) : pool_(pool) {}
+    Class Classify(uint64_t lbn) const override {
+      return pool_->SectorResident(lbn) ? Class::kResident : Class::kSubmit;
+    }
+
+   private:
+    const BufferPool* pool_;
+  };
+
+  bool SectorResident(uint64_t lbn) const {
+    if (lbn < base_lbn_ || lbn - base_lbn_ >= span_) return false;
+    const uint64_t i = lbn - base_lbn_;
+    return (bits_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void SetResidencyBits(uint64_t frame, bool on);
+  // Erases map entries that carry no state (keeps frames_ proportional to
+  // the live set, not the touched set).
+  void MaybeDrop(std::unordered_map<uint64_t, Frame>::iterator it);
+
+  const map::Mapping* mapping_;
+  BufferPoolOptions options_;
+  uint64_t base_lbn_;
+  uint64_t span_;
+  uint32_t cell_sectors_;
+  uint64_t frame_count_;
+  std::unique_ptr<CachePolicy> policy_;
+  std::unordered_map<uint64_t, Frame> frames_;
+  std::vector<uint64_t> bits_;  // sector residency over the footprint
+  uint64_t resident_ = 0;
+  BufferPoolStats stats_;
+  ResidencyFilter filter_{this};
+};
+
+}  // namespace mm::cache

@@ -1,0 +1,232 @@
+#include "cache/policy.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_set>
+
+namespace mm::cache {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return "LRU";
+    case PolicyKind::kArc: return "ARC";
+  }
+  return "?";
+}
+
+namespace {
+
+// Intrusive-enough LRU: a recency list (MRU at front) plus a key -> node
+// map. Victim picking walks from the LRU end skipping vetoed (pinned)
+// cells.
+class LruPolicy final : public CachePolicy {
+ public:
+  const char* name() const override { return "LRU"; }
+
+  void OnHit(uint64_t cell) override {
+    auto it = pos_.find(cell);
+    if (it == pos_.end()) return;
+    list_.splice(list_.begin(), list_, it->second);
+  }
+
+  void OnMiss(uint64_t) override {}
+
+  void OnAdmit(uint64_t cell) override {
+    list_.push_front(cell);
+    pos_[cell] = list_.begin();
+  }
+
+  void OnErase(uint64_t cell) override {
+    auto it = pos_.find(cell);
+    if (it == pos_.end()) return;
+    list_.erase(it->second);
+    pos_.erase(it);
+  }
+
+  bool EvictOne(const Evictable& evictable, uint64_t* victim) override {
+    for (auto it = list_.rbegin(); it != list_.rend(); ++it) {
+      if (!evictable(*it)) continue;
+      *victim = *it;
+      OnErase(*it);
+      return true;
+    }
+    return false;
+  }
+
+  size_t resident() const override { return list_.size(); }
+
+ private:
+  std::list<uint64_t> list_;  // MRU first
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> pos_;
+};
+
+// ARC (Megiddo & Modha, FAST '03). T1/T2 hold resident cells (MRU at
+// front), B1/B2 hold ghosts of recently evicted ones; p is the adaptive
+// target size of T1. Deviations from the paper's pseudocode, both forced
+// by the pool owning residency:
+//   - REPLACE runs inside EvictOne (called by the pool when it needs a
+//     frame), not inline in the miss handler, and skips vetoed (pinned)
+//     cells within each list;
+//   - a missed cell joins T1/T2 at OnAdmit time (when its fill installs),
+//     not at miss time; ghost membership is resolved at OnMiss, which
+//     remembers the side so OnAdmit files the cell correctly even though
+//     fills complete out of order.
+class ArcPolicy final : public CachePolicy {
+ public:
+  explicit ArcPolicy(uint64_t capacity) : c_(std::max<uint64_t>(capacity, 1)) {}
+
+  const char* name() const override { return "ARC"; }
+
+  void OnHit(uint64_t cell) override {
+    auto it = pos_.find(cell);
+    if (it == pos_.end() || it->second.where == Where::kB1 ||
+        it->second.where == Where::kB2) {
+      return;
+    }
+    // Case I: hit in T1 or T2 promotes to MRU of T2.
+    MoveTo(it, Where::kT2);
+  }
+
+  void OnMiss(uint64_t cell) override {
+    auto it = pos_.find(cell);
+    if (it == pos_.end()) return;
+    if (it->second.where == Where::kB1) {
+      // Case II: ghost hit in B1 -> grow the recency side.
+      const uint64_t d = std::max<uint64_t>(1, b2_.size() / std::max<size_t>(
+                                                   b1_.size(), 1));
+      p_ = std::min(c_, p_ + d);
+      Erase(it);
+      pending_t2_.insert(cell);
+    } else if (it->second.where == Where::kB2) {
+      // Case III: ghost hit in B2 -> grow the frequency side.
+      const uint64_t d = std::max<uint64_t>(1, b1_.size() / std::max<size_t>(
+                                                   b2_.size(), 1));
+      p_ = p_ >= d ? p_ - d : 0;
+      Erase(it);
+      pending_t2_.insert(cell);
+    }
+    // Resident hit misclassified as a miss cannot happen: the pool only
+    // calls OnMiss for non-resident cells.
+  }
+
+  void OnAdmit(uint64_t cell) override {
+    const bool to_t2 = pending_t2_.erase(cell) > 0;
+    Insert(cell, to_t2 ? Where::kT2 : Where::kT1);
+  }
+
+  void OnAbandon(uint64_t cell) override { pending_t2_.erase(cell); }
+
+  void OnErase(uint64_t cell) override {
+    auto it = pos_.find(cell);
+    if (it == pos_.end()) return;
+    if (it->second.where == Where::kT1 || it->second.where == Where::kT2) {
+      Erase(it);
+    }
+  }
+
+  bool EvictOne(const Evictable& evictable, uint64_t* victim) override {
+    // REPLACE: evict from T1 when it exceeds its target p, else from T2;
+    // fall back to the other list when every candidate is vetoed.
+    const bool prefer_t1 = !t1_.empty() && t1_.size() > p_;
+    if (TryEvict(prefer_t1 ? t1_ : t2_, prefer_t1 ? Where::kB1 : Where::kB2,
+                 evictable, victim)) {
+      return true;
+    }
+    return TryEvict(prefer_t1 ? t2_ : t1_,
+                    prefer_t1 ? Where::kB2 : Where::kB1, evictable, victim);
+  }
+
+  size_t resident() const override { return t1_.size() + t2_.size(); }
+
+  /// Adaptive target share of the recency list (tests / bench
+  /// introspection).
+  uint64_t target_t1() const { return p_; }
+  size_t t1_size() const { return t1_.size(); }
+  size_t t2_size() const { return t2_.size(); }
+  size_t ghost_size() const { return b1_.size() + b2_.size(); }
+
+ private:
+  enum class Where : uint8_t { kT1, kT2, kB1, kB2 };
+
+  struct Node {
+    Where where;
+    std::list<uint64_t>::iterator it;
+  };
+  using Map = std::unordered_map<uint64_t, Node>;
+
+  std::list<uint64_t>& ListOf(Where w) {
+    switch (w) {
+      case Where::kT1: return t1_;
+      case Where::kT2: return t2_;
+      case Where::kB1: return b1_;
+      case Where::kB2: return b2_;
+    }
+    return t1_;
+  }
+
+  void Erase(Map::iterator it) {
+    ListOf(it->second.where).erase(it->second.it);
+    pos_.erase(it);
+  }
+
+  void Insert(uint64_t cell, Where w) {
+    std::list<uint64_t>& l = ListOf(w);
+    l.push_front(cell);
+    pos_[cell] = Node{w, l.begin()};
+    TrimGhosts();
+  }
+
+  void MoveTo(Map::iterator it, Where w) {
+    const uint64_t cell = it->first;
+    ListOf(it->second.where).erase(it->second.it);
+    std::list<uint64_t>& l = ListOf(w);
+    l.push_front(cell);
+    it->second = Node{w, l.begin()};
+  }
+
+  bool TryEvict(std::list<uint64_t>& list, Where ghost,
+                const Evictable& evictable, uint64_t* victim) {
+    for (auto it = list.rbegin(); it != list.rend(); ++it) {
+      if (!evictable(*it)) continue;
+      *victim = *it;
+      auto pit = pos_.find(*it);
+      MoveTo(pit, ghost);  // remember the eviction as a ghost
+      TrimGhosts();
+      return true;
+    }
+    return false;
+  }
+
+  // ARC's directory bound: |T1|+|B1| <= c and the whole directory <= 2c.
+  void TrimGhosts() {
+    while (t1_.size() + b1_.size() > c_ && !b1_.empty()) {
+      auto it = pos_.find(b1_.back());
+      Erase(it);
+    }
+    while (t1_.size() + t2_.size() + b1_.size() + b2_.size() > 2 * c_ &&
+           !b2_.empty()) {
+      auto it = pos_.find(b2_.back());
+      Erase(it);
+    }
+  }
+
+  uint64_t c_;
+  uint64_t p_ = 0;  // target size of T1
+  std::list<uint64_t> t1_, t2_, b1_, b2_;  // MRU at front
+  Map pos_;
+  // Cells whose ghost hit promised a T2 insertion once their fill lands.
+  std::unordered_set<uint64_t> pending_t2_;
+};
+
+}  // namespace
+
+std::unique_ptr<CachePolicy> MakePolicy(PolicyKind kind,
+                                        uint64_t capacity_cells) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kArc: return std::make_unique<ArcPolicy>(capacity_cells);
+  }
+  return nullptr;
+}
+
+}  // namespace mm::cache

@@ -1,0 +1,80 @@
+// Replacement policies for the cell-keyed BufferPool.
+//
+// A CachePolicy owns the recency bookkeeping (which cells are resident in
+// what order) and picks eviction victims; the BufferPool owns residency
+// truth (the sector bitvector), pin counts, and statistics. Two policies:
+//
+//   LRU -- one recency list. Simple and fast, but a one-touch scan evicts
+//          the entire working set (the classic scan-pollution failure).
+//   ARC -- adaptive replacement cache (Megiddo & Modha, FAST '03): two
+//          resident lists T1 (seen once) / T2 (seen twice+) and two ghost
+//          lists B1 / B2 remembering recently evicted keys. A hit in a
+//          ghost list grows the corresponding side's target share p, so
+//          the split between recency and frequency adapts to the
+//          workload; a scan marches through T1 without displacing T2's
+//          hot set (the LRU-vs-ARC ablation in bench/cache_tier).
+//
+// Victim picking takes an `evictable` predicate so the pool can veto
+// pinned frames (in-flight fills and in-flight query reads): the policy
+// skips past non-evictable candidates rather than evicting them.
+//
+// Everything is deterministic: no clocks, no randomization. The same
+// access sequence always produces the same evictions (pinned by the
+// deterministic-replay test).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+namespace mm::cache {
+
+enum class PolicyKind : uint8_t {
+  kLru = 0,
+  kArc,
+};
+
+const char* PolicyKindName(PolicyKind kind);
+
+/// Recency/frequency bookkeeping behind a BufferPool. Keys are linear
+/// cell indices. The pool calls OnHit for accesses to resident cells,
+/// OnMiss for accesses to non-resident ones (ghost adaptation), OnAdmit
+/// when a cell becomes resident, and EvictOne to pick a victim when over
+/// capacity.
+class CachePolicy {
+ public:
+  /// True for cells the pool allows evicting (not pinned).
+  using Evictable = std::function<bool(uint64_t)>;
+
+  virtual ~CachePolicy() = default;
+  virtual const char* name() const = 0;
+
+  /// Access to a resident cell.
+  virtual void OnHit(uint64_t cell) = 0;
+  /// Access to a non-resident cell (before any fill is scheduled); ARC
+  /// adapts its target split when the cell is remembered in a ghost list.
+  virtual void OnMiss(uint64_t cell) = 0;
+  /// The cell became resident (fill installed). The pool guarantees it is
+  /// not already tracked as resident.
+  virtual void OnAdmit(uint64_t cell) = 0;
+  /// The cell left residency outside EvictOne (pool-initiated drop).
+  virtual void OnErase(uint64_t cell) = 0;
+  /// A scheduled fill for the cell was abandoned before installing
+  /// (failed read): any pending admit bookkeeping should be dropped.
+  virtual void OnAbandon(uint64_t cell) { (void)cell; }
+  /// Picks the next victim among resident cells satisfying `evictable`,
+  /// removes it from the resident bookkeeping, and writes it to *victim.
+  /// Returns false when every resident cell is vetoed.
+  virtual bool EvictOne(const Evictable& evictable, uint64_t* victim) = 0;
+  /// Tracked resident cells.
+  virtual size_t resident() const = 0;
+};
+
+/// Creates a policy instance. `capacity_cells` bounds the resident set
+/// (the pool enforces it; ARC also sizes its ghost lists from it).
+std::unique_ptr<CachePolicy> MakePolicy(PolicyKind kind,
+                                        uint64_t capacity_cells);
+
+}  // namespace mm::cache

@@ -1,0 +1,47 @@
+// The planner's per-sector consult contract.
+//
+// Every sector of a planned request stream flows through one filter stage
+// in query::Executor (PlanInto/PlanBatch) before submission. A filter
+// classifies each LBN into one of three outcomes:
+//
+//   kSubmit   -- the sector must be read from the volume (default);
+//   kSkip     -- the sector is vacant (holds no records): drop it, no I/O
+//                and no data. This is the store::CellIndex occupancy
+//                consult, formerly a post-pass over planned requests;
+//   kResident -- the sector is already in memory (cache::BufferPool): the
+//                query completes it without touching the volume.
+//
+// Filters compose: the executor consults every installed filter per
+// sector; kSkip dominates kResident dominates kSubmit (a vacant sector is
+// never worth caching, a cached sector never worth reading). The planner
+// splits each request into maximal same-class subruns, preserving the
+// request's SchedulingHint and order_group, so a filtered plan schedules
+// exactly like the original minus the elided I/O.
+//
+// Classify is const and must not mutate replacement state: the planner
+// may consult it any number of times per sector (plan-cache hit paths
+// re-filter cached templates). Recency/statistics updates belong to the
+// layer that owns the filter (query::Session touches the BufferPool once
+// per planned cell).
+#pragma once
+
+#include <cstdint>
+
+namespace mm::cache {
+
+class SectorFilter {
+ public:
+  enum class Class : uint8_t {
+    kSubmit = 0,
+    kSkip = 1,
+    kResident = 2,
+  };
+
+  virtual ~SectorFilter() = default;
+
+  /// Classification of one sector. Must be pure (no replacement-state
+  /// mutation) and cheap: the planner calls it per planned sector.
+  virtual Class Classify(uint64_t lbn) const = 0;
+};
+
+}  // namespace mm::cache

@@ -1,0 +1,154 @@
+#include "lvm/tiering.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mm::lvm {
+
+TierDirector::TierDirector(const Volume* volume, TierOptions options)
+    : volume_(volume), options_(options) {
+  assert(options_.cell_sectors > 0);
+  assert(options_.promote_touches > 0);
+  assert(options_.data_base >= options_.hot_sectors);
+  // Carve the hot region into cell-sized slots, skipping any that would
+  // straddle a member-disk boundary (volume requests must not).
+  for (uint64_t base = 0; base + options_.cell_sectors <= options_.hot_sectors;
+       base += options_.cell_sectors) {
+    const auto first = volume_->Resolve(base);
+    const auto last = volume_->Resolve(base + options_.cell_sectors - 1);
+    if (!first.ok() || !last.ok() || first->disk != last->disk) continue;
+    free_slots_.push_back(base);
+  }
+  // Pop from the back in address order: the lowest (outermost, fastest
+  // zones) slots are handed out first.
+  std::sort(free_slots_.rbegin(), free_slots_.rend());
+  slot_count_ = free_slots_.size();
+}
+
+uint32_t TierDirector::CellSpan(uint64_t cell) const {
+  const uint64_t base = CellBase(cell);
+  const uint64_t end = options_.data_base + options_.data_sectors;
+  const uint64_t span = std::min<uint64_t>(options_.cell_sectors, end - base);
+  return static_cast<uint32_t>(span);
+}
+
+void TierDirector::TouchLru(uint64_t cell) {
+  auto it = lru_pos_.find(cell);
+  if (it == lru_pos_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void TierDirector::Observe(const disk::IoRequest& r,
+                           std::vector<uint64_t>* promote) {
+  const uint64_t data_end = options_.data_base + options_.data_sectors;
+  const uint64_t lo = std::max(r.lbn, options_.data_base);
+  const uint64_t hi = std::min(r.lbn + r.sectors, data_end);
+  if (lo >= hi) return;
+  const uint64_t first = CellOf(lo);
+  const uint64_t last = CellOf(hi - 1);
+  for (uint64_t cell = first; cell <= last; ++cell) {
+    if (hot_.count(cell)) {
+      TouchLru(cell);
+      continue;
+    }
+    if (migrating_.count(cell)) continue;
+    if (++touches_[cell] >= options_.promote_touches) {
+      touches_.erase(cell);
+      migrating_.insert(cell);
+      promote->push_back(cell);
+    }
+  }
+}
+
+void TierDirector::Redirect(const disk::IoRequest& r,
+                            std::vector<Redirected>* out) {
+  const uint64_t data_end = options_.data_base + options_.data_sectors;
+  const uint64_t end = r.lbn + r.sectors;
+  // Walk the request in spans whose target mapping is contiguous; a new
+  // subrun starts whenever the next sector's target breaks contiguity.
+  Redirected cur;
+  bool open = false;
+  uint64_t cur_end = 0;  // target LBN one past the open subrun
+  auto flush = [&] {
+    if (!open) return;
+    out->push_back(cur);
+    open = false;
+  };
+  uint64_t lbn = r.lbn;
+  while (lbn < end) {
+    uint64_t target = lbn;
+    uint64_t span;  // sectors sharing this span's contiguous target
+    if (lbn < options_.data_base || lbn >= data_end) {
+      span = lbn < options_.data_base
+                 ? std::min(end, options_.data_base) - lbn
+                 : end - lbn;
+    } else {
+      const uint64_t cell = CellOf(lbn);
+      const uint64_t cell_end =
+          std::min<uint64_t>(CellBase(cell) + CellSpan(cell), data_end);
+      span = std::min(end, cell_end) - lbn;
+      auto it = hot_.find(cell);
+      if (it != hot_.end()) {
+        target = it->second + (lbn - CellBase(cell));
+        stats_.redirected_sectors += span;
+      } else {
+        stats_.cold_sectors += span;
+      }
+    }
+    if (open && target == cur_end) {
+      cur.req.sectors += static_cast<uint32_t>(span);
+      cur_end += span;
+    } else {
+      flush();
+      cur.req = r;
+      cur.req.lbn = target;
+      cur.req.sectors = static_cast<uint32_t>(span);
+      cur.src_lbn = lbn;
+      cur_end = target + span;
+      open = true;
+    }
+    lbn += span;
+  }
+  flush();
+}
+
+bool TierDirector::StartMigration(uint64_t cell, disk::IoRequest* cold_read) {
+  if (hot_.count(cell) || slot_count_ == 0) {
+    migrating_.erase(cell);
+    return false;
+  }
+  cold_read->lbn = CellBase(cell);
+  cold_read->sectors = CellSpan(cell);
+  cold_read->hint = disk::SchedulingHint::kReorderFreely;
+  cold_read->order_group = 0;
+  ++stats_.migration_reads;
+  return true;
+}
+
+void TierDirector::FinishMigration(uint64_t cell) {
+  migrating_.erase(cell);
+  if (hot_.count(cell)) return;
+  if (free_slots_.empty()) {
+    // Demote the LRU hot cell: drop its redirect and reuse the slot. The
+    // cold copy is authoritative, so no writeback is needed.
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    free_slots_.push_back(hot_[victim]);
+    hot_.erase(victim);
+    ++stats_.demotions;
+  }
+  const uint64_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  hot_[cell] = slot;
+  lru_.push_front(cell);
+  lru_pos_[cell] = lru_.begin();
+  ++stats_.promotions;
+}
+
+void TierDirector::AbandonMigration(uint64_t cell) {
+  migrating_.erase(cell);
+  ++stats_.migration_failures;
+}
+
+}  // namespace mm::lvm

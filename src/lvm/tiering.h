@@ -1,0 +1,136 @@
+// Two-tier fleet director: a hot tier of fast members fronting a cold
+// tier that holds the dataset.
+//
+// The volume is built with the hot members first (e.g. Enterprise15k) and
+// the cold members after (e.g. Nearline7k2); volume LBNs [0, hot_sectors)
+// are the hot tier and the mapped dataset lives entirely in the cold
+// region (mapping base_lbn >= hot_sectors). The director carves the hot
+// region into cell-sized slots (skipping slots that would straddle a
+// member-disk boundary -- volume requests must not), counts planned
+// touches per dataset cell, and promotes a cell once it crosses
+// promote_touches: query::Session issues the cell's cold extent as a
+// background SchedulingHint::kReorderFreely read (the same shape as
+// rebuild chunk I/O), and on completion the redirect installs. Redirect()
+// then rewrites the spans of planned requests that cover hot-resident
+// cells to their hot slots, splitting runs as needed while preserving
+// each request's hint, order group, and emission order.
+//
+// Demotion is free: the dataset is read-only and the cold copy stays
+// authoritative, so evicting the LRU hot cell just returns its slot --
+// no writeback I/O. Two modeled simplifications, both conservative for
+// a read-only store: the hot-slot write of a migration is elided (only
+// the cold read costs time, mirroring rebuild accounting), and a read
+// in flight against a slot being demoted/re-filled still completes
+// (no fencing; both copies hold the same bytes).
+//
+// Tiering composes with replication in principle, but the director
+// assumes an unreplicated volume (replicated volumes reshape the LBN
+// space into primary regions; combining the two is future work).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "disk/request.h"
+#include "lvm/volume.h"
+
+namespace mm::lvm {
+
+struct TierOptions {
+  /// Volume LBNs [0, hot_sectors) form the hot tier. The dataset must
+  /// live entirely at or above this boundary.
+  uint64_t hot_sectors = 0;
+  /// First volume LBN of the (cold-resident) dataset.
+  uint64_t data_base = 0;
+  /// Dataset footprint in sectors.
+  uint64_t data_sectors = 0;
+  /// Migration granularity: one mapping cell, in sectors. Must be > 0.
+  uint32_t cell_sectors = 0;
+  /// Planned touches before a cold cell is promoted.
+  uint32_t promote_touches = 2;
+  /// Concurrent migration reads the session keeps in flight.
+  uint32_t max_outstanding = 2;
+};
+
+struct TierStats {
+  uint64_t promotions = 0;          ///< Migrations completed (cell now hot).
+  uint64_t demotions = 0;           ///< Hot cells dropped to free a slot.
+  uint64_t migration_reads = 0;     ///< Cold-extent reads issued.
+  uint64_t migration_failures = 0;  ///< Migration reads that failed.
+  uint64_t redirected_sectors = 0;  ///< Query sectors served by the hot tier.
+  uint64_t cold_sectors = 0;        ///< Query sectors served by the cold tier.
+};
+
+class TierDirector {
+ public:
+  /// A redirected view of one planned request span: `req` is what the
+  /// session submits; `src_lbn` is the span's original (data-space)
+  /// address, so cell-keyed bookkeeping (e.g. buffer-pool fills) stays
+  /// valid after the rewrite. Pass-through spans have src_lbn == req.lbn.
+  struct Redirected {
+    disk::IoRequest req;
+    uint64_t src_lbn = 0;
+  };
+
+  /// `volume` is borrowed (must outlive the director) and is consulted
+  /// once, at construction, for member boundaries when carving slots.
+  TierDirector(const Volume* volume, TierOptions options);
+
+  const TierOptions& options() const { return options_; }
+  const TierStats& stats() const { return stats_; }
+
+  /// Hot slots the carve produced (capacity of the hot tier in cells).
+  uint64_t slot_count() const { return slot_count_; }
+  uint64_t hot_cells() const { return hot_.size(); }
+  bool Hot(uint64_t cell) const { return hot_.count(cell) != 0; }
+
+  /// Observes a planned request (data-space addresses): refreshes
+  /// recency of hot cells it covers and bumps touch counters of cold
+  /// ones; cells crossing promote_touches are appended to *promote
+  /// (each cell at most once -- it is marked migrating here).
+  void Observe(const disk::IoRequest& r, std::vector<uint64_t>* promote);
+
+  /// Rewrites the spans of `r` covering hot cells to their slots,
+  /// appending the resulting subruns to *out in emission order; hint
+  /// and order_group carry over. Spans outside the dataset or over cold
+  /// cells pass through. Also accounts redirected/cold sectors.
+  void Redirect(const disk::IoRequest& r, std::vector<Redirected>* out);
+
+  /// Begins a promotion: returns false when the cell cannot be promoted
+  /// (already hot, or no slot could ever be carved); otherwise fills
+  /// *cold_read with the cell's cold extent stamped kReorderFreely.
+  bool StartMigration(uint64_t cell, disk::IoRequest* cold_read);
+  /// Installs the redirect for a completed migration read, demoting the
+  /// LRU hot cell first when every slot is taken.
+  void FinishMigration(uint64_t cell);
+  /// Drops a failed migration; the cell stays cold (and may re-qualify
+  /// after promote_touches further touches).
+  void AbandonMigration(uint64_t cell);
+
+ private:
+  uint64_t CellOf(uint64_t data_lbn) const {
+    return (data_lbn - options_.data_base) / options_.cell_sectors;
+  }
+  uint64_t CellBase(uint64_t cell) const {
+    return options_.data_base + cell * options_.cell_sectors;
+  }
+  uint32_t CellSpan(uint64_t cell) const;  // clipped to the dataset end
+  void TouchLru(uint64_t cell);
+
+  const Volume* volume_;
+  TierOptions options_;
+  TierStats stats_;
+  std::vector<uint64_t> free_slots_;  // slot base LBNs, available
+  uint64_t slot_count_ = 0;
+  std::unordered_map<uint64_t, uint64_t> hot_;  // cell -> slot base LBN
+  std::list<uint64_t> lru_;                     // hot cells, MRU front
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_pos_;
+  std::unordered_map<uint64_t, uint32_t> touches_;  // cold cells only
+  std::unordered_set<uint64_t> migrating_;
+};
+
+}  // namespace mm::lvm

@@ -4,6 +4,72 @@
 
 namespace mm::query {
 
+void Executor::AddSectorFilter(const cache::SectorFilter* filter) {
+  if (filter == nullptr) return;
+  for (const cache::SectorFilter* f : filters_) {
+    if (f == filter) return;
+  }
+  filters_.push_back(filter);
+}
+
+void Executor::RemoveSectorFilter(const cache::SectorFilter* filter) {
+  for (size_t i = 0; i < filters_.size(); ++i) {
+    if (filters_[i] == filter) {
+      filters_.erase(filters_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void Executor::FilterPlan(const QueryPlan& raw, QueryPlan* out) const {
+  out->requests.clear();
+  out->resident.clear();
+  out->cells = raw.cells;
+  out->mapping_order = raw.mapping_order;
+  using Class = cache::SectorFilter::Class;
+  for (const disk::IoRequest& r : raw.requests) {
+    // Split the request into maximal same-class subruns in sector order:
+    // the emission order of the kept subruns is the request order with
+    // elisions, so hints and order groups keep meaning.
+    uint64_t run_start = 0;
+    uint32_t run_len = 0;
+    Class run_class = Class::kSubmit;
+    auto flush = [&] {
+      if (run_len == 0) return;
+      auto* dst = run_class == Class::kResident ? &out->resident
+                                                : &out->requests;
+      dst->push_back(
+          disk::IoRequest{run_start, run_len, r.hint, r.order_group});
+      run_len = 0;
+    };
+    for (uint32_t i = 0; i < r.sectors; ++i) {
+      const uint64_t lbn = r.lbn + i;
+      Class c = Class::kSubmit;
+      for (const cache::SectorFilter* f : filters_) {
+        const Class fc = f->Classify(lbn);
+        if (fc == Class::kSkip) {
+          c = Class::kSkip;
+          break;
+        }
+        if (fc == Class::kResident) c = Class::kResident;
+      }
+      if (c == Class::kSkip) {
+        flush();
+        continue;
+      }
+      if (run_len > 0 && c == run_class) {
+        ++run_len;
+        continue;
+      }
+      flush();
+      run_start = lbn;
+      run_len = 1;
+      run_class = c;
+    }
+    flush();
+  }
+}
+
 Executor::Executor(lvm::Volume* volume, const map::Mapping* mapping,
                    ExecOptions options)
     : volume_(volume), mapping_(mapping), options_(options) {
@@ -210,10 +276,27 @@ QueryPlan Executor::Plan(const map::Box& box) const {
   PlanScratch scratch;
   QueryPlan plan;
   PlanWith(box, &scratch, &plan);
-  return plan;
+  if (filters_.empty()) return plan;
+  QueryPlan filtered;
+  FilterPlan(plan, &filtered);
+  return filtered;
 }
 
 void Executor::PlanInto(const map::Box& box, QueryPlan* plan) {
+  if (filters_.empty()) {
+    PlanIntoRaw(box, plan);
+    plan->resident.clear();
+    return;
+  }
+  // Filtered path: the raw plan (template-cache hits included) lands in
+  // the reusable raw_plan_ scratch, then the filter stage splits it. The
+  // template always caches RAW requests, so a hit stays filter-correct
+  // even as residency changes between repeats of the same shape.
+  PlanIntoRaw(box, &raw_plan_);
+  FilterPlan(raw_plan_, plan);
+}
+
+void Executor::PlanIntoRaw(const map::Box& box, QueryPlan* plan) {
   if (cache_enabled_) {
     ++cache_stats_.probes;
     uint64_t delta;
@@ -247,9 +330,40 @@ void Executor::PlanInto(const map::Box& box, QueryPlan* plan) {
 }
 
 void Executor::PlanBatch(std::span<const map::Box> boxes, BatchPlan* out) {
+  if (!filters_.empty()) {
+    // Filtered arena path: per-box PlanInto (template-cache hits and all)
+    // into the scratch plan, appended to the submit/resident arenas. The
+    // streak fast path below stays reserved for the unfiltered planner,
+    // whose throughput the hot-path bench pins.
+    const size_t n = boxes.size();
+    out->requests.clear();
+    out->resident.clear();
+    out->offsets.resize(n + 1);
+    out->resident_offsets.resize(n + 1);
+    out->cells.resize(n);
+    out->mapping_order.resize(n);
+    out->offsets[0] = 0;
+    out->resident_offsets[0] = 0;
+    for (size_t k = 0; k < n; ++k) {
+      PlanInto(boxes[k], &plan_scratch_);
+      out->requests.insert(out->requests.end(),
+                           plan_scratch_.requests.begin(),
+                           plan_scratch_.requests.end());
+      out->resident.insert(out->resident.end(),
+                           plan_scratch_.resident.begin(),
+                           plan_scratch_.resident.end());
+      out->offsets[k + 1] = out->requests.size();
+      out->resident_offsets[k + 1] = out->resident.size();
+      out->cells[k] = plan_scratch_.cells;
+      out->mapping_order[k] = plan_scratch_.mapping_order ? 1 : 0;
+    }
+    return;
+  }
   const size_t n = boxes.size();
   // Pre-size the per-plan tables so the loop writes by index; only the
   // request arena grows (reserved for the single-request common case).
+  out->resident.clear();
+  out->resident_offsets.clear();
   out->requests.clear();
   out->requests.reserve(n);
   out->offsets.resize(n + 1);
@@ -360,6 +474,11 @@ Result<QueryResult> Executor::Execute(const QueryPlan& plan) {
   qr.sectors = br.sectors;
   qr.cells = plan.cells;
   qr.phases = br.phases;
+  // Cache-resident subruns complete from memory: no volume time, but the
+  // closed-loop accounting still reports the elided transfer.
+  for (const disk::IoRequest& r : plan.resident) {
+    qr.resident_sectors += r.sectors;
+  }
   return qr;
 }
 

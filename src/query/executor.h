@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "cache/sector_filter.h"
 #include "disk/request.h"
 #include "disk/scheduler.h"
 #include "lvm/volume.h"
@@ -58,7 +59,17 @@ struct ExecOptions {
 
 /// A planned query: the request stream plus cell accounting.
 struct QueryPlan {
+  /// Requests to submit to the volume. With sector filters installed
+  /// (AddSectorFilter), vacant sectors are dropped and cache-resident
+  /// sectors moved to `resident`; without filters this is the full plan,
+  /// bit-identical to the pre-filter planner.
   std::vector<disk::IoRequest> requests;
+  /// Cache-resident subruns: sectors the query completes from memory
+  /// without volume I/O. Split from the same raw plan as `requests` in
+  /// emission order, carrying the same SchedulingHint (and, once stamped,
+  /// order_group), so accounting sees the plan minus the elided I/O.
+  /// Always empty when no filter classifies sectors kResident.
+  std::vector<disk::IoRequest> resident;
   /// Cells the query asked for (excludes coalescing over-read).
   uint64_t cells = 0;
   /// True when the plan must be serviced in order (semi-sequential path).
@@ -75,6 +86,10 @@ struct QueryResult {
   uint64_t cells = 0;      ///< Cells fetched.
   uint64_t requests = 0;   ///< I/O requests issued.
   uint64_t sectors = 0;    ///< Sectors transferred.
+  /// Sectors completed from the buffer-pool tier without volume I/O
+  /// (kResident subruns of the plan); 0 when no residency filter is
+  /// installed.
+  uint64_t resident_sectors = 0;
   disk::ServicePhases phases;
 
   double PerCellMs() const {
@@ -86,6 +101,7 @@ struct QueryResult {
     cells += o.cells;
     requests += o.requests;
     sectors += o.sectors;
+    resident_sectors += o.resident_sectors;
     phases += o.phases;
     return *this;
   }
@@ -112,6 +128,14 @@ struct BatchPlan {
   std::vector<size_t> offsets;  ///< boxes.size() + 1 entries.
   std::vector<uint64_t> cells;
   std::vector<uint8_t> mapping_order;
+  /// Cache-resident subruns of plan i in
+  /// resident[resident_offsets[i] .. resident_offsets[i+1]) -- see
+  /// QueryPlan::resident. When the executor has no sector filters
+  /// installed both vectors stay EMPTY (not zero-filled): the unfiltered
+  /// arena loop is on the plan-throughput hot path and pays nothing for
+  /// the feature.
+  std::vector<disk::IoRequest> resident;
+  std::vector<size_t> resident_offsets;
 };
 
 /// Executes beam and range queries for one mapping on one volume.
@@ -162,6 +186,28 @@ class Executor {
 
   const map::Mapping& mapping() const { return *mapping_; }
 
+  // --- Sector filter stage (cache/sector_filter.h) ----------------------
+  // Every planned sector flows through the installed filters before
+  // submission: kSkip sectors (vacant per the store's CellIndex occupancy)
+  // are dropped, kResident sectors (buffer-pool residency) split into
+  // QueryPlan::resident, and only kSubmit sectors reach `requests`. All
+  // planning entry points -- Plan, PlanInto, PlanBatch, and the Run*
+  // closed-loop paths -- apply the stage, including translation-template
+  // cache hits (the template stores the raw plan; the filter runs per
+  // query, so residency changes between repeats are honored). Filters are
+  // borrowed and must outlive the executor (or be removed first).
+
+  /// Installs a filter (deduplicated by pointer; consult order = install
+  /// order, kSkip dominating kResident dominating kSubmit per sector).
+  void AddSectorFilter(const cache::SectorFilter* filter);
+  /// Removes a previously installed filter (no-op when absent).
+  void RemoveSectorFilter(const cache::SectorFilter* filter);
+  void ClearSectorFilters() { filters_.clear(); }
+  /// True when at least one filter is installed: planning runs the
+  /// filter stage (the unfiltered path is bit-identical to the
+  /// pre-filter planner).
+  bool filtered() const { return !filters_.empty(); }
+
   /// True when the mapping's TranslationClass is non-empty and
   /// ExecOptions::plan_cache is on: PlanInto/PlanBatch may serve repeated
   /// shapes from the translation-template cache.
@@ -197,6 +243,14 @@ class Executor {
   // Plans `box` into `plan` using `scratch` buffers (shared planning core).
   void PlanWith(const map::Box& box, PlanScratch* scratch,
                 QueryPlan* plan) const;
+  // The pre-filter PlanInto body (template cache + PlanWith): produces the
+  // raw request stream, leaving plan->resident untouched.
+  void PlanIntoRaw(const map::Box& box, QueryPlan* plan);
+  // Splits raw.requests through the installed filters into out->requests
+  // (kSubmit) and out->resident (kResident), dropping kSkip sectors as
+  // maximal same-class subruns that keep each request's hint and
+  // order_group. Copies the cell count and order flag.
+  void FilterPlan(const QueryPlan& raw, QueryPlan* out) const;
   // Services an already-planned query.
   Result<QueryResult> Execute(const QueryPlan& plan);
 
@@ -214,6 +268,8 @@ class Executor {
   ExecOptions options_;
   PlanScratch scratch_;
   QueryPlan plan_scratch_;  // reused by RunRange/RunBeam/RunBatch
+  QueryPlan raw_plan_;      // pre-filter plan, reused by filtered PlanInto
+  std::vector<const cache::SectorFilter*> filters_;
 
   // Translation-template plan cache, keyed by (clipped extents, lattice
   // residues) of the mapping's TranslationClass; the probe reduces a box

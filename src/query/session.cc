@@ -18,8 +18,21 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr uint64_t kNoQuery = UINT64_MAX;
 // ReqState::query sentinel for background rebuild chunk reads.
 constexpr uint64_t kRebuildQuery = UINT64_MAX - 1;
+// ReqState::query sentinel for background tier-migration reads.
+constexpr uint64_t kMigrationQuery = UINT64_MAX - 2;
 // ReqState::cur_tag sentinel: no attempt in flight (abandoned/failed).
 constexpr uint64_t kNoTag = UINT64_MAX;
+
+// Removes the buffer pool's residency filter from the executor on every
+// exit path of Run(), so a session never leaks its filter into plans made
+// outside it.
+struct FilterGuard {
+  Executor* executor;
+  const cache::SectorFilter* filter;
+  ~FilterGuard() {
+    if (filter != nullptr) executor->RemoveSectorFilter(filter);
+  }
+};
 }  // namespace
 
 Histogram LatencyStats::ToHistogram(double lo_ms, double hi_ms,
@@ -64,6 +77,16 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
   if (options_.retry.max_attempts == 0) {
     return Status::InvalidArgument("retry.max_attempts must be positive");
   }
+  if (options_.tiers != nullptr && volume_->replicated()) {
+    return Status::InvalidArgument(
+        "tiering assumes an unreplicated volume (see lvm/tiering.h)");
+  }
+
+  cache::BufferPool* const pool = options_.cache;
+  lvm::TierDirector* const tiers = options_.tiers;
+  FilterGuard filter_guard{executor_,
+                           pool != nullptr ? &pool->filter() : nullptr};
+  if (pool != nullptr) executor_->AddSectorFilter(&pool->filter());
 
   volume_->Reset();
   volume_->ConfigureQueues(options_.queue);
@@ -83,13 +106,18 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     bool failed = false;
     bool submitted = false;
     bool recorded = false;
+    uint64_t resident_sectors = 0;   // served from the buffer pool
+    uint64_t submitted_sectors = 0;  // read from the volume
+    // Frames this query pinned (resident subruns it counts on staying
+    // resident); unpinned when the completion records.
+    std::vector<uint64_t> pinned;
   };
   // One record per issued volume request (query reads, warmup reads,
   // rebuild chunks). Retries reuse the record: cur_disk/cur_tag identify
   // the live attempt, so a completion of an abandoned attempt is
   // recognizably stale and dropped.
   struct ReqState {
-    uint64_t query = 0;   // workload index, kNoQuery or kRebuildQuery
+    uint64_t query = 0;   // workload index or a kNoQuery-family sentinel
     disk::IoRequest req;  // volume-addressed, order_group stamped
     uint32_t attempts = 1;
     uint32_t cur_disk = 0;
@@ -97,6 +125,14 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     uint64_t avoid_mask = 0;  // member disks that already failed us
     uint64_t timer_gen = 0;   // bumps per issue; stale host timers no-op
     bool done = false;
+    // Buffer-pool frames [fill_first, fill_first + fill_frames) this read
+    // is filling: BeginFill'd at submit (once, not per retry attempt),
+    // CompleteFill'd when it finishes, AbandonFill'd when it fails. Frame
+    // indices are data-space even when tiering rewrote req.lbn.
+    uint64_t fill_first = 0;
+    uint32_t fill_frames = 0;
+    // kMigrationQuery only: the cell being promoted.
+    uint64_t tier_cell = 0;
   };
   std::vector<QueryState> states(queries.size());
   std::vector<ReqState> reqs;
@@ -109,11 +145,19 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
   uint32_t rebuild_inflight = 0;
   bool rebuild_armed = false;  // failure observed, start scheduled
 
+  // Background tier-migration driver state (see lvm/tiering.h): cells the
+  // director promoted, drained max_outstanding at a time as
+  // kReorderFreely reads interleaved with query traffic.
+  std::vector<uint64_t> migration_queue;
+  size_t migration_head = 0;
+  uint32_t migration_inflight = 0;
+
   sim::EventLoop loop;
   LatencyStats stats;
   Status error = Status::OK();
   Rng rng(options_.seed);
   QueryPlan plan;          // reused across per-arrival planning
+  std::vector<lvm::TierDirector::Redirected> redirected;  // reused
   size_t next_query = 0;   // closed loop: next workload index to hand out
 
   std::function<void(uint32_t)> pump;
@@ -129,6 +173,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
   std::function<void(double)> observe_failure;
   std::function<void(double)> rebuild_fill;
   std::function<void(double)> rebuild_after_chunk;
+  std::function<void(double)> migrate_fill;
 
   // Services the disk's next queued request (at the loop's current time,
   // which is exactly when the disk became free or received work) and
@@ -170,6 +215,10 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
   record_completion = [&](uint64_t qi) {
     QueryState& st = states[qi];
     st.recorded = true;
+    if (pool != nullptr) {
+      for (uint64_t f : st.pinned) pool->Unpin(f);
+      st.pinned.clear();
+    }
     QueryCompletion qc;
     qc.query = qi;
     qc.arrival_ms = st.arrival;
@@ -180,6 +229,8 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     qc.retries = st.retries;
     qc.redirects = st.redirects;
     qc.failed = st.failed;
+    qc.resident_sectors = st.resident_sectors;
+    qc.submitted_sectors = st.submitted_sectors;
     completions_.push_back(qc);
     stats.Record(qc);
     if (arrivals.kind == Kind::kClosed && next_query < queries.size()) {
@@ -202,6 +253,18 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
       rebuild_after_chunk(end);  // may grow reqs; rs is dead past here
       return;
     }
+    if (q == kMigrationQuery) {
+      --migration_inflight;
+      tiers->FinishMigration(rs.tier_cell);
+      migrate_fill(end);  // may grow reqs; rs is dead past here
+      return;
+    }
+    if (pool != nullptr) {
+      const uint64_t first = rs.fill_first;
+      for (uint32_t f = 0; f < rs.fill_frames; ++f) {
+        pool->CompleteFill(first + f);
+      }
+    }
     QueryState& st = states[q];
     st.start = std::min(st.start, start);
     st.finish = std::max(st.finish, end);
@@ -218,6 +281,18 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
       ++rebuild_stats_.read_errors;
       rebuild_after_chunk(t);  // may grow reqs; rs is dead past here
       return;
+    }
+    if (q == kMigrationQuery) {
+      --migration_inflight;
+      tiers->AbandonMigration(rs.tier_cell);
+      migrate_fill(t);  // may grow reqs; rs is dead past here
+      return;
+    }
+    if (pool != nullptr) {
+      const uint64_t first = rs.fill_first;
+      for (uint32_t f = 0; f < rs.fill_frames; ++f) {
+        pool->AbandonFill(first + f);
+      }
     }
     QueryState& st = states[q];
     st.failed = true;
@@ -365,19 +440,61 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     }
   };
 
+  // Drains the promotion queue, keeping up to max_outstanding cold-extent
+  // reads in flight. Promotions the director declines (already hot, or no
+  // slot could ever be carved) are skipped without an I/O.
+  migrate_fill = [&](double t) {
+    if (!error.ok() || tiers == nullptr) return;
+    const uint32_t target =
+        std::max<uint32_t>(tiers->options().max_outstanding, 1);
+    while (migration_inflight < target &&
+           migration_head < migration_queue.size()) {
+      const uint64_t cell = migration_queue[migration_head++];
+      ReqState rs;
+      rs.query = kMigrationQuery;
+      rs.tier_cell = cell;
+      if (!tiers->StartMigration(cell, &rs.req)) continue;
+      const size_t ri = reqs.size();
+      reqs.push_back(rs);
+      ++migration_inflight;
+      issue_request(ri, t, /*pump_after=*/true);
+      if (!error.ok()) return;
+    }
+  };
+
   submit_query = [&](uint64_t qi, double t) {
     if (!error.ok()) return;
     executor_->PlanInto(queries[qi], &plan);
     QueryState& st = states[qi];
     st.arrival = t;
     st.submitted = true;
+    // Resident subruns complete from memory, with no volume I/O: record
+    // the hits and pin their frames until the query records, so eviction
+    // cannot drop data the plan counted on.
+    if (pool != nullptr) {
+      for (const disk::IoRequest& r : plan.resident) {
+        st.resident_sectors += r.sectors;
+        uint64_t first = 0;
+        uint32_t n = 0;
+        if (!pool->FrameRange(r.lbn, r.sectors, &first, &n)) continue;
+        for (uint32_t f = 0; f < n; ++f) {
+          pool->Touch(first + f);  // hit
+          pool->Pin(first + f);
+          st.pinned.push_back(first + f);
+        }
+      }
+    }
     st.outstanding = plan.requests.size();
     if (plan.requests.empty()) {
-      // Clipped-empty box: nothing to fetch, completes at arrival.
+      // Nothing to read from the volume: a clipped-empty box or a fully
+      // cache-resident query completes at its arrival instant.
       st.start = st.finish = t;
       record_completion(qi);
       return;
     }
+    // The memory service of the resident part begins at arrival; the
+    // volume part sets the finish.
+    if (st.resident_sectors > 0) st.start = t;
     // Submit the whole plan before pumping: the drive sees the full query
     // at its arrival instant, as a host submitting a batch does. Each
     // query gets its own order group (qi + 1; 0 is the unassigned
@@ -385,14 +502,54 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     // distinct queries still interleave at the drive.
     for (disk::IoRequest r : plan.requests) {
       r.order_group = qi + 1;
-      ReqState rs;
-      rs.query = qi;
-      rs.req = r;
-      const size_t ri = reqs.size();
-      reqs.push_back(rs);
-      issue_request(ri, t, /*pump_after=*/false);
-      if (!error.ok()) return;
+      st.submitted_sectors += r.sectors;
+      // Miss bookkeeping in data space, before any tier rewrite: every
+      // frame the read overlaps is reserved for fill on completion.
+      uint64_t fill_first = 0;
+      uint32_t fill_frames = 0;
+      if (pool != nullptr &&
+          pool->FrameRange(r.lbn, r.sectors, &fill_first, &fill_frames)) {
+        for (uint32_t f = 0; f < fill_frames; ++f) {
+          pool->Touch(fill_first + f);  // miss
+          pool->BeginFill(fill_first + f);
+        }
+      }
+      if (tiers == nullptr) {
+        ReqState rs;
+        rs.query = qi;
+        rs.req = r;
+        rs.fill_first = fill_first;
+        rs.fill_frames = fill_frames;
+        const size_t ri = reqs.size();
+        reqs.push_back(rs);
+        issue_request(ri, t, /*pump_after=*/false);
+        if (!error.ok()) return;
+        continue;
+      }
+      // Tiered fleet: count the touch, rewrite hot-resident spans to
+      // their slots. A split adjusts the outstanding count; subruns
+      // partition the request at cell boundaries, so each buffer-pool
+      // frame stays owned by exactly one subrun (fills still balance).
+      tiers->Observe(r, &migration_queue);
+      redirected.clear();
+      tiers->Redirect(r, &redirected);
+      st.outstanding += redirected.size() - 1;
+      for (const lvm::TierDirector::Redirected& sub : redirected) {
+        ReqState rs;
+        rs.query = qi;
+        rs.req = sub.req;
+        if (pool != nullptr) {
+          pool->FrameRange(sub.src_lbn, sub.req.sectors, &rs.fill_first,
+                           &rs.fill_frames);
+        }
+        const size_t ri = reqs.size();
+        reqs.push_back(rs);
+        issue_request(ri, t, /*pump_after=*/false);
+        if (!error.ok()) return;
+      }
     }
+    // Newly promoted cells start migrating alongside the query's reads.
+    if (tiers != nullptr) migrate_fill(t);
     for (uint32_t d = 0; d < volume_->disk_count(); ++d) pump(d);
   };
 

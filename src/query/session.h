@@ -28,8 +28,10 @@
 #include <span>
 #include <vector>
 
+#include "cache/buffer_pool.h"
 #include "disk/scheduler.h"
 #include "lvm/rebuild.h"
+#include "lvm/tiering.h"
 #include "lvm/volume.h"
 #include "mapping/cell.h"
 #include "query/executor.h"
@@ -100,9 +102,19 @@ struct QueryCompletion {
   /// excluded from the latency accumulators and counted in
   /// LatencyStats::failed.
   bool failed = false;
+  /// Sectors served from the buffer pool (no volume I/O).
+  uint64_t resident_sectors = 0;
+  /// Sectors read from the volume.
+  uint64_t submitted_sectors = 0;
 
   /// Completed, but only via retries or replica redirects.
   bool Degraded() const { return retries > 0 || redirects > 0; }
+
+  /// Served entirely from the buffer pool: the query never touched the
+  /// volume. Always false with the cache disabled.
+  bool CacheHit() const {
+    return resident_sectors > 0 && submitted_sectors == 0;
+  }
 
   double QueueMs() const { return start_ms - arrival_ms; }
   double ServiceMs() const { return finish_ms - start_ms; }
@@ -131,11 +143,21 @@ struct LatencyStats {
   uint64_t failed = 0;     ///< Queries that exhausted every attempt.
   uint64_t retries = 0;    ///< Re-issued attempts, summed over queries.
   uint64_t redirects = 0;  ///< Replica-served attempts, summed.
+  // Cache accounting (all zero with the cache disabled). `latency` also
+  // splits into `hit` + `miss`, orthogonally to clean/degraded: every
+  // timed completion lands in exactly one of each pair, so neither split
+  // double-counts.
+  RunningStats hit;   ///< Latency of fully-cache-served completions.
+  RunningStats miss;  ///< Latency of completions that read the volume.
+  uint64_t resident_sectors = 0;   ///< Sectors served from the pool.
+  uint64_t submitted_sectors = 0;  ///< Sectors read from the volume.
 
   void Record(const QueryCompletion& c) {
     makespan_ms = std::max(makespan_ms, c.finish_ms);
     retries += c.retries;
     redirects += c.redirects;
+    resident_sectors += c.resident_sectors;
+    submitted_sectors += c.submitted_sectors;
     if (c.failed) {
       ++failed;
       return;
@@ -145,6 +167,30 @@ struct LatencyStats {
     service.Add(c.ServiceMs());
     latency_hist.Add(c.LatencyMs());
     (c.Degraded() ? degraded : clean).Add(c.LatencyMs());
+    (c.CacheHit() ? hit : miss).Add(c.LatencyMs());
+  }
+
+  /// Folds another run's summary into this one (multi-session reports).
+  /// Every accumulator -- including the clean/degraded and hit/miss
+  /// splits -- merges sample-exactly; the histograms must share a shape
+  /// (they do unless one was re-bucketed), else nothing merges and the
+  /// call returns false.
+  [[nodiscard]] bool Merge(const LatencyStats& o) {
+    if (!latency_hist.Merge(o.latency_hist)) return false;
+    latency.Merge(o.latency);
+    queueing.Merge(o.queueing);
+    service.Merge(o.service);
+    clean.Merge(o.clean);
+    degraded.Merge(o.degraded);
+    hit.Merge(o.hit);
+    miss.Merge(o.miss);
+    makespan_ms = std::max(makespan_ms, o.makespan_ms);
+    failed += o.failed;
+    retries += o.retries;
+    redirects += o.redirects;
+    resident_sectors += o.resident_sectors;
+    submitted_sectors += o.submitted_sectors;
+    return true;
   }
 
   size_t count() const { return latency.count(); }
@@ -188,6 +234,19 @@ struct SessionOptions {
   /// symptom-driven: the first kDiskFailed completion or failover-routed
   /// submit arms the rebuild detect_delay_ms later.
   lvm::RebuildOptions rebuild;
+  /// Buffer-pool tier (borrowed; may be null = no cache, the bit-exact
+  /// legacy path). When set, Run() installs the pool's residency filter
+  /// on the executor for its duration: plans split into resident subruns
+  /// (completed from memory at arrival, no volume I/O) and submit
+  /// subruns (volume reads whose completions fill the pool). Residency
+  /// carries across Run() calls -- the caller owns warmup and Clear().
+  cache::BufferPool* cache = nullptr;
+  /// Hot/cold fleet director (borrowed; may be null = untiered). When
+  /// set, submitted requests are observed and rewritten through the
+  /// director (hot-resident cells read from their hot slots), and
+  /// promotions are driven as background kReorderFreely migration reads
+  /// interleaved with query traffic.
+  lvm::TierDirector* tiers = nullptr;
 };
 
 /// Runs query workloads against a volume under an arrival process.

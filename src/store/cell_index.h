@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/sector_filter.h"
 #include "disk/request.h"
 #include "mapping/cell.h"
 #include "mapping/mapping.h"
@@ -86,7 +87,14 @@ class CellIndex {
   /// Which sectors of a mapping's footprint hold records: one bit per
   /// sector of [base, base + span). LBNs outside the window count as
   /// vacant.
-  struct Occupancy {
+  ///
+  /// Occupancy is a cache::SectorFilter: install it on the executor
+  /// (Executor::AddSectorFilter) and PlanInto/PlanBatch drop vacant
+  /// sectors during planning -- the consult that used to run as a
+  /// Prune() post-pass over already-planned requests now happens inside
+  /// the planner's filter stage. Prune() remains for callers holding a
+  /// finished request stream.
+  struct Occupancy : public cache::SectorFilter {
     uint64_t base = 0;
     uint64_t span = 0;
     std::vector<uint64_t> bits;
@@ -97,6 +105,12 @@ class CellIndex {
       return (bits[i >> 6] >> (i & 63)) & 1u;
     }
     uint64_t occupied_sectors() const;
+
+    /// The planner consult: vacant sectors classify kSkip (dropped from
+    /// the plan), occupied ones kSubmit.
+    Class Classify(uint64_t lbn) const override {
+      return Occupied(lbn) ? Class::kSubmit : Class::kSkip;
+    }
 
     /// Splits each request into its maximal occupied subruns, dropping
     /// vacant sectors; emission order, hints and order groups survive, so

@@ -22,6 +22,15 @@ class RunningStats {
     sum_sq_ += x * x;
   }
 
+  /// Appends another accumulator's samples (sample-exact: mean, stddev,
+  /// and percentiles afterwards equal those of one accumulator fed both
+  /// streams).
+  void Merge(const RunningStats& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+    sum_ += o.sum_;
+    sum_sq_ += o.sum_sq_;
+  }
+
   size_t count() const { return samples_.size(); }
   double sum() const { return sum_; }
   /// i-th sample, in insertion order.

@@ -1,0 +1,255 @@
+// Cache-aware session acceptance (ISSUE 8): with the buffer pool off the
+// stack is bit-identical to the legacy path; with it on, resident queries
+// complete without touching the volume, partial residency splits plans
+// without reordering, and the hit/miss LatencyStats split accounts every
+// completion exactly once.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/buffer_pool.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/naive.h"
+#include "query/executor.h"
+#include "query/session.h"
+#include "util/rng.h"
+
+namespace mm::query {
+namespace {
+
+class CacheSessionTest : public ::testing::Test {
+ protected:
+  // 216 cells row-major on a 288-sector test disk.
+  lvm::Volume vol_{disk::MakeTestDisk()};
+  map::GridShape shape_{6, 6, 6};
+  map::NaiveMapping naive_{shape_, 0};
+
+  std::vector<map::Box> PointWorkload(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<map::Box> boxes;
+    boxes.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      map::Box b;
+      for (uint32_t dim = 0; dim < 3; ++dim) {
+        b.lo[dim] = static_cast<uint32_t>(rng.Uniform(shape_.dim(dim)));
+        b.hi[dim] = b.lo[dim] + 1;
+      }
+      boxes.push_back(b);
+    }
+    return boxes;
+  }
+};
+
+// With options.cache == nullptr the session must be bit-identical to the
+// pre-cache stack -- including an executor that carried a filter earlier
+// (template caches always store raw plans, so install/remove leaves no
+// residue).
+TEST_F(CacheSessionTest, CacheOffIsBitIdentical) {
+  const auto boxes = PointWorkload(60, 11);
+  const ArrivalProcess arrivals = ArrivalProcess::OpenPoisson(80.0);
+
+  Executor plain(&vol_, &naive_);
+  Session s1(&vol_, &plain, SessionOptions{});
+  auto r1 = s1.Run(boxes, arrivals);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  const std::vector<QueryCompletion> reference = s1.completions();
+
+  // Same executor, but a pool filter was installed, exercised, and
+  // removed before the run.
+  cache::BufferPool pool(naive_, {.capacity_cells = 32});
+  Executor touched(&vol_, &naive_);
+  touched.AddSectorFilter(&pool.filter());
+  (void)touched.Plan(boxes[0]);
+  touched.RemoveSectorFilter(&pool.filter());
+  EXPECT_FALSE(touched.filtered());
+  Session s2(&vol_, &touched, SessionOptions{});
+  auto r2 = s2.Run(boxes, arrivals);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  ASSERT_EQ(s2.completions().size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const QueryCompletion& a = reference[i];
+    const QueryCompletion& b = s2.completions()[i];
+    EXPECT_EQ(a.query, b.query);
+    EXPECT_EQ(a.arrival_ms, b.arrival_ms);
+    EXPECT_EQ(a.start_ms, b.start_ms);
+    EXPECT_EQ(a.finish_ms, b.finish_ms);
+    EXPECT_EQ(b.resident_sectors, 0u);
+    EXPECT_EQ(a.submitted_sectors, b.submitted_sectors);
+  }
+  EXPECT_EQ(r1->makespan_ms, r2->makespan_ms);
+  // Without a cache every timed completion is a miss.
+  EXPECT_EQ(r2->hit.count(), 0u);
+  EXPECT_EQ(r2->miss.count(), r2->latency.count());
+  EXPECT_EQ(r2->resident_sectors, 0u);
+}
+
+// A working-set-sized pool turns a repeated workload into pure hits: the
+// second run never touches the volume and completes at arrival.
+TEST_F(CacheSessionTest, ResidentQueriesCompleteWithoutVolume) {
+  const auto boxes = PointWorkload(50, 23);
+  cache::BufferPool pool(naive_, {.capacity_cells = 216});
+  Executor ex(&vol_, &naive_);
+  SessionOptions opt;
+  opt.cache = &pool;
+  Session s(&vol_, &ex, opt);
+
+  auto cold = s.Run(boxes, ArrivalProcess::Closed(1));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  // The cold pass mostly misses (duplicate points later in the run may
+  // already hit: fills install as their reads complete).
+  EXPECT_GT(cold->miss.count(), 0u);
+  EXPECT_LT(cold->hit.count(), boxes.size());
+  EXPECT_GT(cold->submitted_sectors, 0u);
+  EXPECT_GT(pool.resident_cells(), 0u);
+
+  // Residency persists across Run() (the volume resets; the pool is
+  // host-side state).
+  auto warm = s.Run(boxes, ArrivalProcess::Closed(1));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->hit.count(), boxes.size());
+  EXPECT_EQ(warm->miss.count(), 0u);
+  EXPECT_EQ(warm->submitted_sectors, 0u);
+  EXPECT_GT(warm->resident_sectors, 0u);
+  EXPECT_EQ(warm->failed, 0u);
+  // Every hit completed at its arrival instant: zero latency, and the
+  // whole run is instantaneous on the virtual clock.
+  EXPECT_EQ(warm->latency.Max(), 0.0);
+  EXPECT_EQ(warm->makespan_ms, 0.0);
+  for (const QueryCompletion& c : s.completions()) {
+    EXPECT_TRUE(c.CacheHit());
+    EXPECT_EQ(c.start_ms, c.arrival_ms);
+    EXPECT_EQ(c.finish_ms, c.arrival_ms);
+  }
+  // No volume request was issued: the disk never left time zero.
+  EXPECT_EQ(vol_.disk(0).stats().requests, 0u);
+}
+
+// Partial residency: the filter splits each raw plan into resident and
+// submit subruns that partition it in emission order, preserving hint and
+// order group -- so within-query service order survives (the 0-inversion
+// property pinned at the scheduler level by scheduling_hint_test).
+TEST_F(CacheSessionTest, PartialResidencySplitsWithoutReordering) {
+  cache::BufferPool pool(naive_, {.capacity_cells = 216});
+  // Make every even cell resident by hand.
+  for (uint64_t f = 0; f < 216; f += 2) {
+    pool.Touch(f);
+    pool.BeginFill(f);
+    pool.CompleteFill(f);
+  }
+
+  Executor raw_ex(&vol_, &naive_);
+  Executor ex(&vol_, &naive_);
+  ex.AddSectorFilter(&pool.filter());
+
+  const map::Box box = map::Box::Full(shape_);
+  const QueryPlan raw = raw_ex.Plan(box);
+  const QueryPlan split = ex.Plan(box);
+  ASSERT_FALSE(raw.requests.empty());
+  ASSERT_FALSE(split.requests.empty());
+  ASSERT_FALSE(split.resident.empty());
+
+  // Replay the raw plan sector by sector: the split lists must consume it
+  // exactly, each subrun inheriting its source request's hint and group.
+  size_t si = 0, ri = 0;        // cursors into split.requests / .resident
+  uint64_t s_off = 0, r_off = 0;  // sector offsets within those subruns
+  for (const disk::IoRequest& src : raw.requests) {
+    for (uint32_t s = 0; s < src.sectors; ++s) {
+      const uint64_t lbn = src.lbn + s;
+      const bool resident = pool.Resident(pool.FrameOf(lbn));
+      if (resident) {
+        ASSERT_LT(ri, split.resident.size());
+        const disk::IoRequest& run = split.resident[ri];
+        EXPECT_EQ(run.lbn + r_off, lbn);
+        EXPECT_EQ(run.hint, src.hint);
+        EXPECT_EQ(run.order_group, src.order_group);
+        if (++r_off == run.sectors) {
+          r_off = 0;
+          ++ri;
+        }
+      } else {
+        ASSERT_LT(si, split.requests.size());
+        const disk::IoRequest& run = split.requests[si];
+        EXPECT_EQ(run.lbn + s_off, lbn);
+        EXPECT_EQ(run.hint, src.hint);
+        EXPECT_EQ(run.order_group, src.order_group);
+        if (++s_off == run.sectors) {
+          s_off = 0;
+          ++si;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(si, split.requests.size());
+  EXPECT_EQ(ri, split.resident.size());
+
+  // A mixed query starts at arrival (memory service) and neither list is
+  // dropped from the accounting.
+  SessionOptions opt;
+  opt.cache = &pool;
+  Session s(&vol_, &ex, opt);
+  const std::vector<map::Box> one{box};
+  auto stats = s.Run(one, ArrivalProcess::Closed(1));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(s.completions().size(), 1u);
+  const QueryCompletion& c = s.completions()[0];
+  EXPECT_GT(c.resident_sectors, 0u);
+  EXPECT_GT(c.submitted_sectors, 0u);
+  EXPECT_FALSE(c.CacheHit());  // mixed, not a pure hit
+  EXPECT_EQ(c.start_ms, c.arrival_ms);
+  EXPECT_EQ(stats->miss.count(), 1u);
+}
+
+// The hit/miss split covers every timed completion exactly once and
+// survives Merge without double-counting any accumulator.
+TEST_F(CacheSessionTest, LatencyStatsSplitsAndMergeDoNotDoubleCount) {
+  const auto boxes = PointWorkload(120, 31);
+  cache::BufferPool pool(naive_, {.capacity_cells = 24});  // partial set
+  Executor ex(&vol_, &naive_);
+  SessionOptions opt;
+  opt.cache = &pool;
+  Session s(&vol_, &ex, opt);
+
+  auto a = s.Run(boxes, ArrivalProcess::OpenPoisson(60.0));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = s.Run(boxes, ArrivalProcess::OpenPoisson(60.0));
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  // The warm run hits at least sometimes; both splits partition latency.
+  EXPECT_GT(b->hit.count(), 0u);
+  for (const LatencyStats* st : {&*a, &*b}) {
+    EXPECT_EQ(st->hit.count() + st->miss.count(), st->latency.count());
+    EXPECT_EQ(st->clean.count() + st->degraded.count(), st->latency.count());
+    EXPECT_NEAR(st->hit.sum() + st->miss.sum(), st->latency.sum(), 1e-9);
+  }
+
+  LatencyStats merged;
+  ASSERT_TRUE(merged.Merge(*a));
+  ASSERT_TRUE(merged.Merge(*b));
+  EXPECT_EQ(merged.latency.count(), a->latency.count() + b->latency.count());
+  EXPECT_EQ(merged.hit.count(), a->hit.count() + b->hit.count());
+  EXPECT_EQ(merged.miss.count(), a->miss.count() + b->miss.count());
+  EXPECT_EQ(merged.hit.count() + merged.miss.count(),
+            merged.latency.count());
+  EXPECT_EQ(merged.clean.count() + merged.degraded.count(),
+            merged.latency.count());
+  EXPECT_EQ(merged.latency_hist.count(), merged.latency.count());
+  EXPECT_EQ(merged.resident_sectors,
+            a->resident_sectors + b->resident_sectors);
+  EXPECT_EQ(merged.submitted_sectors,
+            a->submitted_sectors + b->submitted_sectors);
+  EXPECT_EQ(merged.makespan_ms, std::max(a->makespan_ms, b->makespan_ms));
+  EXPECT_NEAR(merged.latency.sum(), a->latency.sum() + b->latency.sum(),
+              1e-9);
+  // Sample-exact: percentiles equal one accumulator fed both streams.
+  RunningStats both;
+  for (size_t i = 0; i < a->latency.count(); ++i)
+    both.Add(a->latency.sample(i));
+  for (size_t i = 0; i < b->latency.count(); ++i)
+    both.Add(b->latency.sample(i));
+  EXPECT_EQ(merged.latency.Percentile(99), both.Percentile(99));
+}
+
+}  // namespace
+}  // namespace mm::query

@@ -196,5 +196,60 @@ TEST_F(StoreSessionTest, OccupancyPruningDropsOnlyVacantSectors) {
   EXPECT_GT(nonzero, 0u);
 }
 
+// The occupancy consult moved from a Prune() post-pass into the planner's
+// filter stage (ISSUE 8): installing the Occupancy on the executor must
+// yield exactly the post-pass request stream -- on cold plans and on
+// plan-template cache hits alike -- and removing it must restore the
+// unfiltered plans bit-for-bit.
+TEST_F(StoreSessionTest, OccupancyFilterMatchesPrunePostPass) {
+  StoreVolumeOptions mem_opt;
+  mem_opt.backend = StoreVolumeOptions::Backend::kMemory;
+  auto store = StoreVolume::Create(vol_, dir_, mem_opt);
+  ASSERT_TRUE(store.ok()) << store.status();
+  CellIndex index;
+  auto stats = LoadInto(store->get(), 64 << 20, &index);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const auto occ = index.BuildOccupancy(*mapping_);
+
+  query::Executor exec(&vol_, mapping_.get());
+  std::vector<map::Box> boxes = Workload();
+  boxes.push_back(map::Box::Full(mapping_->shape()));
+
+  // Reference: the unfiltered plans and their post-pass prunes.
+  std::vector<query::QueryPlan> raw;
+  for (const map::Box& box : boxes) raw.push_back(exec.Plan(box));
+
+  exec.AddSectorFilter(&occ);
+  EXPECT_TRUE(exec.filtered());
+  // Two repetitions: the first plans cold, the second through the
+  // plan-template cache's hit path -- both must consult the filter.
+  for (int rep = 0; rep < 2; ++rep) {
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      const query::QueryPlan filtered = exec.Plan(boxes[i]);
+      // Occupancy never classifies kResident.
+      EXPECT_TRUE(filtered.resident.empty());
+      std::vector<disk::IoRequest> pruned;
+      occ.Prune(raw[i].requests, &pruned);
+      ASSERT_EQ(filtered.requests.size(), pruned.size())
+          << "box " << i << " rep " << rep;
+      for (size_t r = 0; r < pruned.size(); ++r) {
+        EXPECT_EQ(filtered.requests[r], pruned[r]);
+      }
+    }
+  }
+
+  // Removing the filter restores the raw plans (templates cache raw
+  // requests, so no pruned residue survives).
+  exec.RemoveSectorFilter(&occ);
+  EXPECT_FALSE(exec.filtered());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    const query::QueryPlan back = exec.Plan(boxes[i]);
+    ASSERT_EQ(back.requests.size(), raw[i].requests.size());
+    for (size_t r = 0; r < back.requests.size(); ++r) {
+      EXPECT_EQ(back.requests[r], raw[i].requests[r]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mm::store
