@@ -31,7 +31,8 @@ int main() {
               shape.ToString().c_str(), spec.name.c_str());
   TextTable table({"cube", "K", "waste%", "Dim1 beam", "Dim2 beam",
                    "1% range [s]"});
-  uint64_t seed = 777;
+  const uint64_t kSeed = 777;
+  uint32_t cfg_index = 0;
   for (const auto& cfg : configs) {
     lvm::Volume vol(spec);
     core::MultiMapMapping::Options opt;
@@ -39,6 +40,7 @@ int main() {
     auto mmap = core::MultiMapMapping::Create(vol, shape, opt);
     if (!mmap.ok()) {
       std::printf("%s: %s\n", cfg.name, mmap.status().ToString().c_str());
+      ++cfg_index;
       continue;
     }
     const auto& k = (*mmap)->cube().k;
@@ -46,11 +48,13 @@ int main() {
     for (size_t i = 1; i < k.size(); ++i) kstr += "x" + std::to_string(k[i]);
 
     const RunningStats d1 =
-        bench::BeamPerCellStats(vol, **mmap, 1, reps, seed++);
+        bench::BeamPerCellStats(vol, **mmap, 1, reps,
+                                bench::SweepSeed(kSeed, cfg_index * 4));
     const RunningStats d2 =
-        bench::BeamPerCellStats(vol, **mmap, 2, reps, seed++);
+        bench::BeamPerCellStats(vol, **mmap, 2, reps,
+                                bench::SweepSeed(kSeed, cfg_index * 4 + 1));
     query::Executor ex(&vol, mmap->get());
-    Rng rng(seed++);
+    Rng rng(bench::SweepSeed(kSeed, cfg_index * 4 + 2));
     RunningStats range;
     for (int rep = 0; rep < reps; ++rep) {
       (void)ex.RandomizeHead(rng);
@@ -61,6 +65,7 @@ int main() {
                   TextTable::Num(100.0 * (*mmap)->WastedFraction(), 1),
                   TextTable::Num(d1.Mean(), 3), TextTable::Num(d2.Mean(), 3),
                   TextTable::Num(range.Mean(), 3)});
+    ++cfg_index;
   }
   table.Print();
   std::printf(

@@ -23,6 +23,19 @@
 
 namespace mm::bench {
 
+/// Seed for sweep point `index` of a bench, derived from the bench's base
+/// seed by a splitmix64-style mix. Unlike threading one `seed++` counter
+/// through a sweep, each point's random stream is a pure function of
+/// (base, index): dropping, reordering, or subsetting the sweep (e.g.
+/// MM_BENCH_QUICK) leaves every remaining point's workload bit-identical,
+/// so single points can be re-run and compared in isolation.
+inline uint64_t SweepSeed(uint64_t base, uint64_t index) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Skewed point workload over a 3-D grid: most queries hammer a hot band
 /// in the first `band` Dim2 planes (a low-LBN region under the row-major
 /// Naive mapping) while `cold_per_10` of every 10 probe a same-sized cold

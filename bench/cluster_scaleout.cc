@@ -1,0 +1,261 @@
+// Cluster scale-out: the parallel-simulator numbers behind ClusterSession.
+//
+// Sweep 1 -- scale-out: S in {1, 2, 4, 8} shards, one worker thread per
+// shard, with the offered load (arrival rate AND query count) scaled by S.
+// Declustering fans every query across all S shards, so even as the
+// offered load grows S-fold, per-query latency *falls* (each shard serves
+// ~1/S of each query, in parallel in simulated time) while the simulated
+// event total -- and the wall-clock event rate of the simulator itself,
+// given the hardware -- grows with S.
+//
+// Sweep 2 -- thread scaling: the 8-shard point re-run with 1, 2, 4, and 8
+// worker threads. The workload is IDENTICAL by construction (thread count
+// never changes results; this bench asserts the merged stats and
+// completion records are bit-identical to the 1-thread reference), so the
+// only thing that moves is wall-clock time. The headline metric is the
+// simulator speedup from 1 -> 8 threads; outside MM_BENCH_QUICK, on a
+// machine with at least 8 hardware threads, the bench fails (exit 1)
+// below 3x -- the acceptance floor for the parallel core. On narrower
+// machines the speedup is still measured and emitted (alongside
+// hardware_concurrency, so the number stays interpretable) but not
+// enforced: 8 workers on 1 core can only ever tie.
+//
+// Emits BENCH_cluster.json with both sweeps.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/emit_json.h"
+#include "lvm/cluster.h"
+#include "query/cluster_session.h"
+
+namespace mm::bench {
+namespace {
+
+// Random small ranges over a 3-D grid. The mapping is Naive on purpose:
+// scale-out behavior is a property of the declustered chunk map and the
+// parallel core, not of the intra-shard placement, and Naive keeps the
+// planned request streams long enough to fan across every shard.
+std::vector<map::Box> RangeWorkload(const map::GridShape& shape, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<map::Box> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    boxes.push_back(query::RandomRange(shape, 0.05, rng));
+  }
+  return boxes;
+}
+
+struct Point {
+  uint32_t shards = 0;
+  uint32_t threads = 0;
+  double rate_qps = 0;
+  size_t queries = 0;
+  query::LatencyStats stats;
+  uint64_t events = 0;
+  double wall_s = 0;
+
+  double EventsPerSec() const {
+    return wall_s <= 0 ? 0.0 : static_cast<double>(events) / wall_s;
+  }
+};
+
+Point RunPoint(uint32_t shards, uint32_t threads, double rate_qps,
+               size_t queries, const map::GridShape& shape,
+               uint64_t workload_seed) {
+  lvm::ClusterTopology topo;
+  topo.shards = shards;
+  topo.shard_disks = {disk::MakeAtlas10k3()};
+  topo.chunk_sectors = 1024;  // multiple of the 8-sector cell
+  auto cluster = lvm::ClusterVolume::Create(topo);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "ClusterVolume::Create failed: %s\n",
+                 cluster.status().ToString().c_str());
+    std::exit(1);
+  }
+  map::NaiveMapping mapping(shape, 0, /*cell_sectors=*/8);
+  if (mapping.footprint_sectors() > (*cluster)->data_sectors()) {
+    std::fprintf(stderr, "grid does not fit the cluster\n");
+    std::exit(1);
+  }
+  query::Executor planner(&(*cluster)->logical(), &mapping);
+  query::ClusterConfig config;
+  config.threads = threads;
+  config.arrivals = query::ArrivalProcess::OpenPoisson(rate_qps);
+  config.seed = 4215;
+  query::ClusterSession session(cluster->get(), &planner, config);
+
+  const auto boxes = RangeWorkload(shape, queries, workload_seed);
+  auto stats = session.Run(boxes);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "cluster session failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  Point p;
+  p.shards = shards;
+  p.threads = session.threads_used();
+  p.rate_qps = rate_qps;
+  p.queries = queries;
+  p.stats = *stats;
+  p.events = session.events();
+  p.wall_s = session.wall_seconds();
+  return p;
+}
+
+// Bit-identity across thread counts: every retained latency sample equal.
+bool SameStats(const query::LatencyStats& a, const query::LatencyStats& b) {
+  if (a.count() != b.count() || a.failed != b.failed ||
+      a.retries != b.retries || a.redirects != b.redirects ||
+      a.makespan_ms != b.makespan_ms) {
+    return false;
+  }
+  for (size_t i = 0; i < a.latency.count(); ++i) {
+    if (a.latency.sample(i) != b.latency.sample(i)) return false;
+  }
+  return true;
+}
+
+void PrintTable(const char* title, const std::vector<Point>& points) {
+  std::printf("--- %s ---\n", title);
+  TextTable table({"shards", "threads", "rate", "queries", "p50", "p99",
+                   "mean", "events", "wall[s]", "Mev/s"});
+  for (const Point& p : points) {
+    table.AddRow({std::to_string(p.shards), std::to_string(p.threads),
+                  TextTable::Num(p.rate_qps, 0), std::to_string(p.queries),
+                  TextTable::Num(p.stats.P50Ms(), 2),
+                  TextTable::Num(p.stats.P99Ms(), 2),
+                  TextTable::Num(p.stats.MeanMs(), 2),
+                  std::to_string(p.events), TextTable::Num(p.wall_s, 3),
+                  TextTable::Num(p.EventsPerSec() / 1e6, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+JsonValue PointJson(const Point& p) {
+  JsonValue row = JsonValue::Object();
+  row.Set("shards", static_cast<double>(p.shards))
+      .Set("threads", static_cast<double>(p.threads))
+      .Set("rate_qps", p.rate_qps)
+      .Set("queries", static_cast<double>(p.queries))
+      .Set("p50_ms", p.stats.P50Ms())
+      .Set("p95_ms", p.stats.P95Ms())
+      .Set("p99_ms", p.stats.P99Ms())
+      .Set("mean_ms", p.stats.MeanMs())
+      .Set("mean_queue_ms", p.stats.queueing.Mean())
+      .Set("mean_service_ms", p.stats.service.Mean())
+      .Set("events", static_cast<double>(p.events))
+      .Set("wall_s", p.wall_s)
+      .Set("events_per_sec", p.EventsPerSec());
+  return row;
+}
+
+}  // namespace
+}  // namespace mm::bench
+
+int main() {
+  using namespace mm;
+  using namespace mm::bench;
+  const bool quick = QuickMode();
+  const map::GridShape shape{256, 256, 64};
+  // Full mode needs enough simulated work per shard that the thread sweep
+  // measures the simulator, not thread start-up: ~600 queries per shard is
+  // tens of milliseconds of single-shard wall time.
+  const size_t queries_per_shard = quick ? 12 : 600;
+  const double rate_per_shard_qps = 1.0;
+  const uint64_t kWorkloadSeed = 20260807;
+
+  std::printf(
+      "=== Cluster scale-out: declustered shards, one event loop per "
+      "thread ===\n"
+      "random 0.05%% ranges on %s, Naive cells of 8 sectors, Poisson "
+      "arrivals\n\n",
+      shape.ToString().c_str());
+
+  JsonEmitter em("cluster_scaleout");
+
+  // Sweep 1: scale-out. Load scales with S; every point keeps one worker
+  // per shard.
+  std::vector<Point> scaleout;
+  for (uint32_t s : {1u, 2u, 4u, 8u}) {
+    scaleout.push_back(RunPoint(s, /*threads=*/s, rate_per_shard_qps * s,
+                                queries_per_shard * s, shape,
+                                SweepSeed(kWorkloadSeed, s)));
+  }
+  PrintTable("scale-out sweep (load ~ shards, threads = shards)", scaleout);
+
+  // Sweep 2: thread scaling at 8 shards, workload fixed. The 1-thread run
+  // is the reference every other run must match bit-for-bit.
+  std::vector<Point> threads_sweep;
+  for (uint32_t t : {1u, 2u, 4u, 8u}) {
+    threads_sweep.push_back(RunPoint(8, t, rate_per_shard_qps * 8,
+                                     queries_per_shard * 8, shape,
+                                     SweepSeed(kWorkloadSeed, 8)));
+  }
+  PrintTable("thread-scaling sweep (8 shards, fixed workload)",
+             threads_sweep);
+
+  for (size_t i = 1; i < threads_sweep.size(); ++i) {
+    if (!SameStats(threads_sweep[0].stats, threads_sweep[i].stats)) {
+      std::fprintf(stderr,
+                   "FAIL: %u-thread run is not bit-identical to the "
+                   "1-thread reference\n",
+                   threads_sweep[i].threads);
+      return 1;
+    }
+  }
+  std::printf("determinism: 2/4/8-thread runs bit-identical to 1 thread\n");
+
+  const double speedup =
+      threads_sweep.back().wall_s <= 0
+          ? 0.0
+          : threads_sweep[0].wall_s / threads_sweep.back().wall_s;
+  std::printf("simulator speedup 1 -> 8 threads: %.2fx\n\n", speedup);
+
+  JsonValue scaleout_json = JsonValue::Array();
+  for (const Point& p : scaleout) scaleout_json.Append(PointJson(p));
+  JsonValue threads_json = JsonValue::Array();
+  for (const Point& p : threads_sweep) threads_json.Append(PointJson(p));
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  em.Metric("hardware_concurrency", static_cast<double>(hw));
+  em.Metric("queries_per_shard", static_cast<double>(queries_per_shard));
+  em.Metric("rate_per_shard_qps", rate_per_shard_qps);
+  em.Metric("events_per_sec_1shard", scaleout.front().EventsPerSec());
+  em.Metric("events_per_sec_8shard", scaleout.back().EventsPerSec());
+  em.Metric("p50_ms_1shard", scaleout.front().stats.P50Ms());
+  em.Metric("p50_ms_8shard", scaleout.back().stats.P50Ms());
+  em.Metric("speedup_8shard_1to8_threads", speedup);
+  em.Metric("p99_ms_8shard", scaleout.back().stats.P99Ms());
+  em.Note("workload", "random 0.05% ranges, Poisson arrivals, Naive cells");
+  em.Note("grid", shape.ToString());
+  em.Note("shard_disks", "1x Atlas10kIII per shard, chunk 1024 sectors");
+  em.Value("scaleout", std::move(scaleout_json));
+  em.Value("thread_scaling", std::move(threads_json));
+  em.WriteFile("BENCH_cluster.json");
+  std::printf("wrote BENCH_cluster.json\n");
+
+  if (!quick && hw >= 8 && speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: 1 -> 8 thread simulator speedup %.2fx is below the "
+                 "3x acceptance floor (hardware_concurrency=%u)\n",
+                 speedup, hw);
+    return 1;
+  }
+  if (hw < 8) {
+    std::printf(
+        "note: hardware_concurrency=%u < 8, speedup floor not enforced\n",
+        hw);
+  }
+  std::printf(
+      "Expected shape: per-query latency falls with shard count even as\n"
+      "offered load scales with it (every query fans across all shards);\n"
+      "the thread sweep changes wall time only (results are bit-identical).\n");
+  return 0;
+}

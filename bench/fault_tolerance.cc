@@ -165,7 +165,7 @@ int main() {
     r.name = regime.name;
     r.queries = queries;
     r.stats = *stats;
-    r.completions = session.completions();
+    r.completions = session.Completions();
     r.rebuild = session.rebuild_stats();
     for (size_t d = 0; d < vol.disk_count(); ++d) {
       r.disk_stats.push_back(vol.disk(d).stats());

@@ -13,7 +13,8 @@ int main() {
   const map::GridShape shape{259, 259, 259};
 
   std::printf("=== Analytical model vs. simulator ===\n\n");
-  uint64_t seed = 31415;
+  const uint64_t kSeed = 31415;
+  uint32_t disk_index = 0;
   for (const auto& spec : disk::PaperDisks()) {
     lvm::Volume vol(spec);
     model::CostModel model(spec);
@@ -29,12 +30,18 @@ int main() {
     for (uint32_t dim = 0; dim < 3; ++dim) {
       add("naive beam d" + std::to_string(dim),
           model.NaiveBeamPerCellMs(shape, dim),
-          bench::BeamPerCellStats(vol, naive, dim, reps, seed++).Mean());
+          bench::BeamPerCellStats(vol, naive, dim, reps,
+                                  bench::SweepSeed(kSeed + disk_index,
+                                                   dim * 2))
+              .Mean());
       add("multimap beam d" + std::to_string(dim),
           model.MultiMapBeamPerCellMs(shape, (*mmap)->cube(), dim),
-          bench::BeamPerCellStats(vol, **mmap, dim, reps, seed++).Mean());
+          bench::BeamPerCellStats(vol, **mmap, dim, reps,
+                                  bench::SweepSeed(kSeed + disk_index,
+                                                   dim * 2 + 1))
+              .Mean());
     }
-    Rng rng(seed++);
+    Rng rng(bench::SweepSeed(kSeed + disk_index, 6));
     for (double pct : {0.1, 1.0}) {
       const map::Box box = query::RandomRange(shape, pct, rng);
       query::Executor exn(&vol, &naive);
@@ -57,6 +64,7 @@ int main() {
     std::printf("--- %s ---\n", spec.name.c_str());
     table.Print();
     std::printf("\n");
+    ++disk_index;
   }
   return 0;
 }

@@ -26,6 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
+
+#include "disk/request.h"
 
 namespace mm::cache {
 
@@ -43,5 +47,58 @@ class SectorFilter {
   /// mutation) and cheap: the planner calls it per planned sector.
   virtual Class Classify(uint64_t lbn) const = 0;
 };
+
+/// The shared split stage (the file-comment contract, verbatim): runs
+/// every request's sectors through `filters` and appends maximal
+/// same-class subruns -- kSubmit runs to `submit`, kResident runs to
+/// `resident`, kSkip runs dropped -- preserving each request's
+/// SchedulingHint and order_group and the request order minus elisions.
+/// Appends without clearing, so callers can accumulate across plans.
+/// query::Executor::FilterPlan and the per-shard residency consult in
+/// query::Session both delegate here; keep them on one code path so a
+/// filtered plan schedules identically wherever the split happens.
+inline void SplitByFilters(std::span<const SectorFilter* const> filters,
+                           std::span<const disk::IoRequest> requests,
+                           std::vector<disk::IoRequest>* submit,
+                           std::vector<disk::IoRequest>* resident) {
+  using Class = SectorFilter::Class;
+  for (const disk::IoRequest& r : requests) {
+    uint64_t run_start = 0;
+    uint32_t run_len = 0;
+    Class run_class = Class::kSubmit;
+    auto flush = [&] {
+      if (run_len == 0) return;
+      auto* dst = run_class == Class::kResident ? resident : submit;
+      dst->push_back(
+          disk::IoRequest{run_start, run_len, r.hint, r.order_group});
+      run_len = 0;
+    };
+    for (uint32_t i = 0; i < r.sectors; ++i) {
+      const uint64_t lbn = r.lbn + i;
+      Class c = Class::kSubmit;
+      for (const SectorFilter* f : filters) {
+        const Class fc = f->Classify(lbn);
+        if (fc == Class::kSkip) {
+          c = Class::kSkip;
+          break;
+        }
+        if (fc == Class::kResident) c = Class::kResident;
+      }
+      if (c == Class::kSkip) {
+        flush();
+        continue;
+      }
+      if (run_len > 0 && c == run_class) {
+        ++run_len;
+        continue;
+      }
+      flush();
+      run_start = lbn;
+      run_len = 1;
+      run_class = c;
+    }
+    flush();
+  }
+}
 
 }  // namespace mm::cache

@@ -1,0 +1,140 @@
+#include "lvm/cluster.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mm::lvm {
+
+Result<std::unique_ptr<ClusterVolume>> ClusterVolume::Create(
+    const ClusterTopology& topology) {
+  if (topology.shards == 0) {
+    return Status::InvalidArgument("topology.shards must be positive");
+  }
+  if (topology.shard_disks.empty()) {
+    return Status::InvalidArgument(
+        "topology.shard_disks must name at least one member disk");
+  }
+  if (topology.chunk_sectors == 0) {
+    return Status::InvalidArgument("topology.chunk_sectors must be positive");
+  }
+  auto cluster = std::unique_ptr<ClusterVolume>(new ClusterVolume());
+  cluster->topology_ = topology;
+  cluster->chunk_ = topology.chunk_sectors;
+  for (uint32_t s = 0; s < topology.shards; ++s) {
+    cluster->shards_.push_back(
+        std::make_unique<Volume>(topology.shard_disks, topology.replication));
+  }
+  // Slot table from shard 0 (fleets are identical): slot r sits at a
+  // chunk-aligned offset of one member's usable span, so routed pieces
+  // never straddle a member disk or spill into a replica region.
+  const Volume& proto = *cluster->shards_[0];
+  for (uint32_t m = 0; m < proto.disk_count(); ++m) {
+    const uint64_t usable =
+        proto.replicated() ? proto.primary_sectors()
+                           : proto.disk(m).geometry().total_sectors();
+    for (uint64_t off = 0; off + cluster->chunk_ <= usable;
+         off += cluster->chunk_) {
+      cluster->slot_base_.push_back(proto.ToVolumeLbn(m, off));
+    }
+  }
+  if (cluster->slot_base_.empty()) {
+    return Status::InvalidArgument(
+        "chunk_sectors " + std::to_string(cluster->chunk_) +
+        " exceeds every member's usable span");
+  }
+  cluster->rows_ = cluster->slot_base_.size();
+  cluster->data_sectors_ = cluster->rows_ * topology.shards * cluster->chunk_;
+  // Planning-only geometry: all S x K members concatenated, unreplicated.
+  // Its capacity is at least data_sectors_ (each shard's usable space is
+  // at least rows_ * chunk_, and replication only shrinks usable space
+  // below raw capacity).
+  std::vector<disk::DiskSpec> all_disks;
+  for (uint32_t s = 0; s < topology.shards; ++s) {
+    all_disks.insert(all_disks.end(), topology.shard_disks.begin(),
+                     topology.shard_disks.end());
+  }
+  cluster->logical_ = std::make_unique<Volume>(all_disks);
+  return cluster;
+}
+
+Result<ShardLocation> ClusterVolume::Resolve(uint64_t global_lbn) const {
+  if (global_lbn >= data_sectors_) {
+    return Status::OutOfRange(
+        "global LBN " + std::to_string(global_lbn) +
+        " beyond declustered capacity " + std::to_string(data_sectors_) +
+        " (mapping footprint exceeds the cluster's data space)");
+  }
+  const uint32_t S = topology_.shards;
+  const uint64_t c = global_lbn / chunk_;
+  const uint64_t r = c / S;
+  const uint64_t col = c % S;
+  const uint32_t shard = static_cast<uint32_t>((col + r) % S);
+  return ShardLocation{shard, slot_base_[r] + global_lbn % chunk_};
+}
+
+Result<uint64_t> ClusterVolume::ToGlobalLbn(uint32_t shard,
+                                            uint64_t local_lbn) const {
+  if (shard >= topology_.shards) {
+    return Status::InvalidArgument("no shard " + std::to_string(shard));
+  }
+  // Find the slot holding local_lbn: the last slot base at or below it.
+  auto it = std::upper_bound(slot_base_.begin(), slot_base_.end(), local_lbn);
+  if (it == slot_base_.begin()) {
+    return Status::InvalidArgument("shard-local LBN " +
+                                   std::to_string(local_lbn) +
+                                   " precedes the first chunk slot");
+  }
+  const uint64_t r = static_cast<uint64_t>(it - slot_base_.begin()) - 1;
+  const uint64_t offset = local_lbn - slot_base_[r];
+  if (offset >= chunk_) {
+    return Status::InvalidArgument(
+        "shard-local LBN " + std::to_string(local_lbn) +
+        " falls in an unmapped member tail");
+  }
+  const uint32_t S = topology_.shards;
+  const uint64_t col = (shard + S - r % S) % S;
+  return (r * S + col) * chunk_ + offset;
+}
+
+Status ClusterVolume::Route(const disk::IoRequest& request,
+                            std::vector<ShardRequest>* out) const {
+  if (request.sectors == 0) {
+    return Status::InvalidArgument("zero-sector cluster request");
+  }
+  uint64_t lbn = request.lbn;
+  uint64_t left = request.sectors;
+  while (left > 0) {
+    const uint64_t in_chunk = chunk_ - lbn % chunk_;
+    const uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(in_chunk, left));
+    MM_ASSIGN_OR_RETURN(ShardLocation loc, Resolve(lbn));
+    // Contiguous same-shard pieces coalesce (the S = 1 cluster routes a
+    // multi-chunk run as the single request the plain volume would see).
+    if (!out->empty()) {
+      ShardRequest& prev = out->back();
+      if (prev.shard == loc.shard &&
+          prev.req.lbn + prev.req.sectors == loc.lbn) {
+        prev.req.sectors += n;
+        lbn += n;
+        left -= n;
+        continue;
+      }
+    }
+    disk::IoRequest piece = request;
+    piece.lbn = loc.lbn;
+    piece.sectors = n;
+    out->push_back(ShardRequest{loc.shard, piece});
+    lbn += n;
+    left -= n;
+  }
+  return Status::OK();
+}
+
+void ClusterVolume::Reset() {
+  for (auto& s : shards_) s->Reset();
+}
+
+void ClusterVolume::ConfigureQueues(const disk::BatchOptions& options) {
+  for (auto& s : shards_) s->ConfigureQueues(options);
+}
+
+}  // namespace mm::lvm

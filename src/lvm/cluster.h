@@ -1,0 +1,150 @@
+// Sharded, declustered cluster volumes.
+//
+// A ClusterVolume scales the LVM past one volume of a few disks: the
+// global sector space is split into chunks of whole cells and declustered
+// across S shards, where each shard is a self-contained lvm::Volume with
+// its own member disks and (optionally) its own replicas. Shards share no
+// state at all -- no disks, no queues, no clocks -- which is what lets
+// query::ClusterSession run one sim::EventLoop per shard on its own
+// thread and still merge bit-identical results (see cluster_session.h).
+//
+// Placement: the chunk-rotated declustered map. Number the global chunks
+// c = 0, 1, ...; row r = c / S, column col = c % S. Chunk c lands on
+//
+//     shard  = (col + r) % S
+//     slot   = r                      (the r-th chunk slot of that shard)
+//
+// Row r is a stripe of S consecutive chunks spread across all S shards,
+// and the rotation by r shifts each successive stripe one shard to the
+// right -- so runs of adjacent chunks AND strides of exactly S chunks
+// both fan out across shards instead of hammering one (a plain
+// round-robin map sends stride-S access patterns, e.g. a column walk of
+// an S-wide grid, to a single shard). This is the declustering tradeoff
+// stated in the paper's LVM chapter: within a chunk every track and
+// adjacency relation of the underlying volume survives untouched, while
+// cross-chunk adjacency is traded for S-way parallelism; pick
+// chunk_sectors as a multiple of the basic-cube cell so cells never
+// straddle shards.
+//
+// Shard-local layout: every shard gets an identical member fleet
+// (topology.shard_disks), so the slot table is computed once and shared.
+// Slot r of a shard lives at a chunk-aligned offset inside one member --
+// slots never straddle members -- and replication within a shard is plain
+// ReplicationOptions mirroring on the shard's own disks, exactly PR 6's
+// machinery one level down.
+//
+// The logical() volume is planning-only geometry: an unreplicated Volume
+// over all S x K member specs whose address space covers the global data
+// space. The executor plans against it (adjacency, track boundaries,
+// plan cache) and Route() then fans each planned request out to
+// (shard, local LBN) pieces; it is never simulated and never submitted
+// to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "disk/request.h"
+#include "disk/scheduler.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "util/result.h"
+
+namespace mm::lvm {
+
+/// Shape of a sharded cluster: S identical shards, each a Volume over its
+/// own copies of `shard_disks`, with the global space declustered in
+/// `chunk_sectors` units.
+struct ClusterTopology {
+  /// Number of shards S. Each shard is simulated independently.
+  uint32_t shards = 1;
+  /// Member-disk specs of ONE shard; every shard gets an identical fleet.
+  std::vector<disk::DiskSpec> shard_disks;
+  /// Declustering unit in sectors. Must be a multiple of the dataset's
+  /// cell size so cells never straddle shards, and should be at least a
+  /// track so intra-chunk plans keep their locality.
+  uint64_t chunk_sectors = 1024;
+  /// Replication within each shard (PR 6 mirroring on the shard's own
+  /// members); replicas = 1 disables it.
+  ReplicationOptions replication;
+};
+
+/// A global LBN resolved to its shard and shard-local volume LBN.
+struct ShardLocation {
+  uint32_t shard = 0;
+  uint64_t lbn = 0;
+};
+
+/// One piece of a routed request: a shard-local IoRequest preserving the
+/// original's SchedulingHint and order_group.
+struct ShardRequest {
+  uint32_t shard = 0;
+  disk::IoRequest req;
+};
+
+class ClusterVolume {
+ public:
+  /// Validates the topology and builds the shard fleet plus the planning
+  /// volume. Rejects zero shards, an empty member list, a zero chunk, and
+  /// a chunk too large for any member's usable span.
+  static Result<std::unique_ptr<ClusterVolume>> Create(
+      const ClusterTopology& topology);
+
+  const ClusterTopology& topology() const { return topology_; }
+  uint32_t shard_count() const { return topology_.shards; }
+  Volume& shard(size_t i) { return *shards_[i]; }
+  const Volume& shard(size_t i) const { return *shards_[i]; }
+
+  /// Planning-only geometry over every member disk of every shard (see
+  /// the file comment). Never simulated; do not Submit to it.
+  Volume& logical() { return *logical_; }
+  const Volume& logical() const { return *logical_; }
+
+  /// Declustering unit in sectors.
+  uint64_t chunk_sectors() const { return chunk_; }
+  /// Chunk slots per shard.
+  uint64_t rows() const { return rows_; }
+  /// Mapped global capacity in sectors: rows() * shard_count() *
+  /// chunk_sectors(). Mappings must fit inside this; the logical()
+  /// planning volume is always at least this large.
+  uint64_t data_sectors() const { return data_sectors_; }
+
+  /// Global LBN -> (shard, shard-local volume LBN) under the
+  /// chunk-rotated map. OutOfRange past data_sectors().
+  Result<ShardLocation> Resolve(uint64_t global_lbn) const;
+
+  /// Inverse of Resolve: shard + shard-local LBN -> global LBN.
+  /// InvalidArgument when the local LBN falls in an unmapped member tail
+  /// (a member's usable span need not divide evenly into chunks).
+  Result<uint64_t> ToGlobalLbn(uint32_t shard, uint64_t local_lbn) const;
+
+  /// Splits a globally-addressed request at chunk boundaries and resolves
+  /// each piece, appending to `out` in ascending-LBN order with the
+  /// request's hint and order_group preserved. Contiguous same-shard
+  /// pieces are coalesced (with S = 1 a multi-chunk run stays one
+  /// request). OutOfRange when the request reaches past data_sectors().
+  Status Route(const disk::IoRequest& request,
+               std::vector<ShardRequest>* out) const;
+
+  /// Resets every shard's disks (the planning volume has no state).
+  void Reset();
+
+  /// Sets the queue policy on every member disk of every shard.
+  void ConfigureQueues(const disk::BatchOptions& options);
+
+ private:
+  ClusterVolume() = default;
+
+  ClusterTopology topology_;
+  std::vector<std::unique_ptr<Volume>> shards_;
+  std::unique_ptr<Volume> logical_;
+  uint64_t chunk_ = 0;
+  uint64_t rows_ = 0;          // chunk slots per shard
+  uint64_t data_sectors_ = 0;  // rows_ * S * chunk_
+  // Shard-local volume LBN of slot r (identical across shards; ascending,
+  // chunk-aligned within a member, never straddling one).
+  std::vector<uint64_t> slot_base_;
+};
+
+}  // namespace mm::lvm

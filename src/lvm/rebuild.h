@@ -4,8 +4,9 @@
 // replica on the other members (see volume.h). RebuildPlanner does the
 // pure layout work: it enumerates the lost chunks as volume-addressed
 // reads over the failed disk's primary region. The driver (query::Session)
-// submits each chunk with Volume::SubmitAvoiding -- the dead member is
-// skipped automatically, so the read lands on a surviving copy -- and
+// submits each chunk with Volume::Submit under an avoid mask -- the dead
+// member is skipped automatically, so the read lands on a surviving copy
+// -- and
 // paces the drain with RebuildOptions. The write to the spare is modeled
 // as free: the simulator is read-only, and the contended resource the
 // bench measures is the surviving members' time, which the replica reads

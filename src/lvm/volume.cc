@@ -125,29 +125,35 @@ void Volume::ConfigureQueues(const disk::BatchOptions& options) {
 }
 
 Result<Volume::Ticket> Volume::Submit(const disk::IoRequest& request,
-                                      double arrival_ms, bool warmup) {
-  return SubmitAvoiding(request, arrival_ms, /*avoid_disk_mask=*/0, warmup);
-}
-
-Result<Volume::Ticket> Volume::SubmitAvoiding(const disk::IoRequest& request,
-                                              double arrival_ms,
-                                              uint64_t avoid_disk_mask,
-                                              bool warmup) {
+                                      double arrival_ms,
+                                      const SubmitOptions& options) {
   MM_ASSIGN_OR_RETURN(Location loc, Resolve(request.lbn));
   if (loc.lbn + request.sectors > UsableSpan(loc.disk)) {
     return Status::InvalidArgument(
         "request straddles a disk boundary at volume LBN " +
         std::to_string(request.lbn));
   }
-  // Pick the copy to read: the first live one outside the avoid mask,
-  // falling back to any live one (a busy replica beats none). Copy k of
-  // primary disk d lives on disk (d + k) % D, so the scan visits each
-  // copy's member exactly once. An unreplicated volume always routes to
-  // its only copy, dead or not -- the disk fails the request fast at
-  // service time and the layers above handle the completion error.
+  const uint64_t avoid_disk_mask = options.avoid_mask;
+  // Pick the copy to read. A pinned replica routes to that exact copy
+  // regardless of mask and fault state (callers pin for verification or
+  // scrubbing and want the failure, not a silent redirect). Otherwise the
+  // first live copy outside the avoid mask wins, falling back to any live
+  // one (a busy replica beats none). Copy k of primary disk d lives on
+  // disk (d + k) % D, so the scan visits each copy's member exactly once.
+  // An unreplicated volume always routes to its only copy, dead or not --
+  // the disk fails the request fast at service time and the layers above
+  // handle the completion error.
   Location target = loc;
   uint32_t copy = 0;
-  if (replicated()) {
+  if (options.replica != kAnyReplica) {
+    if (options.replica >= replicas_) {
+      return Status::InvalidArgument(
+          "replica " + std::to_string(options.replica) +
+          " out of range for " + std::to_string(replicas_) + " replicas");
+    }
+    copy = options.replica;
+    MM_ASSIGN_OR_RETURN(target, ResolveReplica(request.lbn, copy));
+  } else if (replicated()) {
     uint32_t preferred = UINT32_MAX;
     uint32_t fallback = UINT32_MAX;
     for (uint32_t k = 0; k < replicas_; ++k) {
@@ -172,7 +178,8 @@ Result<Volume::Ticket> Volume::SubmitAvoiding(const disk::IoRequest& request,
   // group so per-plan policy survives the volume hop.
   disk::IoRequest local = request;
   local.lbn = target.lbn;
-  const uint64_t tag = disks_[target.disk]->Submit(local, arrival_ms, warmup);
+  const uint64_t tag =
+      disks_[target.disk]->Submit(local, arrival_ms, options.warmup);
   return Ticket{target.disk, tag, copy};
 }
 

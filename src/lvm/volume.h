@@ -23,8 +23,9 @@
 // non-replicated layout survives unchanged within a primary region, and a
 // degraded read redirects an intra-disk run contiguously (semi-sequential
 // plans stay semi-sequential on the mirror). Reads route to the primary;
-// SubmitAvoiding re-routes to the next live copy on failover (degraded
-// mode). chunk_sectors is the rebuild granularity (lvm/rebuild.h), not a
+// Submit with a SubmitOptions avoid mask re-routes to the next live copy
+// on failover (degraded mode).
+// chunk_sectors is the rebuild granularity (lvm/rebuild.h), not a
 // striping unit. With R = 1 the layout and every code path are identical
 // to the non-replicated volume.
 #pragma once
@@ -76,6 +77,30 @@ struct ReplicationOptions {
   /// down to a multiple of this, and RebuildPlanner drains a failed
   /// member in chunk-sized reads. Must be positive.
   uint64_t chunk_sectors = 1024;
+};
+
+/// SubmitOptions::replica value selecting automatic replica routing (the
+/// first live copy outside the avoid mask).
+inline constexpr uint32_t kAnyReplica = UINT32_MAX;
+
+/// Per-request routing options, shared by the simulated volume
+/// (Volume::Submit) and the data plane (store::StoreVolume::Read). The
+/// default value is a strict no-op: primary routing, no mask, a normal
+/// (non-warmup) request.
+struct SubmitOptions {
+  /// Member disks to route around (bit d = member disk d). Replicated
+  /// volumes prefer the first live copy outside the mask and relax the
+  /// mask when every live copy is masked (a busy replica beats none);
+  /// unreplicated volumes ignore it -- there is only one place the block
+  /// can live.
+  uint64_t avoid_mask = 0;
+  /// Pin the request to one exact copy (0 = primary, k = k-th mirror)
+  /// instead of automatic failover routing. kAnyReplica (the default)
+  /// selects automatic routing; an explicit copy must be < replicas().
+  uint32_t replica = kAnyReplica;
+  /// Head-placement read, excluded from latency accounting (simulated
+  /// volume only; the data plane ignores it).
+  bool warmup = false;
 };
 
 /// A logical volume over one or more simulated disks.
@@ -170,21 +195,31 @@ class Volume {
   /// survives the volume hop (within-group FIFO is per member disk, which
   /// is exactly the adjacency model's granularity: adjacency relations
   /// never span disks). The request must not straddle a disk boundary.
-  Result<Ticket> Submit(const disk::IoRequest& request, double arrival_ms,
-                        bool warmup = false);
-
-  /// As Submit, but routes around trouble: the request goes to the first
-  /// live copy (skipping members failed at `arrival_ms`) whose member disk
-  /// is not in `avoid_disk_mask` (bit d = member disk d). When every live
+  ///
+  /// Routing follows `options`: with the default SubmitOptions the request
+  /// goes to the primary copy; with replica == kAnyReplica and a non-zero
+  /// avoid_mask it goes to the first live copy (skipping members failed at
+  /// `arrival_ms`) whose member disk is not in the mask. When every live
   /// copy is masked the mask is relaxed (a busy replica beats none); when
-  /// no live copy remains at all, returns StatusCode::kUnavailable. On an
-  /// unreplicated volume the mask is ignored -- there is only one place
-  /// the block can live -- and a dead disk still accepts the request (it
-  /// fails fast at service time), so Submit(r, t) == SubmitAvoiding(r, t,
-  /// 0) always.
+  /// no live copy remains at all, returns StatusCode::kUnavailable. An
+  /// explicit replica pins the request to that exact copy regardless of
+  /// mask and fault state (it must be < replicas()). On an unreplicated
+  /// volume the mask is ignored -- there is only one place the block can
+  /// live -- and a dead disk still accepts the request (it fails fast at
+  /// service time).
+  Result<Ticket> Submit(const disk::IoRequest& request, double arrival_ms,
+                        const SubmitOptions& options = {});
+
+  /// Deprecated: use Submit(request, arrival_ms, SubmitOptions{.avoid_mask
+  /// = mask, .warmup = warmup}).
+  [[deprecated("use Submit(request, arrival_ms, SubmitOptions)")]]
   Result<Ticket> SubmitAvoiding(const disk::IoRequest& request,
                                 double arrival_ms, uint64_t avoid_disk_mask,
-                                bool warmup = false);
+                                bool warmup = false) {
+    return Submit(request, arrival_ms,
+                  SubmitOptions{.avoid_mask = avoid_disk_mask,
+                                .warmup = warmup});
+  }
 
   /// Services a batch of volume-addressed requests (closed loop). Requests
   /// are routed to member disks preserving order, each disk schedules its

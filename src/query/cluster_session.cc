@@ -1,0 +1,221 @@
+#include "query/cluster_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace mm::query {
+
+namespace {
+// Per-shard run result, written only by the worker that owns the shard
+// and read only after every worker joined.
+struct ShardSlot {
+  Status status = Status::OK();
+  LatencyStats stats;
+  std::vector<QueryCompletion> completions;
+  lvm::RebuildStats rebuild;
+  uint64_t events = 0;
+};
+}  // namespace
+
+ClusterSession::ClusterSession(lvm::ClusterVolume* cluster, Executor* planner,
+                               ClusterConfig config)
+    : cluster_(cluster), planner_(planner), config_(std::move(config)) {}
+
+Result<LatencyStats> ClusterSession::Run(std::span<const map::Box> queries) {
+  const uint32_t shards = cluster_->shard_count();
+  MM_RETURN_NOT_OK(config_.ValidateCluster(shards));
+  if (planner_ == nullptr) {
+    return Status::InvalidArgument("cluster sessions require a planner");
+  }
+  if (planner_->filtered()) {
+    // Residency is a per-shard concern (config.shard_caches); a filter on
+    // the global planner would elide reads no shard pool can serve.
+    return Status::InvalidArgument(
+        "the cluster planner must not carry sector filters; attach caches "
+        "per shard via shard_caches");
+  }
+  const ArrivalProcess& arrivals = config_.arrivals;
+  if (arrivals.kind == ArrivalProcess::Kind::kOpenTrace &&
+      arrivals.trace_ms.size() != queries.size()) {
+    return Status::InvalidArgument(
+        "trace_ms must hold one arrival instant per query");
+  }
+
+  // ---- Fan-out, all on the calling thread ------------------------------
+  // Arrival instants first: the Poisson stream uses exactly the plain
+  // Session's generator and formula, so a 1-shard cluster run sees the
+  // same instants as Session(volume, executor, config) with warmup off.
+  const size_t n = queries.size();
+  std::vector<double> arrival(n, 0.0);
+  if (arrivals.kind == ArrivalProcess::Kind::kOpenPoisson) {
+    Rng rng(config_.seed);
+    const double mean_gap_ms = 1000.0 / arrivals.rate_qps;
+    double t = 0;
+    for (size_t qi = 0; qi < n; ++qi) {
+      t += -mean_gap_ms * std::log(1.0 - rng.NextDouble());
+      arrival[qi] = t;
+    }
+  } else {
+    for (size_t qi = 0; qi < n; ++qi) arrival[qi] = arrivals.trace_ms[qi];
+  }
+
+  // Plan each box against the logical volume, route every request to its
+  // (shard, local LBN) pieces, and append each query's per-shard slice to
+  // that shard's PlannedQuery list. Queries are walked in order, so every
+  // shard's list is arrival-sorted and the whole fan-out is a pure
+  // function of (queries, config) -- no worker has started yet.
+  std::vector<std::vector<PlannedQuery>> shard_work(shards);
+  QueryPlan plan;
+  std::vector<lvm::ShardRequest> routed;
+  // Index of query qi's PlannedQuery in shard_work[s], or npos. Reset per
+  // query; shards is small, so the O(S) sweep is noise.
+  constexpr size_t kNone = SIZE_MAX;
+  std::vector<size_t> slice(shards, kNone);
+  for (size_t qi = 0; qi < n; ++qi) {
+    planner_->PlanInto(queries[qi], &plan);
+    routed.clear();
+    for (const disk::IoRequest& r : plan.requests) {
+      MM_RETURN_NOT_OK(cluster_->Route(r, &routed));
+    }
+    if (routed.empty()) {
+      // A clipped-empty box still completes (at its arrival instant);
+      // park it on shard 0 so exactly one shard records it.
+      shard_work[0].push_back(PlannedQuery{qi, arrival[qi], {}});
+      continue;
+    }
+    std::fill(slice.begin(), slice.end(), kNone);
+    for (const lvm::ShardRequest& part : routed) {
+      if (slice[part.shard] == kNone) {
+        slice[part.shard] = shard_work[part.shard].size();
+        shard_work[part.shard].push_back(PlannedQuery{qi, arrival[qi], {}});
+      }
+      shard_work[part.shard][slice[part.shard]].requests.push_back(part.req);
+    }
+  }
+
+  // ---- Parallel per-shard simulation -----------------------------------
+  // Each worker runs whole shards: a plain Session over the shard's own
+  // volume, executor-less (planning already happened), with the shard's
+  // derived seed and attachments. Workers write only their own slots;
+  // thread::join() is the lone synchronization point.
+  std::vector<ShardSlot> slots(shards);
+  auto run_shard = [&](uint32_t s) {
+    ClusterConfig shard_config;
+    shard_config.queue = config_.queue;
+    shard_config.warmup_head = config_.warmup_head;
+    shard_config.seed = config_.seed + s + 1;
+    shard_config.retry = config_.retry;
+    shard_config.rebuild = config_.rebuild;
+    if (!config_.shard_caches.empty()) {
+      shard_config.cache = config_.shard_caches[s];
+    }
+    if (!config_.shard_tiers.empty()) {
+      shard_config.tiers = config_.shard_tiers[s];
+    }
+    Session session(&cluster_->shard(s), nullptr, shard_config);
+    auto result = session.RunPlanned(shard_work[s]);
+    ShardSlot& slot = slots[s];
+    slot.status = result.status();
+    if (result.ok()) {
+      slot.stats = *result;
+      slot.completions = session.Completions();
+      slot.rebuild = session.rebuild_stats();
+      slot.events = session.last_events();
+    }
+  };
+
+  uint32_t threads =
+      config_.threads == 0 ? shards : std::min(config_.threads, shards);
+  threads_used_ = threads;
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    // Reference path: same shard order, same code, no threads at all --
+    // what the determinism tests compare every parallel run against.
+    for (uint32_t s = 0; s < shards; ++s) run_shard(s);
+  } else {
+    std::atomic<uint32_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        for (uint32_t s = next.fetch_add(1); s < shards;
+             s = next.fetch_add(1)) {
+          run_shard(s);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  wall_seconds_ = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+
+  // First error wins by shard index, not by wall-clock order.
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (!slots[s].status.ok()) return slots[s].status;
+  }
+
+  // ---- Deterministic merge, shard order then query-id order ------------
+  per_shard_stats_.assign(shards, LatencyStats{});
+  per_shard_rebuild_.assign(shards, lvm::RebuildStats{});
+  shard_stats_ = LatencyStats{};
+  events_ = 0;
+  QueryCompletion blank;  // minting privilege: ClusterSession is a friend
+  std::vector<QueryCompletion> merged(n, blank);
+  std::vector<uint8_t> seen(n, 0);
+  for (uint32_t s = 0; s < shards; ++s) {
+    const ShardSlot& slot = slots[s];
+    per_shard_stats_[s] = slot.stats;
+    per_shard_rebuild_[s] = slot.rebuild;
+    events_ += slot.events;
+    if (!shard_stats_.Merge(slot.stats)) {
+      return Status::Internal(
+          "shard latency histograms have mismatched shapes");
+    }
+    for (const QueryCompletion& part : slot.completions) {
+      const uint64_t q = part.query;
+      if (q >= n) {
+        return Status::Internal("shard completion for unknown query " +
+                                std::to_string(q));
+      }
+      QueryCompletion& m = merged[q];
+      if (!seen[q]) {
+        seen[q] = 1;
+        m = part;
+        continue;
+      }
+      // A fanned query spans shards: it starts when its first part starts,
+      // finishes when its last part finishes, and degrades or fails if any
+      // part does. Arrival is the shared global instant.
+      m.start_ms = std::min(m.start_ms, part.start_ms);
+      m.finish_ms = std::max(m.finish_ms, part.finish_ms);
+      m.retries += part.retries;
+      m.redirects += part.redirects;
+      m.failed = m.failed || part.failed;
+      m.resident_sectors += part.resident_sectors;
+      m.submitted_sectors += part.submitted_sectors;
+    }
+  }
+  for (size_t qi = 0; qi < n; ++qi) {
+    if (!seen[qi]) {
+      return Status::Internal("query " + std::to_string(qi) +
+                              " completed on no shard");
+    }
+  }
+
+  LatencyStats stats;
+  for (const QueryCompletion& m : merged) stats.Record(m);
+  completions_ = std::move(merged);
+  stats_ = stats;
+  return stats;
+}
+
+}  // namespace mm::query

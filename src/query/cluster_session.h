@@ -1,0 +1,117 @@
+// ClusterSession: one arrival stream fanned across a sharded cluster,
+// simulated by one sim::EventLoop per shard -- each on its own thread.
+//
+// Shards of an lvm::ClusterVolume share no simulated state: no disks, no
+// queues, no virtual clock. That independence is the whole parallelism
+// story. The session plans every query ONCE against the cluster's
+// logical (planning-only) volume on the calling thread, routes each
+// planned request to its (shard, local LBN) pieces, and hands every
+// shard a PlannedQuery list -- its slice of the workload, with the
+// global arrival instants embedded. Each shard then runs an ordinary
+// single-threaded query::Session over its own volume on its own event
+// loop; threads never touch another shard's state, so each shard's
+// virtual clock advances independently and no cross-thread time
+// synchronization exists at all.
+//
+// Determinism contract: an N-thread run is BIT-IDENTICAL to the 1-thread
+// run -- same merged LatencyStats samples, same per-query completion
+// records. This holds by construction, not by luck:
+//   * the fan-out (planning, routing, arrival instants) happens on the
+//     calling thread before any worker starts;
+//   * each shard's simulation is a pure function of its PlannedQuery
+//     list, its shard config, and its derived seed (config.seed + s + 1);
+//   * workers write only their own shard's result slot, and the merge
+//     walks slots in shard order after every thread joined (the join is
+//     the only synchronization point, and it is a full happens-before);
+//   * merged completions are rebuilt in global query-id order and the
+//     headline stats replayed from them, so even completion *order* is
+//     thread-count-invariant. Per-shard summaries additionally fold into
+//     one aggregate view through the shape-checked LatencyStats::Merge.
+// cluster_session_test pins 1 == 2 == N threads; the TSan CI job runs
+// the same suite under -fsanitize=thread.
+//
+// Scope: open-loop arrivals only (Poisson or trace). Closed-loop
+// feedback couples shards through completion times, which would force
+// conservative cross-shard time sync -- the one thing this design
+// refuses to pay for. ValidateCluster rejects it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "lvm/cluster.h"
+#include "mapping/cell.h"
+#include "query/config.h"
+#include "query/executor.h"
+#include "query/session.h"
+#include "util/result.h"
+
+namespace mm::query {
+
+class ClusterSession {
+ public:
+  /// `cluster` and `planner` are borrowed and must outlive the session.
+  /// The planner must plan against cluster->logical() (global address
+  /// space); it must NOT carry a residency filter -- residency is
+  /// per-shard, attached via config.shard_caches.
+  ClusterSession(lvm::ClusterVolume* cluster, Executor* planner,
+                 ClusterConfig config = ClusterConfig());
+
+  /// Fans `queries` across the shards and simulates them in parallel
+  /// (config.threads workers; 0 = one per shard). Returns the merged
+  /// query-level latency summary, also available as Stats().
+  Result<LatencyStats> Run(std::span<const map::Box> queries);
+
+  /// Merged query-level summary of the last run: one sample per global
+  /// query, rebuilt deterministically from the merged completions.
+  const LatencyStats& Stats() const { return stats_; }
+
+  /// Merged per-query completion records of the last run, in global
+  /// query-id order. A fanned query's record spans its shards: start is
+  /// the earliest part start, finish the latest part finish, counters
+  /// summed, failed when any part failed.
+  const std::vector<QueryCompletion>& Completions() const {
+    return completions_;
+  }
+
+  /// Part-level aggregate across shards (each shard records its own
+  /// parts), folded via the shape-checked LatencyStats::Merge in shard
+  /// order. Finer-grained than Stats(): a query split across 3 shards
+  /// contributes 3 part samples here but 1 query sample there.
+  const LatencyStats& ShardStats() const { return shard_stats_; }
+
+  /// Per-shard views of the last run.
+  uint32_t shard_count() const { return cluster_->shard_count(); }
+  const LatencyStats& shard_stats(size_t s) const {
+    return per_shard_stats_[s];
+  }
+  const lvm::RebuildStats& shard_rebuild_stats(size_t s) const {
+    return per_shard_rebuild_[s];
+  }
+
+  /// Simulator events dispatched by the last run, summed over shards
+  /// (the scale-out bench's event-rate numerator).
+  uint64_t events() const { return events_; }
+  /// Wall-clock seconds of the parallel section of the last run.
+  double wall_seconds() const { return wall_seconds_; }
+  /// Worker threads the last run actually used.
+  uint32_t threads_used() const { return threads_used_; }
+
+ private:
+  lvm::ClusterVolume* cluster_;
+  Executor* planner_;
+  ClusterConfig config_;
+
+  LatencyStats stats_;
+  LatencyStats shard_stats_;
+  std::vector<QueryCompletion> completions_;
+  std::vector<LatencyStats> per_shard_stats_;
+  std::vector<lvm::RebuildStats> per_shard_rebuild_;
+  uint64_t events_ = 0;
+  double wall_seconds_ = 0;
+  uint32_t threads_used_ = 0;
+};
+
+}  // namespace mm::query

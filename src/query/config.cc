@@ -1,0 +1,65 @@
+#include "query/config.h"
+
+#include <string>
+
+namespace mm::query {
+
+Status ClusterConfig::ValidateWith(const ArrivalProcess& a) const {
+  using Kind = ArrivalProcess::Kind;
+  if (a.kind == Kind::kOpenPoisson && a.rate_qps <= 0) {
+    return Status::InvalidArgument("rate_qps must be positive");
+  }
+  if (a.kind == Kind::kOpenTrace) {
+    for (size_t i = 0; i < a.trace_ms.size(); ++i) {
+      // !(t >= 0) also catches NaN. A negative instant would silently
+      // schedule the query before time zero (and before the warmup reads).
+      if (!(a.trace_ms[i] >= 0)) {
+        return Status::InvalidArgument(
+            "trace_ms[" + std::to_string(i) + "] = " +
+            std::to_string(a.trace_ms[i]) +
+            " is not a non-negative arrival instant");
+      }
+    }
+  }
+  if (a.kind == Kind::kClosed && a.clients == 0) {
+    return Status::InvalidArgument("clients must be positive");
+  }
+  if (queue.queue_depth == 0) {
+    return Status::InvalidArgument("queue_depth must be positive");
+  }
+  if (retry.max_attempts == 0) {
+    return Status::InvalidArgument("retry.max_attempts must be positive");
+  }
+  return Status::OK();
+}
+
+Status ClusterConfig::ValidateCluster(uint32_t shard_count) const {
+  MM_RETURN_NOT_OK(Validate());
+  if (arrivals.kind == ArrivalProcess::Kind::kClosed) {
+    // Closed-loop feedback couples shards through completion times, which
+    // would force cross-shard time synchronization; the cluster session
+    // is the open-loop ("latency under load") API by design.
+    return Status::InvalidArgument(
+        "cluster sessions are open-loop only (Poisson or trace arrivals)");
+  }
+  if (cache != nullptr || tiers != nullptr) {
+    return Status::InvalidArgument(
+        "cluster sessions take per-shard attachments: use "
+        "shard_caches/shard_tiers, not cache/tiers");
+  }
+  if (!shard_caches.empty() && shard_caches.size() != shard_count) {
+    return Status::InvalidArgument(
+        "shard_caches must be empty or hold one entry per shard (" +
+        std::to_string(shard_caches.size()) + " entries, " +
+        std::to_string(shard_count) + " shards)");
+  }
+  if (!shard_tiers.empty() && shard_tiers.size() != shard_count) {
+    return Status::InvalidArgument(
+        "shard_tiers must be empty or hold one entry per shard (" +
+        std::to_string(shard_tiers.size()) + " entries, " +
+        std::to_string(shard_count) + " shards)");
+  }
+  return Status::OK();
+}
+
+}  // namespace mm::query

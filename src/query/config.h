@@ -1,0 +1,198 @@
+// The unified session configuration surface.
+//
+// Before this layer the public knobs were a sprawl wired ad hoc --
+// SessionOptions here, ReplicationOptions inside the volume, RetryPolicy
+// and cache/tier pointers threaded through by hand. ClusterConfig is the
+// one validated struct both query::Session and query::ClusterSession
+// consume: topology, per-shard cache/tier attachments, arrival process,
+// queue policy, retry policy, rebuild policy, seed. A plain Session uses
+// the session-scoped subset (everything but topology/threads/shard_*);
+// the legacy SessionOptions struct remains as a thin source for it, so
+// old call sites keep compiling and run bit-identically (pinned by
+// session_test).
+//
+// Validation is split by what it needs to see: Validate() checks the
+// session-scoped fields alone, ValidateCluster(shards) adds the
+// cluster-scoped invariants against the authoritative shard count.
+// Workload-dependent checks (trace length vs query count) and
+// volume-dependent checks (tiering vs replication) stay in Run(), which
+// is the first place those facts meet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/scheduler.h"
+#include "lvm/cluster.h"
+#include "lvm/rebuild.h"
+#include "util/result.h"
+
+namespace mm::cache {
+class BufferPool;
+}  // namespace mm::cache
+
+namespace mm::lvm {
+class TierDirector;
+}  // namespace mm::lvm
+
+namespace mm::query {
+
+/// How queries arrive at the session.
+struct ArrivalProcess {
+  enum class Kind {
+    kOpenPoisson,  ///< Open loop: exponential gaps at rate_qps.
+    kOpenTrace,    ///< Open loop: explicit arrival instants in ms.
+    kClosed,       ///< Closed loop: `clients` outstanding, think_ms between.
+  };
+  Kind kind = Kind::kOpenPoisson;
+  double rate_qps = 100.0;       ///< kOpenPoisson: mean arrival rate.
+  std::vector<double> trace_ms;  ///< kOpenTrace: arrival of query i.
+  uint32_t clients = 1;          ///< kClosed: concurrent clients.
+  double think_ms = 0;           ///< kClosed: gap after each completion.
+
+  static ArrivalProcess OpenPoisson(double qps) {
+    ArrivalProcess a;
+    a.kind = Kind::kOpenPoisson;
+    a.rate_qps = qps;
+    return a;
+  }
+  static ArrivalProcess OpenTrace(std::vector<double> at_ms) {
+    ArrivalProcess a;
+    a.kind = Kind::kOpenTrace;
+    a.trace_ms = std::move(at_ms);
+    return a;
+  }
+  static ArrivalProcess Closed(uint32_t clients, double think_ms = 0) {
+    ArrivalProcess a;
+    a.kind = Kind::kClosed;
+    a.clients = clients;
+    a.think_ms = think_ms;
+    return a;
+  }
+};
+
+/// Retry/timeout policy applied per request of every query (and to
+/// rebuild chunk reads). The defaults are a strict no-op: one attempt, no
+/// host deadline, so the zero-fault event schedule is untouched.
+struct RetryPolicy {
+  /// Total service attempts per request (first issue + retries).
+  uint32_t max_attempts = 1;
+  /// Host-side deadline per attempt, ms; 0 disables. An attempt exceeding
+  /// it is abandoned and re-issued (preferring another replica); the
+  /// abandoned command still completes on the drive and its time is
+  /// genuinely wasted -- the late completion is simply ignored.
+  double timeout_ms = 0;
+  /// Delay before re-issuing after a failed or abandoned attempt, ms.
+  double backoff_ms = 0;
+};
+
+/// Execution knobs for a single-volume session. Legacy surface: new code
+/// should build a ClusterConfig directly; a SessionOptions converts to
+/// one implicitly and the two run bit-identically.
+struct SessionOptions {
+  /// On-disk queue policy for every member disk -- the session default.
+  /// Open-loop streams interleave queries at the drive, so there is no
+  /// per-plan policy switch as in closed-loop Executor::Execute();
+  /// instead, each plan's requests carry a disk::SchedulingHint stamped by
+  /// the planner, and the session stamps one order_group per query.
+  /// Semi-sequential (mapping-order) plans are therefore serviced in
+  /// emission order within each query even when this default reorders
+  /// freely across queries. Set queue.max_age_ms to bound queue age under
+  /// SPTF/Elevator (starvation guard; see bench/fairness_overload).
+  disk::BatchOptions queue{disk::SchedulerKind::kElevator, 4, true};
+  /// Issue one random 1-sector warmup read per member disk at time 0,
+  /// flagged so it is excluded from latency accounting -- the open-loop
+  /// analog of Executor::RandomizeHead between closed-loop queries.
+  bool warmup_head = false;
+  /// Seed for Poisson gaps and warmup head placement.
+  uint64_t seed = 1;
+  /// Per-request retry/timeout policy (defaults are a strict no-op).
+  RetryPolicy retry;
+  /// Background rebuild of a failed member from surviving replicas
+  /// (replicated volumes only; see lvm/rebuild.h). Detection is
+  /// symptom-driven: the first kDiskFailed completion or failover-routed
+  /// submit arms the rebuild detect_delay_ms later.
+  lvm::RebuildOptions rebuild;
+  /// Buffer-pool tier (borrowed; may be null = no cache, the bit-exact
+  /// legacy path). When set, Run() installs the pool's residency filter
+  /// on the executor for its duration: plans split into resident subruns
+  /// (completed from memory at arrival, no volume I/O) and submit
+  /// subruns (volume reads whose completions fill the pool). Residency
+  /// carries across Run() calls -- the caller owns warmup and Clear().
+  cache::BufferPool* cache = nullptr;
+  /// Hot/cold fleet director (borrowed; may be null = untiered). When
+  /// set, submitted requests are observed and rewritten through the
+  /// director (hot-resident cells read from their hot slots), and
+  /// promotions are driven as background kReorderFreely migration reads
+  /// interleaved with query traffic.
+  lvm::TierDirector* tiers = nullptr;
+};
+
+/// The one validated configuration for sessions, single-volume and
+/// sharded alike (file comment). Session uses the session-scoped subset;
+/// ClusterSession uses everything.
+struct ClusterConfig {
+  // --- Cluster scope (ignored by a plain Session) ----------------------
+
+  /// Shard topology, consumed when the caller builds the ClusterVolume
+  /// (lvm::ClusterVolume::Create(config.topology)).
+  lvm::ClusterTopology topology;
+  /// Simulator threads for ClusterSession: 0 = one per shard; clamped to
+  /// the shard count. Thread count NEVER changes results -- an N-thread
+  /// run is bit-identical to the 1-thread run (see cluster_session.h).
+  uint32_t threads = 0;
+  /// Per-shard buffer pools (borrowed; empty = uncached, else exactly one
+  /// entry per shard, null entries allowed). Shards share no simulated
+  /// state, so a pool must never be attached to two shards.
+  std::vector<cache::BufferPool*> shard_caches;
+  /// Per-shard tier directors (borrowed; same shape rules as
+  /// shard_caches). Each must be built over its shard's own volume.
+  std::vector<lvm::TierDirector*> shard_tiers;
+
+  // --- Session scope (meaning identical to SessionOptions) -------------
+
+  /// Arrival process for Run() overloads that do not take one explicitly.
+  ArrivalProcess arrivals = ArrivalProcess::OpenPoisson(100.0);
+  disk::BatchOptions queue{disk::SchedulerKind::kElevator, 4, true};
+  bool warmup_head = false;
+  /// Base seed: Poisson gaps and warmup placement. ClusterSession derives
+  /// shard s's session seed as seed + s + 1, so per-shard warmup streams
+  /// are independent while the whole run stays a pure function of seed.
+  uint64_t seed = 1;
+  RetryPolicy retry;
+  lvm::RebuildOptions rebuild;
+  /// Single-volume session cache/tiers (null in cluster runs -- use the
+  /// per-shard vectors above).
+  cache::BufferPool* cache = nullptr;
+  lvm::TierDirector* tiers = nullptr;
+
+  ClusterConfig() = default;
+  /// Implicit legacy conversion: the session-scoped subset, verbatim.
+  /// Session(volume, executor, SessionOptions{...}) runs bit-identically
+  /// through this path (pinned by session_test).
+  ClusterConfig(const SessionOptions& legacy)  // NOLINT(runtime/explicit)
+      : queue(legacy.queue),
+        warmup_head(legacy.warmup_head),
+        seed(legacy.seed),
+        retry(legacy.retry),
+        rebuild(legacy.rebuild),
+        cache(legacy.cache),
+        tiers(legacy.tiers) {}
+
+  /// Checks the session-scoped fields (arrival parameters, queue depth,
+  /// retry attempts). Workload- and volume-dependent checks live in
+  /// Session::Run.
+  Status Validate() const { return ValidateWith(arrivals); }
+
+  /// Validate() against an explicitly-passed arrival process (Session::Run
+  /// takes one per call; the config's own `arrivals` is only a default).
+  Status ValidateWith(const ArrivalProcess& a) const;
+
+  /// Validate() plus the cluster-scoped invariants, checked against the
+  /// authoritative shard count of the ClusterVolume being driven:
+  /// open-loop arrivals only, per-shard vectors empty or exactly
+  /// shard-sized, no single-volume cache/tiers attachment.
+  Status ValidateCluster(uint32_t shard_count) const;
+};
+
+}  // namespace mm::query

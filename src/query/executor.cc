@@ -26,48 +26,11 @@ void Executor::FilterPlan(const QueryPlan& raw, QueryPlan* out) const {
   out->resident.clear();
   out->cells = raw.cells;
   out->mapping_order = raw.mapping_order;
-  using Class = cache::SectorFilter::Class;
-  for (const disk::IoRequest& r : raw.requests) {
-    // Split the request into maximal same-class subruns in sector order:
-    // the emission order of the kept subruns is the request order with
-    // elisions, so hints and order groups keep meaning.
-    uint64_t run_start = 0;
-    uint32_t run_len = 0;
-    Class run_class = Class::kSubmit;
-    auto flush = [&] {
-      if (run_len == 0) return;
-      auto* dst = run_class == Class::kResident ? &out->resident
-                                                : &out->requests;
-      dst->push_back(
-          disk::IoRequest{run_start, run_len, r.hint, r.order_group});
-      run_len = 0;
-    };
-    for (uint32_t i = 0; i < r.sectors; ++i) {
-      const uint64_t lbn = r.lbn + i;
-      Class c = Class::kSubmit;
-      for (const cache::SectorFilter* f : filters_) {
-        const Class fc = f->Classify(lbn);
-        if (fc == Class::kSkip) {
-          c = Class::kSkip;
-          break;
-        }
-        if (fc == Class::kResident) c = Class::kResident;
-      }
-      if (c == Class::kSkip) {
-        flush();
-        continue;
-      }
-      if (run_len > 0 && c == run_class) {
-        ++run_len;
-        continue;
-      }
-      flush();
-      run_start = lbn;
-      run_len = 1;
-      run_class = c;
-    }
-    flush();
-  }
+  // The split itself is the shared cache::SplitByFilters stage, so the
+  // planner and query::Session's per-shard residency consult stay on one
+  // code path.
+  cache::SplitByFilters(filters_, raw.requests, &out->requests,
+                        &out->resident);
 }
 
 Executor::Executor(lvm::Volume* volume, const map::Mapping* mapping,

@@ -43,58 +43,73 @@ Histogram LatencyStats::ToHistogram(double lo_ms, double hi_ms,
 }
 
 Session::Session(lvm::Volume* volume, Executor* executor,
-                 SessionOptions options)
-    : volume_(volume), executor_(executor), options_(std::move(options)) {}
+                 ClusterConfig config)
+    : volume_(volume), executor_(executor), config_(std::move(config)) {}
 
 Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
                                   const ArrivalProcess& arrivals) {
+  return RunImpl(queries, {}, arrivals, /*planned_mode=*/false);
+}
+
+Result<LatencyStats> Session::RunPlanned(
+    std::span<const PlannedQuery> queries) {
+  // Arrival instants are embedded per query; the process argument only
+  // feeds the shared validation, so pass the always-valid empty trace.
+  return RunImpl({}, queries, ArrivalProcess::OpenTrace({}),
+                 /*planned_mode=*/true);
+}
+
+Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
+                                      std::span<const PlannedQuery> planned,
+                                      const ArrivalProcess& arrivals,
+                                      const bool planned_mode) {
   using Kind = ArrivalProcess::Kind;
-  if (arrivals.kind == Kind::kOpenPoisson && arrivals.rate_qps <= 0) {
-    return Status::InvalidArgument("rate_qps must be positive");
-  }
-  if (arrivals.kind == Kind::kOpenTrace) {
-    if (arrivals.trace_ms.size() != queries.size()) {
-      return Status::InvalidArgument(
-          "trace_ms must hold one arrival instant per query");
-    }
-    for (size_t i = 0; i < arrivals.trace_ms.size(); ++i) {
-      // !(t >= 0) also catches NaN. A negative instant would silently
-      // schedule the query before time zero (and before the warmup reads).
-      if (!(arrivals.trace_ms[i] >= 0)) {
+  // Workload size: every per-query structure below is indexed by the
+  // local query index qi in [0, n).
+  const size_t n = planned_mode ? planned.size() : queries.size();
+  MM_RETURN_NOT_OK(config_.ValidateWith(arrivals));
+  if (planned_mode) {
+    for (size_t i = 0; i < planned.size(); ++i) {
+      if (!(planned[i].arrival_ms >= 0)) {
         return Status::InvalidArgument(
-            "trace_ms[" + std::to_string(i) + "] = " +
-            std::to_string(arrivals.trace_ms[i]) +
+            "planned[" + std::to_string(i) + "].arrival_ms = " +
+            std::to_string(planned[i].arrival_ms) +
             " is not a non-negative arrival instant");
       }
     }
+  } else {
+    if (executor_ == nullptr) {
+      return Status::InvalidArgument(
+          "Run(boxes) requires an executor; pre-planned workloads use "
+          "RunPlanned");
+    }
+    if (arrivals.kind == Kind::kOpenTrace &&
+        arrivals.trace_ms.size() != queries.size()) {
+      return Status::InvalidArgument(
+          "trace_ms must hold one arrival instant per query");
+    }
   }
-  if (arrivals.kind == Kind::kClosed && arrivals.clients == 0) {
-    return Status::InvalidArgument("clients must be positive");
-  }
-  if (options_.queue.queue_depth == 0) {
-    return Status::InvalidArgument("queue_depth must be positive");
-  }
-  if (options_.retry.max_attempts == 0) {
-    return Status::InvalidArgument("retry.max_attempts must be positive");
-  }
-  if (options_.tiers != nullptr && volume_->replicated()) {
+  if (config_.tiers != nullptr && volume_->replicated()) {
     return Status::InvalidArgument(
         "tiering assumes an unreplicated volume (see lvm/tiering.h)");
   }
 
-  cache::BufferPool* const pool = options_.cache;
-  lvm::TierDirector* const tiers = options_.tiers;
+  cache::BufferPool* const pool = config_.cache;
+  lvm::TierDirector* const tiers = config_.tiers;
+  // The executor's filter pipeline only exists on the boxes path; the
+  // planned path runs the same split inline in submit_query.
+  const bool install_filter = pool != nullptr && executor_ != nullptr;
   FilterGuard filter_guard{executor_,
-                           pool != nullptr ? &pool->filter() : nullptr};
-  if (pool != nullptr) executor_->AddSectorFilter(&pool->filter());
+                           install_filter ? &pool->filter() : nullptr};
+  if (install_filter) executor_->AddSectorFilter(&pool->filter());
 
   volume_->Reset();
-  volume_->ConfigureQueues(options_.queue);
+  volume_->ConfigureQueues(config_.queue);
   completions_.clear();
-  completions_.reserve(queries.size());
+  completions_.reserve(n);
   rebuild_stats_ = lvm::RebuildStats{};
 
-  const RetryPolicy& retry = options_.retry;
+  const RetryPolicy& retry = config_.retry;
 
   struct QueryState {
     double arrival = 0;
@@ -134,7 +149,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     // kMigrationQuery only: the cell being promoted.
     uint64_t tier_cell = 0;
   };
-  std::vector<QueryState> states(queries.size());
+  std::vector<QueryState> states(n);
   std::vector<ReqState> reqs;
   // Per-disk tag -> reqs index; Disk tags are dense from 0 after Reset().
   std::vector<std::vector<size_t>> tag2req(volume_->disk_count());
@@ -155,7 +170,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
   sim::EventLoop loop;
   LatencyStats stats;
   Status error = Status::OK();
-  Rng rng(options_.seed);
+  Rng rng(config_.seed);
   QueryPlan plan;          // reused across per-arrival planning
   std::vector<lvm::TierDirector::Redirected> redirected;  // reused
   size_t next_query = 0;   // closed loop: next workload index to hand out
@@ -220,7 +235,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
       st.pinned.clear();
     }
     QueryCompletion qc;
-    qc.query = qi;
+    qc.query = planned_mode ? planned[qi].id : qi;
     qc.arrival_ms = st.arrival;
     // A query that failed before any request entered service has no
     // start; report it at its finish so the record stays well-formed.
@@ -233,7 +248,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     qc.submitted_sectors = st.submitted_sectors;
     completions_.push_back(qc);
     stats.Record(qc);
-    if (arrivals.kind == Kind::kClosed && next_query < queries.size()) {
+    if (!planned_mode && arrivals.kind == Kind::kClosed && next_query < n) {
       const uint64_t nq = next_query++;
       const double at = st.finish + arrivals.think_ms;
       loop.Schedule(at, [&, nq, at] { submit_query(nq, at); });
@@ -305,8 +320,8 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
   // drive must see the full batch at its arrival instant).
   issue_request = [&](size_t ri, double t, bool pump_after) {
     if (!error.ok()) return;
-    auto ticket =
-        volume_->SubmitAvoiding(reqs[ri].req, t, reqs[ri].avoid_mask);
+    auto ticket = volume_->Submit(
+        reqs[ri].req, t, lvm::SubmitOptions{.avoid_mask = reqs[ri].avoid_mask});
     if (!ticket.ok()) {
       if (ticket.status().code() == StatusCode::kUnavailable) {
         // No live replica: the request cannot be served at all.
@@ -325,7 +340,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     if (ticket->copy > 0) {
       // Served by a replica: degraded mode. At first issue this is the
       // submit-time failover around a dead primary -- a failure symptom.
-      if (rs.query < queries.size()) ++states[rs.query].redirects;
+      if (rs.query < n) ++states[rs.query].redirects;
       observe_failure(t);
     }
     if (retry.timeout_ms > 0) {
@@ -359,7 +374,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     }
     ++rs.attempts;
     rs.cur_tag = kNoTag;
-    if (rs.query < queries.size()) ++states[rs.query].retries;
+    if (rs.query < n) ++states[rs.query].retries;
     schedule_reissue(ri, t);
   };
 
@@ -377,14 +392,14 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
       return;
     }
     ++rs.attempts;
-    if (rs.query < queries.size()) ++states[rs.query].retries;
+    if (rs.query < n) ++states[rs.query].retries;
     schedule_reissue(ri, t);
   };
 
   // Symptom-driven failure detection: the first kDiskFailed completion or
   // failover-routed submit arms the rebuild once.
   observe_failure = [&](double t) {
-    if (!options_.rebuild.enabled || rebuild_armed ||
+    if (!config_.rebuild.enabled || rebuild_armed ||
         !volume_->replicated()) {
       return;
     }
@@ -392,7 +407,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     if (failed_disk < 0) return;
     rebuild_armed = true;
     rebuild_stats_.detected_ms = t;
-    const double at = t + options_.rebuild.detect_delay_ms;
+    const double at = t + config_.rebuild.detect_delay_ms;
     loop.Schedule(at, [&, failed_disk, at] {
       rebuild_planner =
           lvm::RebuildPlanner(volume_, static_cast<uint32_t>(failed_disk));
@@ -407,7 +422,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
         rebuild_stats_.Finished()) {
       return;
     }
-    const uint32_t target = std::max<uint32_t>(options_.rebuild.outstanding,
+    const uint32_t target = std::max<uint32_t>(config_.rebuild.outstanding,
                                                1);
     while (rebuild_inflight < target && !rebuild_planner.Done()) {
       ReqState rs;
@@ -416,8 +431,8 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
       const size_t ri = reqs.size();
       reqs.push_back(rs);
       ++rebuild_inflight;
-      // SubmitAvoiding skips dead members, so the chunk read lands on a
-      // surviving copy of the failed disk's region.
+      // Submit's failover routing skips dead members, so the chunk read
+      // lands on a surviving copy of the failed disk's region.
       issue_request(ri, t, /*pump_after=*/true);
       if (!error.ok()) return;
     }
@@ -432,8 +447,8 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
       if (!rebuild_stats_.Finished()) rebuild_stats_.finished_ms = t;
       return;
     }
-    if (options_.rebuild.gap_ms > 0) {
-      const double at = t + options_.rebuild.gap_ms;
+    if (config_.rebuild.gap_ms > 0) {
+      const double at = t + config_.rebuild.gap_ms;
       loop.Schedule(at, [&, at] { rebuild_fill(at); });
     } else {
       rebuild_fill(t);
@@ -464,7 +479,26 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
 
   submit_query = [&](uint64_t qi, double t) {
     if (!error.ok()) return;
-    executor_->PlanInto(queries[qi], &plan);
+    if (planned_mode) {
+      // Pre-planned path: requests arrive ready (ClusterSession planned
+      // them against the cluster's logical volume). The buffer pool's
+      // residency split still applies, through the same shared stage the
+      // executor's filter pipeline delegates to.
+      plan.requests.clear();
+      plan.resident.clear();
+      if (pool != nullptr) {
+        const cache::SectorFilter* f = &pool->filter();
+        cache::SplitByFilters(std::span<const cache::SectorFilter* const>(
+                                  &f, 1),
+                              planned[qi].requests, &plan.requests,
+                              &plan.resident);
+      } else {
+        plan.requests.assign(planned[qi].requests.begin(),
+                             planned[qi].requests.end());
+      }
+    } else {
+      executor_->PlanInto(queries[qi], &plan);
+    }
     QueryState& st = states[qi];
     st.arrival = t;
     st.submitted = true;
@@ -553,7 +587,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     for (uint32_t d = 0; d < volume_->disk_count(); ++d) pump(d);
   };
 
-  if (options_.warmup_head) {
+  if (config_.warmup_head) {
     for (uint32_t d = 0; d < volume_->disk_count(); ++d) {
       disk::Disk& disk = volume_->disk(d);
       const uint64_t lbn = rng.Uniform(disk.geometry().total_sectors());
@@ -571,35 +605,43 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
     }
   }
 
-  switch (arrivals.kind) {
-    case Kind::kOpenPoisson: {
-      const double mean_gap_ms = 1000.0 / arrivals.rate_qps;
-      double t = 0;
-      for (uint64_t qi = 0; qi < queries.size(); ++qi) {
-        t += -mean_gap_ms * std::log(1.0 - rng.NextDouble());
-        loop.Schedule(t, [&, qi, t] { submit_query(qi, t); });
-      }
-      break;
+  if (planned_mode) {
+    // Planned queries are an open trace by construction: every arrival
+    // instant is already known.
+    for (uint64_t qi = 0; qi < n; ++qi) {
+      const double t = planned[qi].arrival_ms;
+      loop.Schedule(t, [&, qi, t] { submit_query(qi, t); });
     }
-    case Kind::kOpenTrace: {
-      for (uint64_t qi = 0; qi < queries.size(); ++qi) {
-        const double t = arrivals.trace_ms[qi];
-        loop.Schedule(t, [&, qi, t] { submit_query(qi, t); });
+  } else {
+    switch (arrivals.kind) {
+      case Kind::kOpenPoisson: {
+        const double mean_gap_ms = 1000.0 / arrivals.rate_qps;
+        double t = 0;
+        for (uint64_t qi = 0; qi < n; ++qi) {
+          t += -mean_gap_ms * std::log(1.0 - rng.NextDouble());
+          loop.Schedule(t, [&, qi, t] { submit_query(qi, t); });
+        }
+        break;
       }
-      break;
-    }
-    case Kind::kClosed: {
-      const uint64_t n =
-          std::min<uint64_t>(arrivals.clients, queries.size());
-      next_query = n;
-      for (uint64_t qi = 0; qi < n; ++qi) {
-        loop.Schedule(0.0, [&, qi] { submit_query(qi, 0.0); });
+      case Kind::kOpenTrace: {
+        for (uint64_t qi = 0; qi < n; ++qi) {
+          const double t = arrivals.trace_ms[qi];
+          loop.Schedule(t, [&, qi, t] { submit_query(qi, t); });
+        }
+        break;
       }
-      break;
+      case Kind::kClosed: {
+        const uint64_t burst = std::min<uint64_t>(arrivals.clients, n);
+        next_query = burst;
+        for (uint64_t qi = 0; qi < burst; ++qi) {
+          loop.Schedule(0.0, [&, qi] { submit_query(qi, 0.0); });
+        }
+        break;
+      }
     }
   }
 
-  loop.RunAll();
+  last_events_ = loop.RunAll();
   MM_RETURN_NOT_OK(error);
   // Defensive completion accounting: every attempt path above ends in a
   // finish or a fail, but a query must never vanish silently -- anything
@@ -617,6 +659,7 @@ Result<LatencyStats> Session::Run(std::span<const map::Box> queries,
         "event loop stalled: over " + std::to_string(loop.stall_limit()) +
         " consecutive events at t=" + std::to_string(loop.now_ms()) + " ms");
   }
+  stats_ = stats;
   return stats;
 }
 

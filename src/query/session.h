@@ -34,62 +34,19 @@
 #include "lvm/tiering.h"
 #include "lvm/volume.h"
 #include "mapping/cell.h"
+#include "query/config.h"
 #include "query/executor.h"
 #include "util/result.h"
 #include "util/stats.h"
 
 namespace mm::query {
 
-/// How queries arrive at the session.
-struct ArrivalProcess {
-  enum class Kind {
-    kOpenPoisson,  ///< Open loop: exponential gaps at rate_qps.
-    kOpenTrace,    ///< Open loop: explicit arrival instants in ms.
-    kClosed,       ///< Closed loop: `clients` outstanding, think_ms between.
-  };
-  Kind kind = Kind::kOpenPoisson;
-  double rate_qps = 100.0;       ///< kOpenPoisson: mean arrival rate.
-  std::vector<double> trace_ms;  ///< kOpenTrace: arrival of query i.
-  uint32_t clients = 1;          ///< kClosed: concurrent clients.
-  double think_ms = 0;           ///< kClosed: gap after each completion.
+class Session;
+class ClusterSession;
 
-  static ArrivalProcess OpenPoisson(double qps) {
-    ArrivalProcess a;
-    a.kind = Kind::kOpenPoisson;
-    a.rate_qps = qps;
-    return a;
-  }
-  static ArrivalProcess OpenTrace(std::vector<double> at_ms) {
-    ArrivalProcess a;
-    a.kind = Kind::kOpenTrace;
-    a.trace_ms = std::move(at_ms);
-    return a;
-  }
-  static ArrivalProcess Closed(uint32_t clients, double think_ms = 0) {
-    ArrivalProcess a;
-    a.kind = Kind::kClosed;
-    a.clients = clients;
-    a.think_ms = think_ms;
-    return a;
-  }
-};
-
-/// Retry/timeout policy applied per request of every query (and to
-/// rebuild chunk reads). The defaults are a strict no-op: one attempt, no
-/// host deadline, so the zero-fault event schedule is untouched.
-struct RetryPolicy {
-  /// Total service attempts per request (first issue + retries).
-  uint32_t max_attempts = 1;
-  /// Host-side deadline per attempt, ms; 0 disables. An attempt exceeding
-  /// it is abandoned and re-issued (preferring another replica); the
-  /// abandoned command still completes on the drive and its time is
-  /// genuinely wasted -- the late completion is simply ignored.
-  double timeout_ms = 0;
-  /// Delay before re-issuing after a failed or abandoned attempt, ms.
-  double backoff_ms = 0;
-};
-
-/// Completion record of one query.
+/// Completion record of one query. Construction is private to the
+/// session layer -- callers read records out of Session::Completions()
+/// (copies are fine); only sessions mint them.
 struct QueryCompletion {
   uint64_t query = 0;    ///< Index into the submitted workload.
   double arrival_ms = 0;
@@ -119,6 +76,17 @@ struct QueryCompletion {
   double QueueMs() const { return start_ms - arrival_ms; }
   double ServiceMs() const { return finish_ms - start_ms; }
   double LatencyMs() const { return finish_ms - arrival_ms; }
+
+ private:
+  QueryCompletion() = default;
+  friend class Session;
+  friend class ClusterSession;
+
+ public:
+  // Copies stay public: tests and benches snapshot Completions() freely;
+  // only *minting* new records is the session layer's privilege.
+  QueryCompletion(const QueryCompletion&) = default;
+  QueryCompletion& operator=(const QueryCompletion&) = default;
 };
 
 /// Latency summary of a session run: per-query latency distribution plus
@@ -209,74 +177,90 @@ struct LatencyStats {
   Histogram ToHistogram(double lo_ms, double hi_ms, size_t buckets) const;
 };
 
-/// Execution knobs for a session.
-struct SessionOptions {
-  /// On-disk queue policy for every member disk -- the session default.
-  /// Open-loop streams interleave queries at the drive, so there is no
-  /// per-plan policy switch as in closed-loop Executor::Execute();
-  /// instead, each plan's requests carry a disk::SchedulingHint stamped by
-  /// the planner, and the session stamps one order_group per query.
-  /// Semi-sequential (mapping-order) plans are therefore serviced in
-  /// emission order within each query even when this default reorders
-  /// freely across queries. Set queue.max_age_ms to bound queue age under
-  /// SPTF/Elevator (starvation guard; see bench/fairness_overload).
-  disk::BatchOptions queue{disk::SchedulerKind::kElevator, 4, true};
-  /// Issue one random 1-sector warmup read per member disk at time 0,
-  /// flagged so it is excluded from latency accounting -- the open-loop
-  /// analog of Executor::RandomizeHead between closed-loop queries.
-  bool warmup_head = false;
-  /// Seed for Poisson gaps and warmup head placement.
-  uint64_t seed = 1;
-  /// Per-request retry/timeout policy (defaults are a strict no-op).
-  RetryPolicy retry;
-  /// Background rebuild of a failed member from surviving replicas
-  /// (replicated volumes only; see lvm/rebuild.h). Detection is
-  /// symptom-driven: the first kDiskFailed completion or failover-routed
-  /// submit arms the rebuild detect_delay_ms later.
-  lvm::RebuildOptions rebuild;
-  /// Buffer-pool tier (borrowed; may be null = no cache, the bit-exact
-  /// legacy path). When set, Run() installs the pool's residency filter
-  /// on the executor for its duration: plans split into resident subruns
-  /// (completed from memory at arrival, no volume I/O) and submit
-  /// subruns (volume reads whose completions fill the pool). Residency
-  /// carries across Run() calls -- the caller owns warmup and Clear().
-  cache::BufferPool* cache = nullptr;
-  /// Hot/cold fleet director (borrowed; may be null = untiered). When
-  /// set, submitted requests are observed and rewritten through the
-  /// director (hot-resident cells read from their hot slots), and
-  /// promotions are driven as background kReorderFreely migration reads
-  /// interleaved with query traffic.
-  lvm::TierDirector* tiers = nullptr;
+/// A pre-planned query: its volume-addressed requests and arrival
+/// instant, with the caller's own query id carried through to the
+/// completion record. This is how ClusterSession hands each shard its
+/// slice of a fanned-out workload -- the shard session runs the requests
+/// without an Executor of its own (planning already happened against the
+/// cluster's logical volume).
+struct PlannedQuery {
+  /// Caller-scoped id reported as QueryCompletion::query (for a fanned
+  /// query, the global query index, shared by its per-shard parts).
+  uint64_t id = 0;
+  double arrival_ms = 0;
+  /// Volume-addressed reads; may be empty (the query completes at its
+  /// arrival instant, like a clipped-empty box).
+  std::vector<disk::IoRequest> requests;
 };
 
 /// Runs query workloads against a volume under an arrival process.
 class Session {
  public:
   /// Both pointers are borrowed and must outlive the session; the
-  /// executor must plan against `volume`.
+  /// executor must plan against `volume`. The session-scoped subset of
+  /// `config` applies (see query/config.h); a legacy SessionOptions
+  /// converts implicitly and runs bit-identically.
   Session(lvm::Volume* volume, Executor* executor,
-          SessionOptions options = SessionOptions());
+          ClusterConfig config = ClusterConfig());
 
   /// Runs `queries` under `arrivals` from a clean volume state (member
   /// disks are Reset() first, so stats are comparable across runs).
-  /// Returns the latency summary; per-query records are in completions(),
-  /// in completion order.
+  /// Returns the latency summary; per-query records are in
+  /// Completions(), in completion order. The executor must be non-null
+  /// on this path (it plans each box at its arrival instant).
   Result<LatencyStats> Run(std::span<const map::Box> queries,
                            const ArrivalProcess& arrivals);
 
+  /// As above under the config's own arrival process.
+  Result<LatencyStats> Run(std::span<const map::Box> queries) {
+    return Run(queries, config_.arrivals);
+  }
+
+  /// Runs pre-planned queries at their embedded arrival instants
+  /// (open-loop by construction; the config's arrival process is
+  /// ignored). No Executor is consulted -- the session may be built with
+  /// executor == nullptr -- but a configured buffer pool still splits
+  /// each query's requests into resident/submit subruns through the
+  /// shared cache::SplitByFilters stage, and tiering/rebuild/retry all
+  /// apply as in Run(). QueryCompletion::query reports PlannedQuery::id.
+  Result<LatencyStats> RunPlanned(std::span<const PlannedQuery> queries);
+
+  /// Latency summary of the last run (empty before any run).
+  const LatencyStats& Stats() const { return stats_; }
+
+  /// Per-query completion records of the last run, in completion order.
+  const std::vector<QueryCompletion>& Completions() const {
+    return completions_;
+  }
+
+  /// Deprecated: use Completions().
+  [[deprecated("use Completions()")]]
   const std::vector<QueryCompletion>& completions() const {
     return completions_;
   }
 
-  /// Rebuild progress of the last Run() (all zero/-1 when no member
+  /// Simulator events dispatched by the last run (the event loop's
+  /// dispatch count; the scale-out bench's event-rate numerator).
+  uint64_t last_events() const { return last_events_; }
+
+  /// Rebuild progress of the last run (all zero/-1 when no member
   /// failed or rebuild was disabled).
   const lvm::RebuildStats& rebuild_stats() const { return rebuild_stats_; }
 
  private:
+  /// One body for both Run flavors; planned_mode selects which span (and
+  /// which planning path) drives the run.
+  Result<LatencyStats> RunImpl(std::span<const map::Box> boxes,
+                               std::span<const PlannedQuery> planned,
+                               const ArrivalProcess& arrivals,
+                               bool planned_mode);
+
   lvm::Volume* volume_;
   Executor* executor_;
-  SessionOptions options_;
+  ClusterConfig config_;
+  LatencyStats stats_;
   std::vector<QueryCompletion> completions_;
+  uint64_t last_events_ = 0;
   lvm::RebuildStats rebuild_stats_;
 };
 

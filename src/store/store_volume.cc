@@ -79,27 +79,26 @@ Result<lvm::Volume::Location> StoreVolume::ResolveRange(
   return first;
 }
 
-Status StoreVolume::Read(uint64_t volume_lbn, uint32_t sectors,
-                         void* buf) const {
-  return ReadCopy(volume_lbn, sectors, 0, buf);
-}
-
-Status StoreVolume::ReadCopy(uint64_t volume_lbn, uint32_t sectors,
-                             uint32_t copy, void* buf) const {
+Status StoreVolume::Read(uint64_t volume_lbn, uint32_t sectors, void* buf,
+                         const lvm::SubmitOptions& options) const {
   MM_RETURN_NOT_OK(ResolveRange(volume_lbn, sectors).status());
-  MM_ASSIGN_OR_RETURN(auto loc, volume_->ResolveReplica(volume_lbn, copy));
-  return members_[loc.disk]->ReadSectors(loc.lbn, sectors, buf);
-}
-
-Status StoreVolume::ReadAvoiding(uint64_t volume_lbn, uint32_t sectors,
-                                 uint64_t avoid_disk_mask, void* buf) const {
-  if (!volume_->replicated()) {
-    return Read(volume_lbn, sectors, buf);
+  // A pinned replica reads that exact copy; ResolveReplica rejects
+  // out-of-range indices.
+  if (options.replica != lvm::kAnyReplica) {
+    MM_ASSIGN_OR_RETURN(auto loc,
+                        volume_->ResolveReplica(volume_lbn, options.replica));
+    return members_[loc.disk]->ReadSectors(loc.lbn, sectors, buf);
   }
-  MM_RETURN_NOT_OK(ResolveRange(volume_lbn, sectors).status());
+  if (!volume_->replicated() || options.avoid_mask == 0) {
+    MM_ASSIGN_OR_RETURN(auto loc, volume_->Resolve(volume_lbn));
+    return members_[loc.disk]->ReadSectors(loc.lbn, sectors, buf);
+  }
+  // Unlike the simulated volume's failover routing the data plane never
+  // relaxes the mask: callers (RebuildMember) mask a disk because reading
+  // it would be wrong, not merely slow.
   for (uint32_t copy = 0; copy < volume_->replicas(); ++copy) {
     MM_ASSIGN_OR_RETURN(auto loc, volume_->ResolveReplica(volume_lbn, copy));
-    if ((avoid_disk_mask >> loc.disk) & 1u) continue;
+    if ((options.avoid_mask >> loc.disk) & 1u) continue;
     return members_[loc.disk]->ReadSectors(loc.lbn, sectors, buf);
   }
   return Status::Unavailable("every replica of volume LBN " +
@@ -140,7 +139,8 @@ Status StoreVolume::RebuildMember(uint32_t disk_index) {
           static_cast<uint32_t>(std::min<uint64_t>(chunk, region - off));
       const uint64_t vlbn = static_cast<uint64_t>(primary) * region + off;
       const uint64_t self_mask = uint64_t{1} << disk_index;
-      MM_RETURN_NOT_OK(ReadAvoiding(vlbn, n, self_mask, buf.data()));
+      MM_RETURN_NOT_OK(Read(vlbn, n, buf.data(),
+                            lvm::SubmitOptions{.avoid_mask = self_mask}));
       MM_RETURN_NOT_OK(members_[disk_index]->WriteSectors(
           static_cast<uint64_t>(k) * region + off, n, buf.data()));
     }

@@ -8,9 +8,11 @@
 // read through this adapter.
 //
 // Replication semantics mirror the volume's (volume.h class comment):
-// Write() fans out to all R copies, Read() serves the primary, and
-// ReadAvoiding() fails over to the first copy whose member disk is not in
-// the avoid mask -- the data-plane twin of Volume::SubmitAvoiding.
+// Write() fans out to all R copies and Read() takes the same
+// lvm::SubmitOptions as Volume::Submit -- the default reads the primary, a
+// pinned replica reads that exact copy, and an avoid mask fails over to
+// the first copy whose member disk is outside it (the data-plane twin of
+// the simulated volume's failover routing).
 // RebuildMember() re-derives every byte a member disk is responsible for
 // (its primary region and each mirror region it hosts) from surviving
 // copies, pairing with lvm::RebuildPlanner's simulated drain.
@@ -62,21 +64,35 @@ class StoreVolume {
   BlockStore& member(size_t i) { return *members_[i]; }
   const BlockStore& member(size_t i) const { return *members_[i]; }
 
-  /// Reads `sectors` sectors at volume LBN `volume_lbn` from the primary
-  /// copy. Like Volume::Submit, the range must not straddle a member-disk
-  /// boundary.
-  Status Read(uint64_t volume_lbn, uint32_t sectors, void* buf) const;
+  /// Reads `sectors` sectors at volume LBN `volume_lbn`, routed by
+  /// `options` exactly as Volume::Submit routes the simulated request: the
+  /// default reads the primary copy; an explicit replica reads that exact
+  /// copy (see Volume::ResolveReplica); otherwise the first copy whose
+  /// member disk is not in options.avoid_mask wins, with kUnavailable when
+  /// every copy is masked. Unreplicated volumes ignore the mask (there is
+  /// only one place the block can live). options.warmup is meaningless on
+  /// the data plane and ignored. Like Volume::Submit, the range must not
+  /// straddle a member-disk boundary.
+  Status Read(uint64_t volume_lbn, uint32_t sectors, void* buf,
+              const lvm::SubmitOptions& options = {}) const;
 
-  /// Reads from copy `copy` (see Volume::ResolveReplica).
+  /// Deprecated: use Read(volume_lbn, sectors, buf,
+  /// SubmitOptions{.replica = copy}).
+  [[deprecated("use Read(lbn, sectors, buf, SubmitOptions)")]]
   Status ReadCopy(uint64_t volume_lbn, uint32_t sectors, uint32_t copy,
-                  void* buf) const;
+                  void* buf) const {
+    return Read(volume_lbn, sectors, buf,
+                lvm::SubmitOptions{.replica = copy});
+  }
 
-  /// Reads from the first copy whose member disk is not in
-  /// `avoid_disk_mask` (bit d = member disk d); kUnavailable when every
-  /// copy is masked. Unreplicated volumes ignore the mask (there is only
-  /// one place the block can live) -- same contract as SubmitAvoiding.
+  /// Deprecated: use Read(volume_lbn, sectors, buf,
+  /// SubmitOptions{.avoid_mask = mask}).
+  [[deprecated("use Read(lbn, sectors, buf, SubmitOptions)")]]
   Status ReadAvoiding(uint64_t volume_lbn, uint32_t sectors,
-                      uint64_t avoid_disk_mask, void* buf) const;
+                      uint64_t avoid_disk_mask, void* buf) const {
+    return Read(volume_lbn, sectors, buf,
+                lvm::SubmitOptions{.avoid_mask = avoid_disk_mask});
+  }
 
   /// Writes to every replica of the range.
   Status Write(uint64_t volume_lbn, uint32_t sectors, const void* buf);

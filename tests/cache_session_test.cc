@@ -54,7 +54,7 @@ TEST_F(CacheSessionTest, CacheOffIsBitIdentical) {
   Session s1(&vol_, &plain, SessionOptions{});
   auto r1 = s1.Run(boxes, arrivals);
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
-  const std::vector<QueryCompletion> reference = s1.completions();
+  const std::vector<QueryCompletion> reference = s1.Completions();
 
   // Same executor, but a pool filter was installed, exercised, and
   // removed before the run.
@@ -68,10 +68,10 @@ TEST_F(CacheSessionTest, CacheOffIsBitIdentical) {
   auto r2 = s2.Run(boxes, arrivals);
   ASSERT_TRUE(r2.ok()) << r2.status().ToString();
 
-  ASSERT_EQ(s2.completions().size(), reference.size());
+  ASSERT_EQ(s2.Completions().size(), reference.size());
   for (size_t i = 0; i < reference.size(); ++i) {
     const QueryCompletion& a = reference[i];
-    const QueryCompletion& b = s2.completions()[i];
+    const QueryCompletion& b = s2.Completions()[i];
     EXPECT_EQ(a.query, b.query);
     EXPECT_EQ(a.arrival_ms, b.arrival_ms);
     EXPECT_EQ(a.start_ms, b.start_ms);
@@ -118,7 +118,7 @@ TEST_F(CacheSessionTest, ResidentQueriesCompleteWithoutVolume) {
   // whole run is instantaneous on the virtual clock.
   EXPECT_EQ(warm->latency.Max(), 0.0);
   EXPECT_EQ(warm->makespan_ms, 0.0);
-  for (const QueryCompletion& c : s.completions()) {
+  for (const QueryCompletion& c : s.Completions()) {
     EXPECT_TRUE(c.CacheHit());
     EXPECT_EQ(c.start_ms, c.arrival_ms);
     EXPECT_EQ(c.finish_ms, c.arrival_ms);
@@ -193,8 +193,8 @@ TEST_F(CacheSessionTest, PartialResidencySplitsWithoutReordering) {
   const std::vector<map::Box> one{box};
   auto stats = s.Run(one, ArrivalProcess::Closed(1));
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  ASSERT_EQ(s.completions().size(), 1u);
-  const QueryCompletion& c = s.completions()[0];
+  ASSERT_EQ(s.Completions().size(), 1u);
+  const QueryCompletion& c = s.Completions()[0];
   EXPECT_GT(c.resident_sectors, 0u);
   EXPECT_GT(c.submitted_sectors, 0u);
   EXPECT_FALSE(c.CacheHit());  // mixed, not a pure hit

@@ -1,0 +1,290 @@
+// query::ClusterSession -- the parallel simulator core. The determinism
+// contract (1-, 2-, and N-thread runs bit-identical, clean and
+// fault-injected), single-shard equivalence with the plain Session, merge
+// semantics for fanned queries, and ClusterConfig validation. This suite
+// also runs under -fsanitize=thread in CI (the tsan job).
+#include "query/cluster_session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cache/buffer_pool.h"
+#include "disk/fault.h"
+#include "disk/spec.h"
+#include "lvm/cluster.h"
+#include "mapping/naive.h"
+#include "query/executor.h"
+#include "query/session.h"
+#include "util/rng.h"
+
+namespace mm::query {
+namespace {
+
+void ExpectSameCompletions(const std::vector<QueryCompletion>& a,
+                           const std::vector<QueryCompletion>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].query, b[i].query) << "at " << i;
+    EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms) << "at " << i;
+    EXPECT_EQ(a[i].start_ms, b[i].start_ms) << "at " << i;
+    EXPECT_EQ(a[i].finish_ms, b[i].finish_ms) << "at " << i;
+    EXPECT_EQ(a[i].retries, b[i].retries) << "at " << i;
+    EXPECT_EQ(a[i].redirects, b[i].redirects) << "at " << i;
+    EXPECT_EQ(a[i].failed, b[i].failed) << "at " << i;
+    EXPECT_EQ(a[i].resident_sectors, b[i].resident_sectors) << "at " << i;
+    EXPECT_EQ(a[i].submitted_sectors, b[i].submitted_sectors) << "at " << i;
+  }
+}
+
+void ExpectSameStats(const LatencyStats& a, const LatencyStats& b) {
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.redirects, b.redirects);
+  EXPECT_EQ(a.makespan_ms, b.makespan_ms);
+  for (size_t i = 0; i < a.latency.count(); ++i) {
+    EXPECT_EQ(a.latency.sample(i), b.latency.sample(i)) << "sample " << i;
+  }
+}
+
+std::vector<map::Box> RangeWorkload(const map::GridShape& shape, size_t n,
+                                    uint64_t seed) {
+  // Small random ranges: multi-sector plans that fan across shards.
+  Rng rng(seed);
+  std::vector<map::Box> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    map::Box b;
+    for (uint32_t dim = 0; dim < 3; ++dim) {
+      const uint32_t side = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      b.lo[dim] = static_cast<uint32_t>(rng.Uniform(shape.dim(dim) - side));
+      b.hi[dim] = b.lo[dim] + side;
+    }
+    boxes.push_back(b);
+  }
+  return boxes;
+}
+
+class ClusterSessionTest : public ::testing::Test {
+ protected:
+  // 4 shards x 1 test disk, chunk 16: 18 slots/shard, 1152 data sectors.
+  // The 8x8x8 grid at 2 sectors/cell (1024 sectors) fills most of it.
+  ClusterSessionTest() : mapping_(shape_, 0, /*cell_sectors=*/2) {
+    lvm::ClusterTopology topo;
+    topo.shards = 4;
+    topo.shard_disks = {disk::MakeTestDisk()};
+    topo.chunk_sectors = 16;
+    auto cv = lvm::ClusterVolume::Create(topo);
+    EXPECT_TRUE(cv.ok()) << cv.status().ToString();
+    cluster_ = std::move(*cv);
+    planner_ = std::make_unique<Executor>(&cluster_->logical(), &mapping_);
+  }
+
+  ClusterConfig Config(uint32_t threads, double qps = 150.0) {
+    ClusterConfig c;
+    c.threads = threads;
+    c.arrivals = ArrivalProcess::OpenPoisson(qps);
+    c.seed = 99;
+    return c;
+  }
+
+  map::GridShape shape_{8, 8, 8};
+  map::NaiveMapping mapping_;
+  std::unique_ptr<lvm::ClusterVolume> cluster_;
+  std::unique_ptr<Executor> planner_;
+};
+
+TEST_F(ClusterSessionTest, ThreadCountNeverChangesResults) {
+  const auto boxes = RangeWorkload(shape_, 90, 11);
+  ClusterSession ref(cluster_.get(), planner_.get(), Config(1));
+  auto r1 = ref.Run(boxes);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_EQ(ref.Completions().size(), boxes.size());
+  EXPECT_EQ(ref.threads_used(), 1u);
+
+  for (uint32_t threads : {2u, 4u}) {
+    ClusterSession s(cluster_.get(), planner_.get(), Config(threads));
+    auto r = s.Run(boxes);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(s.threads_used(), threads);
+    ExpectSameStats(ref.Stats(), s.Stats());
+    ExpectSameCompletions(ref.Completions(), s.Completions());
+    EXPECT_EQ(ref.events(), s.events());
+    ExpectSameStats(ref.ShardStats(), s.ShardStats());
+    for (uint32_t sh = 0; sh < s.shard_count(); ++sh) {
+      ExpectSameStats(ref.shard_stats(sh), s.shard_stats(sh));
+    }
+  }
+}
+
+TEST_F(ClusterSessionTest, FaultInjectedRunsAreThreadCountInvariant) {
+  // Replicated shards; one shard loses a member mid-run (rebuild kicks
+  // in), another limps against host timeouts. The merged picture -- and
+  // every per-shard rebuild counter -- must not depend on threads.
+  lvm::ClusterTopology topo;
+  topo.shards = 3;
+  topo.shard_disks = {disk::MakeTestDisk(), disk::MakeTestDisk(),
+                      disk::MakeTestDisk()};
+  topo.chunk_sectors = 16;
+  topo.replication = lvm::ReplicationOptions{2, 16};
+  auto cv = lvm::ClusterVolume::Create(topo);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  lvm::ClusterVolume& cluster = **cv;
+
+  disk::FaultModel kill;
+  kill.fail_at_ms = 120.0;
+  cluster.shard(1).disk(0).SetFaultModel(kill);
+  disk::FaultModel limp;
+  limp.slow_factor = 10.0;
+  cluster.shard(2).disk(2).SetFaultModel(limp);
+
+  map::NaiveMapping mapping(shape_, 0, /*cell_sectors=*/2);
+  Executor planner(&cluster.logical(), &mapping);
+  auto config = [&](uint32_t threads) {
+    ClusterConfig c = Config(threads, 200.0);
+    c.retry.max_attempts = 3;
+    c.retry.timeout_ms = 8.0;
+    c.retry.backoff_ms = 0.5;
+    c.rebuild.enabled = true;
+    c.rebuild.detect_delay_ms = 10.0;
+    return c;
+  };
+
+  const auto boxes = RangeWorkload(shape_, 80, 29);
+  ClusterSession ref(&cluster, &planner, config(1));
+  auto r1 = ref.Run(boxes);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  // The faults genuinely fired: degraded service and a detected failure.
+  EXPECT_GT(ref.Stats().retries + ref.Stats().redirects, 0u);
+  EXPECT_TRUE(ref.shard_rebuild_stats(1).Detected());
+
+  ClusterSession par(&cluster, &planner, config(3));
+  auto r3 = par.Run(boxes);
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+  ExpectSameStats(ref.Stats(), par.Stats());
+  ExpectSameCompletions(ref.Completions(), par.Completions());
+  for (uint32_t sh = 0; sh < 3; ++sh) {
+    const lvm::RebuildStats& a = ref.shard_rebuild_stats(sh);
+    const lvm::RebuildStats& b = par.shard_rebuild_stats(sh);
+    EXPECT_EQ(a.chunks_total, b.chunks_total) << "shard " << sh;
+    EXPECT_EQ(a.chunks_done, b.chunks_done) << "shard " << sh;
+    EXPECT_EQ(a.sectors_read, b.sectors_read) << "shard " << sh;
+    EXPECT_EQ(a.detected_ms, b.detected_ms) << "shard " << sh;
+    EXPECT_EQ(a.started_ms, b.started_ms) << "shard " << sh;
+    EXPECT_EQ(a.finished_ms, b.finished_ms) << "shard " << sh;
+  }
+}
+
+TEST_F(ClusterSessionTest, SingleShardClusterMatchesPlainSession) {
+  // S = 1 routes every request straight through (chunk splits coalesce
+  // back), so a 1-shard ClusterSession must reproduce the plain Session
+  // on an identical volume bit-for-bit: same arrivals (same seed and
+  // formula), same plans, same event schedule. Warmup stays off -- its
+  // head placement draws from the session RNG, which the cluster derives
+  // per shard.
+  lvm::ClusterTopology topo;
+  topo.shards = 1;
+  topo.shard_disks = {disk::MakeTestDisk()};
+  topo.chunk_sectors = 16;
+  auto cv = lvm::ClusterVolume::Create(topo);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+
+  // 250 of the single shard's 288 data sectors.
+  const map::GridShape small{5, 5, 5};
+  map::NaiveMapping mapping(small, 0, /*cell_sectors=*/2);
+  Executor cluster_planner(&(*cv)->logical(), &mapping);
+  const auto boxes = RangeWorkload(small, 60, 41);
+  ClusterSession cs(cv->get(), &cluster_planner, Config(1));
+  auto rc = cs.Run(boxes);
+  ASSERT_TRUE(rc.ok()) << rc.status().ToString();
+
+  lvm::Volume vol{disk::MakeTestDisk()};
+  map::NaiveMapping plain_mapping(small, 0, /*cell_sectors=*/2);
+  Executor ex(&vol, &plain_mapping);
+  Session s(&vol, &ex, Config(1));
+  auto rp = s.Run(boxes);
+  ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+
+  // The plain Session records completions as they finish; the cluster merge
+  // re-emits them in query-id order. Key the comparison by query id: every
+  // per-query record (and hence the latency multiset) must be bit-identical.
+  EXPECT_EQ(rp->count(), rc->count());
+  EXPECT_EQ(rp->failed, rc->failed);
+  EXPECT_EQ(rp->retries, rc->retries);
+  EXPECT_EQ(rp->redirects, rc->redirects);
+  EXPECT_EQ(rp->makespan_ms, rc->makespan_ms);
+  std::vector<QueryCompletion> by_query = s.Completions();
+  std::sort(by_query.begin(), by_query.end(),
+            [](const QueryCompletion& x, const QueryCompletion& y) {
+              return x.query < y.query;
+            });
+  ExpectSameCompletions(by_query, cs.Completions());
+}
+
+TEST_F(ClusterSessionTest, MergedCompletionsSpanShards) {
+  const auto boxes = RangeWorkload(shape_, 40, 7);
+  ClusterSession s(cluster_.get(), planner_.get(), Config(0));
+  auto r = s.Run(boxes);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(s.threads_used(), 4u);
+  ASSERT_EQ(s.Completions().size(), boxes.size());
+  // Query-id order, well-formed intervals, and part-level conservation:
+  // shard sessions recorded at least one part per query and the same
+  // total volume traffic the merge reports.
+  uint64_t merged_sectors = 0;
+  for (size_t i = 0; i < s.Completions().size(); ++i) {
+    const QueryCompletion& qc = s.Completions()[i];
+    EXPECT_EQ(qc.query, i);
+    EXPECT_LE(qc.arrival_ms, qc.start_ms);
+    EXPECT_LE(qc.start_ms, qc.finish_ms);
+    EXPECT_FALSE(qc.failed);
+    merged_sectors += qc.submitted_sectors;
+  }
+  EXPECT_GE(s.ShardStats().count(), s.Stats().count());
+  EXPECT_EQ(s.ShardStats().submitted_sectors, merged_sectors);
+  EXPECT_GT(s.events(), 0u);
+}
+
+TEST_F(ClusterSessionTest, ValidatesClusterConfig) {
+  const auto boxes = RangeWorkload(shape_, 4, 3);
+
+  ClusterConfig closed = Config(1);
+  closed.arrivals = ArrivalProcess::Closed(2);
+  ClusterSession s1(cluster_.get(), planner_.get(), closed);
+  EXPECT_EQ(s1.Run(boxes).status().code(), StatusCode::kInvalidArgument);
+
+  // Single-volume attachments are rejected: caches are per shard.
+  cache::BufferPool pool(mapping_, cache::BufferPoolOptions{});
+  ClusterConfig global_cache = Config(1);
+  global_cache.cache = &pool;
+  ClusterSession s2(cluster_.get(), planner_.get(), global_cache);
+  EXPECT_EQ(s2.Run(boxes).status().code(), StatusCode::kInvalidArgument);
+
+  ClusterConfig short_caches = Config(1);
+  short_caches.shard_caches = {&pool};  // 1 entry, 4 shards
+  ClusterSession s3(cluster_.get(), planner_.get(), short_caches);
+  EXPECT_EQ(s3.Run(boxes).status().code(), StatusCode::kInvalidArgument);
+
+  ClusterSession s4(cluster_.get(), nullptr, Config(1));
+  EXPECT_EQ(s4.Run(boxes).status().code(), StatusCode::kInvalidArgument);
+
+  // A residency filter on the global planner is a config error too.
+  planner_->AddSectorFilter(&pool.filter());
+  ClusterSession s5(cluster_.get(), planner_.get(), Config(1));
+  EXPECT_EQ(s5.Run(boxes).status().code(), StatusCode::kInvalidArgument);
+  planner_->RemoveSectorFilter(&pool.filter());
+}
+
+TEST_F(ClusterSessionTest, EmptyWorkloadRunsClean) {
+  ClusterSession s(cluster_.get(), planner_.get(), Config(2));
+  auto r = s.Run({});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count(), 0u);
+  EXPECT_TRUE(s.Completions().empty());
+}
+
+}  // namespace
+}  // namespace mm::query

@@ -1,0 +1,172 @@
+// lvm::ClusterVolume -- the chunk-rotated declustered map. Placement
+// rotation, Resolve/ToGlobalLbn inversion, Route splitting and
+// coalescing, per-shard replication, and topology validation.
+#include "lvm/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "disk/spec.h"
+
+namespace mm::lvm {
+namespace {
+
+// MakeTestDisk: 288 usable sectors per member.
+constexpr uint64_t kDiskSectors = 288;
+
+Result<std::unique_ptr<ClusterVolume>> Make(uint32_t shards,
+                                            uint64_t chunk_sectors,
+                                            size_t members_per_shard = 1,
+                                            uint32_t replicas = 1) {
+  ClusterTopology topo;
+  topo.shards = shards;
+  topo.shard_disks.assign(members_per_shard, disk::MakeTestDisk());
+  topo.chunk_sectors = chunk_sectors;
+  topo.replication.replicas = replicas;
+  topo.replication.chunk_sectors = 16;
+  return ClusterVolume::Create(topo);
+}
+
+TEST(ClusterVolumeTest, ChunkRotatedPlacement) {
+  auto cv = Make(4, 16);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  const ClusterVolume& c = **cv;
+  EXPECT_EQ(c.rows(), kDiskSectors / 16);
+  EXPECT_EQ(c.data_sectors(), c.rows() * 4 * 16);
+
+  // Chunk c: row r = c/4, col = c%4, shard (col + r) % 4, slot r. One
+  // member with no tail, so slot r sits at local LBN r * chunk.
+  for (uint64_t chunk = 0; chunk < c.rows() * 4; ++chunk) {
+    const uint64_t r = chunk / 4;
+    const uint32_t want_shard = static_cast<uint32_t>((chunk % 4 + r) % 4);
+    auto loc = c.Resolve(chunk * 16 + 5);
+    ASSERT_TRUE(loc.ok()) << loc.status().ToString();
+    EXPECT_EQ(loc->shard, want_shard) << "chunk " << chunk;
+    EXPECT_EQ(loc->lbn, r * 16 + 5) << "chunk " << chunk;
+  }
+
+  // The rotation's point: a run of adjacent chunks AND a stride-S walk
+  // both touch all four shards.
+  for (uint64_t start : {0ull, 3ull}) {
+    std::vector<bool> hit(4, false);
+    for (uint64_t i = 0; i < 4; ++i) {
+      const uint64_t chunk = start + i * 4;  // stride-S walk
+      hit[c.Resolve(chunk * 16)->shard] = true;
+    }
+    EXPECT_EQ(std::count(hit.begin(), hit.end(), true), 4) << start;
+  }
+}
+
+TEST(ClusterVolumeTest, ResolveAndToGlobalLbnAreInverse) {
+  auto cv = Make(3, 16, /*members_per_shard=*/2);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  const ClusterVolume& c = **cv;
+  EXPECT_EQ(c.rows(), 2 * kDiskSectors / 16);
+  for (uint64_t g = 0; g < c.data_sectors(); ++g) {
+    auto loc = c.Resolve(g);
+    ASSERT_TRUE(loc.ok()) << g;
+    auto back = c.ToGlobalLbn(loc->shard, loc->lbn);
+    ASSERT_TRUE(back.ok()) << g << ": " << back.status().ToString();
+    EXPECT_EQ(*back, g);
+  }
+  EXPECT_EQ(c.Resolve(c.data_sectors()).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ClusterVolumeTest, ToGlobalLbnRejectsUnmappedMemberTail) {
+  // Chunk 20 leaves 288 % 20 = 8 unmapped sectors at each member's end.
+  auto cv = Make(2, 20);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  const ClusterVolume& c = **cv;
+  EXPECT_EQ(c.rows(), kDiskSectors / 20);
+  EXPECT_EQ(c.ToGlobalLbn(0, 285).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(c.ToGlobalLbn(0, c.rows() * 20 - 1).status().code(),
+            StatusCode::kOk);
+}
+
+TEST(ClusterVolumeTest, RouteSplitsAtChunkBoundariesAndCoalesces) {
+  auto cv = Make(4, 16);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  const ClusterVolume& c = **cv;
+
+  // Four chunks from LBN 8: pieces land on shards 0..3 in ascending-LBN
+  // order, split exactly at the chunk boundaries.
+  disk::IoRequest req{8, 64};
+  req.hint = disk::SchedulingHint::kPreserveOrder;
+  req.order_group = 7;
+  std::vector<ShardRequest> out;
+  ASSERT_TRUE(c.Route(req, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].req.sectors, 8u);   // tail of chunk 0
+  EXPECT_EQ(out[4].req.sectors, 8u);   // head of chunk 4
+  uint64_t total = 0;
+  for (const ShardRequest& part : out) {
+    total += part.req.sectors;
+    EXPECT_EQ(part.req.hint, disk::SchedulingHint::kPreserveOrder);
+    EXPECT_EQ(part.req.order_group, 7u);
+  }
+  EXPECT_EQ(total, 64u);
+  // Chunks 0..3 rotate across shards 0..3; chunk 4 (row 1) is shard 1.
+  EXPECT_EQ(out[0].shard, 0u);
+  EXPECT_EQ(out[1].shard, 1u);
+  EXPECT_EQ(out[2].shard, 2u);
+  EXPECT_EQ(out[3].shard, 3u);
+  EXPECT_EQ(out[4].shard, 1u);
+
+  // Past the mapped space: rejected outright.
+  out.clear();
+  EXPECT_EQ(c.Route({c.data_sectors() - 4, 8}, &out).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ClusterVolumeTest, SingleShardCoalescesBackToOneRequest) {
+  // With S = 1 every chunk is on the one shard at contiguous local LBNs,
+  // so the chunk split must coalesce away entirely.
+  auto cv = Make(1, 16);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  std::vector<ShardRequest> out;
+  ASSERT_TRUE((*cv)->Route({8, 100}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].shard, 0u);
+  EXPECT_EQ(out[0].req.lbn, 8u);
+  EXPECT_EQ(out[0].req.sectors, 100u);
+}
+
+TEST(ClusterVolumeTest, ReplicatedShardsExposePrimarySpanOnly) {
+  auto cv = Make(2, 16, /*members_per_shard=*/3, /*replicas=*/2);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  const ClusterVolume& c = **cv;
+  EXPECT_TRUE(c.shard(0).replicated());
+  EXPECT_TRUE(c.shard(1).replicated());
+  // 3 members x 288 sectors at 2 copies: per-member primary region
+  // P = 144, volume primary span 432 = 27 chunk slots per shard; the
+  // declustered map hands out primary addresses only (the shard volume's
+  // whole logical space IS the primary span when replicated).
+  EXPECT_EQ(c.shard(0).primary_sectors(), 144u);
+  EXPECT_EQ(c.rows(), 432u / 16);
+  EXPECT_EQ(c.data_sectors(), (432u / 16) * 2 * 16);
+  for (uint64_t g = 0; g < c.data_sectors(); g += 16) {
+    auto loc = c.Resolve(g);
+    ASSERT_TRUE(loc.ok());
+    EXPECT_LT(loc->lbn, c.shard(loc->shard).total_sectors());
+  }
+}
+
+TEST(ClusterVolumeTest, CreateRejectsBadTopologies) {
+  EXPECT_EQ(Make(0, 16).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Make(2, 0).status().code(), StatusCode::kInvalidArgument);
+  ClusterTopology no_disks;
+  no_disks.shards = 2;
+  EXPECT_EQ(ClusterVolume::Create(no_disks).status().code(),
+            StatusCode::kInvalidArgument);
+  // Chunk larger than any member's usable span: no slot fits anywhere.
+  EXPECT_EQ(Make(2, kDiskSectors + 16).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mm::lvm

@@ -119,12 +119,12 @@ TEST_F(SessionDeterminismTest, KillAndRebuildRunsAreBitIdentical) {
 
   auto r1 = s.Run(boxes, ArrivalProcess::OpenPoisson(80.0));
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
-  auto c1 = s.completions();
+  auto c1 = s.Completions();
   const lvm::RebuildStats rb1 = s.rebuild_stats();
 
   auto r2 = s.Run(boxes, ArrivalProcess::OpenPoisson(80.0));
   ASSERT_TRUE(r2.ok()) << r2.status().ToString();
-  ExpectSameCompletions(c1, s.completions());
+  ExpectSameCompletions(c1, s.Completions());
   const lvm::RebuildStats& rb2 = s.rebuild_stats();
   EXPECT_EQ(rb1.chunks_total, rb2.chunks_total);
   EXPECT_EQ(rb1.chunks_done, rb2.chunks_done);
@@ -157,10 +157,10 @@ TEST_F(SessionDeterminismTest, HostTimeoutRunsAreBitIdentical) {
 
   auto r1 = s.Run(boxes, ArrivalProcess::OpenPoisson(60.0));
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
-  auto c1 = s.completions();
+  auto c1 = s.Completions();
   auto r2 = s.Run(boxes, ArrivalProcess::OpenPoisson(60.0));
   ASSERT_TRUE(r2.ok()) << r2.status().ToString();
-  ExpectSameCompletions(c1, s.completions());
+  ExpectSameCompletions(c1, s.Completions());
 }
 
 }  // namespace

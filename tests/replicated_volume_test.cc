@@ -102,19 +102,49 @@ TEST_F(ReplicatedVolumeTest, SubmitFailsOverToReplicaWhenPrimaryDead) {
   EXPECT_EQ(t->copy, 1u);
 }
 
-TEST_F(ReplicatedVolumeTest, SubmitAvoidingPrefersAnotherCopy) {
+TEST_F(ReplicatedVolumeTest, SubmitAvoidMaskPrefersAnotherCopy) {
   // Healthy volume, but the caller had trouble with disk 1: route the
   // read to the surviving copy on disk 0.
-  auto t = vol_.SubmitAvoiding({150, 1}, 0.0, /*avoid_disk_mask=*/1u << 1);
+  auto t = vol_.Submit({150, 1}, 0.0, SubmitOptions{.avoid_mask = 1u << 1});
   ASSERT_TRUE(t.ok());
   EXPECT_EQ(t->disk, 0u);
   EXPECT_EQ(t->copy, 1u);
   // When every live copy is masked the mask relaxes: a busy replica
   // beats none.
-  auto u = vol_.SubmitAvoiding({150, 1}, 0.0, 0b11);
+  auto u = vol_.Submit({150, 1}, 0.0, SubmitOptions{.avoid_mask = 0b11});
   ASSERT_TRUE(u.ok());
   EXPECT_EQ(u->disk, 1u);
   EXPECT_EQ(u->copy, 0u);
+}
+
+TEST_F(ReplicatedVolumeTest, SubmitPinnedReplicaIgnoresMaskAndFaults) {
+  // An explicit replica goes to that exact copy even when masked...
+  auto t = vol_.Submit({150, 1}, 0.0,
+                       SubmitOptions{.avoid_mask = 1u << 0, .replica = 1});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->disk, 0u);
+  EXPECT_EQ(t->copy, 1u);
+  // ...and even when its member disk is dead (the caller asked for the
+  // failure, not a silent redirect).
+  vol_.disk(0).SetFaultModel(DeadAt(0.0));
+  auto u = vol_.Submit({150, 1}, 1.0, SubmitOptions{.replica = 1});
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->disk, 0u);
+  // Out-of-range replica indices are rejected.
+  auto bad = vol_.Submit({150, 1}, 0.0, SubmitOptions{.replica = 2});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ReplicatedVolumeTest, DeprecatedSubmitAvoidingForwards) {
+  // The old entry point remains callable and routes identically.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto t = vol_.SubmitAvoiding({150, 1}, 0.0, /*avoid_disk_mask=*/1u << 1);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->disk, 0u);
+  EXPECT_EQ(t->copy, 1u);
 }
 
 TEST_F(ReplicatedVolumeTest, NoLiveReplicaIsUnavailable) {

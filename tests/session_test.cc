@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -80,9 +81,9 @@ TEST_F(SessionTest, TraceArrivalsAreHonored) {
   // Far enough apart that the disk idles between them.
   auto r = s.Run(boxes, ArrivalProcess::OpenTrace({0.0, 1000.0}));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(s.completions().size(), 2u);
-  const QueryCompletion& a = s.completions()[0];
-  const QueryCompletion& b = s.completions()[1];
+  ASSERT_EQ(s.Completions().size(), 2u);
+  const QueryCompletion& a = s.Completions()[0];
+  const QueryCompletion& b = s.Completions()[1];
   EXPECT_EQ(a.query, 0u);
   EXPECT_EQ(b.query, 1u);
   EXPECT_EQ(a.arrival_ms, 0.0);
@@ -132,12 +133,12 @@ TEST_F(SessionTest, ClosedLoopThinkTimeSpacesArrivals) {
   const double think = 25.0;
   auto r = s.Run(boxes, ArrivalProcess::Closed(1, think));
   ASSERT_TRUE(r.ok());
-  ASSERT_EQ(s.completions().size(), boxes.size());
+  ASSERT_EQ(s.Completions().size(), boxes.size());
   // Single client: completion order is submission order, and each arrival
   // trails the previous finish by exactly the think time.
-  for (size_t i = 1; i < s.completions().size(); ++i) {
-    EXPECT_DOUBLE_EQ(s.completions()[i].arrival_ms,
-                     s.completions()[i - 1].finish_ms + think);
+  for (size_t i = 1; i < s.Completions().size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.Completions()[i].arrival_ms,
+                     s.Completions()[i - 1].finish_ms + think);
   }
 }
 
@@ -184,8 +185,8 @@ TEST_F(SessionTest, EmptyBoxCompletesAtArrival) {
   auto r = s.Run(boxes, ArrivalProcess::OpenTrace({42.0}));
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->count(), 1u);
-  EXPECT_EQ(s.completions()[0].arrival_ms, 42.0);
-  EXPECT_EQ(s.completions()[0].LatencyMs(), 0.0);
+  EXPECT_EQ(s.Completions()[0].arrival_ms, 42.0);
+  EXPECT_EQ(s.Completions()[0].LatencyMs(), 0.0);
 }
 
 TEST_F(SessionTest, RandomizeHeadRefusesToCutIntoAnOpenQueue) {
@@ -282,8 +283,8 @@ TEST_F(SessionTest, FailedQueriesAreReportedNotHung) {
   Session s(&vol_, &ex, SessionOptions{});
   auto r = s.Run(boxes, ArrivalProcess::OpenPoisson(50.0));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(s.completions().size(), boxes.size());
-  for (const auto& c : s.completions()) {
+  ASSERT_EQ(s.Completions().size(), boxes.size());
+  for (const auto& c : s.Completions()) {
     EXPECT_TRUE(c.failed);
   }
   EXPECT_EQ(r->failed, boxes.size());
@@ -316,8 +317,8 @@ TEST_F(SessionTest, MediaErrorRedirectsToReplicaAndSplitsStats) {
   }
   auto r = s.Run(std::vector<map::Box>{b}, ArrivalProcess::OpenTrace({0.0}));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(s.completions().size(), 1u);
-  const QueryCompletion& c = s.completions()[0];
+  ASSERT_EQ(s.Completions().size(), 1u);
+  const QueryCompletion& c = s.Completions()[0];
   EXPECT_FALSE(c.failed);
   EXPECT_GE(c.retries, 1u);
   EXPECT_GE(c.redirects, 1u);
@@ -354,7 +355,7 @@ TEST_F(SessionTest, DisabledFaultConfigIsBitIdenticalToPlain) {
     Session s(&vol_, &ex, so);
     auto r = s.Run(boxes, ArrivalProcess::OpenPoisson(60.0));
     EXPECT_TRUE(r.ok()) << r.status().ToString();
-    return s.completions();
+    return s.Completions();
   };
   const auto plain = run(false);
   const auto configured = run(true);
@@ -369,6 +370,99 @@ TEST_F(SessionTest, DisabledFaultConfigIsBitIdenticalToPlain) {
     EXPECT_FALSE(configured[i].failed);
   }
   vol_.disk(0).ClearFaultModel();
+}
+
+TEST_F(SessionTest, LegacySessionOptionsRunBitIdenticalToClusterConfig) {
+  // SessionOptions is now a thin source for ClusterConfig; the implicit
+  // conversion must change nothing. Pin the wrapper bit-identically.
+  const auto boxes = PointWorkload(80, 31);
+  auto run = [&](Session& s) {
+    auto r = s.Run(boxes, ArrivalProcess::OpenPoisson(90.0));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return s.Completions();
+  };
+  SessionOptions so;
+  so.warmup_head = true;
+  so.seed = 5;
+  Executor ex1(&vol_, &naive_);
+  Session legacy(&vol_, &ex1, so);
+  const auto via_options = run(legacy);
+
+  ClusterConfig config;
+  config.warmup_head = true;
+  config.seed = 5;
+  Executor ex2(&vol_, &naive_);
+  Session direct(&vol_, &ex2, config);
+  const auto via_config = run(direct);
+
+  ASSERT_EQ(via_options.size(), via_config.size());
+  for (size_t i = 0; i < via_options.size(); ++i) {
+    EXPECT_EQ(via_options[i].query, via_config[i].query);
+    EXPECT_EQ(via_options[i].arrival_ms, via_config[i].arrival_ms);
+    EXPECT_EQ(via_options[i].start_ms, via_config[i].start_ms);
+    EXPECT_EQ(via_options[i].finish_ms, via_config[i].finish_ms);
+  }
+}
+
+TEST_F(SessionTest, StatsAndCompletionsAccessorsPersistLastRun) {
+  const auto boxes = PointWorkload(40, 13);
+  Executor ex(&vol_, &naive_);
+  Session s(&vol_, &ex, SessionOptions{});
+  auto r = s.Run(boxes, ArrivalProcess::OpenPoisson(50.0));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(s.Stats().count(), r->count());
+  EXPECT_EQ(s.Stats().makespan_ms, r->makespan_ms);
+  EXPECT_EQ(s.Completions().size(), boxes.size());
+  EXPECT_GT(s.last_events(), 0u);
+  // The deprecated lowercase accessor still forwards.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(&s.completions(), &s.Completions());
+#pragma GCC diagnostic pop
+}
+
+TEST_F(SessionTest, RunPlannedMatchesRunOnPrePlannedWorkload) {
+  // Planning every box up front (with the arrival instants the session
+  // would have drawn) and replaying via RunPlanned must reproduce the
+  // executor-driven Run exactly: same requests, same schedule, same
+  // completions keyed by the caller's ids.
+  const auto boxes = PointWorkload(50, 19);
+  Executor ex(&vol_, &naive_);
+  Session live(&vol_, &ex, SessionOptions{});
+  auto r1 = live.Run(boxes, ArrivalProcess::OpenPoisson(70.0));
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  const auto live_completions = live.Completions();
+
+  // Reproduce the arrival stream: same seed, same formula.
+  Rng rng(SessionOptions{}.seed);
+  std::vector<PlannedQuery> planned;
+  double t = 0;
+  const double mean_gap_ms = 1000.0 / 70.0;
+  for (size_t qi = 0; qi < boxes.size(); ++qi) {
+    t += -mean_gap_ms * std::log(1.0 - rng.NextDouble());
+    PlannedQuery pq;
+    pq.id = qi;
+    pq.arrival_ms = t;
+    QueryPlan plan;
+    ex.PlanInto(boxes[qi], &plan);
+    pq.requests = plan.requests;
+    planned.push_back(std::move(pq));
+  }
+  Session replay(&vol_, /*executor=*/nullptr, SessionOptions{});
+  auto r2 = replay.RunPlanned(planned);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  ASSERT_EQ(live_completions.size(), replay.Completions().size());
+  for (size_t i = 0; i < live_completions.size(); ++i) {
+    EXPECT_EQ(live_completions[i].query, replay.Completions()[i].query);
+    EXPECT_EQ(live_completions[i].arrival_ms,
+              replay.Completions()[i].arrival_ms);
+    EXPECT_EQ(live_completions[i].start_ms, replay.Completions()[i].start_ms);
+    EXPECT_EQ(live_completions[i].finish_ms,
+              replay.Completions()[i].finish_ms);
+  }
+  // Boxes mode without an executor stays an error.
+  EXPECT_EQ(replay.Run(boxes).status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

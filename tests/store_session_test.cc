@@ -151,7 +151,7 @@ TEST_F(StoreSessionTest, ExternalSortLoadServesBitIdenticalQueries) {
   const auto boxes = Workload();
   auto stats = session.Run(boxes, query::ArrivalProcess::Closed(1));
   ASSERT_TRUE(stats.ok()) << stats.status();
-  EXPECT_EQ(session.completions().size(), boxes.size());
+  EXPECT_EQ(session.Completions().size(), boxes.size());
   EXPECT_EQ(stats->failed, 0u);
   EXPECT_GT(stats->makespan_ms, 0.0);
 }

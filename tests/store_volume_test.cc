@@ -48,7 +48,10 @@ TEST(StoreVolumeTest, UnreplicatedRoundTripAndStraddleRejection) {
   EXPECT_EQ((*store)->Write(287, 2, data.data()).code(),
             StatusCode::kInvalidArgument);
   // The mask is ignored without replication -- there is only one copy.
-  ASSERT_TRUE((*store)->ReadAvoiding(288, 2, ~0ull, got.data()).ok());
+  ASSERT_TRUE((*store)
+                  ->Read(288, 2, got.data(),
+                         lvm::SubmitOptions{.avoid_mask = ~0ull})
+                  .ok());
 }
 
 class ReplicatedStoreTest : public ::testing::Test {
@@ -79,22 +82,40 @@ TEST_F(ReplicatedStoreTest, WriteFansOutToEveryReplica) {
   EXPECT_EQ(got, data);
   // Both copy-addressed reads agree.
   std::vector<uint8_t> copy(2 * 512);
-  ASSERT_TRUE(store_->ReadCopy(150, 2, 0, copy.data()).ok());
+  ASSERT_TRUE(
+      store_->Read(150, 2, copy.data(), lvm::SubmitOptions{.replica = 0})
+          .ok());
   EXPECT_EQ(copy, data);
-  ASSERT_TRUE(store_->ReadCopy(150, 2, 1, copy.data()).ok());
+  ASSERT_TRUE(
+      store_->Read(150, 2, copy.data(), lvm::SubmitOptions{.replica = 1})
+          .ok());
   EXPECT_EQ(copy, data);
 }
 
-TEST_F(ReplicatedStoreTest, ReadAvoidingFailsOverAndExhausts) {
+TEST_F(ReplicatedStoreTest, ReadAvoidMaskFailsOverAndExhausts) {
   const auto data = Pattern(512, 7);
   ASSERT_TRUE(store_->Write(10, 1, data.data()).ok());
   std::vector<uint8_t> got(512);
   // Avoiding disk 0 (the primary for LBN 10) serves the mirror on disk 1.
+  ASSERT_TRUE(
+      store_->Read(10, 1, got.data(), lvm::SubmitOptions{.avoid_mask = 1})
+          .ok());
+  EXPECT_EQ(got, data);
+  // Avoiding both disks leaves no live copy: unlike the simulated
+  // volume's routing, the data plane never relaxes the mask.
+  EXPECT_EQ(store_
+                ->Read(10, 1, got.data(),
+                       lvm::SubmitOptions{.avoid_mask = 0b11})
+                .code(),
+            StatusCode::kUnavailable);
+  // The deprecated forwarders keep working.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   ASSERT_TRUE(store_->ReadAvoiding(10, 1, 1u << 0, got.data()).ok());
   EXPECT_EQ(got, data);
-  // Avoiding both disks leaves no live copy.
-  EXPECT_EQ(store_->ReadAvoiding(10, 1, 0b11, got.data()).code(),
-            StatusCode::kUnavailable);
+  ASSERT_TRUE(store_->ReadCopy(10, 1, 1, got.data()).ok());
+  EXPECT_EQ(got, data);
+#pragma GCC diagnostic pop
 }
 
 TEST_F(ReplicatedStoreTest, RebuildMemberRestoresEveryRegion) {
@@ -114,7 +135,9 @@ TEST_F(ReplicatedStoreTest, RebuildMemberRestoresEveryRegion) {
   std::vector<uint8_t> got(512);
   for (uint64_t lbn = 0; lbn < 288; ++lbn) {
     for (uint32_t copy = 0; copy < 2; ++copy) {
-      ASSERT_TRUE(store_->ReadCopy(lbn, 1, copy, got.data()).ok());
+      ASSERT_TRUE(
+          store_->Read(lbn, 1, got.data(), lvm::SubmitOptions{.replica = copy})
+              .ok());
       ASSERT_TRUE(std::equal(got.begin(), got.end(), all.begin() + lbn * 512))
           << "lbn " << lbn << " copy " << copy;
     }
@@ -148,7 +171,10 @@ TEST(StoreVolumeFileTest, PersistsAcrossOpen) {
   EXPECT_EQ((*reopened)->member_count(), 2u);
   std::vector<uint8_t> got(3 * 512);
   for (uint32_t copy = 0; copy < 2; ++copy) {
-    ASSERT_TRUE((*reopened)->ReadCopy(20, 3, copy, got.data()).ok());
+    ASSERT_TRUE((*reopened)
+                    ->Read(20, 3, got.data(),
+                           lvm::SubmitOptions{.replica = copy})
+                    .ok());
     EXPECT_EQ(got, data);
   }
   // A volume with mismatched geometry is rejected on open.

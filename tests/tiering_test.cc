@@ -160,7 +160,7 @@ TEST_F(TieringTest, SessionDrivesMigrationInBackground) {
   }
   auto stats = s.Run(boxes, query::ArrivalProcess::Closed(1, /*think_ms=*/5));
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_EQ(s.completions().size(), boxes.size());
+  EXPECT_EQ(s.Completions().size(), boxes.size());
   EXPECT_EQ(stats->failed, 0u);
 
   const TierStats& ts = director.stats();
