@@ -14,13 +14,32 @@
 
 namespace mm::bench {
 
-/// Escapes `"` and `\` for embedding in a JSON string literal.
+/// Escapes a string for embedding in a JSON string literal: quotes,
+/// backslashes, and every control character below 0x20 (named escapes for
+/// the common ones, \u00XX for the rest). The trace exporter feeds
+/// arbitrary span labels through this, so it must never emit invalid JSON.
 inline std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
 }

@@ -50,6 +50,15 @@ FairnessPoint RunFairness(lvm::Volume& vol, query::Executor& ex,
                           std::span<const map::Box> boxes,
                           disk::SchedulerKind kind, double max_age_ms,
                           double rate_qps) {
+  // Window the per-disk counters with DiskStats::Since snapshots instead
+  // of reading the cumulative structs. Session::Run resets the member
+  // disks anyway, so reset first and snapshot the clean state -- the
+  // windowed numbers equal the old cumulative reads.
+  vol.Reset();
+  std::vector<disk::DiskStats> prev(vol.disk_count());
+  for (size_t d = 0; d < vol.disk_count(); ++d) {
+    prev[d] = vol.disk(d).stats();
+  }
   query::SessionOptions so;
   so.queue = disk::BatchOptions{kind, 8, true};
   so.queue.max_age_ms = max_age_ms;
@@ -68,9 +77,9 @@ FairnessPoint RunFairness(lvm::Volume& vol, query::Executor& ex,
   p.queries = boxes.size();
   p.stats = *stats;
   for (size_t d = 0; d < vol.disk_count(); ++d) {
-    p.max_queue_ms =
-        std::max(p.max_queue_ms, vol.disk(d).stats().max_queue_ms);
-    p.aged_picks += static_cast<double>(vol.disk(d).stats().aged_picks);
+    const disk::DiskStats window = vol.disk(d).stats().Since(prev[d]);
+    p.max_queue_ms = std::max(p.max_queue_ms, window.max_queue_ms);
+    p.aged_picks += static_cast<double>(window.aged_picks);
   }
   return p;
 }

@@ -14,6 +14,7 @@
 // Emits BENCH_openloop.json: per-point records (nested objects) including
 // p50/p95/p99 and a log-bucketed latency histogram (nested arrays).
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <string>
@@ -22,6 +23,9 @@
 #include "bench/bench_common.h"
 #include "bench/emit_json.h"
 #include "core/multimap.h"
+#include "mapping/naive.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "query/session.h"
 
 namespace mm::bench {
@@ -188,6 +192,31 @@ int main() {
   em.Value("curves", std::move(curves));
   em.WriteFile("BENCH_openloop.json");
   std::printf("wrote BENCH_openloop.json\n");
+
+  // MM_TRACE=<path>: rerun one point (Naive on the Atlas at the lowest
+  // rate) with a TraceSink attached and export the Chrome trace-event
+  // JSON there -- loadable in Perfetto / chrome://tracing. CI smoke-runs
+  // this and validates the file with python3 -m json.tool.
+  if (const char* trace_path = std::getenv("MM_TRACE")) {
+    lvm::Volume vol(disk::MakeAtlas10k3());
+    map::NaiveMapping naive(shape, 0);
+    query::Executor ex(&vol, &naive);
+    obs::TraceSink sink;
+    query::ClusterConfig config;
+    config.warmup_head = true;
+    config.arrivals = query::ArrivalProcess::OpenPoisson(rates.front());
+    config.trace = &sink;
+    query::Session session(&vol, &ex, config);
+    auto traced = session.Run(boxes);
+    if (!traced.ok()) {
+      std::fprintf(stderr, "traced session failed: %s\n",
+                   traced.status().ToString().c_str());
+      return 1;
+    }
+    if (!obs::WriteChromeTrace(sink, trace_path)) return 1;
+    std::printf("wrote %s (%zu trace events, %llu dropped)\n", trace_path,
+                sink.size(), static_cast<unsigned long long>(sink.dropped()));
+  }
   std::printf(
       "Expected shape: queueing delay (and p99) grows with rate for every\n"
       "mapping; Naive saturates first (its Dim1 beams pay a rotation per\n"

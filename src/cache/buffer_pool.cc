@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace mm::cache {
 
 BufferPool::BufferPool(const map::Mapping& mapping, BufferPoolOptions options)
@@ -59,13 +61,23 @@ void BufferPool::Unpin(uint64_t frame) {
   MaybeDrop(it);
 }
 
-void BufferPool::BeginFill(uint64_t frame) {
+void BufferPool::BeginFill(uint64_t frame, double now_ms) {
   Frame& f = frames_[frame];
   ++f.fills_inflight;
   ++f.pins;
+  if (trace_ != nullptr && now_ms >= 0) {
+    // Fills are frame-keyed, not query-keyed (several queries may race to
+    // fill one frame), so the instants carry the frame as their value.
+    trace_->Instant(now_ms, 0, obs::kBackground, "cache", "cache.fill_begin",
+                    static_cast<double>(frame));
+  }
 }
 
-void BufferPool::CompleteFill(uint64_t frame) {
+void BufferPool::CompleteFill(uint64_t frame, double now_ms) {
+  if (trace_ != nullptr && now_ms >= 0) {
+    trace_->Instant(now_ms, 0, obs::kBackground, "cache",
+                    "cache.fill_install", static_cast<double>(frame));
+  }
   auto it = frames_.find(frame);
   if (it == frames_.end() || it->second.fills_inflight == 0) return;
   --it->second.fills_inflight;
@@ -109,7 +121,11 @@ void BufferPool::CompleteFill(uint64_t frame) {
   policy_->OnAdmit(frame);
 }
 
-void BufferPool::AbandonFill(uint64_t frame) {
+void BufferPool::AbandonFill(uint64_t frame, double now_ms) {
+  if (trace_ != nullptr && now_ms >= 0) {
+    trace_->Instant(now_ms, 0, obs::kBackground, "cache",
+                    "cache.fill_abandon", static_cast<double>(frame));
+  }
   auto it = frames_.find(frame);
   if (it == frames_.end() || it->second.fills_inflight == 0) return;
   --it->second.fills_inflight;

@@ -30,6 +30,10 @@
 #include "cache/sector_filter.h"
 #include "mapping/mapping.h"
 
+namespace mm::obs {
+class TraceSink;
+}  // namespace mm::obs
+
 namespace mm::cache {
 
 struct BufferPoolOptions {
@@ -110,12 +114,18 @@ class BufferPool {
 
   /// Reserves + pins a frame for an in-flight fill. No-op (beyond the
   /// pin) when the frame is already resident or already filling.
-  void BeginFill(uint64_t frame);
+  void BeginFill(uint64_t frame, double now_ms = -1);
   /// Installs the fill: the frame becomes resident (evicting an unpinned
   /// victim first when at capacity) and the BeginFill pin is released.
-  void CompleteFill(uint64_t frame);
+  void CompleteFill(uint64_t frame, double now_ms = -1);
   /// Drops an in-flight fill without installing (failed read).
-  void AbandonFill(uint64_t frame);
+  void AbandonFill(uint64_t frame, double now_ms = -1);
+
+  /// Attaches a trace sink (nullptr detaches). The pool has no clock, so
+  /// the fill lifecycle entry points take an optional `now_ms`; calls
+  /// that omit it (the default -1) stay silent, keeping every existing
+  /// call site bit-identical. Clear() keeps the sink.
+  void SetTraceSink(obs::TraceSink* sink) { trace_ = sink; }
 
   const BufferPoolStats& stats() const { return stats_; }
   /// Resident frames (excludes reserved-but-unfilled frames).
@@ -164,6 +174,7 @@ class BufferPool {
   std::vector<uint64_t> bits_;  // sector residency over the footprint
   uint64_t resident_ = 0;
   BufferPoolStats stats_;
+  obs::TraceSink* trace_ = nullptr;
   ResidencyFilter filter_{this};
 };
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace mm::disk {
 
 const char* SchedulingHintName(SchedulingHint hint) {
@@ -423,12 +425,13 @@ void Disk::ConfigureQueue(const BatchOptions& options) {
 }
 
 uint64_t Disk::Submit(const IoRequest& request, double arrival_ms,
-                      bool warmup) {
+                      bool warmup, uint64_t trace) {
   last_arrival_ms_ = std::max(last_arrival_ms_, arrival_ms);
   const uint64_t tag = submit_seq_++;
   Queued q = Admit(request, tag);
   q.arrival_ms = last_arrival_ms_;
   q.warmup = warmup;
+  q.trace = trace;
   if (pending_.empty() && window_.size() < queue_options_.queue_depth &&
       q.arrival_ms <= now_ms_) {
     // Already admissible: skip the pending queue (equivalent to FillWindow
@@ -658,6 +661,53 @@ size_t Disk::PickQueuedGated() {
   return pick;
 }
 
+void Disk::EmitServiceTrace(const Queued& picked, const CompletionEvent& ev) {
+  // Callers gate on trace_ != nullptr; warmup reads and untraced requests
+  // stay silent.
+  if (picked.warmup || picked.trace == obs::kNoTrace) return;
+  const Completion& c = ev.completion;
+  const uint64_t q = picked.trace;
+  trace_->Span(picked.arrival_ms, c.start_ms - picked.arrival_ms, trace_tid_,
+               q, "disk", "queue");
+  switch (c.status) {
+    case IoStatus::kDiskFailed:
+      trace_->Instant(c.end_ms, trace_tid_, q, "disk", "disk_failed");
+      return;
+    case IoStatus::kTimedOut:
+      trace_->Span(c.start_ms, c.end_ms - c.start_ms, trace_tid_, q, "disk",
+                   "io_timeout");
+      return;
+    default:
+      break;
+  }
+  // Normal mechanical service: phases in their physical order. Any
+  // remainder past the phase sum is the fault model's slow_factor stretch.
+  double t = c.start_ms;
+  const ServicePhases& ph = c.phases;
+  if (ph.overhead_ms > 0) {
+    trace_->Span(t, ph.overhead_ms, trace_tid_, q, "disk", "overhead");
+    t += ph.overhead_ms;
+  }
+  if (ph.seek_ms > 0) {
+    trace_->Span(t, ph.seek_ms, trace_tid_, q, "disk", "seek");
+    t += ph.seek_ms;
+  }
+  if (ph.rot_ms > 0) {
+    trace_->Span(t, ph.rot_ms, trace_tid_, q, "disk", "rotate");
+    t += ph.rot_ms;
+  }
+  if (ph.xfer_ms > 0) {
+    trace_->Span(t, ph.xfer_ms, trace_tid_, q, "disk", "transfer");
+    t += ph.xfer_ms;
+  }
+  if (c.end_ms - t > 1e-9) {
+    trace_->Span(t, c.end_ms - t, trace_tid_, q, "disk", "slow");
+  }
+  if (c.status == IoStatus::kMediaError) {
+    trace_->Instant(c.end_ms, trace_tid_, q, "disk", "media_error");
+  }
+}
+
 Result<CompletionEvent> Disk::ServiceNextQueued() {
   if (QueueIdle()) {
     return Status::InvalidArgument("ServiceNextQueued on an empty queue");
@@ -722,6 +772,7 @@ Result<CompletionEvent> Disk::ServiceNextQueued() {
       ev.tag = picked.seq;
       ev.arrival_ms = picked.arrival_ms;
       ev.warmup = picked.warmup;
+      if (trace_ != nullptr) EmitServiceTrace(picked, ev);
       return ev;
     }
     // Transient timeout: the command hangs for the stall window and aborts
@@ -742,6 +793,7 @@ Result<CompletionEvent> Disk::ServiceNextQueued() {
       ev.tag = picked.seq;
       ev.arrival_ms = picked.arrival_ms;
       ev.warmup = picked.warmup;
+      if (trace_ != nullptr) EmitServiceTrace(picked, ev);
       return ev;
     }
   }
@@ -788,6 +840,7 @@ Result<CompletionEvent> Disk::ServiceNextQueued() {
     }
   }
   stats_.max_queue_ms = std::max(stats_.max_queue_ms, ev.QueueMs());
+  if (trace_ != nullptr) EmitServiceTrace(picked, ev);
   return ev;
 }
 

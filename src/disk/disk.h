@@ -50,8 +50,13 @@
 #include "disk/request.h"
 #include "disk/scheduler.h"
 #include "disk/spec.h"
+#include "obs/ids.h"
 #include "util/result.h"
 #include "util/rng.h"
+
+namespace mm::obs {
+class TraceSink;
+}  // namespace mm::obs
 
 namespace mm::disk {
 
@@ -77,6 +82,34 @@ struct DiskStats {
   uint64_t io_timeouts = 0;   ///< Completions with IoStatus::kTimedOut.
   uint64_t failed_fast = 0;   ///< Completions with IoStatus::kDiskFailed.
   double slow_penalty_ms = 0; ///< Service time added by slow_factor.
+
+  /// Fieldwise delta against an earlier snapshot of the same disk's
+  /// stats, so benches and the tuner can window a run segment without
+  /// hand-rolled subtraction. Monotone counters subtract; max_queue_ms
+  /// is a watermark, not a sum, so the current value carries over (the
+  /// window's own max is not recoverable from two snapshots).
+  DiskStats Since(const DiskStats& prev) const {
+    DiskStats d = *this;
+    d.requests -= prev.requests;
+    d.sectors -= prev.sectors;
+    d.phases.overhead_ms -= prev.phases.overhead_ms;
+    d.phases.seek_ms -= prev.phases.seek_ms;
+    d.phases.rot_ms -= prev.phases.rot_ms;
+    d.phases.xfer_ms -= prev.phases.xfer_ms;
+    d.seeks -= prev.seeks;
+    d.settle_seeks -= prev.settle_seeks;
+    d.head_switches -= prev.head_switches;
+    d.track_switches -= prev.track_switches;
+    d.buffer_hits -= prev.buffer_hits;
+    d.buffered_sectors -= prev.buffered_sectors;
+    d.aged_picks -= prev.aged_picks;
+    d.order_holds -= prev.order_holds;
+    d.media_errors -= prev.media_errors;
+    d.io_timeouts -= prev.io_timeouts;
+    d.failed_fast -= prev.failed_fast;
+    d.slow_penalty_ms -= prev.slow_penalty_ms;
+    return d;
+  }
 };
 
 /// Result of servicing a batch of requests.
@@ -141,8 +174,10 @@ class Disk {
   /// The request's SchedulingHint and order_group govern how the picker
   /// may reorder it (see the class comment). Returns the request's tag
   /// (dense from 0 after Reset()).
+  /// `trace` attributes the request to a traced query (obs/ids.h
+  /// sentinels; the default records nothing even with a sink attached).
   uint64_t Submit(const IoRequest& request, double arrival_ms,
-                  bool warmup = false);
+                  bool warmup = false, uint64_t trace = obs::kNoTrace);
 
   /// True when no submitted requests remain (pending or windowed).
   bool QueueIdle() const { return window_.empty() && pending_.empty(); }
@@ -219,6 +254,20 @@ class Disk {
 
   const DiskStats& stats() const { return stats_; }
 
+  // --- Observability ------------------------------------------------------
+
+  /// Attaches a trace sink: ServiceNextQueued records queue-wait and
+  /// per-phase (overhead/seek/rotate/transfer) spans for requests
+  /// submitted with a trace id (never for warmup reads). `tid` is the
+  /// exported thread id -- lvm::Volume stamps 1 + member index. Null
+  /// detaches; with no sink every hook is a strict no-op and the
+  /// simulation is bit-identical to the untraced build. Reset() keeps
+  /// the sink (the session layer owns attach/detach).
+  void SetTraceSink(obs::TraceSink* sink, uint32_t tid) {
+    trace_ = sink;
+    trace_tid_ = tid;
+  }
+
   /// Streaming bandwidth of the outermost zone in MB/s (sector payload over
   /// revolution + skew time), for reporting.
   double StreamingBandwidthMBps() const;
@@ -234,7 +283,12 @@ class Disk {
     double angle = 0;     // platter angle of that sector's start
     double arrival_ms = 0;
     bool warmup = false;
+    uint64_t trace = obs::kNoTrace;  // owning traced query, if any
   };
+
+  // Records queue + service-phase spans for a traced completion (the
+  // no-op fast path is the null check at the call sites).
+  void EmitServiceTrace(const Queued& picked, const CompletionEvent& ev);
 
   // Positioning (seek + rotation) from a resolved head position to a
   // resolved target; returns the phase costs without mutating the disk.
@@ -338,6 +392,8 @@ class Disk {
   std::optional<FaultModel> fault_;
   Rng fault_rng_{1};
   DiskStats stats_;
+  obs::TraceSink* trace_ = nullptr;
+  uint32_t trace_tid_ = 0;
 };
 
 }  // namespace mm::disk

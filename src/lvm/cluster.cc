@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace mm::lvm {
 
 Result<std::unique_ptr<ClusterVolume>> ClusterVolume::Create(
@@ -125,6 +127,20 @@ Status ClusterVolume::Route(const disk::IoRequest& request,
     out->push_back(ShardRequest{loc.shard, piece});
     lbn += n;
     left -= n;
+  }
+  return Status::OK();
+}
+
+Status ClusterVolume::Route(const disk::IoRequest& request,
+                            std::vector<ShardRequest>* out,
+                            obs::TraceSink* sink, double now_ms,
+                            uint64_t query) const {
+  const size_t before = out->size();
+  Status st = Route(request, out);
+  if (!st.ok()) return st;
+  if (sink != nullptr && query != obs::kNoTrace) {
+    sink->Instant(now_ms, 0, query, "route", "fanout",
+                  static_cast<double>(out->size() - before));
   }
   return Status::OK();
 }

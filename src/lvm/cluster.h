@@ -127,6 +127,15 @@ class ClusterVolume {
   Status Route(const disk::IoRequest& request,
                std::vector<ShardRequest>* out) const;
 
+  /// Route with trace attribution: identical routing, but additionally
+  /// records one "route"/"fanout" instant on `sink` (track 0, virtual time
+  /// `now_ms`, value = pieces appended) when `sink` is non-null and
+  /// `query` is traced. The instant lands on the sink the CALLER chooses
+  /// (the router-level sink, not a shard sink), so fan-out shape is
+  /// visible even when shards trace privately.
+  Status Route(const disk::IoRequest& request, std::vector<ShardRequest>* out,
+               obs::TraceSink* sink, double now_ms, uint64_t query) const;
+
   /// Resets every shard's disks (the planning volume has no state).
   void Reset();
 

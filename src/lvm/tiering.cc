@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace mm::lvm {
 
 TierDirector::TierDirector(const Volume* volume, TierOptions options)
@@ -39,7 +41,8 @@ void TierDirector::TouchLru(uint64_t cell) {
 }
 
 void TierDirector::Observe(const disk::IoRequest& r,
-                           std::vector<uint64_t>* promote) {
+                           std::vector<uint64_t>* promote, double now_ms) {
+  const size_t before = promote->size();
   const uint64_t data_end = options_.data_base + options_.data_sectors;
   const uint64_t lo = std::max(r.lbn, options_.data_base);
   const uint64_t hi = std::min(r.lbn + r.sectors, data_end);
@@ -56,6 +59,12 @@ void TierDirector::Observe(const disk::IoRequest& r,
       touches_.erase(cell);
       migrating_.insert(cell);
       promote->push_back(cell);
+    }
+  }
+  if (trace_ != nullptr && now_ms >= 0) {
+    for (size_t i = before; i < promote->size(); ++i) {
+      trace_->Instant(now_ms, 0, obs::kBackground, "tier", "tier.promote",
+                      static_cast<double>((*promote)[i]));
     }
   }
 }
@@ -112,7 +121,8 @@ void TierDirector::Redirect(const disk::IoRequest& r,
   flush();
 }
 
-bool TierDirector::StartMigration(uint64_t cell, disk::IoRequest* cold_read) {
+bool TierDirector::StartMigration(uint64_t cell, disk::IoRequest* cold_read,
+                                  double now_ms) {
   if (hot_.count(cell) || slot_count_ == 0) {
     migrating_.erase(cell);
     return false;
@@ -122,10 +132,18 @@ bool TierDirector::StartMigration(uint64_t cell, disk::IoRequest* cold_read) {
   cold_read->hint = disk::SchedulingHint::kReorderFreely;
   cold_read->order_group = 0;
   ++stats_.migration_reads;
+  if (trace_ != nullptr && now_ms >= 0) {
+    trace_->Instant(now_ms, 0, obs::kBackground, "tier", "tier.migrate_start",
+                    static_cast<double>(cell));
+  }
   return true;
 }
 
-void TierDirector::FinishMigration(uint64_t cell) {
+void TierDirector::FinishMigration(uint64_t cell, double now_ms) {
+  if (trace_ != nullptr && now_ms >= 0) {
+    trace_->Instant(now_ms, 0, obs::kBackground, "tier", "tier.migrate_done",
+                    static_cast<double>(cell));
+  }
   migrating_.erase(cell);
   if (hot_.count(cell)) return;
   if (free_slots_.empty()) {
@@ -146,7 +164,11 @@ void TierDirector::FinishMigration(uint64_t cell) {
   ++stats_.promotions;
 }
 
-void TierDirector::AbandonMigration(uint64_t cell) {
+void TierDirector::AbandonMigration(uint64_t cell, double now_ms) {
+  if (trace_ != nullptr && now_ms >= 0) {
+    trace_->Instant(now_ms, 0, obs::kBackground, "tier",
+                    "tier.migrate_abandon", static_cast<double>(cell));
+  }
   migrating_.erase(cell);
   ++stats_.migration_failures;
 }

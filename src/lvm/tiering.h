@@ -88,11 +88,18 @@ class TierDirector {
   uint64_t hot_cells() const { return hot_.size(); }
   bool Hot(uint64_t cell) const { return hot_.count(cell) != 0; }
 
+  /// Attaches a trace sink (nullptr detaches). The director has no clock,
+  /// so traced entry points take an optional `now_ms`; calls that omit it
+  /// (the default -1) stay silent, keeping every existing call site
+  /// bit-identical.
+  void SetTraceSink(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Observes a planned request (data-space addresses): refreshes
   /// recency of hot cells it covers and bumps touch counters of cold
   /// ones; cells crossing promote_touches are appended to *promote
   /// (each cell at most once -- it is marked migrating here).
-  void Observe(const disk::IoRequest& r, std::vector<uint64_t>* promote);
+  void Observe(const disk::IoRequest& r, std::vector<uint64_t>* promote,
+               double now_ms = -1);
 
   /// Rewrites the spans of `r` covering hot cells to their slots,
   /// appending the resulting subruns to *out in emission order; hint
@@ -103,13 +110,14 @@ class TierDirector {
   /// Begins a promotion: returns false when the cell cannot be promoted
   /// (already hot, or no slot could ever be carved); otherwise fills
   /// *cold_read with the cell's cold extent stamped kReorderFreely.
-  bool StartMigration(uint64_t cell, disk::IoRequest* cold_read);
+  bool StartMigration(uint64_t cell, disk::IoRequest* cold_read,
+                      double now_ms = -1);
   /// Installs the redirect for a completed migration read, demoting the
   /// LRU hot cell first when every slot is taken.
-  void FinishMigration(uint64_t cell);
+  void FinishMigration(uint64_t cell, double now_ms = -1);
   /// Drops a failed migration; the cell stays cold (and may re-qualify
   /// after promote_touches further touches).
-  void AbandonMigration(uint64_t cell);
+  void AbandonMigration(uint64_t cell, double now_ms = -1);
 
  private:
   uint64_t CellOf(uint64_t data_lbn) const {
@@ -131,6 +139,7 @@ class TierDirector {
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_pos_;
   std::unordered_map<uint64_t, uint32_t> touches_;  // cold cells only
   std::unordered_set<uint64_t> migrating_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace mm::lvm

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace mm::lvm {
 
 Volume::Volume(const std::vector<disk::DiskSpec>& specs,
@@ -124,6 +126,13 @@ void Volume::ConfigureQueues(const disk::BatchOptions& options) {
   for (auto& d : disks_) d->ConfigureQueue(options);
 }
 
+void Volume::SetTraceSink(obs::TraceSink* sink) {
+  trace_ = sink;
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    disks_[d]->SetTraceSink(sink, static_cast<uint32_t>(1 + d));
+  }
+}
+
 Result<Volume::Ticket> Volume::Submit(const disk::IoRequest& request,
                                       double arrival_ms,
                                       const SubmitOptions& options) {
@@ -178,8 +187,13 @@ Result<Volume::Ticket> Volume::Submit(const disk::IoRequest& request,
   // group so per-plan policy survives the volume hop.
   disk::IoRequest local = request;
   local.lbn = target.lbn;
-  const uint64_t tag =
-      disks_[target.disk]->Submit(local, arrival_ms, options.warmup);
+  if (trace_ != nullptr && options.trace != obs::kNoTrace && copy > 0) {
+    // Submit-time failover: the read starts its life in degraded mode.
+    trace_->Instant(arrival_ms, 0, options.trace, "route",
+                    "replica_redirect", static_cast<double>(copy));
+  }
+  const uint64_t tag = disks_[target.disk]->Submit(
+      local, arrival_ms, options.warmup, options.trace);
   return Ticket{target.disk, tag, copy};
 }
 

@@ -39,7 +39,12 @@
 #include "disk/request.h"
 #include "disk/scheduler.h"
 #include "disk/spec.h"
+#include "obs/ids.h"
 #include "util/result.h"
+
+namespace mm::obs {
+class TraceSink;
+}  // namespace mm::obs
 
 namespace mm::lvm {
 
@@ -101,6 +106,12 @@ struct SubmitOptions {
   /// Head-placement read, excluded from latency accounting (simulated
   /// volume only; the data plane ignores it).
   bool warmup = false;
+  /// Trace attribution for the request: the query id whose timeline the
+  /// member disk's service spans belong to, obs::kBackground for traced
+  /// query-less work (rebuild, migration), or obs::kNoTrace (the default)
+  /// for silence. Appended last so existing designated initializers keep
+  /// compiling.
+  uint64_t trace = obs::kNoTrace;
 };
 
 /// A logical volume over one or more simulated disks.
@@ -186,6 +197,12 @@ class Volume {
   /// Sets the queue policy on every member disk (see Disk::ConfigureQueue).
   void ConfigureQueues(const disk::BatchOptions& options);
 
+  /// Attaches a trace sink to the volume and its member disks (nullptr
+  /// detaches). Member disk d records on thread track 1 + d; the volume
+  /// itself emits routing instants ("replica_redirect") on track 0.
+  /// Reset() keeps the sink: the owning session attaches/detaches.
+  void SetTraceSink(obs::TraceSink* sink);
+
   /// Queues a volume-addressed request arriving at `arrival_ms` on its
   /// member disk (see Disk::Submit). Member disks drain their queues
   /// independently, so requests on different disks genuinely overlap in
@@ -243,6 +260,7 @@ class Volume {
   uint32_t replicas_ = 1;
   uint64_t chunk_sectors_ = 0;
   uint64_t primary_sectors_ = 0;  // P; 0 when unreplicated
+  obs::TraceSink* trace_ = nullptr;
   // Per-disk request shares, reused across ServiceBatch calls so routing
   // is allocation-free on the steady state (capacities persist).
   std::vector<std::vector<disk::IoRequest>> shares_;

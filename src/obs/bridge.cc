@@ -1,0 +1,110 @@
+#include "obs/bridge.h"
+
+namespace mm::obs {
+
+namespace {
+double U(uint64_t v) { return static_cast<double>(v); }
+}  // namespace
+
+void ExportDiskStats(const disk::DiskStats& s, const Labels& labels,
+                     MetricRegistry* reg) {
+  reg->Add("disk_requests_total", labels, U(s.requests));
+  reg->Add("disk_sectors_total", labels, U(s.sectors));
+  reg->Add("disk_overhead_ms_total", labels, s.phases.overhead_ms);
+  reg->Add("disk_seek_ms_total", labels, s.phases.seek_ms);
+  reg->Add("disk_rot_ms_total", labels, s.phases.rot_ms);
+  reg->Add("disk_xfer_ms_total", labels, s.phases.xfer_ms);
+  reg->Add("disk_seeks_total", labels, U(s.seeks));
+  reg->Add("disk_settle_seeks_total", labels, U(s.settle_seeks));
+  reg->Add("disk_head_switches_total", labels, U(s.head_switches));
+  reg->Add("disk_track_switches_total", labels, U(s.track_switches));
+  reg->Add("disk_buffer_hits_total", labels, U(s.buffer_hits));
+  reg->Add("disk_buffered_sectors_total", labels, U(s.buffered_sectors));
+  reg->Add("disk_aged_picks_total", labels, U(s.aged_picks));
+  reg->Add("disk_order_holds_total", labels, U(s.order_holds));
+  reg->Add("disk_media_errors_total", labels, U(s.media_errors));
+  reg->Add("disk_io_timeouts_total", labels, U(s.io_timeouts));
+  reg->Add("disk_failed_fast_total", labels, U(s.failed_fast));
+  reg->Add("disk_slow_penalty_ms_total", labels, s.slow_penalty_ms);
+  reg->Set("disk_max_queue_ms", labels, s.max_queue_ms);
+}
+
+void ExportLatencyStats(const query::LatencyStats& s, const Labels& labels,
+                        MetricRegistry* reg) {
+  // Counter totals and the histogram conserve under MetricRegistry::Merge
+  // exactly as the struct does under LatencyStats::Merge; makespan is a
+  // gauge because both merges take the max.
+  reg->Add("query_completed_total", labels, U(s.latency.count()));
+  reg->Add("query_failed_total", labels, U(s.failed));
+  reg->Add("query_retries_total", labels, U(s.retries));
+  reg->Add("query_redirects_total", labels, U(s.redirects));
+  reg->Add("query_clean_total", labels, U(s.clean.count()));
+  reg->Add("query_degraded_total", labels, U(s.degraded.count()));
+  reg->Add("query_cache_hit_total", labels, U(s.hit.count()));
+  reg->Add("query_cache_miss_total", labels, U(s.miss.count()));
+  reg->Add("query_latency_sum_ms", labels, s.latency.sum());
+  reg->Add("query_queueing_sum_ms", labels, s.queueing.sum());
+  reg->Add("query_service_sum_ms", labels, s.service.sum());
+  reg->Add("query_resident_sectors_total", labels, U(s.resident_sectors));
+  reg->Add("query_submitted_sectors_total", labels, U(s.submitted_sectors));
+  reg->Set("query_makespan_ms", labels, s.makespan_ms);
+  // Best effort: a pre-existing series with a rebucketed shape keeps its
+  // own contents rather than merging misfiled counts.
+  static_cast<void>(
+      reg->ObserveHistogram("query_latency_ms", labels, s.latency_hist));
+}
+
+void ExportRebuildStats(const lvm::RebuildStats& s, const Labels& labels,
+                        MetricRegistry* reg) {
+  reg->Add("rebuild_chunks_total", labels, U(s.chunks_total));
+  reg->Add("rebuild_chunks_done_total", labels, U(s.chunks_done));
+  reg->Add("rebuild_read_errors_total", labels, U(s.read_errors));
+  reg->Add("rebuild_sectors_read_total", labels, U(s.sectors_read));
+  reg->Set("rebuild_detected_ms", labels, s.detected_ms);
+  reg->Set("rebuild_started_ms", labels, s.started_ms);
+  reg->Set("rebuild_finished_ms", labels, s.finished_ms);
+}
+
+void ExportBufferPoolStats(const cache::BufferPoolStats& s,
+                           const Labels& labels, MetricRegistry* reg) {
+  reg->Add("cache_hits_total", labels, U(s.hits));
+  reg->Add("cache_misses_total", labels, U(s.misses));
+  reg->Add("cache_fills_total", labels, U(s.fills));
+  reg->Add("cache_evictions_total", labels, U(s.evictions));
+  reg->Add("cache_abandoned_fills_total", labels, U(s.abandoned));
+  reg->Add("cache_pinned_skips_total", labels, U(s.pinned_skips));
+}
+
+void ExportTierStats(const lvm::TierStats& s, const Labels& labels,
+                     MetricRegistry* reg) {
+  reg->Add("tier_promotions_total", labels, U(s.promotions));
+  reg->Add("tier_demotions_total", labels, U(s.demotions));
+  reg->Add("tier_migration_reads_total", labels, U(s.migration_reads));
+  reg->Add("tier_migration_failures_total", labels,
+           U(s.migration_failures));
+  reg->Add("tier_redirected_sectors_total", labels,
+           U(s.redirected_sectors));
+  reg->Add("tier_cold_sectors_total", labels, U(s.cold_sectors));
+}
+
+void ExportBulkLoadStats(const store::BulkLoadStats& s, const Labels& labels,
+                         MetricRegistry* reg) {
+  reg->Add("bulkload_points_total", labels, U(s.points));
+  reg->Add("bulkload_runs_spilled_total", labels, U(s.runs_spilled));
+  reg->Add("bulkload_merge_passes_total", labels, U(s.merge_passes));
+  reg->Add("bulkload_sort_passes_total", labels, U(s.sort_passes));
+  reg->Add("bulkload_cells_filled_total", labels, U(s.cells_filled));
+  reg->Add("bulkload_sectors_written_total", labels, U(s.sectors_written));
+  reg->Add("bulkload_sort_ms_total", labels, s.sort_ms);
+  reg->Add("bulkload_merge_ms_total", labels, s.merge_ms);
+  reg->Add("bulkload_index_ms_total", labels, s.index_ms);
+  reg->Set("bulkload_max_cell_records", labels, U(s.max_cell_records));
+}
+
+void ExportPlanCacheStats(const query::Executor::PlanCacheStats& s,
+                          const Labels& labels, MetricRegistry* reg) {
+  reg->Add("plan_cache_probes_total", labels, U(s.probes));
+  reg->Add("plan_cache_hits_total", labels, U(s.hits));
+}
+
+}  // namespace mm::obs

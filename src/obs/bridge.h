@@ -1,0 +1,42 @@
+// Bridges from the existing ad-hoc stats structs onto MetricRegistry.
+// Every struct keeps its accessors; these exporters just re-expose the
+// same numbers as named, labeled series -- call with e.g.
+//   obs::ExportDiskStats(vol.disk(d).stats(),
+//                        {{"disk", std::to_string(d)}, {"shard", "0"}},
+//                        &registry);
+// Naming: monotone totals are `*_total` counters (Merge adds), watermark
+// and timestamp fields are gauges (Merge takes the max), and the latency
+// distribution lands as a histogram series sharing LatencyStats'
+// latency_hist shape. ExportLatencyStats conserves under merge: exporting
+// per-shard LatencyStats into per-shard registries and merging those
+// yields the same counters/histogram as exporting the
+// LatencyStats::Merge of the shards (pinned by tests/obs_metrics_test.cc).
+#pragma once
+
+#include "cache/buffer_pool.h"
+#include "disk/disk.h"
+#include "lvm/rebuild.h"
+#include "lvm/tiering.h"
+#include "obs/metrics.h"
+#include "query/executor.h"
+#include "query/session.h"
+#include "store/bulk_loader.h"
+
+namespace mm::obs {
+
+void ExportDiskStats(const disk::DiskStats& s, const Labels& labels,
+                     MetricRegistry* reg);
+void ExportLatencyStats(const query::LatencyStats& s, const Labels& labels,
+                        MetricRegistry* reg);
+void ExportRebuildStats(const lvm::RebuildStats& s, const Labels& labels,
+                        MetricRegistry* reg);
+void ExportBufferPoolStats(const cache::BufferPoolStats& s,
+                           const Labels& labels, MetricRegistry* reg);
+void ExportTierStats(const lvm::TierStats& s, const Labels& labels,
+                     MetricRegistry* reg);
+void ExportBulkLoadStats(const store::BulkLoadStats& s, const Labels& labels,
+                         MetricRegistry* reg);
+void ExportPlanCacheStats(const query::Executor::PlanCacheStats& s,
+                          const Labels& labels, MetricRegistry* reg);
+
+}  // namespace mm::obs

@@ -1,0 +1,19 @@
+// Trace-attribution sentinels, split out of obs/trace.h so low layers
+// (disk::Disk, lvm::Volume) can carry a trace id in their submit paths
+// without depending on the sink itself.
+#pragma once
+
+#include <cstdint>
+
+namespace mm::obs {
+
+/// "Not traced": the request/event belongs to no traced query and every
+/// trace hook must stay silent for it. This is the default everywhere, so
+/// a build with no sink installed records nothing and perturbs nothing.
+inline constexpr uint64_t kNoTrace = UINT64_MAX;
+
+/// Background work (rebuild chunk reads, tier-migration reads, loop
+/// housekeeping): traced when a sink is installed, but owned by no query.
+inline constexpr uint64_t kBackground = UINT64_MAX - 1;
+
+}  // namespace mm::obs

@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "bench/emit_json.h"
+
+namespace mm::obs {
+
+namespace {
+Labels Sorted(const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+std::string MetricRegistry::KeyOf(const std::string& name,
+                                  const Labels& labels) {
+  std::string key = name;
+  key += "{";
+  const Labels sorted = Sorted(labels);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i) key += ",";
+    key += sorted[i].first + "=\"" + sorted[i].second + "\"";
+  }
+  key += "}";
+  return key;
+}
+
+MetricRegistry::Series& MetricRegistry::Upsert(const std::string& name,
+                                               const Labels& labels,
+                                               Kind kind) {
+  const std::string key = KeyOf(name, labels);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    Series s;
+    s.kind = kind;
+    s.name = name;
+    s.labels = Sorted(labels);
+    it = series_.emplace(key, std::move(s)).first;
+  }
+  return it->second;
+}
+
+void MetricRegistry::Add(const std::string& name, const Labels& labels,
+                         double delta) {
+  Series& s = Upsert(name, labels, Kind::kCounter);
+  if (s.kind != Kind::kCounter) return;  // kind conflict: drop the write
+  s.value += delta;
+}
+
+void MetricRegistry::Set(const std::string& name, const Labels& labels,
+                         double value) {
+  Series& s = Upsert(name, labels, Kind::kGauge);
+  if (s.kind != Kind::kGauge) return;
+  s.value = value;
+}
+
+void MetricRegistry::Observe(const std::string& name, const Labels& labels,
+                             double value, double lo, double hi,
+                             size_t buckets) {
+  Series& s = Upsert(name, labels, Kind::kHistogram);
+  if (s.kind != Kind::kHistogram) return;
+  if (!s.hist.has_value()) s.hist.emplace(lo, hi, buckets);
+  s.hist->Add(value);
+}
+
+bool MetricRegistry::ObserveHistogram(const std::string& name,
+                                      const Labels& labels,
+                                      const Histogram& h) {
+  const std::string key = KeyOf(name, labels);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    Series s;
+    s.kind = Kind::kHistogram;
+    s.name = name;
+    s.labels = Sorted(labels);
+    s.hist = h;
+    series_.emplace(key, std::move(s));
+    return true;
+  }
+  Series& s = it->second;
+  if (s.kind != Kind::kHistogram) return false;
+  if (!s.hist.has_value()) {
+    s.hist = h;
+    return true;
+  }
+  return s.hist->Merge(h);
+}
+
+bool MetricRegistry::Merge(const MetricRegistry& other) {
+  // Phase 1: validate every shared series before mutating anything, so a
+  // failed merge leaves this registry untouched (the LatencyStats::Merge
+  // contract, extended to kind conflicts).
+  for (const auto& [key, theirs] : other.series_) {
+    auto it = series_.find(key);
+    if (it == series_.end()) continue;
+    const Series& ours = it->second;
+    if (ours.kind != theirs.kind) return false;
+    if (ours.kind == Kind::kHistogram && ours.hist.has_value() &&
+        theirs.hist.has_value() && !ours.hist->SameShape(*theirs.hist)) {
+      return false;
+    }
+  }
+  // Phase 2: apply.
+  for (const auto& [key, theirs] : other.series_) {
+    auto it = series_.find(key);
+    if (it == series_.end()) {
+      series_.emplace(key, theirs);
+      continue;
+    }
+    Series& ours = it->second;
+    switch (ours.kind) {
+      case Kind::kCounter:
+        ours.value += theirs.value;
+        break;
+      case Kind::kGauge:
+        ours.value = std::max(ours.value, theirs.value);
+        break;
+      case Kind::kHistogram:
+        if (!ours.hist.has_value()) {
+          ours.hist = theirs.hist;
+        } else if (theirs.hist.has_value()) {
+          // Shape was validated in phase 1; Merge cannot fail here.
+          const bool ok = ours.hist->Merge(*theirs.hist);
+          static_cast<void>(ok);
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+const MetricRegistry::Series* MetricRegistry::Find(
+    const std::string& name, const Labels& labels) const {
+  auto it = series_.find(KeyOf(name, labels));
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+double MetricRegistry::Value(const std::string& name,
+                             const Labels& labels) const {
+  const Series* s = Find(name, labels);
+  return s == nullptr ? 0.0 : s->value;
+}
+
+std::string MetricRegistry::ToText() const {
+  std::string out;
+  for (const auto& [key, s] : series_) {
+    if (s.kind == Kind::kHistogram) {
+      const uint64_t n = s.hist.has_value() ? s.hist->count() : 0;
+      const double mean = s.hist.has_value() ? s.hist->Mean() : 0.0;
+      out += key + "_count " + bench::JsonNumber(static_cast<double>(n)) +
+             "\n";
+      out += key + "_sum " +
+             bench::JsonNumber(mean * static_cast<double>(n)) + "\n";
+      if (s.hist.has_value() && n > 0) {
+        out += key + "_p50 " + bench::JsonNumber(s.hist->Percentile(50)) +
+               "\n";
+        out += key + "_p99 " + bench::JsonNumber(s.hist->Percentile(99)) +
+               "\n";
+      }
+      continue;
+    }
+    out += key + " " + bench::JsonNumber(s.value) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mm::obs

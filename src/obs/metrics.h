@@ -1,0 +1,97 @@
+// MetricRegistry: one named surface for the telemetry that used to live
+// only in ad-hoc structs (disk::DiskStats, query::LatencyStats,
+// lvm::RebuildStats, cache::BufferPoolStats, lvm::TierStats,
+// store::BulkLoadStats, Executor::PlanCacheStats -- all of which keep
+// their accessors; obs/bridge.h re-exposes them here).
+//
+// A series is (name, sorted labels) -> one of three kinds:
+//   * counter   -- monotone sum; Merge adds.
+//   * gauge     -- watermark; Merge takes the max (mirrors how
+//                  LatencyStats::Merge treats makespan_ms and how
+//                  DiskStats treats max_queue_ms).
+//   * histogram -- a log-bucketed mm::Histogram; Merge is shape-checked
+//                  exactly like LatencyStats::Merge and refuses the whole
+//                  merge (mutating nothing) on any mismatch.
+// Labeled families (disk id, shard, mapping, tier) are just label sets;
+// per-shard registries recombine with Merge, conserving counter totals
+// (pinned by tests/obs_metrics_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace mm::obs {
+
+/// One label: key -> value. Families sort labels by key, so two label
+/// spellings that differ only in order name the same series.
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+class MetricRegistry {
+ public:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Kind kind = Kind::kCounter;
+    std::string name;
+    Labels labels;  ///< sorted by key
+    double value = 0;  ///< counter sum or gauge watermark
+    std::optional<Histogram> hist;  ///< kHistogram only
+  };
+
+  /// Adds `delta` to a counter (created at 0 on first touch).
+  void Add(const std::string& name, const Labels& labels, double delta);
+
+  /// Sets a gauge to `value` (last write wins locally; max under Merge).
+  void Set(const std::string& name, const Labels& labels, double value);
+
+  /// Streams one observation into a histogram series, created with the
+  /// given shape on first touch (defaults mirror LatencyStats'
+  /// latency_hist: 10 us .. 1000 s in 96 log buckets).
+  void Observe(const std::string& name, const Labels& labels, double value,
+               double lo = 0.01, double hi = 1e6, size_t buckets = 96);
+
+  /// Folds a whole histogram into a series (creating it as a copy when
+  /// absent). False -- and nothing merged -- when the series exists with
+  /// a different shape or kind.
+  [[nodiscard]] bool ObserveHistogram(const std::string& name,
+                                      const Labels& labels,
+                                      const Histogram& h);
+
+  /// Folds another registry in: counters add, gauges take the max,
+  /// histograms merge shape-checked; series absent here are copied. The
+  /// check is two-phase: any kind or histogram-shape conflict rejects the
+  /// whole merge (returns false) before anything mutates, mirroring
+  /// LatencyStats::Merge.
+  [[nodiscard]] bool Merge(const MetricRegistry& other);
+
+  /// The series, or nullptr. Accessors never create.
+  const Series* Find(const std::string& name, const Labels& labels) const;
+  /// Counter/gauge value, 0 when absent.
+  double Value(const std::string& name, const Labels& labels = {}) const;
+
+  size_t size() const { return series_.size(); }
+  /// All series in canonical (name, labels) order.
+  const std::map<std::string, Series>& series() const { return series_; }
+
+  /// Text exposition, one `name{k="v",...} value` line per series
+  /// (histograms expose _count/_sum/_p50/_p99), in canonical order.
+  std::string ToText() const;
+
+  /// Canonical series key: name{k="v",...} with labels sorted by key.
+  static std::string KeyOf(const std::string& name, const Labels& labels);
+
+ private:
+  Series& Upsert(const std::string& name, const Labels& labels, Kind kind);
+
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace mm::obs

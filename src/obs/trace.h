@@ -1,0 +1,220 @@
+// TraceSink: a bounded, deterministic record of the simulated request
+// lifecycle -- query arrival -> plan (cache probe/hit) -> route -> per-disk
+// queue wait -> seek/rotate/transfer phases -> completion, plus
+// retry/redirect/rebuild/migration/fill background events.
+//
+// Hooks live behind `if (sink != nullptr)` checks in sim::EventLoop,
+// disk::Disk, lvm::Volume/ClusterVolume/TierDirector, cache::BufferPool
+// and the session layer; with no sink installed every hook is a strict
+// no-op and the simulation stays bit-identical to the untraced build
+// (pinned by tests/obs_trace_test.cc).
+//
+// Timestamps are the *virtual* clock in ms -- never the wall clock -- so a
+// trace is a pure function of the run's inputs. query::ClusterSession
+// gives each shard worker its own private sink and appends them into the
+// caller's sink in shard order after the join, which makes an N-thread
+// cluster trace byte-identical to the 1-thread trace (pinned by
+// tests/obs_cluster_trace_test.cc).
+//
+// Boundedness: events land in a drop-oldest ring (TraceOptions::capacity)
+// and per-query spans can be thinned with sample_period (query ids are
+// sampled by modulo, so the sampled subset is deterministic too).
+//
+// Export: obs/trace_export.h renders Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing; pid = shard, tid = disk, timestamps in
+// simulated microseconds) and per-query Explain text timelines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/ids.h"
+
+namespace mm::obs {
+
+enum class EventKind : uint8_t {
+  kSpan,     ///< [ts, ts + dur): a phase with extent in simulated time.
+  kInstant,  ///< A point event (arrival, retry, promotion, ...).
+  kCounter,  ///< A sampled numeric series (event-loop backlog, ...).
+};
+
+/// One trace record. `cat` and `name` must be string literals (or other
+/// static storage): the sink stores the pointers, never copies -- hooks on
+/// hot paths must not allocate.
+struct TraceEvent {
+  double ts_ms = 0;
+  double dur_ms = 0;  ///< kSpan only; 0 otherwise.
+  /// Exported process id: the shard index (ClusterSession), or 0 for a
+  /// plain Session. Stamped from TraceSink::pid() at record time.
+  uint32_t pid = 0;
+  /// Exported thread id within the shard: 0 = the session/event-loop
+  /// track, 1 + d = member disk d (lvm::Volume stamps its members).
+  uint32_t tid = 0;
+  /// Owning query id, kBackground for background work, kNoTrace for
+  /// unattributed events (e.g. buffer-pool frame transitions).
+  uint64_t query = kNoTrace;
+  EventKind kind = EventKind::kInstant;
+  const char* cat = "";
+  const char* name = "";
+  /// kCounter: the sampled value. Spans/instants may use it as a free
+  /// numeric detail slot (piece counts, frame indices); 0 = unset.
+  double value = 0;
+  /// Record order (monotone even across ring drops): the deterministic
+  /// tie-break for equal-timestamp events in export.
+  uint64_t seq = 0;
+};
+
+struct TraceOptions {
+  /// Ring capacity in events; the oldest event is dropped when full
+  /// (dropped() counts them). 0 records nothing.
+  size_t capacity = size_t{1} << 20;
+  /// Trace queries with id % sample_period == 0 (<= 1 traces all).
+  /// Background events are always in-sample.
+  uint64_t sample_period = 1;
+};
+
+/// The recording surface. Not thread-safe by design: every simulated run
+/// is single-threaded, and ClusterSession gives each shard worker a
+/// private sink (merged via Append on the caller after the join).
+class TraceSink {
+ public:
+  explicit TraceSink(TraceOptions options = TraceOptions{})
+      : options_(options) {
+    process_names_[0] = "session";
+  }
+
+  const TraceOptions& options() const { return options_; }
+
+  /// Process id stamped on subsequently recorded events.
+  uint32_t pid() const { return pid_; }
+  void set_pid(uint32_t pid) { pid_ = pid; }
+
+  /// Whether hooks should trace this query id: false for kNoTrace, true
+  /// for kBackground, else the sample_period modulo.
+  bool SampledQuery(uint64_t query) const {
+    if (query == kNoTrace) return false;
+    if (query == kBackground) return true;
+    return options_.sample_period <= 1 || query % options_.sample_period == 0;
+  }
+
+  void Span(double ts_ms, double dur_ms, uint32_t tid, uint64_t query,
+            const char* cat, const char* name, double value = 0) {
+    TraceEvent ev;
+    ev.ts_ms = ts_ms;
+    ev.dur_ms = dur_ms;
+    ev.tid = tid;
+    ev.query = query;
+    ev.kind = EventKind::kSpan;
+    ev.cat = cat;
+    ev.name = name;
+    ev.value = value;
+    Push(ev);
+  }
+
+  void Instant(double ts_ms, uint32_t tid, uint64_t query, const char* cat,
+               const char* name, double value = 0) {
+    TraceEvent ev;
+    ev.ts_ms = ts_ms;
+    ev.tid = tid;
+    ev.query = query;
+    ev.kind = EventKind::kInstant;
+    ev.cat = cat;
+    ev.name = name;
+    ev.value = value;
+    Push(ev);
+  }
+
+  void Counter(double ts_ms, uint32_t tid, const char* name, double value) {
+    TraceEvent ev;
+    ev.ts_ms = ts_ms;
+    ev.tid = tid;
+    ev.kind = EventKind::kCounter;
+    ev.cat = "counter";
+    ev.name = name;
+    ev.value = value;
+    Push(ev);
+  }
+
+  /// Appends another sink's events (oldest first), re-stamping seq so the
+  /// merged record order extends this sink's; process names merge too.
+  /// This is ClusterSession's deterministic shard merge: append order is
+  /// fixed (shard 0, 1, ...) regardless of worker thread count.
+  void Append(const TraceSink& other) {
+    for (TraceEvent ev : other.Events()) {
+      ev.seq = next_seq_++;
+      Push(ev, /*restamp=*/false);
+    }
+    for (const auto& [p, name] : other.process_names_) {
+      // Existing names win: the merging sink is authoritative (it has
+      // already named every shard), and appended sinks carry the ctor's
+      // default "session" entry for pid 0.
+      process_names_.emplace(p, name);
+    }
+  }
+
+  /// Recorded events, oldest first.
+  std::vector<TraceEvent> Events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  size_t size() const { return ring_.size(); }
+  /// Events the ring displaced (capacity pressure), for overhead reports.
+  uint64_t dropped() const { return dropped_; }
+
+  /// Exported process (shard) display name; pid 0 defaults to "session".
+  void SetProcessName(uint32_t pid, std::string name) {
+    process_names_[pid] = std::move(name);
+  }
+  const std::map<uint32_t, std::string>& process_names() const {
+    return process_names_;
+  }
+
+  /// Drops all events and the drop counter; names and options stay.
+  void Clear() {
+    ring_.clear();
+    head_ = 0;
+    next_seq_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  void Push(TraceEvent ev, bool restamp = true) {
+    if (options_.capacity == 0) {
+      ++dropped_;
+      return;
+    }
+    if (restamp) {
+      // Direct recording: stamp this sink's pid and record order. Append
+      // passes restamp=false -- appended events keep their source pid
+      // (their shard) and the seq Append already assigned.
+      ev.pid = pid_;
+      ev.seq = next_seq_++;
+    }
+    if (ring_.size() < options_.capacity) {
+      ring_.push_back(ev);
+      return;
+    }
+    // Full: overwrite the oldest slot (drop-oldest ring).
+    ring_[head_] = ev;
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  }
+
+  TraceOptions options_;
+  uint32_t pid_ = 0;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;  // index of the oldest event once the ring is full
+  uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+  std::map<uint32_t, std::string> process_names_;
+};
+
+}  // namespace mm::obs

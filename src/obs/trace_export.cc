@@ -1,0 +1,171 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "bench/emit_json.h"
+#include "obs/trace.h"
+
+namespace mm::obs {
+
+namespace {
+
+// Fixed-format numbers keep the export byte-deterministic.
+std::string Us(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms * 1000.0);
+  return buf;
+}
+
+std::string Num(double v) { return bench::JsonNumber(v); }
+
+void SortForExport(std::vector<TraceEvent>* events) {
+  std::sort(events->begin(), events->end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ms != b.ts_ms) return a.ts_ms < b.ts_ms;
+              if (a.pid != b.pid) return a.pid < b.pid;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+}
+
+std::string ProcessName(const TraceSink& sink, uint32_t pid) {
+  auto it = sink.process_names().find(pid);
+  if (it != sink.process_names().end()) return it->second;
+  return "pid " + std::to_string(pid);
+}
+
+std::string ThreadName(uint32_t tid) {
+  return tid == 0 ? std::string("session")
+                  : "disk " + std::to_string(tid - 1);
+}
+
+void AppendArgs(const TraceEvent& ev, std::string* out) {
+  std::string args;
+  if (ev.kind == EventKind::kCounter) {
+    args = "\"value\":" + Num(ev.value);
+  } else {
+    if (ev.query == kBackground) {
+      args = "\"bg\":1";
+    } else if (ev.query != kNoTrace) {
+      args = "\"query\":" + std::to_string(ev.query);
+    }
+    if (ev.value != 0) {
+      if (!args.empty()) args += ",";
+      args += "\"value\":" + Num(ev.value);
+    }
+  }
+  if (!args.empty()) *out += ",\"args\":{" + args + "}";
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const TraceSink& sink) {
+  std::vector<TraceEvent> events = sink.Events();
+  SortForExport(&events);
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    out += first ? "\n" : ",\n";
+    out += line;
+    first = false;
+  };
+
+  // Metadata first: one process_name per pid, one thread_name per
+  // (pid, tid) seen. std::set iteration keeps the order deterministic.
+  std::set<uint32_t> pids;
+  std::set<std::pair<uint32_t, uint32_t>> threads;
+  for (const TraceEvent& ev : events) {
+    pids.insert(ev.pid);
+    threads.insert({ev.pid, ev.tid});
+  }
+  for (uint32_t pid : pids) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+         bench::JsonEscape(ProcessName(sink, pid)) + "\"}}");
+  }
+  for (const auto& [pid, tid] : threads) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"name\":\"" + bench::JsonEscape(ThreadName(tid)) +
+         "\"}}");
+  }
+
+  for (const TraceEvent& ev : events) {
+    std::string line = "{\"name\":\"" + bench::JsonEscape(ev.name) +
+                       "\",\"cat\":\"" + bench::JsonEscape(ev.cat) + "\"";
+    switch (ev.kind) {
+      case EventKind::kSpan:
+        line += ",\"ph\":\"X\",\"dur\":" + Us(ev.dur_ms);
+        break;
+      case EventKind::kInstant:
+        // Thread-scoped instant ("s":"t"): renders on its own track.
+        line += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case EventKind::kCounter:
+        line += ",\"ph\":\"C\"";
+        break;
+    }
+    line += ",\"ts\":" + Us(ev.ts_ms) + ",\"pid\":" +
+            std::to_string(ev.pid) + ",\"tid\":" + std::to_string(ev.tid);
+    AppendArgs(ev, &line);
+    line += "}";
+    emit(line);
+  }
+  out += first ? "]" : "\n]";
+  out += ",\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const TraceSink& sink, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_export: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToChromeTraceJson(sink);
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::string ExplainQuery(const TraceSink& sink, uint64_t query) {
+  std::vector<TraceEvent> events;
+  for (const TraceEvent& ev : sink.Events()) {
+    if (ev.query == query) events.push_back(ev);
+  }
+  SortForExport(&events);
+
+  std::string out = "query " + std::to_string(query) + ": ";
+  if (events.empty()) {
+    out += "no trace events (not sampled, or never run)\n";
+    return out;
+  }
+  out += std::to_string(events.size()) + " events, " +
+         Num(events.back().ts_ms + events.back().dur_ms -
+             events.front().ts_ms) +
+         " ms spanned\n";
+  for (const TraceEvent& ev : events) {
+    char head[96];
+    if (ev.kind == EventKind::kSpan) {
+      std::snprintf(head, sizeof(head), "  [%12.3f ms +%10.3f ms] ",
+                    ev.ts_ms, ev.dur_ms);
+    } else {
+      std::snprintf(head, sizeof(head), "  [%12.3f ms %13s ", ev.ts_ms,
+                    "]");
+    }
+    out += head;
+    out += ProcessName(sink, ev.pid) + " / " + ThreadName(ev.tid) + "  " +
+           ev.cat + "/" + ev.name;
+    if (ev.value != 0) out += "  (" + Num(ev.value) + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mm::obs

@@ -1,0 +1,35 @@
+// Trace exporters: Chrome trace-event JSON (Perfetto / chrome://tracing
+// loadable) and per-query Explain text timelines.
+//
+// The JSON is deterministic: events are sorted by (ts, pid, tid, seq) --
+// seq is the sink's record order, a strict tie-break -- and every number
+// is formatted with a fixed printf conversion, so byte-comparing two
+// exports is a valid equality test (the cluster determinism pin relies on
+// this). Exported mapping: pid = shard ("router" for the cluster
+// front end), tid 0 = the shard's session/event-loop track, tid 1 + d =
+// member disk d; timestamps and durations are simulated microseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mm::obs {
+
+class TraceSink;
+
+/// Renders the sink as a Chrome trace-event JSON document (object form:
+/// {"traceEvents": [...], "displayTimeUnit": "ms"}), including
+/// process_name/thread_name metadata for every (pid, tid) seen.
+std::string ToChromeTraceJson(const TraceSink& sink);
+
+/// Writes ToChromeTraceJson to `path`; false (and a line on stderr) on
+/// I/O failure.
+bool WriteChromeTrace(const TraceSink& sink, const std::string& path);
+
+/// A human-readable timeline of one query's events (arrival, plan,
+/// per-disk queue/seek/rotate/transfer spans, retries, completion),
+/// sorted by time. Reports when the query produced no events (not
+/// sampled, or never run).
+std::string ExplainQuery(const TraceSink& sink, uint64_t query);
+
+}  // namespace mm::obs

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace mm::query {
@@ -49,6 +51,25 @@ Result<LatencyStats> ClusterSession::Run(std::span<const map::Box> queries) {
         "trace_ms must hold one arrival instant per query");
   }
 
+  // Trace setup, all on the calling thread. The caller's sink becomes
+  // the router track (pid = shard count); each shard worker records into
+  // a private sink (pid = shard) that is appended back in shard order
+  // after the join -- so the merged trace is byte-identical at any thread
+  // count (pinned by tests/obs_cluster_trace_test.cc).
+  obs::TraceSink* const sink = config_.trace;
+  std::vector<std::unique_ptr<obs::TraceSink>> shard_sinks;
+  if (sink != nullptr) {
+    sink->set_pid(shards);
+    sink->SetProcessName(shards, "router");
+    shard_sinks.resize(shards);
+    for (uint32_t s = 0; s < shards; ++s) {
+      sink->SetProcessName(s, "shard " + std::to_string(s));
+      shard_sinks[s] = std::make_unique<obs::TraceSink>(sink->options());
+      shard_sinks[s]->set_pid(s);
+      shard_sinks[s]->SetProcessName(s, "shard " + std::to_string(s));
+    }
+  }
+
   // ---- Fan-out, all on the calling thread ------------------------------
   // Arrival instants first: the Poisson stream uses exactly the plain
   // Session's generator and formula, so a 1-shard cluster run sees the
@@ -80,10 +101,26 @@ Result<LatencyStats> ClusterSession::Run(std::span<const map::Box> queries) {
   constexpr size_t kNone = SIZE_MAX;
   std::vector<size_t> slice(shards, kNone);
   for (size_t qi = 0; qi < n; ++qi) {
+    const uint64_t tq =
+        sink != nullptr && sink->SampledQuery(qi) ? qi : obs::kNoTrace;
+    if (tq != obs::kNoTrace) {
+      sink->Instant(arrival[qi], 0, tq, "session", "arrival");
+    }
+    Executor::PlanCacheStats cache_before{};
+    if (tq != obs::kNoTrace) cache_before = planner_->plan_cache_stats();
     planner_->PlanInto(queries[qi], &plan);
+    if (tq != obs::kNoTrace) {
+      const Executor::PlanCacheStats after = planner_->plan_cache_stats();
+      const char* name = after.hits > cache_before.hits ? "plan.cache_hit"
+                         : after.probes > cache_before.probes
+                             ? "plan.cache_miss"
+                             : "plan";
+      sink->Instant(arrival[qi], 0, tq, "session", name,
+                    static_cast<double>(plan.requests.size()));
+    }
     routed.clear();
     for (const disk::IoRequest& r : plan.requests) {
-      MM_RETURN_NOT_OK(cluster_->Route(r, &routed));
+      MM_RETURN_NOT_OK(cluster_->Route(r, &routed, sink, arrival[qi], tq));
     }
     if (routed.empty()) {
       // A clipped-empty box still completes (at its arrival instant);
@@ -120,6 +157,7 @@ Result<LatencyStats> ClusterSession::Run(std::span<const map::Box> queries) {
     if (!config_.shard_tiers.empty()) {
       shard_config.tiers = config_.shard_tiers[s];
     }
+    if (sink != nullptr) shard_config.trace = shard_sinks[s].get();
     Session session(&cluster_->shard(s), nullptr, shard_config);
     auto result = session.RunPlanned(shard_work[s]);
     ShardSlot& slot = slots[s];
@@ -161,6 +199,11 @@ Result<LatencyStats> ClusterSession::Run(std::span<const map::Box> queries) {
   // First error wins by shard index, not by wall-clock order.
   for (uint32_t s = 0; s < shards; ++s) {
     if (!slots[s].status.ok()) return slots[s].status;
+  }
+
+  // Shard traces merge in shard order, never worker order.
+  if (sink != nullptr) {
+    for (uint32_t s = 0; s < shards; ++s) sink->Append(*shard_sinks[s]);
   }
 
   // ---- Deterministic merge, shard order then query-id order ------------

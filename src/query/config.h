@@ -35,6 +35,10 @@ namespace mm::lvm {
 class TierDirector;
 }  // namespace mm::lvm
 
+namespace mm::obs {
+class TraceSink;
+}  // namespace mm::obs
+
 namespace mm::query {
 
 /// How queries arrive at the session.
@@ -165,6 +169,13 @@ struct ClusterConfig {
   /// per-shard vectors above).
   cache::BufferPool* cache = nullptr;
   lvm::TierDirector* tiers = nullptr;
+  /// Trace sink (borrowed; null = tracing compiled to a strict no-op).
+  /// A Session records the full request lifecycle into it; a
+  /// ClusterSession uses it as the router-level sink and merges private
+  /// per-shard sinks into it in shard order after the run, so the export
+  /// is bit-identical at any thread count (see obs/trace.h). The legacy
+  /// SessionOptions conversion leaves it null.
+  obs::TraceSink* trace = nullptr;
 
   ClusterConfig() = default;
   /// Implicit legacy conversion: the session-scoped subset, verbatim.

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "lvm/rebuild.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "util/rng.h"
 
@@ -109,6 +110,25 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
   completions_.reserve(n);
   rebuild_stats_ = lvm::RebuildStats{};
 
+  // Trace wiring: the session attaches the config's sink to every
+  // component for the duration of the run and detaches on every exit
+  // path. A null sink leaves all hooks as null-check no-ops, so the
+  // untraced event schedule is bit-identical (pinned by obs_trace_test).
+  obs::TraceSink* const sink = config_.trace;
+  volume_->SetTraceSink(sink);
+  if (config_.cache != nullptr) config_.cache->SetTraceSink(sink);
+  if (config_.tiers != nullptr) config_.tiers->SetTraceSink(sink);
+  struct TraceGuard {
+    lvm::Volume* volume;
+    cache::BufferPool* pool;
+    lvm::TierDirector* tiers;
+    ~TraceGuard() {
+      volume->SetTraceSink(nullptr);
+      if (pool != nullptr) pool->SetTraceSink(nullptr);
+      if (tiers != nullptr) tiers->SetTraceSink(nullptr);
+    }
+  } trace_guard{volume_, config_.cache, config_.tiers};
+
   const RetryPolicy& retry = config_.retry;
 
   struct QueryState {
@@ -148,6 +168,10 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     uint32_t fill_frames = 0;
     // kMigrationQuery only: the cell being promoted.
     uint64_t tier_cell = 0;
+    // Trace attribution carried to the member disk: the global query id
+    // for sampled query reads, obs::kBackground for traced rebuild and
+    // migration reads, obs::kNoTrace otherwise.
+    uint64_t trace = obs::kNoTrace;
   };
   std::vector<QueryState> states(n);
   std::vector<ReqState> reqs;
@@ -168,6 +192,7 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
   uint32_t migration_inflight = 0;
 
   sim::EventLoop loop;
+  loop.SetTraceSink(sink);
   LatencyStats stats;
   Status error = Status::OK();
   Rng rng(config_.seed);
@@ -248,6 +273,13 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     qc.submitted_sectors = st.submitted_sectors;
     completions_.push_back(qc);
     stats.Record(qc);
+    if (sink != nullptr && sink->SampledQuery(qc.query)) {
+      sink->Span(qc.arrival_ms, qc.finish_ms - qc.arrival_ms, 0, qc.query,
+                 "session", "query");
+      if (qc.failed) {
+        sink->Instant(qc.finish_ms, 0, qc.query, "session", "failed");
+      }
+    }
     if (!planned_mode && arrivals.kind == Kind::kClosed && next_query < n) {
       const uint64_t nq = next_query++;
       const double at = st.finish + arrivals.think_ms;
@@ -270,14 +302,14 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     }
     if (q == kMigrationQuery) {
       --migration_inflight;
-      tiers->FinishMigration(rs.tier_cell);
+      tiers->FinishMigration(rs.tier_cell, end);
       migrate_fill(end);  // may grow reqs; rs is dead past here
       return;
     }
     if (pool != nullptr) {
       const uint64_t first = rs.fill_first;
       for (uint32_t f = 0; f < rs.fill_frames; ++f) {
-        pool->CompleteFill(first + f);
+        pool->CompleteFill(first + f, end);
       }
     }
     QueryState& st = states[q];
@@ -299,14 +331,14 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     }
     if (q == kMigrationQuery) {
       --migration_inflight;
-      tiers->AbandonMigration(rs.tier_cell);
+      tiers->AbandonMigration(rs.tier_cell, t);
       migrate_fill(t);  // may grow reqs; rs is dead past here
       return;
     }
     if (pool != nullptr) {
       const uint64_t first = rs.fill_first;
       for (uint32_t f = 0; f < rs.fill_frames; ++f) {
-        pool->AbandonFill(first + f);
+        pool->AbandonFill(first + f, t);
       }
     }
     QueryState& st = states[q];
@@ -321,7 +353,9 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
   issue_request = [&](size_t ri, double t, bool pump_after) {
     if (!error.ok()) return;
     auto ticket = volume_->Submit(
-        reqs[ri].req, t, lvm::SubmitOptions{.avoid_mask = reqs[ri].avoid_mask});
+        reqs[ri].req, t,
+        lvm::SubmitOptions{.avoid_mask = reqs[ri].avoid_mask,
+                           .trace = reqs[ri].trace});
     if (!ticket.ok()) {
       if (ticket.status().code() == StatusCode::kUnavailable) {
         // No live replica: the request cannot be served at all.
@@ -375,6 +409,10 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     ++rs.attempts;
     rs.cur_tag = kNoTag;
     if (rs.query < n) ++states[rs.query].retries;
+    if (sink != nullptr && rs.trace != obs::kNoTrace) {
+      sink->Instant(t, 0, rs.trace, "session", "retry",
+                    static_cast<double>(rs.attempts));
+    }
     schedule_reissue(ri, t);
   };
 
@@ -393,6 +431,10 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     }
     ++rs.attempts;
     if (rs.query < n) ++states[rs.query].retries;
+    if (sink != nullptr && rs.trace != obs::kNoTrace) {
+      sink->Instant(t, 0, rs.trace, "session", "retry.timeout",
+                    static_cast<double>(rs.attempts));
+    }
     schedule_reissue(ri, t);
   };
 
@@ -407,12 +449,20 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     if (failed_disk < 0) return;
     rebuild_armed = true;
     rebuild_stats_.detected_ms = t;
+    if (sink != nullptr) {
+      sink->Instant(t, 0, obs::kBackground, "rebuild", "rebuild.detected",
+                    static_cast<double>(failed_disk));
+    }
     const double at = t + config_.rebuild.detect_delay_ms;
     loop.Schedule(at, [&, failed_disk, at] {
       rebuild_planner =
           lvm::RebuildPlanner(volume_, static_cast<uint32_t>(failed_disk));
       rebuild_stats_.chunks_total = rebuild_planner.chunks_total();
       rebuild_stats_.started_ms = at;
+      if (sink != nullptr) {
+        sink->Instant(at, 0, obs::kBackground, "rebuild", "rebuild.start",
+                      static_cast<double>(rebuild_stats_.chunks_total));
+      }
       rebuild_fill(at);
     });
   };
@@ -427,6 +477,7 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     while (rebuild_inflight < target && !rebuild_planner.Done()) {
       ReqState rs;
       rs.query = kRebuildQuery;
+      rs.trace = sink != nullptr ? obs::kBackground : obs::kNoTrace;
       rs.req = rebuild_planner.Next();
       const size_t ri = reqs.size();
       reqs.push_back(rs);
@@ -439,12 +490,20 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     if (rebuild_planner.Done() && rebuild_inflight == 0 &&
         !rebuild_stats_.Finished()) {
       rebuild_stats_.finished_ms = t;
+      if (sink != nullptr) {
+        sink->Instant(t, 0, obs::kBackground, "rebuild", "rebuild.finish");
+      }
     }
   };
 
   rebuild_after_chunk = [&](double t) {
     if (rebuild_planner.Done() && rebuild_inflight == 0) {
-      if (!rebuild_stats_.Finished()) rebuild_stats_.finished_ms = t;
+      if (!rebuild_stats_.Finished()) {
+        rebuild_stats_.finished_ms = t;
+        if (sink != nullptr) {
+          sink->Instant(t, 0, obs::kBackground, "rebuild", "rebuild.finish");
+        }
+      }
       return;
     }
     if (config_.rebuild.gap_ms > 0) {
@@ -467,8 +526,9 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
       const uint64_t cell = migration_queue[migration_head++];
       ReqState rs;
       rs.query = kMigrationQuery;
+      rs.trace = sink != nullptr ? obs::kBackground : obs::kNoTrace;
       rs.tier_cell = cell;
-      if (!tiers->StartMigration(cell, &rs.req)) continue;
+      if (!tiers->StartMigration(cell, &rs.req, t)) continue;
       const size_t ri = reqs.size();
       reqs.push_back(rs);
       ++migration_inflight;
@@ -479,6 +539,17 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
 
   submit_query = [&](uint64_t qi, double t) {
     if (!error.ok()) return;
+    // Trace attribution for this query: its global id when the sink
+    // samples it, else the silent sentinel (which every hook below and
+    // every layer underneath treats as "do not record").
+    const uint64_t gid = planned_mode ? planned[qi].id : qi;
+    const uint64_t tq =
+        sink != nullptr && sink->SampledQuery(gid) ? gid : obs::kNoTrace;
+    if (tq != obs::kNoTrace) sink->Instant(t, 0, tq, "session", "arrival");
+    Executor::PlanCacheStats cache_before{};
+    if (tq != obs::kNoTrace && executor_ != nullptr) {
+      cache_before = executor_->plan_cache_stats();
+    }
     if (planned_mode) {
       // Pre-planned path: requests arrive ready (ClusterSession planned
       // them against the cluster's logical volume). The buffer pool's
@@ -499,6 +570,21 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
     } else {
       executor_->PlanInto(queries[qi], &plan);
     }
+    if (tq != obs::kNoTrace) {
+      // Planning instant, named by what the plan cache did for it. The
+      // planned path (cluster shards) has no local planner: plain "plan".
+      const char* name = "plan";
+      if (!planned_mode && executor_ != nullptr) {
+        const Executor::PlanCacheStats after = executor_->plan_cache_stats();
+        if (after.hits > cache_before.hits) {
+          name = "plan.cache_hit";
+        } else if (after.probes > cache_before.probes) {
+          name = "plan.cache_miss";
+        }
+      }
+      sink->Instant(t, 0, tq, "session", name,
+                    static_cast<double>(plan.requests.size()));
+    }
     QueryState& st = states[qi];
     st.arrival = t;
     st.submitted = true;
@@ -516,6 +602,10 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
           pool->Pin(first + f);
           st.pinned.push_back(first + f);
         }
+      }
+      if (tq != obs::kNoTrace && st.resident_sectors > 0) {
+        sink->Instant(t, 0, tq, "session", "cache_resident",
+                      static_cast<double>(st.resident_sectors));
       }
     }
     st.outstanding = plan.requests.size();
@@ -545,12 +635,13 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
           pool->FrameRange(r.lbn, r.sectors, &fill_first, &fill_frames)) {
         for (uint32_t f = 0; f < fill_frames; ++f) {
           pool->Touch(fill_first + f);  // miss
-          pool->BeginFill(fill_first + f);
+          pool->BeginFill(fill_first + f, t);
         }
       }
       if (tiers == nullptr) {
         ReqState rs;
         rs.query = qi;
+        rs.trace = tq;
         rs.req = r;
         rs.fill_first = fill_first;
         rs.fill_frames = fill_frames;
@@ -564,13 +655,14 @@ Result<LatencyStats> Session::RunImpl(std::span<const map::Box> queries,
       // their slots. A split adjusts the outstanding count; subruns
       // partition the request at cell boundaries, so each buffer-pool
       // frame stays owned by exactly one subrun (fills still balance).
-      tiers->Observe(r, &migration_queue);
+      tiers->Observe(r, &migration_queue, t);
       redirected.clear();
       tiers->Redirect(r, &redirected);
       st.outstanding += redirected.size() - 1;
       for (const lvm::TierDirector::Redirected& sub : redirected) {
         ReqState rs;
         rs.query = qi;
+        rs.trace = tq;
         rs.req = sub.req;
         if (pool != nullptr) {
           pool->FrameRange(sub.src_lbn, sub.req.sectors, &rs.fill_first,

@@ -161,6 +161,31 @@ struct LatencyStats {
     return true;
   }
 
+  /// The stats accumulated since `prev`, an earlier snapshot of this
+  /// struct (copied before a window of interest): sample accumulators
+  /// keep the suffix past the snapshot, counters subtract, the histogram
+  /// differences bucketwise, and makespan_ms carries the current value (a
+  /// watermark -- the window's own max is not recoverable). Benches use
+  /// this to report steady-state windows without hand-rolled deltas.
+  LatencyStats Since(const LatencyStats& prev) const {
+    LatencyStats d;
+    d.latency = latency.Since(prev.latency);
+    d.queueing = queueing.Since(prev.queueing);
+    d.service = service.Since(prev.service);
+    d.clean = clean.Since(prev.clean);
+    d.degraded = degraded.Since(prev.degraded);
+    d.hit = hit.Since(prev.hit);
+    d.miss = miss.Since(prev.miss);
+    d.latency_hist = latency_hist.Since(prev.latency_hist);
+    d.makespan_ms = makespan_ms;
+    d.failed = failed - prev.failed;
+    d.retries = retries - prev.retries;
+    d.redirects = redirects - prev.redirects;
+    d.resident_sectors = resident_sectors - prev.resident_sectors;
+    d.submitted_sectors = submitted_sectors - prev.submitted_sectors;
+    return d;
+  }
+
   size_t count() const { return latency.count(); }
   double MeanMs() const { return latency.Mean(); }
   double P50Ms() const { return latency.Percentile(50); }

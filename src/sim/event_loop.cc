@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace mm::sim {
 
 uint64_t EventLoop::Schedule(double at_ms, Callback fn) {
@@ -19,6 +21,10 @@ bool EventLoop::RunOne() {
     if (any_dispatched_ && heap_.front().at_ms == last_at_ms_) {
       if (++same_instant_streak_ > stall_limit_) {
         stalled_ = true;
+        if (trace_ != nullptr) {
+          trace_->Instant(now_ms_, trace_tid_, obs::kBackground, "loop",
+                          "loop.stall");
+        }
         return false;
       }
     } else {
@@ -31,6 +37,12 @@ bool EventLoop::RunOne() {
   now_ms_ = ev.at_ms;
   last_at_ms_ = ev.at_ms;
   any_dispatched_ = true;
+  // Sampled backlog counter: cheap enough to leave compiled in, frequent
+  // enough to show queue pressure on the trace timeline.
+  if (trace_ != nullptr && (dispatched_++ & 1023u) == 0) {
+    trace_->Counter(now_ms_, trace_tid_, "loop.pending",
+                    static_cast<double>(heap_.size()));
+  }
   ev.fn();  // may Schedule() further events
   return true;
 }

@@ -14,6 +14,10 @@
 #include <functional>
 #include <vector>
 
+namespace mm::obs {
+class TraceSink;
+}  // namespace mm::obs
+
 namespace mm::sim {
 
 /// A min-heap of timed callbacks over a virtual clock in ms.
@@ -60,6 +64,14 @@ class EventLoop {
   uint64_t stall_limit() const { return stall_limit_; }
   bool stalled() const { return stalled_; }
 
+  /// Attaches a trace sink (nullptr detaches). The loop records a
+  /// "loop.pending" counter sample every 1024 dispatches and a
+  /// "loop.stall" instant if the watchdog trips. Clear() keeps the sink.
+  void SetTraceSink(obs::TraceSink* sink, uint32_t tid = 0) {
+    trace_ = sink;
+    trace_tid_ = tid;
+  }
+
  private:
   struct Event {
     double at_ms;
@@ -81,6 +93,9 @@ class EventLoop {
   double last_at_ms_ = 0;
   bool any_dispatched_ = false;
   bool stalled_ = false;
+  obs::TraceSink* trace_ = nullptr;
+  uint32_t trace_tid_ = 0;
+  uint64_t dispatched_ = 0;
 };
 
 }  // namespace mm::sim

@@ -36,6 +36,20 @@ class RunningStats {
   /// i-th sample, in insertion order.
   double sample(size_t i) const { return samples_[i]; }
 
+  /// The samples added since `prev`, where `prev` is an earlier snapshot
+  /// of this accumulator (copied before a window of interest). Samples
+  /// are kept in insertion order, so the window is exactly the suffix
+  /// past prev.count(); a `prev` that is not a snapshot of this stream
+  /// still yields the suffix by count.
+  RunningStats Since(const RunningStats& prev) const {
+    RunningStats out;
+    for (size_t i = std::min(prev.count(), samples_.size());
+         i < samples_.size(); ++i) {
+      out.Add(samples_[i]);
+    }
+    return out;
+  }
+
   double Mean() const {
     return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
   }
@@ -151,18 +165,40 @@ class Histogram {
     return hi_;
   }
 
+  /// True when `o` shares this histogram's shape (lo, hi, bucket count):
+  /// the precondition for Merge and Since.
+  bool SameShape(const Histogram& o) const {
+    return lo_ == o.lo_ && hi_ == o.hi_ && counts_.size() == o.counts_.size();
+  }
+
   /// Adds another histogram's counts. The shapes (lo, hi, buckets) must
   /// match; a mismatched histogram is rejected (returns false, merges
   /// nothing) rather than read out of bounds or misfiled into
   /// differently-edged buckets.
   [[nodiscard]] bool Merge(const Histogram& o) {
-    if (lo_ != o.lo_ || hi_ != o.hi_ || counts_.size() != o.counts_.size()) {
+    if (!SameShape(o)) {
       return false;
     }
     for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
     count_ += o.count_;
     sum_ += o.sum_;
     return true;
+  }
+
+  /// The counts added since `prev`, an earlier same-shape snapshot of
+  /// this histogram (bucketwise difference). A mismatched or
+  /// non-ancestor snapshot yields this histogram unchanged rather than
+  /// underflowed counts.
+  Histogram Since(const Histogram& prev) const {
+    if (!SameShape(prev) || prev.count_ > count_) return *this;
+    Histogram out = *this;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      if (prev.counts_[i] > out.counts_[i]) return *this;
+      out.counts_[i] -= prev.counts_[i];
+    }
+    out.count_ -= prev.count_;
+    out.sum_ -= prev.sum_;
+    return out;
   }
 
  private:

@@ -1,0 +1,65 @@
+// bench/emit_json.h. Regression pin for the JsonEscape control-character
+// fix (raw \n, \t, \x01 etc. used to pass straight through into the
+// string literal, breaking consumers like python3 -m json.tool), plus
+// whole-document validity for JsonEmitter / JsonValue output.
+#include "bench/emit_json.h"
+
+#include <gtest/gtest.h>
+
+#include <ios>
+#include <limits>
+#include <string>
+
+#include "tests/trace_json_check.h"
+
+namespace mm::bench {
+namespace {
+
+TEST(JsonEscapeTest, NamedEscapesForCommonControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\bb"), "a\\bb");
+  EXPECT_EQ(JsonEscape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscapeTest, UnicodeEscapesForTheRest) {
+  // The regression: control characters without a named escape must become
+  // \u00XX, never pass through raw.
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(JsonEscape(std::string("a\x1fz")), "a\\u001fz");
+  EXPECT_EQ(JsonEscape(std::string(1, '\0')), "\\u0000");
+  for (int c = 1; c < 0x20; ++c) {
+    const std::string escaped =
+        "\"" + JsonEscape(std::string(1, static_cast<char>(c))) + "\"";
+    EXPECT_TRUE(mm::testing::CheckJson(escaped))
+        << "control 0x" << std::hex << c << " escaped to " << escaped;
+  }
+}
+
+TEST(JsonEscapeTest, PlainTextAndHighBytesPassThrough) {
+  EXPECT_EQ(JsonEscape("plain text 123"), "plain text 123");
+  // UTF-8 multibyte sequences are legal raw in JSON strings.
+  EXPECT_EQ(JsonEscape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(JsonEmitterTest, DocumentsWithHostileStringsStayValid) {
+  JsonEmitter emitter("bench\nwith\tcontrols");
+  emitter.Metric("rate", 123.456);
+  emitter.Metric("inf_becomes_null",
+                 std::numeric_limits<double>::infinity());
+  emitter.Note("note\x01key", "value\nwith\x02controls");
+  JsonValue curve = JsonValue::Array();
+  curve.Append(1.5);
+  curve.Append(JsonValue::Str("label\twith tab"));
+  emitter.Value("curve", std::move(curve));
+  const std::string json = emitter.ToJson();
+  EXPECT_TRUE(mm::testing::CheckJson(json)) << json;
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mm::bench

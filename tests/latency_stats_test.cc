@@ -1,0 +1,168 @@
+// query::LatencyStats merge/windowing edge cases, plus the snapshot-delta
+// building blocks (RunningStats::Since, Histogram::Since, DiskStats::Since)
+// the benches lean on. Pins the shape-mismatch rejection contract:
+// Histogram::Merge refuses mismatched shapes, and LatencyStats::Merge
+// checks the histogram FIRST so a rejected merge mutates nothing.
+#include "query/session.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/disk.h"
+#include "util/stats.h"
+
+namespace mm::query {
+namespace {
+
+// LatencyStats mints QueryCompletion records only inside the session
+// layer; for unit tests we drive the accumulators directly.
+LatencyStats MakeStats(const std::vector<double>& latencies,
+                       uint64_t retries = 0) {
+  LatencyStats s;
+  for (double l : latencies) {
+    s.latency.Add(l);
+    s.queueing.Add(l * 0.25);
+    s.service.Add(l * 0.75);
+    s.latency_hist.Add(l);
+    s.clean.Add(l);
+    s.miss.Add(l);
+    s.makespan_ms = std::max(s.makespan_ms, l);
+  }
+  s.retries = retries;
+  return s;
+}
+
+TEST(LatencyStatsMergeTest, EmptyAbsorbsNonEmptyAndViceVersa) {
+  LatencyStats empty;
+  const LatencyStats full = MakeStats({1.0, 2.0, 4.0}, /*retries=*/2);
+  ASSERT_TRUE(empty.Merge(full));
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_EQ(empty.retries, 2u);
+  EXPECT_EQ(empty.latency_hist.count(), 3u);
+  EXPECT_EQ(empty.MeanMs(), full.MeanMs());
+
+  LatencyStats full2 = MakeStats({8.0});
+  LatencyStats empty2;
+  ASSERT_TRUE(full2.Merge(empty2));
+  EXPECT_EQ(full2.count(), 1u);
+  EXPECT_EQ(full2.makespan_ms, 8.0);
+}
+
+TEST(LatencyStatsMergeTest, SplitConservation) {
+  // Split one stream across two accumulators; the merge must reproduce
+  // the one-accumulator result sample-exactly, histogram included.
+  const std::vector<double> all = {0.5, 1.0, 2.0, 3.5, 7.0, 9.0};
+  LatencyStats whole = MakeStats(all);
+  LatencyStats a = MakeStats({0.5, 1.0, 2.0});
+  const LatencyStats b = MakeStats({3.5, 7.0, 9.0});
+  ASSERT_TRUE(a.Merge(b));
+  ASSERT_EQ(a.count(), whole.count());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(a.latency.sample(i), whole.latency.sample(i)) << "sample " << i;
+  }
+  EXPECT_EQ(a.latency.sum(), whole.latency.sum());
+  EXPECT_EQ(a.makespan_ms, whole.makespan_ms);
+  EXPECT_EQ(a.latency_hist.count(), whole.latency_hist.count());
+  EXPECT_EQ(a.latency_hist.bucket_counts(), whole.latency_hist.bucket_counts());
+  EXPECT_EQ(a.P50Ms(), whole.P50Ms());
+}
+
+TEST(LatencyStatsMergeTest, ShapeMismatchRejectsWholeMergeUnmutated) {
+  LatencyStats a = MakeStats({1.0, 2.0}, /*retries=*/1);
+  LatencyStats rebucketed = MakeStats({4.0});
+  rebucketed.latency_hist = Histogram(1.0, 100.0, 8);  // different shape
+  rebucketed.latency_hist.Add(4.0);
+
+  ASSERT_FALSE(a.Merge(rebucketed));
+  // The histogram check runs first, so NOTHING merged: counts, counters,
+  // and makespan are all untouched.
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.retries, 1u);
+  EXPECT_EQ(a.makespan_ms, 2.0);
+  EXPECT_EQ(a.latency_hist.count(), 2u);
+}
+
+TEST(HistogramMergeTest, RejectsMismatchedShapes) {
+  Histogram a(0.01, 1e6, 96);
+  a.Add(1.0);
+  Histogram fewer_buckets(0.01, 1e6, 48);
+  Histogram other_range(0.1, 1e6, 96);
+  EXPECT_FALSE(a.Merge(fewer_buckets));
+  EXPECT_FALSE(a.Merge(other_range));
+  EXPECT_EQ(a.count(), 1u);
+  Histogram same(0.01, 1e6, 96);
+  same.Add(3.0);
+  EXPECT_TRUE(a.Merge(same));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(SinceTest, RunningStatsSuffixWindow) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  const RunningStats snap = s;
+  s.Add(10.0);
+  s.Add(20.0);
+  const RunningStats window = s.Since(snap);
+  ASSERT_EQ(window.count(), 2u);
+  EXPECT_EQ(window.sample(0), 10.0);
+  EXPECT_EQ(window.sample(1), 20.0);
+  EXPECT_EQ(window.Mean(), 15.0);
+  // A snapshot "from the future" yields an empty window, not a crash.
+  EXPECT_EQ(snap.Since(s).count(), 0u);
+}
+
+TEST(SinceTest, HistogramBucketwiseDelta) {
+  Histogram h(0.1, 100.0, 16);
+  h.Add(1.0);
+  const Histogram snap = h;
+  h.Add(5.0);
+  h.Add(50.0);
+  const Histogram window = h.Since(snap);
+  EXPECT_EQ(window.count(), 2u);
+  EXPECT_DOUBLE_EQ(window.Mean(), 27.5);
+  // Mismatched shape: the full histogram comes back unchanged.
+  const Histogram wrong(0.1, 100.0, 8);
+  EXPECT_EQ(h.Since(wrong).count(), h.count());
+  // Non-ancestor snapshot with higher counts: same fallback.
+  EXPECT_EQ(snap.Since(h).count(), snap.count());
+}
+
+TEST(SinceTest, LatencyStatsWindow) {
+  LatencyStats s = MakeStats({1.0, 2.0}, /*retries=*/1);
+  const LatencyStats snap = s;
+  s.latency.Add(8.0);
+  s.latency_hist.Add(8.0);
+  s.retries = 4;
+  s.submitted_sectors = 100;
+  s.makespan_ms = 9.0;
+  const LatencyStats w = s.Since(snap);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_EQ(w.latency.sample(0), 8.0);
+  EXPECT_EQ(w.latency_hist.count(), 1u);
+  EXPECT_EQ(w.retries, 3u);
+  EXPECT_EQ(w.submitted_sectors, 100u);
+  EXPECT_EQ(w.makespan_ms, 9.0);  // watermark carries over
+}
+
+TEST(SinceTest, DiskStatsCountersSubtract) {
+  disk::DiskStats prev;
+  prev.requests = 10;
+  prev.sectors = 80;
+  prev.phases.seek_ms = 5.0;
+  prev.max_queue_ms = 3.0;
+  disk::DiskStats now = prev;
+  now.requests = 25;
+  now.sectors = 200;
+  now.phases.seek_ms = 12.5;
+  now.max_queue_ms = 7.0;
+  const disk::DiskStats d = now.Since(prev);
+  EXPECT_EQ(d.requests, 15u);
+  EXPECT_EQ(d.sectors, 120u);
+  EXPECT_DOUBLE_EQ(d.phases.seek_ms, 7.5);
+  EXPECT_EQ(d.max_queue_ms, 7.0);  // watermark carries over
+}
+
+}  // namespace
+}  // namespace mm::query

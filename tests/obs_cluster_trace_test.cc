@@ -1,0 +1,157 @@
+// The cluster trace determinism pin: a fault-injected 3-shard
+// ClusterSession run exports a byte-identical Chrome trace at 1, 2, and
+// 4 worker threads (shard sinks are private per worker and merged in
+// shard order on the caller, see query/cluster_session.cc), and that
+// trace is well-formed JSON.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/fault.h"
+#include "disk/spec.h"
+#include "lvm/cluster.h"
+#include "mapping/naive.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "query/cluster_session.h"
+#include "query/executor.h"
+#include "tests/trace_json_check.h"
+#include "util/rng.h"
+
+namespace mm::obs {
+namespace {
+
+using query::ArrivalProcess;
+using query::ClusterConfig;
+using query::ClusterSession;
+using query::Executor;
+
+std::vector<map::Box> RangeWorkload(const map::GridShape& shape, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<map::Box> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    map::Box b;
+    for (uint32_t dim = 0; dim < 3; ++dim) {
+      const uint32_t side = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      b.lo[dim] = static_cast<uint32_t>(rng.Uniform(shape.dim(dim) - side));
+      b.hi[dim] = b.lo[dim] + side;
+    }
+    boxes.push_back(b);
+  }
+  return boxes;
+}
+
+TEST(ObsClusterTraceTest, FaultInjectedTraceIsThreadCountInvariant) {
+  // Replicated shards; shard 1 loses a member mid-run (rebuild kicks in),
+  // shard 2 limps. Same topology/faults as the cluster determinism suite.
+  lvm::ClusterTopology topo;
+  topo.shards = 3;
+  topo.shard_disks = {disk::MakeTestDisk(), disk::MakeTestDisk(),
+                      disk::MakeTestDisk()};
+  topo.chunk_sectors = 16;
+  topo.replication = lvm::ReplicationOptions{2, 16};
+  auto cv = lvm::ClusterVolume::Create(topo);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  lvm::ClusterVolume& cluster = **cv;
+
+  disk::FaultModel kill;
+  kill.fail_at_ms = 120.0;
+  cluster.shard(1).disk(0).SetFaultModel(kill);
+  disk::FaultModel limp;
+  limp.slow_factor = 10.0;
+  cluster.shard(2).disk(2).SetFaultModel(limp);
+
+  map::GridShape shape{8, 8, 8};
+  map::NaiveMapping mapping(shape, 0, /*cell_sectors=*/2);
+  Executor planner(&cluster.logical(), &mapping);
+  const auto boxes = RangeWorkload(shape, 80, 29);
+
+  auto traced_run = [&](uint32_t threads) {
+    TraceSink sink;
+    ClusterConfig config;
+    config.threads = threads;
+    config.arrivals = ArrivalProcess::OpenPoisson(200.0);
+    config.seed = 99;
+    config.retry.max_attempts = 3;
+    config.retry.timeout_ms = 8.0;
+    config.retry.backoff_ms = 0.5;
+    config.rebuild.enabled = true;
+    config.rebuild.detect_delay_ms = 10.0;
+    config.trace = &sink;
+    ClusterSession session(&cluster, &planner, config);
+    auto r = session.Run(boxes);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(session.threads_used(), std::min<uint32_t>(threads, 3));
+    // The faults genuinely fired on this run.
+    EXPECT_GT(r->retries + r->redirects, 0u);
+    EXPECT_TRUE(session.shard_rebuild_stats(1).Detected());
+    return ToChromeTraceJson(sink);
+  };
+
+  const std::string ref = traced_run(1);
+  EXPECT_TRUE(mm::testing::CheckJson(ref)) << ref.substr(0, 400);
+  // Shard pids and the router pid all made it into the export.
+  for (const char* name : {"shard 0", "shard 1", "shard 2", "router"}) {
+    EXPECT_NE(ref.find(name), std::string::npos) << "missing " << name;
+  }
+  // Fault and background machinery is on the reference timeline.
+  for (const char* name : {"disk_failed", "retry", "rebuild.detected"}) {
+    EXPECT_NE(ref.find(name), std::string::npos) << "missing " << name;
+  }
+
+  for (uint32_t threads : {2u, 4u}) {
+    const std::string got = traced_run(threads);
+    EXPECT_EQ(ref, got) << "trace diverged at " << threads << " threads";
+  }
+}
+
+TEST(ObsClusterTraceTest, RouterRecordsFanoutOnItsOwnTrack) {
+  lvm::ClusterTopology topo;
+  topo.shards = 2;
+  topo.shard_disks = {disk::MakeTestDisk()};
+  topo.chunk_sectors = 16;
+  auto cv = lvm::ClusterVolume::Create(topo);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  lvm::ClusterVolume& cluster = **cv;
+
+  map::GridShape shape{6, 6, 6};
+  map::NaiveMapping mapping(shape, 0, /*cell_sectors=*/2);
+  Executor planner(&cluster.logical(), &mapping);
+
+  TraceSink sink;
+  ClusterConfig config;
+  config.threads = 1;
+  config.arrivals = ArrivalProcess::OpenPoisson(100.0);
+  config.seed = 5;
+  config.trace = &sink;
+  ClusterSession session(&cluster, &planner, config);
+  auto r = session.Run(RangeWorkload(shape, 30, 7));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Router events carry pid == shard count; shard events keep their own
+  // pid (Append must not restamp them).
+  size_t router_events = 0;
+  size_t shard_events = 0;
+  bool saw_fanout = false;
+  for (const TraceEvent& ev : sink.Events()) {
+    if (ev.pid == cluster.shard_count()) {
+      ++router_events;
+      if (std::string(ev.name) == "fanout") saw_fanout = true;
+    } else {
+      EXPECT_LT(ev.pid, cluster.shard_count());
+      ++shard_events;
+    }
+  }
+  EXPECT_GT(router_events, 0u);
+  EXPECT_GT(shard_events, 0u);
+  EXPECT_TRUE(saw_fanout);
+  EXPECT_TRUE(mm::testing::CheckJson(ToChromeTraceJson(sink)));
+}
+
+}  // namespace
+}  // namespace mm::obs

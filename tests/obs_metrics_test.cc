@@ -1,0 +1,208 @@
+// obs::MetricRegistry + obs/bridge.h. Counter/gauge/histogram semantics,
+// canonical label ordering, two-phase Merge rejection, and the headline
+// conservation contract: per-shard registries built from a ClusterSession
+// run's shard_stats(s) merge into exactly the registry built from the
+// LatencyStats::Merge of those shards (ShardStats()).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/spec.h"
+#include "lvm/cluster.h"
+#include "mapping/naive.h"
+#include "obs/bridge.h"
+#include "query/cluster_session.h"
+#include "query/executor.h"
+#include "util/rng.h"
+
+namespace mm::obs {
+namespace {
+
+using query::ArrivalProcess;
+using query::ClusterConfig;
+using query::ClusterSession;
+using query::Executor;
+
+TEST(MetricRegistryTest, CountersSumAndGaugesLastWriteWins) {
+  MetricRegistry reg;
+  reg.Add("reads_total", {{"disk", "0"}}, 3);
+  reg.Add("reads_total", {{"disk", "0"}}, 4);
+  reg.Add("reads_total", {{"disk", "1"}}, 1);
+  EXPECT_EQ(reg.Value("reads_total", {{"disk", "0"}}), 7);
+  EXPECT_EQ(reg.Value("reads_total", {{"disk", "1"}}), 1);
+  EXPECT_EQ(reg.Value("reads_total", {{"disk", "9"}}), 0);  // absent
+
+  reg.Set("depth", {}, 5);
+  reg.Set("depth", {}, 2);
+  EXPECT_EQ(reg.Value("depth"), 2);  // local writes: last wins
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricRegistryTest, LabelOrderNamesTheSameSeries) {
+  MetricRegistry reg;
+  reg.Add("x_total", {{"shard", "1"}, {"disk", "0"}}, 1);
+  reg.Add("x_total", {{"disk", "0"}, {"shard", "1"}}, 2);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.Value("x_total", {{"shard", "1"}, {"disk", "0"}}), 3);
+  EXPECT_EQ(MetricRegistry::KeyOf("x_total", {{"shard", "1"}, {"disk", "0"}}),
+            MetricRegistry::KeyOf("x_total", {{"disk", "0"}, {"shard", "1"}}));
+}
+
+TEST(MetricRegistryTest, MergeAddsCountersAndMaxesGauges) {
+  MetricRegistry a;
+  a.Add("n_total", {}, 10);
+  a.Set("peak", {}, 7);
+  MetricRegistry b;
+  b.Add("n_total", {}, 5);
+  b.Set("peak", {}, 3);
+  b.Add("only_in_b_total", {}, 2);
+
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.Value("n_total"), 15);
+  EXPECT_EQ(a.Value("peak"), 7);  // max, not last-write
+  EXPECT_EQ(a.Value("only_in_b_total"), 2);
+
+  MetricRegistry c;
+  c.Set("peak", {}, 9);
+  ASSERT_TRUE(a.Merge(c));
+  EXPECT_EQ(a.Value("peak"), 9);
+}
+
+TEST(MetricRegistryTest, HistogramsObserveAndMerge) {
+  MetricRegistry a;
+  a.Observe("lat_ms", {}, 0.5);
+  a.Observe("lat_ms", {}, 2.0);
+  MetricRegistry b;
+  b.Observe("lat_ms", {}, 8.0);
+  ASSERT_TRUE(a.Merge(b));
+  const MetricRegistry::Series* s = a.Find("lat_ms", {});
+  ASSERT_NE(s, nullptr);
+  ASSERT_TRUE(s->hist.has_value());
+  EXPECT_EQ(s->hist->count(), 3u);
+
+  // A differently-bucketed histogram refuses to fold in.
+  Histogram other(1.0, 10.0, 4);
+  other.Add(2.0);
+  EXPECT_FALSE(a.ObserveHistogram("lat_ms", {}, other));
+  EXPECT_EQ(a.Find("lat_ms", {})->hist->count(), 3u);
+}
+
+TEST(MetricRegistryTest, MergeIsTwoPhaseOnConflict) {
+  MetricRegistry a;
+  a.Add("n_total", {}, 10);
+  a.Observe("lat_ms", {}, 1.0);  // default shape
+
+  // `other` would add a clean counter AND a mis-shaped histogram: the
+  // whole merge must be rejected with nothing applied.
+  MetricRegistry other;
+  other.Add("n_total", {}, 5);
+  Histogram misshaped(1.0, 10.0, 4);
+  misshaped.Add(2.0);
+  ASSERT_TRUE(other.ObserveHistogram("lat_ms", {}, misshaped));
+  EXPECT_FALSE(a.Merge(other));
+  EXPECT_EQ(a.Value("n_total"), 10);  // untouched
+  EXPECT_EQ(a.Find("lat_ms", {})->hist->count(), 1u);
+
+  // Same for a kind conflict (counter vs gauge).
+  MetricRegistry kind_conflict;
+  kind_conflict.Set("n_total", {}, 1);
+  kind_conflict.Add("fresh_total", {}, 1);
+  EXPECT_FALSE(a.Merge(kind_conflict));
+  EXPECT_EQ(a.Find("fresh_total", {}), nullptr);
+}
+
+TEST(MetricRegistryTest, ToTextIsCanonicallyOrdered) {
+  MetricRegistry reg;
+  reg.Add("b_total", {}, 1);
+  reg.Add("a_total", {{"disk", "0"}}, 2);
+  const std::string text = reg.ToText();
+  EXPECT_NE(text.find("a_total{disk=\"0\"} 2"), std::string::npos) << text;
+  EXPECT_LT(text.find("a_total"), text.find("b_total"));
+}
+
+// The conservation pin: shard-local export + registry merge == export of
+// the shard-merged struct. Uses a real multi-shard run so every counter
+// family (retries, cache splits, sectors, the latency histogram) is
+// exercised with nonzero values.
+TEST(MetricBridgeTest, ShardRegistryMergeConservesClusterTotals) {
+  lvm::ClusterTopology topo;
+  topo.shards = 3;
+  topo.shard_disks = {disk::MakeTestDisk()};
+  topo.chunk_sectors = 16;
+  auto cv = lvm::ClusterVolume::Create(topo);
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  lvm::ClusterVolume& cluster = **cv;
+
+  map::GridShape shape{8, 8, 8};
+  map::NaiveMapping mapping(shape, 0, /*cell_sectors=*/1);
+  Executor planner(&cluster.logical(), &mapping);
+  ClusterConfig config;
+  config.threads = 1;
+  config.arrivals = ArrivalProcess::OpenPoisson(150.0);
+  config.seed = 42;
+
+  Rng rng(17);
+  std::vector<map::Box> boxes;
+  for (size_t i = 0; i < 60; ++i) {
+    map::Box b;
+    for (uint32_t dim = 0; dim < 3; ++dim) {
+      const uint32_t side = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      b.lo[dim] = static_cast<uint32_t>(rng.Uniform(shape.dim(dim) - side));
+      b.hi[dim] = b.lo[dim] + side;
+    }
+    boxes.push_back(b);
+  }
+
+  ClusterSession session(&cluster, &planner, config);
+  auto r = session.Run(boxes);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Per-shard registries, merged in shard order. The labels must match
+  // the whole-cluster export's -- conservation is per series.
+  const Labels labels{{"cluster", "test"}};
+  MetricRegistry merged;
+  for (uint32_t s = 0; s < cluster.shard_count(); ++s) {
+    MetricRegistry shard_reg;
+    ExportLatencyStats(session.shard_stats(s), labels, &shard_reg);
+    ASSERT_TRUE(merged.Merge(shard_reg)) << "shard " << s;
+  }
+
+  MetricRegistry whole;
+  ExportLatencyStats(session.ShardStats(), labels, &whole);
+
+  // Struct-level merge and registry-level merge fold the same numbers in
+  // the same shard order, so the expositions agree byte for byte.
+  EXPECT_GT(merged.Value("query_completed_total", labels), 0);
+  EXPECT_EQ(merged.Value("query_completed_total", labels),
+            whole.Value("query_completed_total", labels));
+  EXPECT_EQ(merged.Value("query_submitted_sectors_total", labels),
+            whole.Value("query_submitted_sectors_total", labels));
+  EXPECT_EQ(merged.Value("query_makespan_ms", labels),
+            whole.Value("query_makespan_ms", labels));
+  EXPECT_EQ(merged.ToText(), whole.ToText());
+}
+
+// Every bridge exporter lands its struct without label collisions in one
+// shared registry (the "unified metrics" use: one registry per run).
+TEST(MetricBridgeTest, AllExportersShareOneRegistry) {
+  MetricRegistry reg;
+  ExportDiskStats(disk::DiskStats{}, {{"disk", "0"}}, &reg);
+  ExportLatencyStats(query::LatencyStats{}, {}, &reg);
+  ExportRebuildStats(lvm::RebuildStats{}, {}, &reg);
+  ExportBufferPoolStats(cache::BufferPoolStats{}, {}, &reg);
+  ExportTierStats(lvm::TierStats{}, {}, &reg);
+  ExportBulkLoadStats(store::BulkLoadStats{}, {}, &reg);
+  ExportPlanCacheStats(query::Executor::PlanCacheStats{}, {}, &reg);
+  EXPECT_GT(reg.size(), 40u);
+  // Exporting the same structs again doubles counters, not series.
+  const size_t n = reg.size();
+  ExportDiskStats(disk::DiskStats{}, {{"disk", "0"}}, &reg);
+  EXPECT_EQ(reg.size(), n);
+}
+
+}  // namespace
+}  // namespace mm::obs

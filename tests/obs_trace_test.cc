@@ -1,0 +1,266 @@
+// obs::TraceSink + the session-layer hooks. Pins the no-sink and
+// traced-run bit-identity contract (tracing must never perturb the
+// simulation), ring bounds, query sampling, the lifecycle span names the
+// exporters document, fault events, and the Chrome/Explain exporters'
+// determinism and JSON validity.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "disk/fault.h"
+#include "disk/spec.h"
+#include "lvm/volume.h"
+#include "mapping/naive.h"
+#include "obs/trace_export.h"
+#include "query/executor.h"
+#include "query/session.h"
+#include "tests/trace_json_check.h"
+#include "util/rng.h"
+
+namespace mm::obs {
+namespace {
+
+using query::ArrivalProcess;
+using query::ClusterConfig;
+using query::Executor;
+using query::LatencyStats;
+using query::QueryCompletion;
+using query::Session;
+
+std::vector<map::Box> PointWorkload(const map::GridShape& shape, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<map::Box> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    map::Box b;
+    for (uint32_t dim = 0; dim < 3; ++dim) {
+      b.lo[dim] = static_cast<uint32_t>(rng.Uniform(shape.dim(dim)));
+      b.hi[dim] = b.lo[dim] + 1;
+    }
+    boxes.push_back(b);
+  }
+  return boxes;
+}
+
+void ExpectSameRun(const Session& a, const Session& b) {
+  ASSERT_EQ(a.Completions().size(), b.Completions().size());
+  for (size_t i = 0; i < a.Completions().size(); ++i) {
+    const QueryCompletion& x = a.Completions()[i];
+    const QueryCompletion& y = b.Completions()[i];
+    EXPECT_EQ(x.query, y.query) << "at " << i;
+    EXPECT_EQ(x.arrival_ms, y.arrival_ms) << "at " << i;
+    EXPECT_EQ(x.start_ms, y.start_ms) << "at " << i;
+    EXPECT_EQ(x.finish_ms, y.finish_ms) << "at " << i;
+    EXPECT_EQ(x.retries, y.retries) << "at " << i;
+    EXPECT_EQ(x.failed, y.failed) << "at " << i;
+  }
+  EXPECT_EQ(a.last_events(), b.last_events());
+  EXPECT_EQ(a.Stats().makespan_ms, b.Stats().makespan_ms);
+}
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  map::GridShape shape_{6, 6, 6};
+  map::NaiveMapping naive_{shape_, 0};
+
+  ClusterConfig Config() {
+    ClusterConfig c;
+    c.arrivals = ArrivalProcess::OpenPoisson(120.0);
+    c.seed = 7;
+    return c;
+  }
+};
+
+TEST_F(ObsTraceTest, TracingNeverPerturbsTheSimulation) {
+  const auto boxes = PointWorkload(shape_, 80, 3);
+
+  lvm::Volume plain{disk::MakeTestDisk()};
+  Executor ex_plain(&plain, &naive_);
+  Session untraced(&plain, &ex_plain, Config());
+  auto r1 = untraced.Run(boxes);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+
+  lvm::Volume traced_vol{disk::MakeTestDisk()};
+  Executor ex_traced(&traced_vol, &naive_);
+  TraceSink sink;
+  ClusterConfig config = Config();
+  config.trace = &sink;
+  Session traced(&traced_vol, &ex_traced, config);
+  auto r2 = traced.Run(boxes);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  ExpectSameRun(untraced, traced);
+  EXPECT_GT(sink.size(), 0u);
+}
+
+TEST_F(ObsTraceTest, RecordsTheDocumentedLifecycle) {
+  const auto boxes = PointWorkload(shape_, 20, 11);
+  lvm::Volume vol{disk::MakeTestDisk()};
+  Executor ex(&vol, &naive_);
+  TraceSink sink;
+  ClusterConfig config = Config();
+  config.trace = &sink;
+  Session s(&vol, &ex, config);
+  ASSERT_TRUE(s.Run(boxes).ok());
+
+  std::set<std::string> names;
+  for (const TraceEvent& ev : sink.Events()) names.insert(ev.name);
+  for (const char* expected :
+       {"arrival", "queue", "query", "seek", "transfer"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing event: " << expected;
+  }
+  // Planning instants carry the plan-cache outcome in their name.
+  EXPECT_TRUE(names.count("plan.cache_hit") || names.count("plan.cache_miss"))
+      << "no planning instant recorded";
+
+  // Every query got its full lifecycle: arrival instant, disk spans on a
+  // member-disk track (tid >= 1), completion span back on track 0.
+  size_t disk_spans = 0;
+  for (const TraceEvent& ev : sink.Events()) {
+    if (ev.tid >= 1 && ev.kind == EventKind::kSpan) ++disk_spans;
+  }
+  EXPECT_GE(disk_spans, boxes.size());
+}
+
+TEST_F(ObsTraceTest, RingIsBoundedAndDropsOldest) {
+  const auto boxes = PointWorkload(shape_, 60, 5);
+  lvm::Volume vol{disk::MakeTestDisk()};
+  Executor ex(&vol, &naive_);
+  TraceOptions opts;
+  opts.capacity = 16;
+  TraceSink sink(opts);
+  ClusterConfig config = Config();
+  config.trace = &sink;
+  Session s(&vol, &ex, config);
+  ASSERT_TRUE(s.Run(boxes).ok());
+
+  EXPECT_LE(sink.size(), 16u);
+  EXPECT_GT(sink.dropped(), 0u);
+  // The survivors are the newest events: seq strictly increasing, oldest
+  // first, ending at the last record.
+  const auto events = sink.Events();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST_F(ObsTraceTest, SamplePeriodThinsQueries) {
+  const auto boxes = PointWorkload(shape_, 40, 9);
+  lvm::Volume vol{disk::MakeTestDisk()};
+  Executor ex(&vol, &naive_);
+  TraceOptions opts;
+  opts.sample_period = 4;
+  TraceSink sink(opts);
+  ClusterConfig config = Config();
+  config.trace = &sink;
+  Session s(&vol, &ex, config);
+  ASSERT_TRUE(s.Run(boxes).ok());
+
+  std::set<uint64_t> traced_queries;
+  for (const TraceEvent& ev : sink.Events()) {
+    if (ev.query != kNoTrace && ev.query != kBackground) {
+      traced_queries.insert(ev.query);
+    }
+  }
+  ASSERT_FALSE(traced_queries.empty());
+  for (uint64_t q : traced_queries) {
+    EXPECT_EQ(q % 4, 0u) << "off-sample query " << q << " was traced";
+  }
+  EXPECT_EQ(traced_queries.size(), (boxes.size() + 3) / 4);
+}
+
+TEST_F(ObsTraceTest, FaultEventsAppearOnTheTimeline) {
+  // Replicated volume, one member dies mid-run: retries, redirects, and
+  // the rebuild lifecycle all land on the trace.
+  lvm::Volume vol{{disk::MakeTestDisk(), disk::MakeTestDisk(),
+                   disk::MakeTestDisk()},
+                  lvm::ReplicationOptions{2, 16}};
+  disk::FaultModel kill;
+  kill.fail_at_ms = 60.0;
+  vol.disk(0).SetFaultModel(kill);
+
+  map::GridShape small{5, 5, 5};
+  map::NaiveMapping mapping(small, 0);
+  Executor ex(&vol, &mapping);
+  TraceSink sink;
+  ClusterConfig config = Config();
+  config.arrivals = ArrivalProcess::OpenPoisson(250.0);
+  config.retry.max_attempts = 3;
+  config.rebuild.enabled = true;
+  config.rebuild.detect_delay_ms = 5.0;
+  config.trace = &sink;
+  Session s(&vol, &ex, config);
+  const auto boxes = PointWorkload(small, 120, 13);
+  auto r = s.Run(boxes);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(r->retries + r->redirects, 0u);
+  ASSERT_TRUE(s.rebuild_stats().Detected());
+
+  std::set<std::string> names;
+  size_t background = 0;
+  for (const TraceEvent& ev : sink.Events()) {
+    names.insert(ev.name);
+    if (ev.query == kBackground) ++background;
+  }
+  EXPECT_TRUE(names.count("disk_failed"));
+  EXPECT_TRUE(names.count("retry"));
+  EXPECT_TRUE(names.count("rebuild.detected"));
+  EXPECT_TRUE(names.count("rebuild.start"));
+  EXPECT_GT(background, 0u);  // rebuild chunk reads trace as background
+}
+
+TEST_F(ObsTraceTest, ChromeExportIsDeterministicAndValidJson) {
+  const auto boxes = PointWorkload(shape_, 30, 17);
+  lvm::Volume vol{disk::MakeTestDisk()};
+  Executor ex(&vol, &naive_);
+  TraceSink sink;
+  ClusterConfig config = Config();
+  config.trace = &sink;
+  Session s(&vol, &ex, config);
+  ASSERT_TRUE(s.Run(boxes).ok());
+
+  const std::string json = ToChromeTraceJson(sink);
+  EXPECT_EQ(json, ToChromeTraceJson(sink));  // pure function of the sink
+  EXPECT_TRUE(mm::testing::CheckJson(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, ExplainQueryRendersATimeline) {
+  const auto boxes = PointWorkload(shape_, 10, 21);
+  lvm::Volume vol{disk::MakeTestDisk()};
+  Executor ex(&vol, &naive_);
+  TraceSink sink;
+  ClusterConfig config = Config();
+  config.trace = &sink;
+  Session s(&vol, &ex, config);
+  ASSERT_TRUE(s.Run(boxes).ok());
+
+  const std::string explain = ExplainQuery(sink, 0);
+  EXPECT_NE(explain.find("query 0:"), std::string::npos);
+  EXPECT_NE(explain.find("arrival"), std::string::npos);
+  EXPECT_NE(explain.find("queue"), std::string::npos);
+  // A query id that never ran reports that, not an empty string.
+  const std::string missing = ExplainQuery(sink, 999999);
+  EXPECT_NE(missing.find("no trace events"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, ZeroCapacitySinkRecordsNothing) {
+  TraceOptions opts;
+  opts.capacity = 0;
+  TraceSink sink(opts);
+  sink.Instant(1.0, 0, 1, "x", "y");
+  sink.Span(1.0, 2.0, 0, 1, "x", "y");
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  EXPECT_TRUE(mm::testing::CheckJson(ToChromeTraceJson(sink)));
+}
+
+}  // namespace
+}  // namespace mm::obs
